@@ -1,0 +1,75 @@
+"""Ablation A5 — server CPU cost (the paper's Section 6 caveat).
+
+"In the described environment transmission costs are the dominating
+limitation factor.  Therefore local query evaluation costs were ignored
+... In higher bandwidth environments, however, it may be reasonable to
+take local query execution time into consideration."
+
+This ablation switches a CPU cost model on and measures the recursive
+multi-level expand over WAN-256 and over the LAN: the same CPU seconds
+that vanish in the WAN noise become the dominant share locally.
+"""
+
+import pytest
+
+from repro.bench.workload import build_scenario
+from repro.model.parameters import TreeParameters
+from repro.network.profiles import LAN, WAN_256
+from repro.pdm.operations import ExpandStrategy
+from repro.server.server import CpuCostModel
+
+#: 20 µs per scanned row ≈ a year-2000 server evaluating simple predicates.
+CPU_COST = CpuCostModel(seconds_per_statement=0.005, seconds_per_row_scanned=0.00002)
+
+TREE = TreeParameters(depth=5, branching=3, visibility=0.6)
+
+
+def expand_with_cost(profile, cpu_cost):
+    scenario = build_scenario(TREE, profile, seed=31)
+    scenario.server.cpu_cost = cpu_cost if cpu_cost is not None else CpuCostModel()
+    result = scenario.client.multi_level_expand(
+        scenario.product.root_obid,
+        ExpandStrategy.RECURSIVE_EARLY,
+        root_attrs=scenario.product.root_attributes(),
+    )
+    return result
+
+
+def test_bench_wan_with_cpu_cost(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: expand_with_cost(WAN_256, CPU_COST), rounds=1, iterations=1
+    )
+    share = result.traffic.server_seconds / result.seconds
+    benchmark.extra_info["cpu_share_percent"] = round(100 * share, 1)
+    with capsys.disabled():
+        print(
+            f"\nWAN-256 recursive MLE: {result.seconds:.2f} s total, "
+            f"{result.traffic.server_seconds:.2f} s CPU "
+            f"({100 * share:.0f} %)"
+        )
+    # Over the WAN the CPU share stays minor.
+    assert share < 0.35
+
+
+def test_bench_lan_with_cpu_cost(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: expand_with_cost(LAN, CPU_COST), rounds=1, iterations=1
+    )
+    share = result.traffic.server_seconds / result.seconds
+    benchmark.extra_info["cpu_share_percent"] = round(100 * share, 1)
+    with capsys.disabled():
+        print(
+            f"LAN recursive MLE:     {result.seconds:.2f} s total, "
+            f"{result.traffic.server_seconds:.2f} s CPU "
+            f"({100 * share:.0f} %)"
+        )
+    # On the LAN the same evaluation work becomes a major share of the
+    # response time (~40 % here vs ~2 % over the WAN).
+    assert share > 0.3
+
+
+def test_paper_convention_is_zero_cost(benchmark):
+    result = benchmark.pedantic(
+        lambda: expand_with_cost(WAN_256, None), rounds=1, iterations=1
+    )
+    assert result.traffic.server_seconds == 0.0

@@ -1,0 +1,77 @@
+"""Ablation A7 — the analytic model on irregular product structures.
+
+The paper's model assumes complete κ-ary trees.  Real structures are
+ragged; this ablation measures irregular (random-attachment) products end
+to end and compares them against the complete-tree formulas fed with the
+realised depth/branching.  The *qualitative* claims survive (recursion
+still collapses the MLE to one round trip; the saving still exceeds 90 %),
+while the absolute complete-tree predictions drift far from the
+measurement — the reason the harness simulates instead of trusting the
+formulas outside their assumptions.
+"""
+
+import pytest
+
+from repro.bench.measure import measure_action
+from repro.bench.workload import build_scenario
+from repro.model.parameters import NetworkParameters
+from repro.model.response_time import Action, Strategy, predict
+from repro.network.profiles import WAN_256
+from repro.pdm.generator import generate_irregular_product
+
+NETWORK = NetworkParameters(latency_s=0.15, dtr_kbit_s=256)
+
+
+@pytest.fixture(scope="module")
+def irregular_scenario():
+    product = generate_irregular_product(
+        800, seed=23, leaf_probability=0.45, visibility=0.6
+    )
+    return build_scenario(product.tree, WAN_256, product=product)
+
+
+def test_bench_irregular_mle_strategies(benchmark, irregular_scenario, capsys):
+    scenario = irregular_scenario
+
+    def run():
+        return {
+            strategy: measure_action(scenario, Action.MLE, strategy)
+            for strategy in (Strategy.LATE, Strategy.EARLY, Strategy.RECURSIVE)
+        }
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    late = measured[Strategy.LATE]
+    recursive = measured[Strategy.RECURSIVE]
+    saving = 100 * (1 - recursive.seconds / late.seconds)
+    with capsys.disabled():
+        print(
+            f"\nirregular product ({scenario.product.node_count} objects, "
+            f"realised depth {scenario.tree.depth}, "
+            f"max fan-out {scenario.tree.branching}):"
+        )
+        for strategy, action in measured.items():
+            print(
+                f"  MLE {strategy.value:<10} {action.seconds:8.2f} s  "
+                f"{action.round_trips:5d} round trips"
+            )
+        print(f"  recursive saving: {saving:.1f} %")
+    assert recursive.round_trips == 1
+    assert saving > 90.0
+
+
+def test_complete_tree_formulas_drift_on_irregular_shapes(
+    benchmark, irregular_scenario
+):
+    scenario = irregular_scenario
+
+    def run():
+        measured = measure_action(scenario, Action.MLE, Strategy.LATE)
+        prediction = predict(Action.MLE, Strategy.LATE, scenario.tree, NETWORK)
+        return measured, prediction
+
+    measured, prediction = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = prediction.total_seconds / measured.seconds
+    # Feeding realised (depth, max fan-out) into the complete-tree model
+    # overpredicts wildly: a complete tree of that depth and branching has
+    # orders of magnitude more nodes than the ragged one.
+    assert ratio > 5.0

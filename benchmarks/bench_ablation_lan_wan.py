@@ -1,0 +1,85 @@
+"""Ablation A4 — LAN vs WAN (the paper's Section 1 claim).
+
+"there is hardly any problem with this procedure in local-area networks
+... The picture changes dramatically, however, when applying the same
+procedure to worldwide distributed application environments."
+
+Runs the *same* navigational multi-level expand over a LAN and over the
+three WAN profiles and verifies the claim quantitatively.
+"""
+
+import pytest
+
+from repro.bench.measure import measure_action, price_traffic
+from repro.bench.workload import build_scenario
+from repro.model.parameters import NetworkParameters, TreeParameters
+from repro.model.response_time import Action, Strategy, predict
+from repro.network.profiles import LAN, PAPER_PROFILES, WAN_256
+
+TREE = TreeParameters(depth=5, branching=3, visibility=0.6)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(TREE, WAN_256, seed=21)
+
+
+def as_parameters(profile):
+    return NetworkParameters(
+        latency_s=profile.latency_s, dtr_kbit_s=profile.dtr_kbit_s
+    )
+
+
+def test_bench_lan_vs_wan_same_traffic(benchmark, scenario, capsys):
+    measured = benchmark.pedantic(
+        lambda: measure_action(scenario, Action.MLE, Strategy.LATE),
+        rounds=1,
+        iterations=1,
+    )
+    lan_seconds = price_traffic(measured.traffic, as_parameters(LAN))
+    wan_rows = [
+        (profile.name, price_traffic(measured.traffic, as_parameters(profile)))
+        for profile in PAPER_PROFILES
+    ]
+    with capsys.disabled():
+        print(f"\nnavigational MLE, same traffic trace ({measured.round_trips} RTs):")
+        print(f"  {LAN.name:<10}{lan_seconds:>10.2f} s")
+        for name, seconds in wan_rows:
+            print(f"  {name:<10}{seconds:>10.2f} s")
+    # LAN: acceptable; WAN: an order of magnitude worse at least, and the
+    # intercontinental profile of the DaimlerChrysler tests ~50x worse.
+    assert lan_seconds < 1.0
+    assert all(seconds > 10 * lan_seconds for __, seconds in wan_rows)
+    assert wan_rows[0][1] > 50 * lan_seconds
+
+
+def test_intro_anecdote_at_paper_scale(benchmark):
+    """Scenario 3's late MLE: ~half a minute on the LAN, ~half an hour on
+    the WAN — the exact anecdote that opens Section 2."""
+    tree = TreeParameters(depth=7, branching=5, visibility=0.6)
+
+    def run():
+        lan = predict(Action.MLE, Strategy.LATE, tree, as_parameters(LAN))
+        wan = predict(Action.MLE, Strategy.LATE, tree, as_parameters(WAN_256))
+        return lan.total_seconds, wan.total_seconds
+
+    lan_seconds, wan_seconds = benchmark(run)
+    assert 10 < lan_seconds < 60  # "little more than half a minute"
+    assert 25 * 60 < wan_seconds < 35 * 60  # "up to half an hour"
+
+
+def test_recursion_unnecessary_on_lan(benchmark, scenario):
+    """On the LAN the navigational and recursive strategies are both
+    sub-second — the tuning only matters over the WAN."""
+    late = measure_action(scenario, Action.MLE, Strategy.LATE)
+    recursive = measure_action(scenario, Action.MLE, Strategy.RECURSIVE)
+
+    def price_both():
+        return (
+            price_traffic(late.traffic, as_parameters(LAN)),
+            price_traffic(recursive.traffic, as_parameters(LAN)),
+        )
+
+    lan_late, lan_recursive = benchmark(price_both)
+    assert lan_late < 1.0
+    assert lan_recursive < 1.0

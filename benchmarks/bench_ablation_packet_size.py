@@ -1,0 +1,64 @@
+"""Ablation A1 — packet size sensitivity.
+
+The paper fixes size_p at 4 kB.  The per-query overhead of the
+navigational strategy is 1.5 packets, so its response time grows linearly
+with the packet size while the recursive strategy (2 messages) barely
+moves — i.e. the recursion advantage *increases* with packet size.
+"""
+
+import pytest
+
+from repro.model.parameters import NetworkParameters, TreeParameters
+from repro.model.response_time import Action, Strategy, predict
+
+TREE = TreeParameters(depth=9, branching=3, visibility=0.6)
+PACKET_SIZES = [512, 1024, 4096, 16384, 65536]
+
+
+def network_with_packet(packet_bytes):
+    return NetworkParameters(
+        latency_s=0.15, dtr_kbit_s=512, packet_bytes=packet_bytes
+    )
+
+
+def test_bench_packet_size_sweep(benchmark, capsys):
+    def sweep():
+        rows = []
+        for packet_bytes in PACKET_SIZES:
+            network = network_with_packet(packet_bytes)
+            late = predict(Action.MLE, Strategy.LATE, TREE, network)
+            recursive = predict(Action.MLE, Strategy.RECURSIVE, TREE, network)
+            rows.append(
+                (packet_bytes, late.total_seconds, recursive.total_seconds)
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    with capsys.disabled():
+        print("\npacket[B]   MLE late[s]   MLE recursive[s]   saving%")
+        for packet_bytes, late, recursive in rows:
+            print(
+                f"{packet_bytes:>9}{late:>14.2f}{recursive:>19.2f}"
+                f"{100 * (1 - recursive / late):>10.2f}"
+            )
+    late_times = [row[1] for row in rows]
+    recursive_times = [row[2] for row in rows]
+    assert late_times == sorted(late_times)  # grows with packet size
+    savings = [
+        1 - recursive / late for __, late, recursive in rows
+    ]
+    assert savings == sorted(savings)  # advantage grows too
+
+
+def test_packet_overhead_linear_in_query_count(benchmark):
+    def overhead(packet_bytes):
+        small = predict(
+            Action.MLE, Strategy.LATE, TREE, network_with_packet(packet_bytes)
+        )
+        return small
+
+    small = benchmark(overhead, 512)
+    large = overhead(4096)
+    # vol difference = q * 1.5 * (4096 - 512) bytes.
+    expected = small.queries * 1.5 * (4096 - 512)
+    assert large.volume_bytes - small.volume_bytes == pytest.approx(expected)

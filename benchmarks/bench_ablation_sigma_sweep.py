@@ -1,0 +1,66 @@
+"""Ablation A3 — visibility (σ) sensitivity.
+
+σ = 0.6 is the only value the paper evaluates.  This sweep shows where
+each approach pays off: early evaluation's saving on the Query action is
+exactly 1-σ^effective; the recursive saving on MLE stays >90 % across the
+whole σ range because it is dominated by the eliminated round trips.
+"""
+
+import pytest
+
+from repro.model.parameters import NetworkParameters, TreeParameters
+from repro.model.response_time import Action, Strategy, predict, saving_percent
+
+NETWORK = NetworkParameters(latency_s=0.15, dtr_kbit_s=512)
+SIGMAS = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def sweep():
+    rows = []
+    for sigma in SIGMAS:
+        tree = TreeParameters(depth=9, branching=3, visibility=sigma)
+        query_late = predict(Action.QUERY, Strategy.LATE, tree, NETWORK)
+        query_early = predict(Action.QUERY, Strategy.EARLY, tree, NETWORK)
+        mle_late = predict(Action.MLE, Strategy.LATE, tree, NETWORK)
+        mle_recursive = predict(Action.MLE, Strategy.RECURSIVE, tree, NETWORK)
+        rows.append(
+            (
+                sigma,
+                saving_percent(
+                    query_late.total_seconds, query_early.total_seconds
+                ),
+                saving_percent(
+                    mle_late.total_seconds, mle_recursive.total_seconds
+                ),
+            )
+        )
+    return rows
+
+
+def test_bench_sigma_sweep(benchmark, capsys):
+    rows = benchmark(sweep)
+    with capsys.disabled():
+        print("\nsigma   query saving%   MLE recursive saving%")
+        for sigma, query_saving, mle_saving in rows:
+            print(f"{sigma:>5.1f}{query_saving:>15.2f}{mle_saving:>22.2f}")
+    query_savings = [row[1] for row in rows]
+    # The fewer branches are visible, the more early evaluation saves.
+    assert query_savings == sorted(query_savings, reverse=True)
+    # Recursion's saving grows with σ (a nearly-invisible tree needs only
+    # a handful of navigational queries to begin with) and reaches the
+    # paper's >95 % regime from σ = 0.6 on.
+    mle_savings = [row[2] for row in rows]
+    assert mle_savings == sorted(mle_savings)
+    assert all(saving > 95.0 for sigma, __, saving in rows if sigma >= 0.6)
+
+
+def test_sigma_one_early_saves_almost_nothing_on_query(benchmark):
+    tree = TreeParameters(depth=9, branching=3, visibility=1.0)
+
+    def run():
+        late = predict(Action.QUERY, Strategy.LATE, tree, NETWORK)
+        early = predict(Action.QUERY, Strategy.EARLY, tree, NETWORK)
+        return saving_percent(late.total_seconds, early.total_seconds)
+
+    saving = benchmark(run)
+    assert saving == pytest.approx(0.0, abs=0.01)

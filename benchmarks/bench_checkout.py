@@ -1,0 +1,96 @@
+"""Extension E1 — check-out deployment modes (paper Section 6).
+
+The paper notes check-out "cannot be represented in one single query";
+either extra WAN round trips are paid (two-phase) or "application-specific
+functionality performing the desired user action has to be installed at
+the database server".  This bench quantifies both.
+"""
+
+import pytest
+
+from repro.bench.workload import build_scenario
+from repro.model.parameters import TreeParameters
+from repro.network.profiles import WAN_256
+from repro.pdm.operations import CheckOutMode
+from repro.rules.conditions import Attribute, Comparison, Const, ForAllRows
+from repro.rules.model import Actions, Rule
+
+
+@pytest.fixture(scope="module")
+def checkout_scenario():
+    scenario = build_scenario(
+        TreeParameters(depth=4, branching=3, visibility=1.0), WAN_256, seed=7
+    )
+    scenario.rule_table.add(
+        Rule(
+            user="*",
+            action=Actions.CHECK_OUT,
+            object_type="assy",
+            condition=ForAllRows(
+                Comparison("=", Attribute("checkedout"), Const(False))
+            ),
+        )
+    )
+    return scenario
+
+
+def test_bench_two_phase_checkout(benchmark, checkout_scenario):
+    scenario = checkout_scenario
+    root_attrs = scenario.product.root_attributes()
+
+    def run():
+        result = scenario.client.check_out(
+            scenario.product.root_obid,
+            CheckOutMode.TWO_PHASE,
+            root_attrs=root_attrs,
+        )
+        scenario.client.check_in(
+            scenario.product.root_obid, CheckOutMode.TWO_PHASE
+        )
+        return result
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["simulated_seconds"] = result.seconds
+    benchmark.extra_info["round_trips"] = result.round_trips
+    assert result.round_trips == 3
+
+
+def test_bench_server_procedure_checkout(benchmark, checkout_scenario):
+    scenario = checkout_scenario
+
+    def run():
+        result = scenario.client.check_out(
+            scenario.product.root_obid, CheckOutMode.SERVER_PROCEDURE
+        )
+        scenario.client.check_in(
+            scenario.product.root_obid, CheckOutMode.SERVER_PROCEDURE
+        )
+        return result
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["simulated_seconds"] = result.seconds
+    benchmark.extra_info["round_trips"] = result.round_trips
+    assert result.round_trips == 1
+
+
+def test_function_shipping_saves_latency(benchmark, checkout_scenario):
+    scenario = checkout_scenario
+    root = scenario.product.root_obid
+    root_attrs = scenario.product.root_attributes()
+
+    def compare():
+        two_phase = scenario.client.check_out(
+            root, CheckOutMode.TWO_PHASE, root_attrs=root_attrs
+        )
+        scenario.client.check_in(root, CheckOutMode.TWO_PHASE)
+        procedure = scenario.client.check_out(root, CheckOutMode.SERVER_PROCEDURE)
+        scenario.client.check_in(root, CheckOutMode.SERVER_PROCEDURE)
+        return two_phase, procedure
+
+    two_phase, procedure = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert (
+        procedure.traffic.latency_seconds
+        == two_phase.traffic.latency_seconds / 3
+    )
+    # The procedure also ships far fewer bytes (ids instead of full rows).
+    assert procedure.traffic.payload_bytes < two_phase.traffic.payload_bytes

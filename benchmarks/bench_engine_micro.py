@@ -1,0 +1,97 @@
+"""Engine micro-benchmarks: the substrate operations on the hot paths of
+the PDM workload (parse, point lookup, navigational child fetch,
+recursive fixpoint, bulk insert)."""
+
+import pytest
+
+from repro.bench.workload import build_scenario
+from repro.model.parameters import TreeParameters
+from repro.network.profiles import WAN_256
+from repro.pdm.queries import recursive_mle_spec
+from repro.rules.modificator import QueryModificator
+from repro.rules.ruletable import RuleTable
+from repro.sqldb import Database
+from repro.sqldb.parser import parse_statement
+from repro.sqldb.render import render_select
+
+
+@pytest.fixture(scope="module")
+def loaded_db():
+    scenario = build_scenario(
+        TreeParameters(depth=6, branching=3, visibility=0.6), WAN_256, seed=5
+    )
+    return scenario.database, scenario.product
+
+
+RECURSIVE_SQL = render_select(
+    QueryModificator(RuleTable(), "scott", {})
+    .modify_recursive(recursive_mle_spec(), "multi_level_expand")
+    .to_statement()
+)
+
+
+def test_bench_parse_recursive_query(benchmark):
+    statement = benchmark(parse_statement, RECURSIVE_SQL)
+    assert statement.with_clause.recursive
+
+
+def test_bench_point_lookup(benchmark, loaded_db):
+    db, product = loaded_db
+    root = product.root_obid
+
+    def run():
+        return db.execute("SELECT * FROM assy WHERE obid = ?", [root])
+
+    result = benchmark(run)
+    assert len(result) == 1
+
+
+def test_bench_navigational_child_fetch(benchmark, loaded_db):
+    db, product = loaded_db
+    root = product.root_obid
+    sql = (
+        "SELECT link.obid, link.right, assy.name FROM link "
+        "JOIN assy ON link.right = assy.obid WHERE link.left = ?"
+    )
+
+    def run():
+        return db.execute(sql, [root])
+
+    result = benchmark(run)
+    assert len(result) == 3
+
+
+def test_bench_recursive_fixpoint(benchmark, loaded_db):
+    db, product = loaded_db
+
+    def run():
+        return db.execute(RECURSIVE_SQL, [product.root_obid])
+
+    result = benchmark(run)
+    # Nodes plus connecting links of the whole product.
+    assert len(result) == 2 * product.node_count - 1
+
+
+def test_bench_bulk_insert(benchmark):
+    def run():
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        db.executemany(
+            "INSERT INTO t VALUES (?, ?)", [(i, i * 2) for i in range(2000)]
+        )
+        return db
+
+    db = benchmark(run)
+    assert db.table_rowcount("t") == 2000
+
+
+def test_bench_aggregate_scan(benchmark, loaded_db):
+    db, __ = loaded_db
+
+    def run():
+        return db.execute(
+            "SELECT state, COUNT(*), AVG(weight) FROM comp GROUP BY state"
+        )
+
+    result = benchmark(run)
+    assert result.rows

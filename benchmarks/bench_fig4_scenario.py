@@ -1,0 +1,62 @@
+"""Figure 4 — δ=9, κ=3, σ=0.6 over T_Lat=150 ms / dtr=512 kbit/s.
+
+Regenerates the bar chart (late eval / early eval / recursion × Query /
+Expand / MLE) from the analytic model and from the end-to-end simulation,
+and asserts the orderings the figure displays.
+"""
+
+import pytest
+
+from repro.bench import paper_values
+from repro.bench.experiments import run_figure4
+from repro.bench.measure import price_traffic
+from repro.model.parameters import FIGURE4_NETWORK
+from repro.model.response_time import Action, Strategy
+from repro.model.tables import figure4_series
+
+
+def test_figure4_report(benchmark, capsys):
+    text = benchmark(run_figure4, simulate=False)
+    with capsys.disabled():
+        print()
+        print(text)
+    assert "figure4" in text
+
+
+def test_figure4_model_matches_paper(benchmark):
+    series = benchmark(figure4_series)
+    for strategy, bars in paper_values.FIGURE4.items():
+        for action, value in bars.items():
+            assert series[strategy][action] == pytest.approx(value, abs=0.011)
+
+
+def test_figure4_simulated_series(benchmark, measured_grids, scenario2, paper_scale):
+    if not paper_scale:
+        pytest.skip("figure thresholds are calibrated for paper-scale trees")
+    key = (scenario2.tree.depth, scenario2.tree.branching)
+
+    def build_series():
+        grid = measured_grids[key]
+        return {
+            strategy: {
+                action: price_traffic(
+                    grid[(action, strategy)].traffic, FIGURE4_NETWORK
+                )
+                for action in (Action.QUERY, Action.EXPAND, Action.MLE)
+            }
+            for strategy in (Strategy.LATE, Strategy.EARLY, Strategy.RECURSIVE)
+        }
+
+    series = benchmark(build_series)
+    late, early, recursion = (
+        series[Strategy.LATE],
+        series[Strategy.EARLY],
+        series[Strategy.RECURSIVE],
+    )
+    # The figure's visual claims:
+    assert late[Action.EXPAND] < 1.0  # expand already acceptable
+    assert early[Action.QUERY] < 0.1 * late[Action.QUERY]
+    assert early[Action.MLE] > 0.9 * late[Action.MLE]
+    assert recursion[Action.MLE] < 0.1 * late[Action.MLE]
+    for action in (Action.QUERY, Action.EXPAND):
+        assert recursion[action] == pytest.approx(early[action])

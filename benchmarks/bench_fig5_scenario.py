@@ -1,0 +1,55 @@
+"""Figure 5 — δ=7, κ=5, σ=0.6 over T_Lat=150 ms / dtr=256 kbit/s.
+
+The paper's worst case: a late-eval MLE takes ~28 minutes; recursion cuts
+it to under a minute.
+"""
+
+import pytest
+
+from repro.bench import paper_values
+from repro.bench.experiments import run_figure5
+from repro.bench.measure import price_traffic
+from repro.model.parameters import FIGURE5_NETWORK
+from repro.model.response_time import Action, Strategy
+from repro.model.tables import figure5_series
+
+
+def test_figure5_report(benchmark, capsys):
+    text = benchmark(run_figure5, simulate=False)
+    with capsys.disabled():
+        print()
+        print(text)
+    assert "figure5" in text
+
+
+def test_figure5_model_matches_paper(benchmark):
+    series = benchmark(figure5_series)
+    for strategy, bars in paper_values.FIGURE5.items():
+        for action, value in bars.items():
+            assert series[strategy][action] == pytest.approx(value, abs=0.011)
+
+
+def test_figure5_intro_anecdote(benchmark):
+    """Section 2: 'such a multi-level expand was finished after only
+    little more than half a minute using the LAN, whereas the same
+    operation took up to half an hour using the WAN.'"""
+    series = benchmark(figure5_series)
+    wan_mle = series["late eval"]["MLE"]
+    assert 25 * 60 < wan_mle < 30 * 60  # 1684 s ≈ 28 minutes
+
+
+def test_figure5_simulated_series(benchmark, measured_grids, scenario3):
+    key = (scenario3.tree.depth, scenario3.tree.branching)
+
+    def build_series():
+        grid = measured_grids[key]
+        return {
+            strategy: price_traffic(
+                grid[(Action.MLE, strategy)].traffic, FIGURE5_NETWORK
+            )
+            for strategy in (Strategy.LATE, Strategy.EARLY, Strategy.RECURSIVE)
+        }
+
+    series = benchmark(build_series)
+    assert series[Strategy.RECURSIVE] < 0.1 * series[Strategy.LATE]
+    assert series[Strategy.EARLY] > 0.9 * series[Strategy.LATE]

@@ -1,0 +1,93 @@
+"""Extension E2 — multi-server replication vs SQL tuning (Section 7
+outlook).
+
+Measures the Brazilian engineer's multi-level expand against (a) the
+central server navigationally, (b) the central server with the recursive
+query, (c) a LAN replica navigationally — and the write penalty the
+replica costs.
+"""
+
+import pytest
+
+from repro.model.parameters import TreeParameters
+from repro.network.profiles import LAN, WAN_256, WAN_512
+from repro.pdm.generator import generate_product
+from repro.pdm.operations import ExpandStrategy, PDMClient
+from repro.server.multisite import build_replicated_deployment
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    product = generate_product(
+        TreeParameters(depth=5, branching=3, visibility=1.0), seed=11
+    )
+    return build_replicated_deployment(
+        product,
+        primary_profile=WAN_256,
+        replica_profiles={"brazil-lan": LAN, "us-office": WAN_512},
+        primary_name="germany",
+    )
+
+
+@pytest.fixture(scope="module")
+def product(deployment):
+    # The deployment fixture loaded this exact product everywhere.
+    return deployment.primary, deployment
+
+
+def test_bench_central_recursive(benchmark, deployment):
+    client = PDMClient(deployment.site("germany").connection)
+
+    def run():
+        return client.multi_level_expand(1, ExpandStrategy.RECURSIVE_EARLY)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["simulated_seconds"] = result.seconds
+    assert result.round_trips == 1
+
+
+def test_bench_replica_navigational(benchmark, deployment):
+    client = PDMClient(deployment.site("brazil-lan").connection)
+
+    def run():
+        return client.multi_level_expand(1, ExpandStrategy.NAVIGATIONAL_LATE)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["simulated_seconds"] = result.seconds
+    # LAN-local navigation beats even the recursive WAN query.
+    assert result.seconds < 5.0
+
+
+def test_bench_write_propagation(benchmark, deployment):
+    def run():
+        __, sync_seconds = deployment.execute_write(
+            "UPDATE assy SET weight = weight + 1 WHERE obid = 1"
+        )
+        return sync_seconds
+
+    sync_seconds = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["simulated_seconds"] = sync_seconds
+    # Synchronous writes pay the primary WAN plus the slowest replica.
+    assert sync_seconds > 0.6
+
+
+def test_replica_vs_central_tradeoff(benchmark, deployment):
+    """The headline comparison: all three options measured side by side."""
+
+    def run():
+        central_nav = PDMClient(
+            deployment.site("germany").connection
+        ).multi_level_expand(1, ExpandStrategy.NAVIGATIONAL_LATE)
+        central_rec = PDMClient(
+            deployment.site("germany").connection
+        ).multi_level_expand(1, ExpandStrategy.RECURSIVE_EARLY)
+        replica_nav = PDMClient(
+            deployment.site("brazil-lan").connection
+        ).multi_level_expand(1, ExpandStrategy.NAVIGATIONAL_LATE)
+        return central_nav, central_rec, replica_nav
+
+    central_nav, central_rec, replica_nav = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert central_rec.seconds < 0.05 * central_nav.seconds
+    assert replica_nav.seconds < 0.05 * central_nav.seconds

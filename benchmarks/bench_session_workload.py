@@ -1,0 +1,62 @@
+"""Extension E3 — session-level workloads.
+
+The paper quantifies single actions; this bench replays a 25-step
+engineer session (browsing-heavy mix with occasional full expands,
+queries and check-out cycles) under each strategy and reports the
+session-level response time — the number a remote site actually feels.
+"""
+
+import pytest
+
+from repro.bench.session import compare_strategies, generate_session, replay_session
+from repro.bench.workload import build_scenario
+from repro.model.parameters import TreeParameters
+from repro.network.profiles import WAN_256
+from repro.pdm.operations import ExpandStrategy
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(
+        TreeParameters(depth=5, branching=3, visibility=0.6), WAN_256, seed=17
+    )
+
+
+@pytest.mark.parametrize("strategy", list(ExpandStrategy))
+def test_bench_session(benchmark, scenario, strategy):
+    steps = generate_session(scenario, length=25, seed=99)
+
+    def run():
+        return replay_session(scenario, steps, strategy)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["simulated_session_seconds"] = result.total_seconds
+    benchmark.extra_info["round_trips"] = result.round_trips
+    assert len(result.step_seconds) == 25
+
+
+def test_session_comparison_report(benchmark, scenario, capsys):
+    def run():
+        return compare_strategies(scenario, length=25, seed=99)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n25-step engineer session over WAN-256:")
+        print(f"{'strategy':<24}{'session[s]':>12}{'round trips':>13}{'KiB':>9}")
+        for strategy, result in results.items():
+            print(
+                f"{strategy.value:<24}{result.total_seconds:>12.1f}"
+                f"{result.round_trips:>13}"
+                f"{result.payload_bytes / 1024:>9.0f}"
+            )
+        worst_step, worst_seconds = results[
+            ExpandStrategy.NAVIGATIONAL_LATE
+        ].slowest_step
+        print(
+            f"slowest late-eval step: {worst_step.kind} "
+            f"({worst_seconds:.1f} s)"
+        )
+    late = results[ExpandStrategy.NAVIGATIONAL_LATE]
+    recursive = results[ExpandStrategy.RECURSIVE_EARLY]
+    assert recursive.total_seconds < late.total_seconds
+    assert recursive.round_trips < late.round_trips

@@ -1,0 +1,79 @@
+"""Table 3 — early rule evaluation (approach 1).
+
+Checks the paper's headline asymmetry: early evaluation saves >95 % on the
+set-oriented Query action but only ~2 % on the multi-level expand, because
+the round trips — not the bytes — dominate the MLE.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_table3
+from repro.bench.measure import measure_action, price_traffic
+from repro.model.parameters import PAPER_NETWORKS
+from repro.model.response_time import Action, Strategy, predict
+
+
+def test_table3_report_matches_paper(benchmark, capsys):
+    report = benchmark(run_table3, simulate=False)
+    assert report.max_model_error() <= 0.011
+    for row in report.rows:
+        assert row.model_saving == pytest.approx(row.paper_saving, abs=0.02)
+    with capsys.disabled():
+        print()
+        print(report.to_text())
+
+
+@pytest.mark.parametrize("action", [Action.QUERY, Action.EXPAND, Action.MLE])
+def test_bench_scenario1_early(benchmark, scenario1, action):
+    result = benchmark.pedantic(
+        lambda: measure_action(scenario1, action, Strategy.EARLY),
+        rounds=3,
+        iterations=1,
+    )
+    model = predict(action, Strategy.EARLY, scenario1.tree, PAPER_NETWORKS[0])
+    benchmark.extra_info["simulated_seconds"] = result.seconds
+    benchmark.extra_info["model_seconds"] = model.total_seconds
+    assert 0.3 < result.seconds / model.total_seconds < 3.0
+
+
+@pytest.mark.parametrize("action", [Action.QUERY, Action.MLE])
+def test_bench_scenario2_early(benchmark, scenario2, action, paper_scale):
+    result = benchmark.pedantic(
+        lambda: measure_action(scenario2, action, Strategy.EARLY),
+        rounds=1,
+        iterations=1,
+    )
+    model = predict(action, Strategy.EARLY, scenario2.tree, PAPER_NETWORKS[0])
+    benchmark.extra_info["simulated_seconds"] = result.seconds
+    benchmark.extra_info["model_seconds"] = model.total_seconds
+    if paper_scale:
+        assert 0.3 < result.seconds / model.total_seconds < 3.0
+
+
+def test_simulated_savings_match_paper_shape(benchmark, measured_grids, paper_scale):
+    """Early-eval savings: large for Query, marginal for MLE, on every
+    scenario and every table network."""
+    if not paper_scale:
+        pytest.skip("shape thresholds are calibrated for paper-scale trees")
+
+    def check():
+        for grid in measured_grids.values():
+            for network in PAPER_NETWORKS:
+                query_late = price_traffic(
+                    grid[(Action.QUERY, Strategy.LATE)].traffic, network
+                )
+                query_early = price_traffic(
+                    grid[(Action.QUERY, Strategy.EARLY)].traffic, network
+                )
+                assert query_early < 0.4 * query_late
+                mle_late = price_traffic(
+                    grid[(Action.MLE, Strategy.LATE)].traffic, network
+                )
+                mle_early = price_traffic(
+                    grid[(Action.MLE, Strategy.EARLY)].traffic, network
+                )
+                # "The savings for the multi-level expands are very low".
+                assert mle_early > 0.9 * mle_late
+        return True
+
+    assert benchmark(check)

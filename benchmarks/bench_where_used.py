@@ -1,0 +1,72 @@
+"""Extension E5 — where-used (reverse BOM) analysis.
+
+The mirror image of the multi-level expand: climbing from a component to
+everything that (transitively) contains it.  Navigational climbing pays
+one round trip per ancestor; the upward recursive query pays one, full
+stop.  On deep structures the ratio equals the structure depth.
+"""
+
+import pytest
+
+from repro.bench.workload import build_scenario
+from repro.model.parameters import TreeParameters
+from repro.network.profiles import WAN_256
+from repro.pdm.operations import ExpandStrategy
+
+DEPTH = 8
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(
+        TreeParameters(depth=DEPTH, branching=2, visibility=1.0),
+        WAN_256,
+        seed=13,
+    )
+
+
+@pytest.fixture(scope="module")
+def deep_leaf(scenario):
+    return scenario.product.components[0].obid
+
+
+def test_bench_where_used_recursive(benchmark, scenario, deep_leaf):
+    def run():
+        return scenario.client.where_used(
+            deep_leaf, ExpandStrategy.RECURSIVE_EARLY
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["simulated_seconds"] = result.seconds
+    assert result.round_trips == 1
+    assert len(result.objects) == DEPTH
+
+
+def test_bench_where_used_navigational(benchmark, scenario, deep_leaf):
+    def run():
+        return scenario.client.where_used(
+            deep_leaf, ExpandStrategy.NAVIGATIONAL_LATE
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["simulated_seconds"] = result.seconds
+    # One probe per visited node: the leaf plus every ancestor.
+    assert result.round_trips == DEPTH + 1
+
+
+def test_latency_ratio_equals_depth(benchmark, scenario, deep_leaf):
+    def run():
+        recursive = scenario.client.where_used(
+            deep_leaf, ExpandStrategy.RECURSIVE_EARLY
+        )
+        navigational = scenario.client.where_used(
+            deep_leaf, ExpandStrategy.NAVIGATIONAL_LATE
+        )
+        return recursive, navigational
+
+    recursive, navigational = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = (
+        navigational.traffic.latency_seconds
+        / recursive.traffic.latency_seconds
+    )
+    assert ratio == pytest.approx(DEPTH + 1)

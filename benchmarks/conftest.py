@@ -1,0 +1,73 @@
+"""Shared fixtures for the benchmark suite.
+
+The three paper scenarios are generated once per session (scenario 3 holds
+~10^5 objects).  Setting ``REPRO_BENCH_SCALE=small`` shrinks the trees for
+quick smoke runs while keeping every bench meaningful; the default runs at
+paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.measure import measure_grid
+from repro.bench.workload import build_scenario
+from repro.model.parameters import PAPER_TREES, TreeParameters
+from repro.network.profiles import WAN_256
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "paper")
+
+if SCALE == "small":
+    SCENARIO_TREES = (
+        TreeParameters(depth=3, branching=3, visibility=0.6),
+        TreeParameters(depth=5, branching=2, visibility=0.6),
+        TreeParameters(depth=4, branching=3, visibility=0.6),
+    )
+else:
+    SCENARIO_TREES = PAPER_TREES
+
+SEED = 42
+
+#: True when running the full paper-scale workloads; the quantitative
+#: shape assertions only apply then (small mode is a smoke run).
+PAPER_SCALE = SCALE != "small"
+
+
+@pytest.fixture(scope="session")
+def paper_scale():
+    return PAPER_SCALE
+
+
+@pytest.fixture(scope="session")
+def scenario1():
+    """Paper scenario 1: δ=3, κ=9 (819 nodes)."""
+    return build_scenario(SCENARIO_TREES[0], WAN_256, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def scenario2():
+    """Paper scenario 2: δ=9, κ=3 (29 523 nodes)."""
+    return build_scenario(SCENARIO_TREES[1], WAN_256, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def scenario3():
+    """Paper scenario 3: δ=7, κ=5 (97 655 nodes)."""
+    return build_scenario(SCENARIO_TREES[2], WAN_256, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def all_scenarios(scenario1, scenario2, scenario3):
+    return (scenario1, scenario2, scenario3)
+
+
+@pytest.fixture(scope="session")
+def measured_grids(all_scenarios):
+    """End-to-end measurements of every (action, strategy) per scenario —
+    computed once and shared by the table/figure benches."""
+    return {
+        (scenario.tree.depth, scenario.tree.branching): measure_grid(scenario)
+        for scenario in all_scenarios
+    }

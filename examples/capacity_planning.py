@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""What-if analysis with the analytic model: where should the money go —
+more bandwidth, less latency, or a software change?
+
+Uses equations (1)-(6) to sweep the WAN parameters for the paper's
+scenario 2 product and prints the multi-level-expand response time under
+each strategy.  The punchline mirrors the paper's: for the navigational
+system no affordable link upgrade fixes the MLE, because the latency term
+(2 messages per visited node) dominates; the recursive query is a software
+fix that beats any hardware budget.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.model import (
+    Action,
+    NetworkParameters,
+    Strategy,
+    TreeParameters,
+    latency_where_saving_reaches,
+    max_latency_for_budget,
+    min_bandwidth_for_budget,
+    predict,
+)
+
+TREE = TreeParameters(depth=9, branching=3, visibility=0.6)
+
+
+def fmt(seconds: float) -> str:
+    if seconds >= 60:
+        return f"{seconds / 60:6.1f} min"
+    return f"{seconds:7.1f} s "
+
+
+def sweep(title, networks):
+    print(title)
+    print(f"  {'link':<28}{'MLE navigational':>18}{'MLE recursive':>16}"
+          f"{'Query early':>14}")
+    for label, network in networks:
+        navigational = predict(Action.MLE, Strategy.EARLY, TREE, network)
+        recursive = predict(Action.MLE, Strategy.RECURSIVE, TREE, network)
+        query = predict(Action.QUERY, Strategy.EARLY, TREE, network)
+        print(
+            f"  {label:<28}{fmt(navigational.total_seconds):>18}"
+            f"{fmt(recursive.total_seconds):>16}"
+            f"{fmt(query.total_seconds):>14}"
+        )
+    print()
+
+
+def main() -> None:
+    print(f"product structure: {TREE.label} "
+          f"(29 523 objects)\n")
+
+    sweep(
+        "A. Buy bandwidth (latency fixed at 150 ms):",
+        [
+            (f"{dtr} kbit/s", NetworkParameters(0.15, dtr))
+            for dtr in (128, 256, 512, 2048, 10240)
+        ],
+    )
+    sweep(
+        "B. Buy latency (bandwidth fixed at 512 kbit/s):",
+        [
+            (f"{int(latency * 1000)} ms", NetworkParameters(latency, 512))
+            for latency in (0.30, 0.15, 0.05, 0.02, 0.005)
+        ],
+    )
+    budget = 10.0
+    reference = NetworkParameters(0.15, 512)
+    print(f"C. Closed-form planning (budget: MLE within {budget:.0f} s):")
+    navigational_latency = max_latency_for_budget(
+        Action.MLE, Strategy.EARLY, TREE, reference, budget
+    )
+    recursive_latency = max_latency_for_budget(
+        Action.MLE, Strategy.RECURSIVE, TREE, reference, budget
+    )
+    navigational_dtr = min_bandwidth_for_budget(
+        Action.MLE, Strategy.EARLY, TREE, reference, budget
+    )
+    recursive_dtr = min_bandwidth_for_budget(
+        Action.MLE, Strategy.RECURSIVE, TREE, reference, budget
+    )
+    def show(value, unit):
+        return "impossible" if value is None else f"{value:.3g} {unit}"
+    print(f"  max tolerable latency, navigational: "
+          f"{show(navigational_latency, 's')}")
+    print(f"  max tolerable latency, recursive:    "
+          f"{show(recursive_latency, 's')}")
+    print(f"  min bandwidth at 150 ms, navigational: "
+          f"{show(navigational_dtr, 'kbit/s')}")
+    print(f"  min bandwidth at 150 ms, recursive:    "
+          f"{show(recursive_dtr, 'kbit/s')}")
+    threshold = latency_where_saving_reaches(TREE, reference, 95.0)
+    print(f"  recursion saves >95% whenever latency exceeds "
+          f"{threshold * 1000:.0f} ms\n")
+
+    print(
+        "Conclusion: with navigational access the MLE stays in the minutes\n"
+        "range even on a 10 Mbit/s link, because ~890 round trips pay the\n"
+        "latency each time.  The recursive query needs 2 messages; it is\n"
+        "already interactive on the cheapest link."
+    )
+
+
+if __name__ == "__main__":
+    main()

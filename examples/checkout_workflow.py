@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Check-out / check-in over the WAN (paper Section 6).
+
+The check-out action "cannot be represented in one single query": the
+subtree must be retrieved (with the all-checked-in ∀rows rule of paper
+example 2) and the checked-out flags must be updated.  This script runs
+both deployment modes and provokes a conflict:
+
+* TWO_PHASE — the client orchestrates: 1 recursive fetch + 2 UPDATEs.
+* SERVER_PROCEDURE — the whole operation is installed at the server and
+  costs a single round trip ("application-specific functionality ... has
+  to be installed at the database server").
+
+Run:  python examples/checkout_workflow.py
+"""
+
+from repro import CheckOutMode, build_scenario
+from repro.errors import CheckOutError
+from repro.model import TreeParameters
+from repro.network import WAN_256
+from repro.rules import Actions, Rule
+from repro.rules.conditions import Attribute, Comparison, Const, ForAllRows
+
+
+def main() -> None:
+    scenario = build_scenario(
+        TreeParameters(depth=3, branching=3, visibility=1.0), WAN_256, seed=4
+    )
+    # Paper example 2: every user may check out a subtree only if all of
+    # its nodes are checked in.
+    scenario.rule_table.add(
+        Rule(
+            user="*",
+            action=Actions.CHECK_OUT,
+            object_type="assy",
+            condition=ForAllRows(
+                Comparison("=", Attribute("checkedout"), Const(False))
+            ),
+            name="example-2",
+        )
+    )
+    product = scenario.product
+    root_attrs = product.root_attributes()
+    scott = scenario.client
+    mike = scenario.fresh_client(user="mike")
+
+    # Pick the root's first child as a mid-level subtree for mike.
+    subtree_root = product.children[product.root_obid][0][1]
+
+    print("1) mike checks out a subtree (server procedure, 1 round trip)")
+    result = mike.check_out(subtree_root, CheckOutMode.SERVER_PROCEDURE)
+    print(f"   checked out {len(result.checked_out)} objects "
+          f"in {result.seconds:.2f} s simulated\n")
+
+    print("2) scott tries to check out the WHOLE product (two-phase)")
+    try:
+        scott.check_out(
+            product.root_obid, CheckOutMode.TWO_PHASE, root_attrs=root_attrs
+        )
+    except CheckOutError as error:
+        print(f"   denied, as the example-2 rule demands: {error}\n")
+
+    print("3) mike checks his subtree back in")
+    result = mike.check_in(subtree_root, CheckOutMode.SERVER_PROCEDURE)
+    print(f"   released {len(result.checked_out)} objects\n")
+
+    print("4) now scott's check-out succeeds; compare both modes:")
+    two_phase = scott.check_out(
+        product.root_obid, CheckOutMode.TWO_PHASE, root_attrs=root_attrs
+    )
+    scott.check_in(product.root_obid, CheckOutMode.TWO_PHASE)
+    procedure = scott.check_out(
+        product.root_obid, CheckOutMode.SERVER_PROCEDURE
+    )
+    scott.check_in(product.root_obid, CheckOutMode.SERVER_PROCEDURE)
+    print(f"   two-phase:        {two_phase.round_trips} round trips, "
+          f"{two_phase.seconds:.2f} s simulated")
+    print(f"   server procedure: {procedure.round_trips} round trip,  "
+          f"{procedure.seconds:.2f} s simulated")
+    saving = 100 * (1 - procedure.seconds / two_phase.seconds)
+    print(f"   function shipping saves {saving:.0f} % "
+          f"on this {scenario.profile}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: build a product, put a WAN between client and server, and
+watch the paper's three strategies retrieve the same tree at very
+different costs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExpandStrategy, build_scenario
+from repro.model import TreeParameters
+from repro.network import WAN_256
+
+
+def main() -> None:
+    # A product structure: depth 4, 3 children per assembly, and the user
+    # is allowed to see ~60 % of the branches (structure options).
+    tree = TreeParameters(depth=4, branching=3, visibility=0.6)
+    scenario = build_scenario(tree, WAN_256, seed=2026)
+    product = scenario.product
+    print(f"product: {product.node_count} objects, "
+          f"{product.visible_node_count} visible below the root")
+    print(f"network: {scenario.profile}")
+    print()
+
+    root_attrs = product.root_attributes()
+    print(f"{'strategy':<22}{'round trips':>12}{'bytes':>12}{'response':>12}")
+    for strategy in (
+        ExpandStrategy.NAVIGATIONAL_LATE,
+        ExpandStrategy.NAVIGATIONAL_EARLY,
+        ExpandStrategy.RECURSIVE_EARLY,
+    ):
+        result = scenario.client.multi_level_expand(
+            product.root_obid, strategy, root_attrs=root_attrs
+        )
+        print(
+            f"{strategy.value:<22}{result.round_trips:>12}"
+            f"{result.traffic.payload_bytes:>12}"
+            f"{result.seconds:>10.2f} s"
+        )
+
+    result = scenario.client.multi_level_expand(
+        product.root_obid, ExpandStrategy.RECURSIVE_EARLY, root_attrs=root_attrs
+    )
+    print()
+    print(f"retrieved tree: {result.tree.node_count()} nodes, "
+          f"depth {result.tree.depth()}")
+    print("first level:",
+          [child.attrs["name"] for child in result.tree.children])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Benchmark harness: workloads, measurement, and experiment registry.
+
+``python -m repro.bench`` regenerates every table and figure of the paper
+(analytic model next to the published values next to the end-to-end
+simulation); the pytest-benchmark suites under ``benchmarks/`` wrap the
+same entry points.
+"""
+
+from repro.bench.workload import Scenario, build_scenario, scenario_rules
+from repro.bench.measure import MeasuredAction, measure_action, price_traffic
+from repro.bench.session import (
+    SessionResult,
+    SessionStep,
+    compare_strategies,
+    generate_session,
+    replay_session,
+)
+
+__all__ = [
+    "Scenario",
+    "build_scenario",
+    "scenario_rules",
+    "MeasuredAction",
+    "measure_action",
+    "price_traffic",
+    "SessionStep",
+    "SessionResult",
+    "generate_session",
+    "replay_session",
+    "compare_strategies",
+]

@@ -1,0 +1,69 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench                 # all experiments, model only
+    python -m repro.bench --simulate      # + end-to-end simulation (slow)
+    python -m repro.bench table2 table4   # a subset
+    python -m repro.bench --seed 7        # different workload draw
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.report import ExperimentReport
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=(
+            "Regenerate the evaluation of 'Tuning an SQL-Based PDM System "
+            "in a Worldwide Client/Server Environment' (ICDE 2001)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=list(EXPERIMENTS) + [[]],
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--simulate",
+        action="store_true",
+        help="also run the end-to-end simulations at paper scale (slow: "
+        "builds databases with up to ~10^5 objects)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="workload generator seed"
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the report to FILE (used to refresh the "
+        "regenerated-report section of EXPERIMENTS.md)",
+    )
+    args = parser.parse_args(argv)
+    selected = args.experiments or list(EXPERIMENTS)
+    sections = []
+    for experiment_id in selected:
+        runner = EXPERIMENTS[experiment_id]
+        result = runner(simulate=args.simulate, seed=args.seed)
+        text = (
+            result.to_text()
+            if isinstance(result, ExperimentReport)
+            else str(result)
+        )
+        print(text)
+        sections.append(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

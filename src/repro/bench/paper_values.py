@@ -1,0 +1,209 @@
+"""The numbers published in the paper's Tables 2-4, transcribed verbatim.
+
+Index convention: ``[network][tree][action]`` where networks and trees are
+keyed as in :mod:`repro.model.parameters` (network by (T_Lat, dtr); tree
+by (δ, κ)), and each cell is ``(latency_part, transfer_part, total)`` in
+seconds.  Savings (Tables 3/4) are percentages relative to Table 2.
+
+These constants exist so tests and the experiment report can check the
+analytic model against the *published* values rather than against itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+NetworkKey = Tuple[float, float]  # (T_Lat seconds, dtr kbit/s)
+TreeKey = Tuple[int, int]  # (depth δ, branching κ)
+Cell = Tuple[float, float, float]  # (latency, transfer, total) seconds
+
+NETWORKS: Tuple[NetworkKey, ...] = ((0.15, 256), (0.15, 512), (0.05, 1024))
+TREES: Tuple[TreeKey, ...] = ((3, 9), (9, 3), (7, 5))
+ACTIONS = ("query", "expand", "mle")
+
+#: Table 2 — navigational access, late rule evaluation.
+TABLE2: Dict[NetworkKey, Dict[TreeKey, Dict[str, Cell]]] = {
+    (0.15, 256): {
+        (3, 9): {
+            "query": (0.30, 12.98, 13.28),
+            "expand": (0.30, 0.33, 0.63),
+            "mle": (57.91, 41.19, 99.10),
+        },
+        (9, 3): {
+            "query": (0.30, 461.48, 461.78),
+            "expand": (0.30, 0.23, 0.53),
+            "mle": (133.52, 95.01, 228.53),
+        },
+        (7, 5): {
+            "query": (0.30, 1526.05, 1526.35),
+            "expand": (0.30, 0.27, 0.57),
+            "mle": (984.00, 700.39, 1684.39),
+        },
+    },
+    (0.15, 512): {
+        (3, 9): {
+            "query": (0.30, 6.49, 6.79),
+            "expand": (0.30, 0.16, 0.46),
+            "mle": (57.91, 20.60, 78.50),
+        },
+        (9, 3): {
+            "query": (0.30, 230.74, 231.04),
+            "expand": (0.30, 0.12, 0.42),
+            "mle": (133.52, 47.51, 181.02),
+        },
+        (7, 5): {
+            "query": (0.30, 763.02, 763.32),
+            "expand": (0.30, 0.13, 0.43),
+            "mle": (984.00, 350.20, 1334.20),
+        },
+    },
+    (0.05, 1024): {
+        (3, 9): {
+            "query": (0.10, 3.25, 3.35),
+            "expand": (0.10, 0.08, 0.18),
+            "mle": (19.30, 10.30, 29.60),
+        },
+        (9, 3): {
+            "query": (0.10, 115.37, 115.47),
+            "expand": (0.10, 0.06, 0.16),
+            "mle": (44.51, 23.75, 68.26),
+        },
+        (7, 5): {
+            "query": (0.10, 381.51, 381.61),
+            "expand": (0.10, 0.07, 0.17),
+            "mle": (328.00, 175.10, 503.10),
+        },
+    },
+}
+
+#: Table 3 — navigational access, early rule evaluation.
+TABLE3: Dict[NetworkKey, Dict[TreeKey, Dict[str, Cell]]] = {
+    (0.15, 256): {
+        (3, 9): {
+            "query": (0.30, 3.19, 3.49),
+            "expand": (0.30, 0.27, 0.57),
+            "mle": (57.91, 39.19, 97.10),
+        },
+        (9, 3): {
+            "query": (0.30, 7.13, 7.43),
+            "expand": (0.30, 0.22, 0.52),
+            "mle": (133.52, 90.39, 223.90),
+        },
+        (7, 5): {
+            "query": (0.30, 51.42, 51.72),
+            "expand": (0.30, 0.23, 0.53),
+            "mle": (984.00, 666.23, 1650.23),
+        },
+    },
+    (0.15, 512): {
+        (3, 9): {
+            "query": (0.30, 1.59, 1.89),
+            "expand": (0.30, 0.14, 0.44),
+            "mle": (57.91, 19.60, 77.50),
+        },
+        (9, 3): {
+            "query": (0.30, 3.56, 3.86),
+            "expand": (0.30, 0.11, 0.41),
+            "mle": (133.52, 45.19, 178.71),
+        },
+        (7, 5): {
+            "query": (0.30, 25.71, 26.01),
+            "expand": (0.30, 0.12, 0.42),
+            "mle": (984.00, 333.12, 1317.12),
+        },
+    },
+    (0.05, 1024): {
+        (3, 9): {
+            "query": (0.10, 0.80, 0.90),
+            "expand": (0.10, 0.07, 0.17),
+            "mle": (19.30, 9.80, 29.10),
+        },
+        (9, 3): {
+            "query": (0.10, 1.78, 1.88),
+            "expand": (0.10, 0.05, 0.15),
+            "mle": (44.51, 22.60, 67.10),
+        },
+        (7, 5): {
+            "query": (0.10, 12.86, 12.96),
+            "expand": (0.10, 0.06, 0.16),
+            "mle": (328.00, 166.56, 494.56),
+        },
+    },
+}
+
+#: Table 3 — published "saving in %" rows.
+TABLE3_SAVINGS: Dict[NetworkKey, Dict[TreeKey, Dict[str, float]]] = {
+    (0.15, 256): {
+        (3, 9): {"query": 73.74, "expand": 8.96, "mle": 2.02},
+        (9, 3): {"query": 98.39, "expand": 3.51, "mle": 2.02},
+        (7, 5): {"query": 96.61, "expand": 5.52, "mle": 2.03},
+    },
+    (0.15, 512): {
+        (3, 9): {"query": 72.12, "expand": 6.06, "mle": 1.27},
+        (9, 3): {"query": 98.33, "expand": 2.25, "mle": 1.28},
+        (7, 5): {"query": 96.59, "expand": 3.61, "mle": 1.28},
+    },
+    (0.05, 1024): {
+        (3, 9): {"query": 73.19, "expand": 7.73, "mle": 1.69},
+        (9, 3): {"query": 98.37, "expand": 2.96, "mle": 1.69},
+        (7, 5): {"query": 96.61, "expand": 4.69, "mle": 1.70},
+    },
+}
+
+#: Table 4 — recursive queries + early evaluation (MLE only):
+#: (latency, transfer, total, saving %).
+TABLE4: Dict[NetworkKey, Dict[TreeKey, Tuple[float, float, float, float]]] = {
+    (0.15, 256): {
+        (3, 9): (0.30, 3.19, 3.49, 96.48),
+        (9, 3): (0.30, 7.13, 7.43, 96.75),
+        (7, 5): (0.30, 51.42, 51.72, 96.93),
+    },
+    (0.15, 512): {
+        (3, 9): (0.30, 1.59, 1.89, 97.59),
+        (9, 3): (0.30, 3.56, 3.86, 97.87),
+        (7, 5): (0.30, 25.71, 26.01, 98.05),
+    },
+    (0.05, 1024): {
+        (3, 9): (0.10, 0.80, 0.90, 96.97),
+        (9, 3): (0.10, 1.78, 1.88, 97.24),
+        (7, 5): (0.10, 12.86, 12.96, 97.42),
+    },
+}
+
+#: Figure 4 (δ=9, κ=3, T_Lat=150 ms, dtr=512) and Figure 5 (δ=7, κ=5,
+#: T_Lat=150 ms, dtr=256) plot exactly the corresponding table columns.
+FIGURE4 = {
+    "late eval": {
+        "QUERY": TABLE2[(0.15, 512)][(9, 3)]["query"][2],
+        "EXPAND": TABLE2[(0.15, 512)][(9, 3)]["expand"][2],
+        "MLE": TABLE2[(0.15, 512)][(9, 3)]["mle"][2],
+    },
+    "early eval": {
+        "QUERY": TABLE3[(0.15, 512)][(9, 3)]["query"][2],
+        "EXPAND": TABLE3[(0.15, 512)][(9, 3)]["expand"][2],
+        "MLE": TABLE3[(0.15, 512)][(9, 3)]["mle"][2],
+    },
+    "recursion": {
+        "QUERY": TABLE3[(0.15, 512)][(9, 3)]["query"][2],
+        "EXPAND": TABLE3[(0.15, 512)][(9, 3)]["expand"][2],
+        "MLE": TABLE4[(0.15, 512)][(9, 3)][2],
+    },
+}
+
+FIGURE5 = {
+    "late eval": {
+        "QUERY": TABLE2[(0.15, 256)][(7, 5)]["query"][2],
+        "EXPAND": TABLE2[(0.15, 256)][(7, 5)]["expand"][2],
+        "MLE": TABLE2[(0.15, 256)][(7, 5)]["mle"][2],
+    },
+    "early eval": {
+        "QUERY": TABLE3[(0.15, 256)][(7, 5)]["query"][2],
+        "EXPAND": TABLE3[(0.15, 256)][(7, 5)]["expand"][2],
+        "MLE": TABLE3[(0.15, 256)][(7, 5)]["mle"][2],
+    },
+    "recursion": {
+        "QUERY": TABLE3[(0.15, 256)][(7, 5)]["query"][2],
+        "EXPAND": TABLE3[(0.15, 256)][(7, 5)]["expand"][2],
+        "MLE": TABLE4[(0.15, 256)][(7, 5)][2],
+    },
+}

@@ -1,0 +1,178 @@
+"""User-session workloads: replay a realistic mix of PDM actions.
+
+The paper evaluates the three actions in isolation; a working engineer
+interleaves them — browse a few levels, expand a promising subtree fully,
+query a whole product, check something out.  This module generates seeded
+action sequences from a configurable mix and replays them under a given
+strategy, yielding the *session-level* response time: the number that
+decides whether the remote site can work at all.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.workload import Scenario
+from repro.errors import CheckOutError, PDMError
+from repro.pdm.operations import CheckOutMode, ExpandStrategy
+
+#: Action kinds a session step can take.
+STEP_KINDS = ("expand", "mle", "partial_mle", "query", "checkout_cycle")
+
+#: Default action mix: browsing dominates, full expands and check-outs
+#: are comparatively rare (weights, not probabilities).
+DEFAULT_MIX: Dict[str, float] = {
+    "expand": 8.0,
+    "partial_mle": 3.0,
+    "mle": 2.0,
+    "query": 1.0,
+    "checkout_cycle": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class SessionStep:
+    """One step of a session: an action kind plus its target."""
+
+    kind: str
+    target_obid: int
+    depth: Optional[int] = None
+
+
+@dataclass
+class SessionResult:
+    """Replay outcome: per-step seconds and the aggregate cost."""
+
+    strategy: ExpandStrategy
+    steps: List[SessionStep]
+    step_seconds: List[float] = field(default_factory=list)
+    round_trips: int = 0
+    payload_bytes: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.step_seconds)
+
+    @property
+    def slowest_step(self) -> Tuple[SessionStep, float]:
+        index = max(
+            range(len(self.step_seconds)), key=self.step_seconds.__getitem__
+        )
+        return self.steps[index], self.step_seconds[index]
+
+
+def generate_session(
+    scenario: Scenario,
+    length: int = 20,
+    seed: int = 0,
+    mix: Optional[Dict[str, float]] = None,
+) -> List[SessionStep]:
+    """Generate a seeded session of *length* steps over the scenario's
+    product.  Targets are drawn from the *visible* assemblies (a user can
+    only click what the PDM browser shows)."""
+    mix = dict(DEFAULT_MIX if mix is None else mix)
+    unknown = set(mix) - set(STEP_KINDS)
+    if unknown:
+        raise PDMError(f"unknown session step kinds: {sorted(unknown)}")
+    rng = random.Random(seed)
+    product = scenario.product
+    assembly_ids = [
+        assembly.obid
+        for assembly in product.assemblies
+        if assembly.obid in product.visible_obids
+    ]
+    kinds = list(mix)
+    weights = [mix[kind] for kind in kinds]
+    steps: List[SessionStep] = []
+    for __ in range(length):
+        kind = rng.choices(kinds, weights=weights)[0]
+        if kind == "query":
+            target = product.root_obid
+        else:
+            target = rng.choice(assembly_ids)
+        depth = rng.randint(1, max(1, product.tree.depth - 1)) if (
+            kind == "partial_mle"
+        ) else None
+        steps.append(SessionStep(kind=kind, target_obid=target, depth=depth))
+    return steps
+
+
+def replay_session(
+    scenario: Scenario,
+    steps: Sequence[SessionStep],
+    strategy: ExpandStrategy,
+) -> SessionResult:
+    """Execute every step over the scenario's simulated WAN.
+
+    Check-out cycles use the strategy-appropriate deployment: the
+    recursive strategy pairs with the server procedure (function
+    shipping), the navigational ones with the two-phase protocol.
+    Conflicting check-outs (target inside an already-held subtree) are
+    charged for their round trips and skipped — exactly what a real
+    session would experience.
+    """
+    client = scenario.client
+    result = SessionResult(strategy=strategy, steps=list(steps))
+    attrs_cache: Dict[int, Dict[str, Any]] = {
+        scenario.product.root_obid: scenario.product.root_attributes()
+    }
+    for step in steps:
+        root_attrs = attrs_cache.get(step.target_obid)
+        if root_attrs is None:
+            root_attrs = client.fetch_object(step.target_obid)
+            attrs_cache[step.target_obid] = root_attrs
+        if step.kind == "expand":
+            action = client.single_level_expand(step.target_obid, strategy)
+        elif step.kind == "mle":
+            action = client.multi_level_expand(
+                step.target_obid, strategy, root_attrs=root_attrs
+            )
+        elif step.kind == "partial_mle":
+            action = client.multi_level_expand(
+                step.target_obid,
+                strategy,
+                root_attrs=root_attrs,
+                max_depth=step.depth,
+            )
+        elif step.kind == "query":
+            action = client.query(scenario.product.root_obid, strategy)
+        elif step.kind == "checkout_cycle":
+            action = _checkout_cycle(scenario, step, strategy, root_attrs)
+        else:  # pragma: no cover - generate_session validates kinds
+            raise PDMError(f"unknown step kind {step.kind!r}")
+        result.step_seconds.append(action.seconds)
+        result.round_trips += action.round_trips
+        result.payload_bytes += action.traffic.payload_bytes
+    return result
+
+
+def _checkout_cycle(scenario, step, strategy, root_attrs):
+    client = scenario.client
+    mode = (
+        CheckOutMode.SERVER_PROCEDURE
+        if strategy is ExpandStrategy.RECURSIVE_EARLY
+        else CheckOutMode.TWO_PHASE
+    )
+    begin = client._begin()
+    try:
+        client.check_out(step.target_obid, mode, root_attrs=root_attrs)
+        client.check_in(step.target_obid, mode)
+    except CheckOutError:
+        pass  # busy subtree: the round trips were still paid
+    return client._finish(begin)
+
+
+def compare_strategies(
+    scenario: Scenario,
+    length: int = 20,
+    seed: int = 0,
+    mix: Optional[Dict[str, float]] = None,
+) -> Dict[ExpandStrategy, SessionResult]:
+    """Replay the *same* generated session under all three strategies."""
+    steps = generate_session(scenario, length=length, seed=seed, mix=mix)
+    return {
+        strategy: replay_session(scenario, steps, strategy)
+        for strategy in ExpandStrategy
+    }

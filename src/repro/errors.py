@@ -1,0 +1,90 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+All errors raised by :mod:`repro` derive from :class:`ReproError` so that
+applications can catch the whole family with one ``except`` clause while
+still being able to distinguish SQL problems from network or rule problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SQLError(ReproError):
+    """Base class for errors raised by the :mod:`repro.sqldb` engine."""
+
+
+class LexerError(SQLError):
+    """The SQL tokeniser met a character sequence it cannot tokenise."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SQLError):
+    """The SQL parser met a token sequence that is not valid SQL."""
+
+
+class CatalogError(SQLError):
+    """A schema object (table, column, index, function) is missing/duplicated."""
+
+
+class TypeMismatchError(SQLError):
+    """An expression combined values of incompatible SQL types."""
+
+
+class ExecutionError(SQLError):
+    """A statement failed during execution (e.g. scalar subquery returned
+    more than one row, recursion limit exceeded, division by zero)."""
+
+
+class IntegrityError(SQLError):
+    """A statement violated an integrity constraint (duplicate primary key,
+    NOT NULL column receiving NULL, arity mismatch on INSERT)."""
+
+
+class NetworkError(ReproError):
+    """Base class for errors raised by the :mod:`repro.network` simulator."""
+
+
+class LinkConfigurationError(NetworkError):
+    """A network link was configured with non-physical parameters."""
+
+
+class ProtocolError(ReproError):
+    """The client/server protocol was violated (unknown request type,
+    response for a different request, use of a closed connection)."""
+
+
+class PDMError(ReproError):
+    """Base class for errors raised by the :mod:`repro.pdm` layer."""
+
+
+class UnknownObjectError(PDMError):
+    """A PDM operation referenced an object id that does not exist."""
+
+
+class CheckOutError(PDMError):
+    """A check-out/check-in operation could not be performed (e.g. a node
+    in the requested subtree is already checked out)."""
+
+
+class RuleError(ReproError):
+    """Base class for errors raised by the :mod:`repro.rules` machinery."""
+
+
+class ConditionTranslationError(RuleError):
+    """A rule condition could not be translated into an SQL predicate."""
+
+
+class QueryModificationError(RuleError):
+    """The query modificator could not inject a rule into a query, e.g.
+    because the query structure is hidden (paper, end of Section 5.5)."""
+
+
+class ModelError(ReproError):
+    """Base class for errors raised by the analytic model in
+    :mod:`repro.model` (invalid tree or network parameters)."""

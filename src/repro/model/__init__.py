@@ -1,0 +1,57 @@
+"""The paper's analytic response-time model (Section 2, 4.2, 5.4).
+
+Everything in this package is closed-form: given tree parameters
+(δ depth, κ branching, σ visibility), network parameters (T_Lat, dtr,
+packet size, node size) and a (action, strategy) pair, it predicts the
+number of queries, communications, the transferred volume, and the
+response time.  :mod:`repro.model.tables` arranges these predictions into
+the exact row/column layout of Tables 2-4 and Figures 4-5.
+"""
+
+from repro.model.parameters import (
+    NetworkParameters,
+    TreeParameters,
+    PAPER_NETWORKS,
+    PAPER_TREES,
+)
+from repro.model.crossover import (
+    latency_where_saving_reaches,
+    max_latency_for_budget,
+    min_bandwidth_for_budget,
+    response_time_at,
+)
+from repro.model.response_time import (
+    Action,
+    Strategy,
+    ResponseTimePrediction,
+    predict,
+    saving_percent,
+)
+from repro.model.trees import (
+    expected_visible_nodes,
+    full_node_count,
+    level_width,
+    transmitted_nodes,
+    visible_node_count,
+)
+
+__all__ = [
+    "NetworkParameters",
+    "TreeParameters",
+    "PAPER_NETWORKS",
+    "PAPER_TREES",
+    "Action",
+    "Strategy",
+    "ResponseTimePrediction",
+    "predict",
+    "saving_percent",
+    "full_node_count",
+    "visible_node_count",
+    "expected_visible_nodes",
+    "level_width",
+    "transmitted_nodes",
+    "response_time_at",
+    "max_latency_for_budget",
+    "min_bandwidth_for_budget",
+    "latency_where_saving_reaches",
+]

@@ -1,0 +1,138 @@
+"""Closed-form capacity-planning helpers on top of the response-time model.
+
+The response time of every strategy is affine in both the latency and the
+inverse data rate (equations (4)/(6)):
+
+    T(T_Lat, dtr) = c * T_Lat + vol / dtr
+
+so questions like "below which latency does the navigational MLE stay
+interactive?" or "at which latency does the recursive query save 95 %?"
+have exact solutions — no simulation needed.  These helpers power
+what-if planning (see ``examples/capacity_planning.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ModelError
+from repro.model.parameters import NetworkParameters, TreeParameters
+from repro.model.response_time import Action, Strategy, predict
+
+
+def _cost_terms(
+    action: Action,
+    strategy: Strategy,
+    tree: TreeParameters,
+    network: NetworkParameters,
+):
+    """(communications, volume_bytes) of the action — the affine
+    coefficients of the response-time function."""
+    prediction = predict(action, strategy, tree, network)
+    return prediction.communications, prediction.volume_bytes
+
+
+def response_time_at(
+    action: Action,
+    strategy: Strategy,
+    tree: TreeParameters,
+    network: NetworkParameters,
+    latency_s: Optional[float] = None,
+    dtr_kbit_s: Optional[float] = None,
+) -> float:
+    """Response time with latency and/or data rate overridden."""
+    override = NetworkParameters(
+        latency_s=network.latency_s if latency_s is None else latency_s,
+        dtr_kbit_s=network.dtr_kbit_s if dtr_kbit_s is None else dtr_kbit_s,
+        packet_bytes=network.packet_bytes,
+        node_bytes=network.node_bytes,
+    )
+    return predict(action, strategy, tree, override).total_seconds
+
+
+def max_latency_for_budget(
+    action: Action,
+    strategy: Strategy,
+    tree: TreeParameters,
+    network: NetworkParameters,
+    budget_seconds: float,
+) -> Optional[float]:
+    """Largest latency at which the action finishes within the budget.
+
+    Returns None when the transfer time alone already exceeds the budget
+    (no latency improvement can help — the link needs more bandwidth).
+    """
+    if budget_seconds <= 0:
+        raise ModelError("the response-time budget must be positive")
+    communications, volume = _cost_terms(action, strategy, tree, network)
+    transfer = network.transfer_seconds(volume)
+    if transfer >= budget_seconds:
+        return None
+    return (budget_seconds - transfer) / communications
+
+
+def min_bandwidth_for_budget(
+    action: Action,
+    strategy: Strategy,
+    tree: TreeParameters,
+    network: NetworkParameters,
+    budget_seconds: float,
+) -> Optional[float]:
+    """Smallest data rate (kbit/s) meeting the budget at the network's
+    latency; None when the latency share alone exceeds the budget (no
+    amount of bandwidth can help — fewer round trips are needed)."""
+    if budget_seconds <= 0:
+        raise ModelError("the response-time budget must be positive")
+    communications, volume = _cost_terms(action, strategy, tree, network)
+    latency_share = communications * network.latency_s
+    if latency_share >= budget_seconds:
+        return None
+    return (volume * 8.0 / (budget_seconds - latency_share)) / 1024.0
+
+
+def latency_where_saving_reaches(
+    tree: TreeParameters,
+    network: NetworkParameters,
+    target_saving_percent: float,
+    baseline: Strategy = Strategy.LATE,
+    improved: Strategy = Strategy.RECURSIVE,
+    action: Action = Action.MLE,
+) -> Optional[float]:
+    """Latency at which the improved strategy's saving hits the target.
+
+    The saving grows monotonically with the latency (the improved
+    strategy's advantage is mostly eliminated round trips), so this is
+    the *threshold above which* the target is met.  Returns 0.0 when the
+    target is already met on a zero-latency link, and None when it is
+    unreachable at any latency (the asymptotic saving ``1 - c_i/c_b`` is
+    below the target).
+    """
+    if not 0 < target_saving_percent < 100:
+        raise ModelError("target saving must be within (0, 100) percent")
+    share = 1.0 - target_saving_percent / 100.0
+    base_comm, base_volume = _cost_terms(action, baseline, tree, network)
+    improved_comm, improved_volume = _cost_terms(action, improved, tree, network)
+    base_transfer = network.transfer_seconds(base_volume)
+    improved_transfer = network.transfer_seconds(improved_volume)
+    # Solve improved_comm*T + improved_transfer = share*(base_comm*T + base_transfer).
+    denominator = share * base_comm - improved_comm
+    numerator = improved_transfer - share * base_transfer
+    if denominator <= 0:
+        # Even infinite latency cannot reach the target share.
+        return None
+    threshold = numerator / denominator
+    return max(0.0, threshold)
+
+
+def saving_is_monotone_in_latency(
+    tree: TreeParameters,
+    network: NetworkParameters,
+    action: Action = Action.MLE,
+    baseline: Strategy = Strategy.LATE,
+    improved: Strategy = Strategy.RECURSIVE,
+) -> bool:
+    """True when the improved strategy eliminates round trips (then its
+    relative saving can only grow with the latency)."""
+    base_comm, __ = _cost_terms(action, baseline, tree, network)
+    improved_comm, __ = _cost_terms(action, improved, tree, network)
+    return improved_comm < base_comm

@@ -1,0 +1,105 @@
+"""Parameter records for the analytic model.
+
+The defaults are the constants printed in the headers of Tables 2-4:
+``size_packet = 4 kB``, ``avg size_node = 512 Byte``; kilo prefixes are
+binary (1 kB = 1024 B, 1 kbit/s = 1024 bit/s), which is pinned by
+reproducing the tables to the cent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+#: Binary unit conventions used throughout the paper's computations.
+BYTES_PER_KB = 1024
+BITS_PER_KBIT = 1024
+
+
+@dataclass(frozen=True)
+class TreeParameters:
+    """A complete κ-ary product tree of depth δ with visibility σ.
+
+    ``depth`` (δ): number of levels below the root (all leaves at depth δ).
+    ``branching`` (κ): children per internal node.
+    ``visibility`` (σ): probability that a user is allowed to see a branch
+    — the paper's estimate of the combined effect of access rules,
+    structure options and effectivities.
+    """
+
+    depth: int
+    branching: int
+    visibility: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ModelError(f"tree depth must be >= 1, got {self.depth}")
+        if self.branching < 1:
+            raise ModelError(
+                f"tree branching must be >= 1, got {self.branching}"
+            )
+        if not 0.0 <= self.visibility <= 1.0:
+            raise ModelError(
+                f"visibility must be within [0, 1], got {self.visibility}"
+            )
+
+    @property
+    def label(self) -> str:
+        return (
+            f"delta={self.depth}, kappa={self.branching}, "
+            f"sigma={self.visibility}"
+        )
+
+
+@dataclass(frozen=True)
+class NetworkParameters:
+    """WAN parameters of the analytic model (Table 1 symbols)."""
+
+    latency_s: float  # T_Lat
+    dtr_kbit_s: float  # dtr
+    packet_bytes: int = 4 * BYTES_PER_KB  # size_p
+    node_bytes: int = 512  # avg node size
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ModelError("latency must be non-negative")
+        if self.dtr_kbit_s <= 0:
+            raise ModelError("data transfer rate must be positive")
+        if self.packet_bytes <= 0 or self.node_bytes <= 0:
+            raise ModelError("packet and node sizes must be positive")
+
+    @property
+    def bits_per_second(self) -> float:
+        return self.dtr_kbit_s * BITS_PER_KBIT
+
+    def transfer_seconds(self, volume_bytes: float) -> float:
+        """Transfer time of *volume_bytes* at the configured data rate."""
+        return volume_bytes * 8.0 / self.bits_per_second
+
+    @property
+    def label(self) -> str:
+        return (
+            f"T_Lat={self.latency_s:g}s, dtr={self.dtr_kbit_s:g}kbit/s"
+        )
+
+
+#: The three object-structure scenarios of Tables 2-4, in column order.
+PAPER_TREES = (
+    TreeParameters(depth=3, branching=9, visibility=0.6),
+    TreeParameters(depth=9, branching=3, visibility=0.6),
+    TreeParameters(depth=7, branching=5, visibility=0.6),
+)
+
+#: The three network scenarios of Tables 2-4, in row order.
+PAPER_NETWORKS = (
+    NetworkParameters(latency_s=0.15, dtr_kbit_s=256),
+    NetworkParameters(latency_s=0.15, dtr_kbit_s=512),
+    NetworkParameters(latency_s=0.05, dtr_kbit_s=1024),
+)
+
+#: Figure 4 uses tree 2 over WAN-512; Figure 5 uses tree 3 over WAN-256.
+FIGURE4_TREE = PAPER_TREES[1]
+FIGURE4_NETWORK = PAPER_NETWORKS[1]
+FIGURE5_TREE = PAPER_TREES[2]
+FIGURE5_NETWORK = PAPER_NETWORKS[0]

@@ -1,0 +1,133 @@
+"""Response-time predictions: equations (1)-(6) of the paper.
+
+Navigational strategies (eqns (1)-(4))::
+
+    q_s  = number of queries                       (1)
+    c_s  = 2 * q_s                                 (2)
+    vol_s = q_s*size_p + n_t*size_node + q_s*size_p/2   (3)
+    T_s  = c_s*T_Lat + vol_s/dtr                   (4)
+
+Recursive strategy (eqns (5)-(6))::
+
+    vol_r = q_r*size_p + n_v*size_node + q_r*size_p/2   (5)
+    T_r   = 2*T_Lat + vol_r/dtr                    (6)
+
+where q_r is the number of *packets* needed to ship the (single, large)
+recursive query; the paper's tables assume q_r = 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ModelError
+from repro.model.parameters import NetworkParameters, TreeParameters
+from repro.model.trees import (
+    navigational_query_count,
+    transmitted_nodes,
+    visible_node_count,
+)
+
+
+class Action(Enum):
+    """The three structure-oriented user actions analysed by the paper."""
+
+    QUERY = "query"  # set-oriented retrieval of all nodes (no structure)
+    EXPAND = "expand"  # single-level expand of the root
+    MLE = "mle"  # multi-level expand of the entire structure
+
+
+class Strategy(Enum):
+    """Rule-evaluation/query strategies compared in Tables 2-4."""
+
+    LATE = "late"  # navigational queries, rules evaluated at the client
+    EARLY = "early"  # navigational queries, rules folded into WHERE clauses
+    RECURSIVE = "recursive"  # one WITH RECURSIVE query + early evaluation
+
+
+@dataclass(frozen=True)
+class ResponseTimePrediction:
+    """All intermediate quantities of one prediction, for inspection."""
+
+    action: Action
+    strategy: Strategy
+    queries: float
+    communications: float
+    transmitted_nodes: float
+    volume_bytes: float
+    latency_seconds: float
+    transfer_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.latency_seconds + self.transfer_seconds
+
+
+def predict(
+    action: Action,
+    strategy: Strategy,
+    tree: TreeParameters,
+    network: NetworkParameters,
+    query_packets: int = 1,
+) -> ResponseTimePrediction:
+    """Predict the response time of *action* under *strategy*.
+
+    ``query_packets`` is q_r — how many packets the recursive query text
+    occupies (Section 5.4 warns it "may become quite large"); the paper's
+    tables use 1.
+    """
+    if strategy is Strategy.RECURSIVE and action is Action.MLE:
+        return _predict_recursive_mle(tree, network, query_packets)
+    # Query and single-level expand are single SELECTs in every strategy;
+    # with Strategy.RECURSIVE they behave exactly as with EARLY (the
+    # figures' "recursion" bars equal the "early eval" bars for them).
+    early = strategy in (Strategy.EARLY, Strategy.RECURSIVE)
+    queries = navigational_query_count(tree, action.value)
+    communications = 2.0 * queries
+    nodes = transmitted_nodes(tree, action.value, early=early)
+    volume = (
+        queries * network.packet_bytes
+        + nodes * network.node_bytes
+        + queries * network.packet_bytes / 2.0
+    )
+    return ResponseTimePrediction(
+        action=action,
+        strategy=strategy,
+        queries=queries,
+        communications=communications,
+        transmitted_nodes=nodes,
+        volume_bytes=volume,
+        latency_seconds=communications * network.latency_s,
+        transfer_seconds=network.transfer_seconds(volume),
+    )
+
+
+def _predict_recursive_mle(
+    tree: TreeParameters, network: NetworkParameters, query_packets: int
+) -> ResponseTimePrediction:
+    if query_packets < 1:
+        raise ModelError("the recursive query occupies at least one packet")
+    nodes = visible_node_count(tree)
+    volume = (
+        query_packets * network.packet_bytes
+        + nodes * network.node_bytes
+        + query_packets * network.packet_bytes / 2.0
+    )
+    return ResponseTimePrediction(
+        action=Action.MLE,
+        strategy=Strategy.RECURSIVE,
+        queries=1.0,
+        communications=2.0,
+        transmitted_nodes=nodes,
+        volume_bytes=volume,
+        latency_seconds=2.0 * network.latency_s,
+        transfer_seconds=network.transfer_seconds(volume),
+    )
+
+
+def saving_percent(baseline_seconds: float, improved_seconds: float) -> float:
+    """Relative saving in percent, as printed in Tables 3 and 4."""
+    if baseline_seconds <= 0:
+        raise ModelError("baseline response time must be positive")
+    return (1.0 - improved_seconds / baseline_seconds) * 100.0

@@ -1,0 +1,194 @@
+"""Arrange model predictions into the paper's tables and figures.
+
+Each ``table*_rows`` function returns structured records; ``format_table``
+renders them in a layout mirroring the paper (scenarios as column groups,
+network rows split into latency part / transfer part / total).  The
+benchmark harness prints these next to the paper's published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.model.parameters import (
+    FIGURE4_NETWORK,
+    FIGURE4_TREE,
+    FIGURE5_NETWORK,
+    FIGURE5_TREE,
+    NetworkParameters,
+    PAPER_NETWORKS,
+    PAPER_TREES,
+    TreeParameters,
+)
+from repro.model.response_time import (
+    Action,
+    ResponseTimePrediction,
+    Strategy,
+    predict,
+    saving_percent,
+)
+
+#: Column order of every table: Query, (single-level) Expand, MLE.
+TABLE_ACTIONS = (Action.QUERY, Action.EXPAND, Action.MLE)
+
+
+@dataclass(frozen=True)
+class TableCell:
+    """One (scenario, network, action) cell with its breakdown."""
+
+    tree: TreeParameters
+    network: NetworkParameters
+    action: Action
+    strategy: Strategy
+    prediction: ResponseTimePrediction
+    saving_vs_late: float  # percent; 0.0 for the late-eval table itself
+
+
+def _cells(strategy: Strategy) -> List[TableCell]:
+    cells: List[TableCell] = []
+    for network in PAPER_NETWORKS:
+        for tree in PAPER_TREES:
+            for action in TABLE_ACTIONS:
+                prediction = predict(action, strategy, tree, network)
+                late = predict(action, Strategy.LATE, tree, network)
+                cells.append(
+                    TableCell(
+                        tree=tree,
+                        network=network,
+                        action=action,
+                        strategy=strategy,
+                        prediction=prediction,
+                        saving_vs_late=saving_percent(
+                            late.total_seconds, prediction.total_seconds
+                        ),
+                    )
+                )
+    return cells
+
+
+def table2_cells() -> List[TableCell]:
+    """Table 2: late evaluation (the baseline; savings are all zero)."""
+    return _cells(Strategy.LATE)
+
+
+def table3_cells() -> List[TableCell]:
+    """Table 3: early rule evaluation with navigational queries."""
+    return _cells(Strategy.EARLY)
+
+
+def table4_cells() -> List[TableCell]:
+    """Table 4: recursive queries + early evaluation (MLE column only, as
+    in the paper — the other actions are unchanged vs Table 3)."""
+    return [cell for cell in _cells(Strategy.RECURSIVE) if cell.action is Action.MLE]
+
+
+def cell_lookup(
+    cells: Sequence[TableCell],
+) -> Dict[Tuple[float, float, int, int, str], TableCell]:
+    """Index cells by (latency, dtr, depth, branching, action name)."""
+    return {
+        (
+            cell.network.latency_s,
+            cell.network.dtr_kbit_s,
+            cell.tree.depth,
+            cell.tree.branching,
+            cell.action.value,
+        ): cell
+        for cell in cells
+    }
+
+
+def figure_series(
+    tree: TreeParameters, network: NetworkParameters
+) -> Dict[str, Dict[str, float]]:
+    """Bar-chart series for Figures 4/5.
+
+    Returns ``{strategy_label: {action_label: seconds}}`` with the
+    strategies in the figures' x-axis order (late eval, early eval,
+    recursion).
+    """
+    series: Dict[str, Dict[str, float]] = {}
+    for strategy, label in (
+        (Strategy.LATE, "late eval"),
+        (Strategy.EARLY, "early eval"),
+        (Strategy.RECURSIVE, "recursion"),
+    ):
+        series[label] = {
+            action.name: predict(action, strategy, tree, network).total_seconds
+            for action in TABLE_ACTIONS
+        }
+    return series
+
+
+def figure4_series() -> Dict[str, Dict[str, float]]:
+    """Figure 4: δ=9, κ=3, σ=0.6, T_Lat=150 ms, dtr=512 kbit/s."""
+    return figure_series(FIGURE4_TREE, FIGURE4_NETWORK)
+
+
+def figure5_series() -> Dict[str, Dict[str, float]]:
+    """Figure 5: δ=7, κ=5, σ=0.6, T_Lat=150 ms, dtr=256 kbit/s."""
+    return figure_series(FIGURE5_TREE, FIGURE5_NETWORK)
+
+
+def format_table(cells: Sequence[TableCell], with_saving: bool) -> str:
+    """Render cells in the paper's layout (text table)."""
+    lines: List[str] = []
+    trees = list(PAPER_TREES)
+    actions = [a for a in TABLE_ACTIONS if any(c.action is a for c in cells)]
+    header = ["network"]
+    for tree in trees:
+        for action in actions:
+            header.append(
+                f"d{tree.depth}k{tree.branching} {action.name}"
+            )
+    widths = [max(12, len(h) + 1) for h in header]
+    lines.append(" ".join(h.rjust(w) for h, w in zip(header, widths)))
+    index = cell_lookup(cells)
+    for network in PAPER_NETWORKS:
+        for part in ("latency", "transfer", "total") + (
+            ("saving %",) if with_saving else ()
+        ):
+            row = [f"{network.label} {part}"]
+            for tree in trees:
+                for action in actions:
+                    cell = index.get(
+                        (
+                            network.latency_s,
+                            network.dtr_kbit_s,
+                            tree.depth,
+                            tree.branching,
+                            action.value,
+                        )
+                    )
+                    if cell is None:
+                        row.append("-")
+                        continue
+                    prediction = cell.prediction
+                    if part == "latency":
+                        row.append(f"{prediction.latency_seconds:.2f}")
+                    elif part == "transfer":
+                        row.append(f"{prediction.transfer_seconds:.2f}")
+                    elif part == "total":
+                        row.append(f"{prediction.total_seconds:.2f}")
+                    else:
+                        row.append(f"{cell.saving_vs_late:.2f}")
+            widths2 = [max(28, len(row[0]) + 1)] + widths[1:]
+            lines.append(" ".join(v.rjust(w) for v, w in zip(row, widths2)))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_figure(series: Dict[str, Dict[str, float]], title: str) -> str:
+    """Render a figure's bar values as an ASCII chart."""
+    lines = [title]
+    peak = max(
+        value for bars in series.values() for value in bars.values()
+    )
+    scale = 50.0 / peak if peak > 0 else 0.0
+    for strategy, bars in series.items():
+        lines.append(f"  {strategy}:")
+        for action, value in bars.items():
+            bar = "#" * max(1, int(round(value * scale)))
+            lines.append(f"    {action:<7}{value:>10.2f} s  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Node-count formulas for complete κ-ary trees (paper Section 2).
+
+The root is assumed to be at the client already and is never counted
+(footnote 4).  With visibility probability σ, the *expected* number of
+visible nodes at level i is (σκ)^i — the paper works with these
+expectations directly, which is why query counts are non-integral.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.model.parameters import TreeParameters
+
+
+def level_width(tree: TreeParameters, level: int) -> int:
+    """Number of nodes at *level* (root = level 0) of the full tree."""
+    if not 0 <= level <= tree.depth:
+        raise ModelError(
+            f"level {level} outside tree of depth {tree.depth}"
+        )
+    return tree.branching**level
+
+
+def full_node_count(tree: TreeParameters) -> int:
+    """All nodes below the root: Σ_{i=1..δ} κ^i."""
+    return sum(tree.branching**i for i in range(1, tree.depth + 1))
+
+
+def expected_visible_nodes(tree: TreeParameters, level: int) -> float:
+    """Expected visible nodes at *level*: (σκ)^i.
+
+    A node is visible only if every branch on its root path is visible,
+    hence the power of the product σκ.
+    """
+    if not 0 <= level <= tree.depth:
+        raise ModelError(
+            f"level {level} outside tree of depth {tree.depth}"
+        )
+    return (tree.visibility * tree.branching) ** level
+
+
+def visible_node_count(tree: TreeParameters) -> float:
+    """Expected visible nodes below the root: n_v(t) = Σ_{i=1..δ} (σκ)^i
+    (paper equation (1) ff.)."""
+    return sum(expected_visible_nodes(tree, i) for i in range(1, tree.depth + 1))
+
+
+def transmitted_nodes(tree: TreeParameters, action: str, early: bool) -> float:
+    """Expected transmitted nodes n_t(t) for an action (Section 2 table).
+
+    ``action`` is ``"query"``, ``"expand"`` or ``"mle"``.  With late rule
+    evaluation the server ships every child it finds; with early evaluation
+    only visible nodes cross the wire.
+    """
+    sigma_kappa = tree.visibility * tree.branching
+    if action == "query":
+        if early:
+            return visible_node_count(tree)
+        return float(full_node_count(tree))
+    if action == "expand":
+        if early:
+            return sigma_kappa
+        return float(tree.branching)
+    if action == "mle":
+        if early:
+            return visible_node_count(tree)
+        # Navigational late evaluation expands every *visible* internal
+        # node and receives all κ of its children (visible or not):
+        # κ · Σ_{i=0..δ-1} (σκ)^i.
+        return tree.branching * sum(
+            sigma_kappa**i for i in range(tree.depth)
+        )
+    raise ModelError(f"unknown action {action!r}")
+
+
+def navigational_query_count(tree: TreeParameters, action: str) -> float:
+    """Expected number of SQL queries q_s for the navigational strategy.
+
+    * ``query``: a single set-oriented SELECT.
+    * ``expand``: one child-fetch for the root.
+    * ``mle``: the root expansion plus one expansion per visible node at
+      depths 1..δ (visible leaves are probed too and return empty); the
+      "+1" is pinned by reproducing Table 2's latency column exactly.
+    """
+    if action in ("query", "expand"):
+        return 1.0
+    if action == "mle":
+        return 1.0 + visible_node_count(tree)
+    raise ModelError(f"unknown action {action!r}")

@@ -1,0 +1,35 @@
+"""Deterministic WAN/LAN simulator.
+
+The paper models the network with three parameters — latency ``T_lat``,
+data transfer rate ``dtr`` and packet size ``size_p`` — and attributes the
+response-time problem entirely to the number of round trips and the data
+volume.  This package implements exactly that contract: a
+:class:`~repro.network.link.NetworkLink` advances a simulated clock by
+``T_lat + bits/dtr`` per message and accounts messages, packets and bytes
+in a :class:`~repro.network.stats.TrafficStats`.
+"""
+
+from repro.network.clock import SimulatedClock
+from repro.network.link import NetworkLink, PacketAccounting
+from repro.network.profiles import (
+    LAN,
+    WAN_256,
+    WAN_512,
+    WAN_1024,
+    LinkProfile,
+    PAPER_PROFILES,
+)
+from repro.network.stats import TrafficStats
+
+__all__ = [
+    "SimulatedClock",
+    "NetworkLink",
+    "PacketAccounting",
+    "LinkProfile",
+    "LAN",
+    "WAN_256",
+    "WAN_512",
+    "WAN_1024",
+    "PAPER_PROFILES",
+    "TrafficStats",
+]

@@ -1,0 +1,35 @@
+"""A simulated wall clock measured in seconds."""
+
+from __future__ import annotations
+
+from repro.errors import NetworkError
+
+
+class SimulatedClock:
+    """Monotonically advancing simulated time.
+
+    All response times reported by the measurement harness come from this
+    clock, which makes simulations fully deterministic and independent of
+    host speed.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by *seconds* (must be non-negative)."""
+        if seconds < 0:
+            raise NetworkError(f"cannot advance clock by {seconds!r} seconds")
+        self._now += seconds
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now={self._now:.6f})"

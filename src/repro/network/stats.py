@@ -1,0 +1,78 @@
+"""Traffic accounting for a simulated link."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TrafficStats:
+    """Counters for one direction-agnostic link.
+
+    ``messages`` counts transmissions (a request and its response are two
+    messages, i.e. one round trip contributes 2); ``packets`` counts
+    link-layer packets after segmentation; byte counters track payload and
+    on-wire (padded) volume separately so both the paper's average-case
+    model and the exact simulation can be reported.
+    """
+
+    messages: int = 0
+    packets: int = 0
+    payload_bytes: int = 0
+    wire_bytes: float = 0.0
+    latency_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    #: Simulated server-side query evaluation time (0 unless a CPU cost
+    #: model is enabled — the paper ignores it, Section 6).
+    server_seconds: float = 0.0
+    requests: int = 0
+    responses: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Accumulated delay (latency + transfer + server CPU)."""
+        return self.latency_seconds + self.transfer_seconds + self.server_seconds
+
+    @property
+    def round_trips(self) -> float:
+        return self.messages / 2
+
+    def merge(self, other: "TrafficStats") -> None:
+        """Accumulate *other* into this stats object."""
+        self.messages += other.messages
+        self.packets += other.packets
+        self.payload_bytes += other.payload_bytes
+        self.wire_bytes += other.wire_bytes
+        self.latency_seconds += other.latency_seconds
+        self.transfer_seconds += other.transfer_seconds
+        self.server_seconds += other.server_seconds
+        self.requests += other.requests
+        self.responses += other.responses
+
+    def snapshot(self) -> "TrafficStats":
+        """Return an independent copy (used for per-action deltas)."""
+        return TrafficStats(
+            messages=self.messages,
+            packets=self.packets,
+            payload_bytes=self.payload_bytes,
+            wire_bytes=self.wire_bytes,
+            latency_seconds=self.latency_seconds,
+            transfer_seconds=self.transfer_seconds,
+            server_seconds=self.server_seconds,
+            requests=self.requests,
+            responses=self.responses,
+        )
+
+    def delta_since(self, earlier: "TrafficStats") -> "TrafficStats":
+        """Stats accumulated since *earlier* (a snapshot of this object)."""
+        return TrafficStats(
+            messages=self.messages - earlier.messages,
+            packets=self.packets - earlier.packets,
+            payload_bytes=self.payload_bytes - earlier.payload_bytes,
+            wire_bytes=self.wire_bytes - earlier.wire_bytes,
+            latency_seconds=self.latency_seconds - earlier.latency_seconds,
+            transfer_seconds=self.transfer_seconds - earlier.transfer_seconds,
+            server_seconds=self.server_seconds - earlier.server_seconds,
+            requests=self.requests - earlier.requests,
+            responses=self.responses - earlier.responses,
+        )

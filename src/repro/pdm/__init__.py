@@ -1,0 +1,49 @@
+"""The PDM system: product data model, flat relational mapping, and the
+structure-oriented user actions the paper analyses.
+
+The layering follows the paper's architecture: the PDM *client*
+(:class:`~repro.pdm.operations.PDMClient`) talks SQL to a relational
+server through the simulated WAN and reassembles flat result rows into
+product-structure trees.  The three strategies under comparison —
+navigational with late rule evaluation, navigational with early rule
+evaluation, and the single recursive query — are different code paths of
+the same client.
+"""
+
+from repro.pdm.generator import (
+    GeneratedProduct,
+    figure2_dataset,
+    generate_irregular_product,
+    generate_product,
+)
+from repro.pdm.objects import Assembly, Component, LinkRow, Specification
+from repro.pdm.operations import CheckOutMode, ExpandStrategy, PDMClient
+from repro.pdm.schema import (
+    CLIENT_FUNCTIONS,
+    create_pdm_schema,
+    install_checkout_procedures,
+    load_product,
+    new_pdm_database,
+)
+from repro.pdm.structure import StructureNode, build_tree
+
+__all__ = [
+    "Assembly",
+    "Component",
+    "LinkRow",
+    "Specification",
+    "GeneratedProduct",
+    "generate_product",
+    "generate_irregular_product",
+    "figure2_dataset",
+    "PDMClient",
+    "ExpandStrategy",
+    "CheckOutMode",
+    "create_pdm_schema",
+    "new_pdm_database",
+    "load_product",
+    "install_checkout_procedures",
+    "CLIENT_FUNCTIONS",
+    "StructureNode",
+    "build_tree",
+]

@@ -1,0 +1,138 @@
+"""Typed records for PDM objects and their flat relational rows.
+
+The PDM philosophy stores heterogeneous objects (assemblies, components,
+specifications) and the relations between them in "ordinary, normalized
+tables" (paper Section 1); these dataclasses are the typed client-side
+view and know how to serialise themselves into the row layout of
+:mod:`repro.pdm.schema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+#: Type discriminator values used in the ``type`` column.
+TYPE_ASSEMBLY = "assy"
+TYPE_COMPONENT = "comp"
+TYPE_LINK = "link"
+TYPE_SPEC = "spec"
+
+#: Default structure-option masks: bit 1 = standard configuration.
+OPTION_STANDARD = 1
+OPTION_ALTERNATE = 2
+
+
+@dataclass
+class Assembly:
+    """An assembly — an inner node of the product structure."""
+
+    obid: int
+    name: str
+    decomposable: bool = True
+    make_or_buy: str = "make"
+    weight: float = 1.0
+    state: str = "in_work"
+    checked_out: bool = False
+    checked_out_by: str = ""
+    product: int = 0
+    strc_opt: int = OPTION_STANDARD
+    payload: str = ""
+
+    def to_row(self) -> Tuple[Any, ...]:
+        return (
+            TYPE_ASSEMBLY,
+            self.obid,
+            self.name,
+            "+" if self.decomposable else "-",
+            self.make_or_buy,
+            self.weight,
+            self.state,
+            self.checked_out,
+            self.checked_out_by,
+            self.product,
+            self.strc_opt,
+            self.payload,
+        )
+
+
+@dataclass
+class Component:
+    """A component — a single part, a leaf of the product structure."""
+
+    obid: int
+    name: str
+    make_or_buy: str = "make"
+    weight: float = 0.1
+    state: str = "in_work"
+    checked_out: bool = False
+    checked_out_by: str = ""
+    product: int = 0
+    strc_opt: int = OPTION_STANDARD
+    payload: str = ""
+
+    def to_row(self) -> Tuple[Any, ...]:
+        return (
+            TYPE_COMPONENT,
+            self.obid,
+            self.name,
+            self.make_or_buy,
+            self.weight,
+            self.state,
+            self.checked_out,
+            self.checked_out_by,
+            self.product,
+            self.strc_opt,
+            self.payload,
+        )
+
+
+@dataclass
+class LinkRow:
+    """A structural relation between a parent object and a child object.
+
+    Links carry the configuration management data: effectivities (valid
+    from/to unit numbers) and structure options (paper Section 3.1).
+    """
+
+    obid: int
+    left: int  # parent object id
+    right: int  # child object id
+    eff_from: int = 1
+    eff_to: int = 999_999
+    strc_opt: int = OPTION_STANDARD
+
+    def to_row(self) -> Tuple[Any, ...]:
+        return (
+            TYPE_LINK,
+            self.obid,
+            self.left,
+            self.right,
+            self.eff_from,
+            self.eff_to,
+            self.strc_opt,
+        )
+
+
+@dataclass
+class Specification:
+    """A specification document attachable to assemblies/components."""
+
+    obid: int
+    name: str
+    document: str = ""
+
+    def to_row(self) -> Tuple[Any, ...]:
+        return (TYPE_SPEC, self.obid, self.name, self.document)
+
+
+@dataclass
+class SpecifiedBy:
+    """The relation linking objects to their specifications."""
+
+    obid: int
+    left: int  # the specified object
+    right: int  # the specification
+
+    def to_row(self) -> Tuple[Any, ...]:
+        return (self.obid, self.left, self.right)

@@ -1,0 +1,513 @@
+"""The PDM client: the structure-oriented user actions of the paper.
+
+:class:`PDMClient` executes the three analysed actions — query,
+single-level expand, multi-level expand — under the three strategies of
+Tables 2-4, plus check-out/check-in under the two deployment modes of the
+Section 6 discussion.  Every action returns an :class:`ActionResult`
+carrying the reassembled data *and* the measured simulated response time
+and traffic (delta of the link's clock and stats).
+
+Semantics notes (aligned between all strategies; verified by the
+equivalence property tests):
+
+* Row conditions gate nodes and links; an invisible node hides its whole
+  subtree (the navigational client simply never expands it, and in the
+  recursive query the WHERE clauses inside the recursion prune the
+  descent identically).
+* Navigational strategies cannot evaluate tree conditions in SQL (paper
+  Section 4.1), so ∀rows / tree-aggregate / ∃structure conditions are
+  evaluated at the client after the fetch — for ∃structure this costs one
+  extra round trip per candidate node, which is precisely the kind of
+  latency the recursive strategy eliminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CheckOutError, UnknownObjectError
+from repro.network.stats import TrafficStats
+from repro.pdm import queries
+from repro.pdm.schema import CLIENT_FUNCTIONS
+from repro.pdm.structure import Attrs, StructureNode, build_tree
+from repro.rules.conditions import ConditionClass
+from repro.rules.evaluate import (
+    EvaluationContext,
+    exists_structure_holds,
+    forall_holds,
+    object_permitted,
+    tree_aggregate_holds,
+)
+from repro.rules.model import Actions
+from repro.rules.modificator import ExistsPlacement, QueryModificator
+from repro.rules.ruletable import RuleTable
+from repro.server.client import RemoteConnection
+from repro.sqldb.render import render_select
+
+
+class ExpandStrategy(Enum):
+    """The strategies compared by the paper's evaluation."""
+
+    NAVIGATIONAL_LATE = "navigational-late"  # Table 2 baseline
+    NAVIGATIONAL_EARLY = "navigational-early"  # Table 3 (approach 1)
+    RECURSIVE_EARLY = "recursive-early"  # Table 4 (approach 2)
+
+
+class CheckOutMode(Enum):
+    """Deployment modes for check-out (paper Section 6)."""
+
+    TWO_PHASE = "two-phase"  # fetch tree, then UPDATEs: extra round trips
+    SERVER_PROCEDURE = "server-procedure"  # function shipping: one round trip
+
+
+@dataclass
+class ActionResult:
+    """Outcome of one user action plus its measured cost."""
+
+    seconds: float
+    traffic: TrafficStats
+    round_trips: int
+    objects: List[Attrs] = field(default_factory=list)
+    tree: Optional[StructureNode] = None
+    checked_out: List[int] = field(default_factory=list)
+
+    @property
+    def node_count(self) -> int:
+        if self.tree is not None:
+            return self.tree.node_count()
+        return len(self.objects)
+
+
+class PDMClient:
+    """A PDM user session bound to a remote connection and a rule table."""
+
+    def __init__(
+        self,
+        connection: RemoteConnection,
+        rule_table: Optional[RuleTable] = None,
+        user: str = "scott",
+        user_env: Optional[Dict[str, Any]] = None,
+        default_permit: bool = True,
+        exists_placement: ExistsPlacement = ExistsPlacement.INSIDE,
+        configurator=None,
+        selected_options: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.connection = connection
+        self.rule_table = rule_table if rule_table is not None else RuleTable()
+        self.user = user
+        self.user_env = dict(user_env or {})
+        if configurator is not None and selected_options is not None:
+            # Configuration rules are evaluated client-side on the selected
+            # options only — no product data, no WAN messages (paper §3.1).
+            from repro.rules.presets import USER_OPTIONS_VAR
+
+            self.user_env[USER_OPTIONS_VAR] = configurator.validate(
+                selected_options
+            )
+        self.default_permit = default_permit
+        self.exists_placement = exists_placement
+        self.modificator = QueryModificator(
+            self.rule_table, self.user, self.user_env
+        )
+        self._eval_ctx = EvaluationContext(
+            user_env=self.user_env,
+            functions=dict(CLIENT_FUNCTIONS),
+            related=self._related_exists,
+        )
+        #: Rendered SQL cache: (builder, early, action) -> sql text.
+        self._sql_cache: Dict[Tuple[str, bool, str], str] = {}
+
+    # -- measurement plumbing ---------------------------------------------------
+
+    def _begin(self) -> Tuple[TrafficStats, float, int]:
+        link = self.connection.link
+        return (
+            link.stats.snapshot(),
+            link.clock.now,
+            self.connection.statistics["round_trips"],
+        )
+
+    def _finish(self, begin, **payload) -> ActionResult:
+        before_stats, before_time, before_round_trips = begin
+        link = self.connection.link
+        return ActionResult(
+            seconds=link.clock.now - before_time,
+            traffic=link.stats.delta_since(before_stats),
+            round_trips=self.connection.statistics["round_trips"]
+            - before_round_trips,
+            **payload,
+        )
+
+    # -- rule helpers ---------------------------------------------------------
+
+    def _permitted(self, attrs: Attrs, action: str) -> bool:
+        rules = self.rule_table.relevant(
+            self.user, action, str(attrs.get("type")), ConditionClass.ROW
+        )
+        return object_permitted(
+            rules, attrs, self._eval_ctx, default_permit=self.default_permit
+        )
+
+    def _related_exists(self, obid, relation_table: str, related_table: str) -> bool:
+        sql = (
+            f"SELECT 1 FROM {relation_table} JOIN {related_table} "
+            f"ON {relation_table}.right = {related_table}.obid "
+            f"WHERE {relation_table}.left = ?"
+        )
+        return bool(self.connection.execute(sql, [obid]).rows)
+
+    def _tree_rules(self, action: str, root_type: str, condition_class):
+        return self.rule_table.relevant(
+            self.user, action, root_type, condition_class
+        )
+
+    def _apply_tree_conditions_late(
+        self, tree: Optional[StructureNode], action: str
+    ) -> Optional[StructureNode]:
+        """Client-side evaluation of tree conditions on a fetched tree,
+        mirroring the recursive query's semantics: ∃structure prunes nodes
+        (and their subtrees) first; ∀rows and tree-aggregate conditions
+        then apply all-or-nothing over the surviving tree."""
+        if tree is None:
+            return None
+        root_type = str(tree.object_type)
+        exists_rules = self._tree_rules(
+            action, root_type, ConditionClass.EXISTS_STRUCTURE
+        )
+        for rule in exists_rules:
+            condition = rule.condition
+
+            def keep(node: StructureNode) -> bool:
+                if str(node.object_type) != condition.object_type:
+                    return True
+                return exists_structure_holds(condition, node.attrs, self._eval_ctx)
+
+            if not keep(tree):
+                return None
+            tree.prune(keep)
+        nodes = [node.attrs for node in tree.iter_nodes()]
+        for rule in self._tree_rules(action, root_type, ConditionClass.FORALL_ROWS):
+            if not forall_holds(rule.condition, nodes, self._eval_ctx):
+                return None
+        for rule in self._tree_rules(
+            action, root_type, ConditionClass.TREE_AGGREGATE
+        ):
+            if not tree_aggregate_holds(rule.condition, nodes, self._eval_ctx):
+                return None
+        return tree
+
+    # -- SQL construction --------------------------------------------------------
+
+    def _navigational_sql(self, builder_name: str, early: bool, action: str) -> str:
+        key = (builder_name, early, action)
+        cached = self._sql_cache.get(key)
+        if cached is not None:
+            return cached
+        builder = (
+            queries.child_fetch_spec
+            if builder_name == "child_fetch"
+            else queries.set_query_spec
+        )
+        spec = builder()
+        if early:
+            spec = self.modificator.modify_navigational(spec, action)
+        sql = render_select(spec.to_statement())
+        self._sql_cache[key] = sql
+        return sql
+
+    def _recursive_sql(self, action: str, depth_bounded: bool = False) -> str:
+        key = (
+            "recursive_mle_bounded" if depth_bounded else "recursive_mle",
+            True,
+            action,
+        )
+        cached = self._sql_cache.get(key)
+        if cached is not None:
+            return cached
+        # The bound itself is a parameter; any non-None value enables the
+        # depth machinery in the spec builder.
+        spec = queries.recursive_mle_spec(max_depth=0 if depth_bounded else None)
+        spec = self.modificator.modify_recursive(
+            spec, action, exists_placement=self.exists_placement
+        )
+        sql = render_select(spec.to_statement())
+        self._sql_cache[key] = sql
+        return sql
+
+    # -- object fetch --------------------------------------------------------------
+
+    def fetch_object(self, obid: int) -> Attrs:
+        """Point-fetch one object (root bootstrap; not part of the paper's
+        cost model, which assumes the root "is already at the client")."""
+        result = self.connection.execute(queries.fetch_object_sql("assy"), [obid])
+        if result.rows:
+            return result.as_dicts()[0]
+        result = self.connection.execute(queries.fetch_object_sql("comp"), [obid])
+        if result.rows:
+            attrs = result.as_dicts()[0]
+            attrs.setdefault("dec", "")
+            return attrs
+        raise UnknownObjectError(f"no object with obid {obid}")
+
+    # -- the three analysed actions ---------------------------------------------------
+
+    def query(
+        self,
+        product_id: int,
+        strategy: ExpandStrategy = ExpandStrategy.NAVIGATIONAL_LATE,
+    ) -> ActionResult:
+        """The 'Query' action: all nodes of a product, no structure info."""
+        early = strategy is not ExpandStrategy.NAVIGATIONAL_LATE
+        begin = self._begin()
+        sql = self._navigational_sql("set_query", early, Actions.QUERY)
+        result = self.connection.execute(sql, [product_id, product_id])
+        objects = result.as_dicts()
+        if not early:
+            objects = [
+                attrs for attrs in objects if self._permitted(attrs, Actions.QUERY)
+            ]
+        return self._finish(begin, objects=objects)
+
+    def single_level_expand(
+        self,
+        parent_obid: int,
+        strategy: ExpandStrategy = ExpandStrategy.NAVIGATIONAL_LATE,
+    ) -> ActionResult:
+        """Expand one level below *parent_obid* (one round trip)."""
+        early = strategy is not ExpandStrategy.NAVIGATIONAL_LATE
+        begin = self._begin()
+        children = self._fetch_children(parent_obid, early, Actions.EXPAND)
+        return self._finish(
+            begin,
+            objects=[child for __, child in children],
+        )
+
+    def multi_level_expand(
+        self,
+        root_obid: int,
+        strategy: ExpandStrategy = ExpandStrategy.NAVIGATIONAL_LATE,
+        root_attrs: Optional[Attrs] = None,
+        max_depth: Optional[int] = None,
+    ) -> ActionResult:
+        """Expand the structure below *root_obid*.
+
+        ``root_attrs`` short-circuits the root bootstrap fetch (the model
+        assumes the root is client-resident); without it one extra point
+        query is issued before measurement starts.  ``max_depth`` bounds
+        the expansion (a partial multi-level expand); None retrieves the
+        entire structure.
+        """
+        if root_attrs is None:
+            root_attrs = self.fetch_object(root_obid)
+        begin = self._begin()
+        if strategy is ExpandStrategy.RECURSIVE_EARLY:
+            tree = self._expand_recursive(root_obid, root_attrs, max_depth)
+        else:
+            early = strategy is ExpandStrategy.NAVIGATIONAL_EARLY
+            tree = self._expand_navigational(
+                root_obid, root_attrs, early, max_depth
+            )
+            tree = self._apply_tree_conditions_late(
+                tree, Actions.MULTI_LEVEL_EXPAND
+            )
+        return self._finish(begin, tree=tree)
+
+    def _fetch_children(
+        self, parent_obid: int, early: bool, action: str
+    ) -> List[Tuple[Attrs, Attrs]]:
+        """One navigational child fetch; returns (link, node) attr pairs,
+        filtered by row rules (server-side when *early*)."""
+        sql = self._navigational_sql("child_fetch", early, action)
+        result = self.connection.execute(sql, [parent_obid, parent_obid])
+        children: List[Tuple[Attrs, Attrs]] = []
+        link_keys = ("link_obid", "left", "right", "eff_from", "eff_to", "link_opt")
+        for row in result.as_dicts():
+            link_attrs = {
+                "type": "link",
+                "obid": row["link_obid"],
+                "left": row["left"],
+                "right": row["right"],
+                "eff_from": row["eff_from"],
+                "eff_to": row["eff_to"],
+                "strc_opt": row["link_opt"],
+            }
+            node_attrs = {
+                key: value for key, value in row.items() if key not in link_keys
+            }
+            if not early:
+                if not self._permitted(link_attrs, action):
+                    continue
+                if not self._permitted(node_attrs, action):
+                    continue
+            children.append((link_attrs, node_attrs))
+        return children
+
+    def _expand_navigational(
+        self,
+        root_obid: int,
+        root_attrs: Attrs,
+        early: bool,
+        max_depth: Optional[int] = None,
+    ) -> StructureNode:
+        """BFS of single-level expands (the paper's baseline): one query
+        per visible node, leaves included (unless the depth bound stops
+        the descent earlier)."""
+        root = StructureNode(attrs=dict(root_attrs))
+        queue = [(root, 0)]
+        while queue:
+            node, depth = queue.pop()
+            if max_depth is not None and depth >= max_depth:
+                continue
+            for link_attrs, child_attrs in self._fetch_children(
+                node.obid, early, Actions.MULTI_LEVEL_EXPAND
+            ):
+                child = StructureNode(attrs=child_attrs, link=link_attrs)
+                node.children.append(child)
+                queue.append((child, depth + 1))
+        return root
+
+    def _expand_recursive(
+        self,
+        root_obid: int,
+        root_attrs: Attrs,
+        max_depth: Optional[int] = None,
+    ) -> Optional[StructureNode]:
+        """The single recursive query of Section 5.2 (one round trip)."""
+        bounded = max_depth is not None
+        sql = self._recursive_sql(Actions.MULTI_LEVEL_EXPAND, bounded)
+        params = (
+            [root_obid, max_depth, max_depth] if bounded else [root_obid]
+        )
+        result = self.connection.execute(sql, params)
+        return build_tree(result.columns, result.rows, root_obid, root_attrs)
+
+    # -- where-used (reverse BOM) -----------------------------------------------------
+
+    def where_used(
+        self,
+        obid: int,
+        strategy: ExpandStrategy = ExpandStrategy.RECURSIVE_EARLY,
+    ) -> ActionResult:
+        """All objects whose structure (transitively) contains *obid* —
+        the classic "where-used" PDM query, e.g. before changing a shared
+        component.
+
+        The recursive strategy walks upward in one round trip; the
+        navigational strategies climb parent by parent (one round trip
+        per visited ancestor), exactly mirroring the expand analysis.
+        Returns the ancestors as ``objects`` (attr dicts with ``obid``,
+        ``via_link`` and ``distance``), nearest first; *obid* itself is
+        not included.
+        """
+        begin = self._begin()
+        if strategy is ExpandStrategy.RECURSIVE_EARLY:
+            result = self.connection.execute(
+                queries.where_used_recursive_sql(), [obid]
+            )
+            ancestors = [
+                attrs for attrs in result.as_dicts() if attrs["distance"] > 0
+            ]
+        else:
+            ancestors = self._where_used_navigational(obid)
+        return self._finish(begin, objects=ancestors)
+
+    def _where_used_navigational(self, obid: int) -> List[Attrs]:
+        sql = queries.where_used_parents_sql()
+        ancestors: List[Attrs] = []
+        seen = {obid}
+        frontier = [(obid, 0)]
+        while frontier:
+            current, distance = frontier.pop()
+            result = self.connection.execute(sql, [current])
+            for row in result.as_dicts():
+                parent = row["obid"]
+                if parent in seen:
+                    continue
+                seen.add(parent)
+                ancestors.append(
+                    {
+                        "obid": parent,
+                        "via_link": row["via_link"],
+                        "distance": distance + 1,
+                    }
+                )
+                frontier.append((parent, distance + 1))
+        ancestors.sort(key=lambda attrs: (attrs["distance"], attrs["obid"]))
+        return ancestors
+
+    # -- check-out / check-in (Section 6 discussion) ---------------------------------
+
+    def check_out(
+        self,
+        root_obid: int,
+        mode: CheckOutMode = CheckOutMode.TWO_PHASE,
+        root_attrs: Optional[Attrs] = None,
+    ) -> ActionResult:
+        """Gain exclusive access to an entire subtree.
+
+        TWO_PHASE retrieves the subtree (recursive query, rules applied
+        under the ``check_out`` action — e.g. the ∀rows "all checked in"
+        condition of paper example 2) and then updates the checked-out
+        flags with one UPDATE per node table: 3 round trips.
+        SERVER_PROCEDURE ships the whole operation to the server: 1.
+        """
+        if mode is CheckOutMode.SERVER_PROCEDURE:
+            begin = self._begin()
+            obids = self.connection.call_procedure(
+                "check_out_tree", [root_obid, self.user]
+            )
+            return self._finish(begin, checked_out=[int(o) for o in obids])
+        if root_attrs is None:
+            root_attrs = self.fetch_object(root_obid)
+        begin = self._begin()
+        sql = self._recursive_sql(Actions.CHECK_OUT)
+        result = self.connection.execute(sql, [root_obid])
+        tree = build_tree(result.columns, result.rows, root_obid, root_attrs)
+        if tree is None:
+            raise CheckOutError(
+                f"check-out of {root_obid} denied: the rule conditions "
+                f"rejected the subtree (e.g. a node is already checked out)"
+            )
+        grouped = tree.obids_by_type()
+        checked: List[int] = []
+        for table in ("assy", "comp"):
+            obids = grouped.get(table, [])
+            if not obids:
+                continue
+            self.connection.execute(
+                queries.update_checkout_sql(table, len(obids), "TRUE"),
+                [self.user] + obids,
+            )
+            checked.extend(obids)
+        return self._finish(begin, checked_out=checked, tree=tree)
+
+    def check_in(
+        self, root_obid: int, mode: CheckOutMode = CheckOutMode.TWO_PHASE
+    ) -> ActionResult:
+        """Release a previously checked-out subtree."""
+        if mode is CheckOutMode.SERVER_PROCEDURE:
+            begin = self._begin()
+            obids = self.connection.call_procedure(
+                "check_in_tree", [root_obid, self.user]
+            )
+            return self._finish(begin, checked_out=[int(o) for o in obids])
+        begin = self._begin()
+        result = self.connection.execute(
+            "SELECT obid FROM assy WHERE checkedout_by = ? "
+            "UNION ALL SELECT obid FROM comp WHERE checkedout_by = ?",
+            [self.user, self.user],
+        )
+        obids = [row[0] for row in result.rows]
+        released: List[int] = []
+        for table in ("assy", "comp"):
+            if not obids:
+                break
+            self.connection.execute(
+                f"UPDATE {table} SET checkedout = FALSE, checkedout_by = '' "
+                f"WHERE checkedout_by = ?",
+                [self.user],
+            )
+        released = obids
+        return self._finish(begin, checked_out=released)

@@ -1,0 +1,339 @@
+"""SQL builders for the PDM user actions.
+
+Every builder returns a *structured* query spec
+(:class:`~repro.rules.modificator.NavigationalQuerySpec` or
+:class:`~repro.rules.modificator.RecursiveQuerySpec`) carrying the
+metadata the query modificator needs; rendering to SQL text happens after
+modification.  The recursive builder produces exactly the query shape of
+paper Section 5.2: a seed branch, one recursive branch per node type
+(homogenised into the CTE's result type, missing attributes NULL/'' -
+filled), an outer SELECT casting nodes to the unified result type and an
+outer SELECT retrieving the link rows between retrieved nodes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.pdm.schema import NODE_COLUMNS
+from repro.rules.modificator import (
+    BlockRole,
+    NavigationalQuerySpec,
+    RecursiveQuerySpec,
+    SelectBlock,
+)
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.types import BOOLEAN, DOUBLE, INTEGER
+
+#: Column order of a navigational child-fetch result row.
+CHILD_FETCH_COLUMNS = (
+    "link_obid",
+    "left",
+    "right",
+    "eff_from",
+    "eff_to",
+    "link_opt",
+) + NODE_COLUMNS
+
+#: Name of the recursive common table expression (paper uses ``rtbl``).
+CTE_NAME = "rtbl"
+
+
+def _col(name: str, qualifier: Optional[str] = None) -> ast.ColumnRef:
+    return ast.ColumnRef(name=name, qualifier=qualifier)
+
+
+def _item(expression: ast.Expression, alias: Optional[str] = None) -> ast.SelectItem:
+    return ast.SelectItem(expression=expression, alias=alias)
+
+
+def _eq(left: ast.Expression, right: ast.Expression) -> ast.BinaryOp:
+    return ast.BinaryOp(operator="=", left=left, right=right)
+
+
+def _null_as(sql_type) -> ast.Cast:
+    return ast.Cast(operand=ast.Literal(value=None), target=sql_type)
+
+
+def _node_items(alias: str, node_type: str) -> List[ast.SelectItem]:
+    """Select-list items projecting a node table row onto NODE_COLUMNS.
+
+    Components have no ``dec`` attribute; the homogenisation fills it with
+    the empty string, exactly as the paper's example query does.
+    """
+    items: List[ast.SelectItem] = []
+    for column in NODE_COLUMNS:
+        if column == "dec" and node_type == "comp":
+            items.append(_item(ast.Literal(value=""), alias="dec"))
+        else:
+            items.append(_item(_col(column, alias), alias=column))
+    return items
+
+
+def _link_items(alias: str = "link") -> List[ast.SelectItem]:
+    """Link attributes in homogenised order (``link_opt`` aliases the
+    link's own ``strc_opt`` so it cannot clash with the node column)."""
+    return [
+        _item(_col("obid", alias), alias="link_obid"),
+        _item(_col("left", alias), alias="left"),
+        _item(_col("right", alias), alias="right"),
+        _item(_col("eff_from", alias), alias="eff_from"),
+        _item(_col("eff_to", alias), alias="eff_to"),
+        _item(_col("strc_opt", alias), alias="link_opt"),
+    ]
+
+
+def child_fetch_spec() -> NavigationalQuerySpec:
+    """Navigational single-level expand: all children of one parent.
+
+    One SQL statement (two UNION ALL branches, one per child type) so the
+    whole expand costs exactly one round trip, matching the paper's model
+    of "one query per visited node".  Parameters: the parent obid, twice.
+    """
+    blocks: List[SelectBlock] = []
+    for position, node_type in enumerate(("assy", "comp")):
+        join = ast.Join(
+            left=ast.TableRef(name="link"),
+            right=ast.TableRef(name=node_type),
+            kind="INNER",
+            condition=_eq(_col("right", "link"), _col("obid", node_type)),
+        )
+        core = ast.SelectCore(
+            items=_link_items() + _node_items(node_type, node_type),
+            from_items=[join],
+            where=_eq(_col("left", "link"), ast.Parameter(index=position)),
+        )
+        blocks.append(
+            SelectBlock(
+                core=core,
+                role=BlockRole.RECURSIVE,  # navigational step ~ one level
+                object_type=node_type,
+                tables={"link": "link", node_type: node_type},
+            )
+        )
+    return NavigationalQuerySpec(blocks=blocks)
+
+
+def set_query_spec() -> NavigationalQuerySpec:
+    """The 'Query' action: all nodes of a product, without structure info
+    (paper Section 2: "a query is assumed to retrieve all nodes of a tree
+    (without the structure information)").  Parameters: product id, twice.
+    """
+    blocks: List[SelectBlock] = []
+    for position, node_type in enumerate(("assy", "comp")):
+        core = ast.SelectCore(
+            items=_node_items(node_type, node_type),
+            from_items=[ast.TableRef(name=node_type)],
+            where=_eq(_col("product", node_type), ast.Parameter(index=position)),
+        )
+        blocks.append(
+            SelectBlock(
+                core=core,
+                role=BlockRole.RECURSIVE,
+                object_type=node_type,
+                tables={node_type: node_type},
+            )
+        )
+    return NavigationalQuerySpec(blocks=blocks)
+
+
+def recursive_mle_spec(
+    order_by: bool = False, max_depth: Optional[int] = None
+) -> RecursiveQuerySpec:
+    """The multi-level expand as ONE recursive query (paper Section 5.2).
+
+    Parameter 0 is the root obid.  The CTE collects assemblies and
+    components; the outer part returns the homogenised node rows plus the
+    link rows connecting retrieved nodes.
+
+    With ``max_depth`` the CTE carries a ``depth`` column and the
+    recursive branches stop descending below the bound (a *partial*
+    multi-level expand); the bound is a parameter, so one prepared
+    statement serves every depth.  Parameter order in the rendered SQL:
+    root obid, then the bound once per recursive branch.
+    """
+    depth_bounded = max_depth is not None
+    seed_items = _node_items("assy", "assy")
+    if depth_bounded:
+        seed_items = seed_items + [_item(ast.Literal(value=0), alias="depth")]
+    seed = SelectBlock(
+        core=ast.SelectCore(
+            items=seed_items,
+            from_items=[ast.TableRef(name="assy")],
+            where=_eq(_col("obid", "assy"), ast.Parameter(index=0)),
+        ),
+        role=BlockRole.SEED,
+        object_type="assy",
+        tables={"assy": "assy"},
+    )
+    recursive_blocks = []
+    for position, node_type in enumerate(("assy", "comp")):
+        join = ast.Join(
+            left=ast.Join(
+                left=ast.TableRef(name=CTE_NAME),
+                right=ast.TableRef(name="link"),
+                kind="INNER",
+                condition=_eq(_col("obid", CTE_NAME), _col("left", "link")),
+            ),
+            right=ast.TableRef(name=node_type),
+            kind="INNER",
+            condition=_eq(_col("right", "link"), _col("obid", node_type)),
+        )
+        branch_items = _node_items(node_type, node_type)
+        where = None
+        if depth_bounded:
+            branch_items = branch_items + [
+                _item(
+                    ast.BinaryOp(
+                        operator="+",
+                        left=_col("depth", CTE_NAME),
+                        right=ast.Literal(value=1),
+                    ),
+                    alias="depth",
+                )
+            ]
+            where = ast.BinaryOp(
+                operator="<",
+                left=_col("depth", CTE_NAME),
+                right=ast.Parameter(index=1 + position),
+            )
+        recursive_blocks.append(
+            SelectBlock(
+                core=ast.SelectCore(
+                    items=branch_items,
+                    from_items=[join],
+                    where=where,
+                ),
+                role=BlockRole.RECURSIVE,
+                object_type=node_type,
+                tables={CTE_NAME: CTE_NAME, "link": "link", node_type: node_type},
+            )
+        )
+    outer_nodes = SelectBlock(
+        core=ast.SelectCore(
+            items=[_item(_col(column), alias=column) for column in NODE_COLUMNS]
+            + [
+                _item(_null_as(INTEGER), alias="left"),
+                _item(_null_as(INTEGER), alias="right"),
+                _item(_null_as(INTEGER), alias="eff_from"),
+                _item(_null_as(INTEGER), alias="eff_to"),
+                _item(_null_as(INTEGER), alias="link_opt"),
+            ],
+            from_items=[ast.TableRef(name=CTE_NAME)],
+        ),
+        role=BlockRole.OUTER_NODES,
+        object_type=None,
+        tables={CTE_NAME: CTE_NAME},
+    )
+    in_rtbl = ast.SelectStatement(
+        body=ast.SelectCore(
+            items=[_item(_col("obid"))],
+            from_items=[ast.TableRef(name=CTE_NAME)],
+        )
+    )
+    in_rtbl_again = ast.SelectStatement(
+        body=ast.SelectCore(
+            items=[_item(_col("obid"))],
+            from_items=[ast.TableRef(name=CTE_NAME)],
+        )
+    )
+    outer_links = SelectBlock(
+        core=ast.SelectCore(
+            items=[
+                _item(_col("type", "link"), alias="type"),
+                _item(_col("obid", "link"), alias="obid"),
+                _item(ast.Literal(value=""), alias="name"),
+                _item(ast.Literal(value=""), alias="dec"),
+                _item(ast.Literal(value=""), alias="make_or_buy"),
+                _item(_null_as(DOUBLE), alias="weight"),
+                _item(ast.Literal(value=""), alias="state"),
+                _item(_null_as(BOOLEAN), alias="checkedout"),
+                _item(_null_as(INTEGER), alias="product"),
+                _item(_null_as(INTEGER), alias="strc_opt"),
+                _item(ast.Literal(value=""), alias="payload"),
+                _item(_col("left", "link"), alias="left"),
+                _item(_col("right", "link"), alias="right"),
+                _item(_col("eff_from", "link"), alias="eff_from"),
+                _item(_col("eff_to", "link"), alias="eff_to"),
+                _item(_col("strc_opt", "link"), alias="link_opt"),
+            ],
+            from_items=[ast.TableRef(name="link")],
+            where=ast.BinaryOp(
+                operator="AND",
+                left=ast.InSubquery(
+                    operand=_col("left", "link"), subquery=in_rtbl
+                ),
+                right=ast.InSubquery(
+                    operand=_col("right", "link"), subquery=in_rtbl_again
+                ),
+            ),
+        ),
+        role=BlockRole.OUTER_LINKS,
+        object_type="link",
+        tables={"link": "link"},
+    )
+    order_items = (
+        [
+            ast.OrderItem(expression=ast.Literal(value=1)),
+            ast.OrderItem(expression=ast.Literal(value=2)),
+        ]
+        if order_by
+        else []
+    )
+    cte_columns = list(NODE_COLUMNS)
+    if depth_bounded:
+        cte_columns.append("depth")
+    return RecursiveQuerySpec(
+        cte_name=CTE_NAME,
+        columns=cte_columns,
+        root_type="assy",
+        seed_blocks=[seed],
+        recursive_blocks=recursive_blocks,
+        outer_blocks=[outer_nodes, outer_links],
+        order_by=order_items,
+    )
+
+
+def where_used_recursive_sql() -> str:
+    """Where-used (reverse BOM): all ancestors of one object, upward.
+
+    The mirror image of the multi-level expand — the recursion walks
+    ``link.right -> link.left`` instead of left -> right, exercising the
+    ``link.right`` index.  Parameter 0 is the starting obid.  Returns
+    (ancestor obid, the link it was reached through, distance) triples;
+    the starting object itself is distance 0 with a NULL link.
+    """
+    return (
+        "WITH RECURSIVE used_in (obid, via_link, distance) AS "
+        "(SELECT ?, CAST(NULL AS INTEGER), 0 "
+        " UNION "
+        " SELECT link.left, link.obid, used_in.distance + 1 "
+        " FROM used_in JOIN link ON link.right = used_in.obid) "
+        "SELECT obid, via_link, distance FROM used_in ORDER BY 3, 1"
+    )
+
+
+def where_used_parents_sql() -> str:
+    """One navigational step of the where-used traversal: the direct
+    parents of one object.  Parameter 0 is the child obid."""
+    return (
+        "SELECT link.left AS obid, link.obid AS via_link "
+        "FROM link WHERE link.right = ?"
+    )
+
+
+def fetch_object_sql(table: str) -> str:
+    """Point lookup of one object row by obid."""
+    columns = ", ".join(
+        column for column in NODE_COLUMNS if not (table == "comp" and column == "dec")
+    )
+    return f"SELECT {columns} FROM {table} WHERE obid = ?"
+
+
+def update_checkout_sql(table: str, obid_count: int, value: str) -> str:
+    """Bulk check-out/check-in UPDATE for *obid_count* objects."""
+    placeholders = ", ".join("?" for __ in range(obid_count))
+    return (
+        f"UPDATE {table} SET checkedout = {value}, checkedout_by = ? "
+        f"WHERE obid IN ({placeholders})"
+    )

@@ -1,0 +1,145 @@
+"""Client-side reassembly of flat rows into product-structure trees.
+
+The PDM system's "flat object representation" (paper Section 1) means a
+retrieved tree arrives as a homogenised bag of node rows and link rows;
+this module rebuilds the hierarchy — the client-side half of "the
+corresponding structure information and data items are retrieved,
+interpreted, and reassembled".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.errors import PDMError
+from repro.pdm.objects import TYPE_LINK
+
+Attrs = Dict[str, Any]
+
+
+@dataclass
+class StructureNode:
+    """One node of a reassembled product structure.
+
+    ``link`` holds the attributes of the link through which this node was
+    reached (None for the root).  Children keep the insertion order of the
+    link rows.
+    """
+
+    attrs: Attrs
+    link: Optional[Attrs] = None
+    children: List["StructureNode"] = field(default_factory=list)
+
+    @property
+    def obid(self) -> Any:
+        return self.attrs.get("obid")
+
+    @property
+    def object_type(self) -> Any:
+        return self.attrs.get("type")
+
+    def iter_nodes(self) -> Iterator["StructureNode"]:
+        """Yield this node and all descendants, depth-first pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def node_count(self) -> int:
+        return sum(1 for __ in self.iter_nodes())
+
+    def obids(self) -> Set[Any]:
+        return {node.obid for node in self.iter_nodes()}
+
+    def obids_by_type(self) -> Dict[str, List[Any]]:
+        grouped: Dict[str, List[Any]] = {}
+        for node in self.iter_nodes():
+            grouped.setdefault(str(node.object_type), []).append(node.obid)
+        return grouped
+
+    def find(self, obid: Any) -> Optional["StructureNode"]:
+        for node in self.iter_nodes():
+            if node.obid == obid:
+                return node
+        return None
+
+    def depth(self) -> int:
+        """Longest root-to-leaf edge count."""
+        if not self.children:
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def prune(self, keep) -> None:
+        """Drop children (and their subtrees) for which ``keep(node)`` is
+        false; applied recursively to the surviving nodes."""
+        self.children = [child for child in self.children if keep(child)]
+        for child in self.children:
+            child.prune(keep)
+
+
+def build_tree(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    root_obid: Any,
+    root_attrs: Optional[Attrs] = None,
+) -> Optional[StructureNode]:
+    """Rebuild a tree from homogenised (node ∪ link) rows.
+
+    Rows with ``type = 'link'`` contribute edges; every other row is a
+    node.  Returns None when the result contains neither the root node nor
+    any rows (the all-or-nothing conditions produce exactly that).  When
+    the root row itself was filtered away but ``root_attrs`` is supplied
+    (root already at the client), the tree is still rooted there.
+    """
+    keys = [str(name).lower() for name in columns]
+    nodes: Dict[Any, Attrs] = {}
+    edges: Dict[Any, List[Attrs]] = {}
+    for row in rows:
+        attrs = dict(zip(keys, row))
+        if attrs.get("type") == TYPE_LINK:
+            edges.setdefault(attrs.get("left"), []).append(attrs)
+        else:
+            nodes[attrs.get("obid")] = attrs
+    if root_obid in nodes:
+        root = StructureNode(attrs=nodes[root_obid])
+    elif root_attrs is not None and (nodes or edges):
+        root = StructureNode(attrs=dict(root_attrs))
+    else:
+        return None
+    seen = {root_obid}
+    queue = [root]
+    while queue:
+        parent = queue.pop()
+        for link_attrs in edges.get(parent.obid, ()):  # insertion order
+            child_obid = link_attrs.get("right")
+            child_attrs = nodes.get(child_obid)
+            if child_attrs is None:
+                continue  # link retrieved but its node filtered out
+            if child_obid in seen:
+                raise PDMError(
+                    f"object {child_obid!r} appears on two paths — result "
+                    f"rows do not form a tree"
+                )
+            seen.add(child_obid)
+            child = StructureNode(attrs=child_attrs, link=link_attrs)
+            parent.children.append(child)
+            queue.append(child)
+    return root
+
+
+def trees_equal(left: Optional[StructureNode], right: Optional[StructureNode]) -> bool:
+    """Structural equality on (obid, type) — used by the equivalence tests
+    between late, early and recursive evaluation."""
+    if left is None or right is None:
+        return left is right
+    if left.obid != right.obid or left.object_type != right.object_type:
+        return False
+    left_children = sorted(left.children, key=lambda node: str(node.obid))
+    right_children = sorted(right.children, key=lambda node: str(node.obid))
+    if len(left_children) != len(right_children):
+        return False
+    return all(
+        trees_equal(a, b) for a, b in zip(left_children, right_children)
+    )

@@ -1,0 +1,265 @@
+"""Condition taxonomy (paper Figure 1) as a small domain-level AST.
+
+Terms are the building blocks of row conditions: object attributes,
+constants, variables of the user's environment (bound when the condition
+is translated or evaluated) and applications of (stored) functions.
+
+Conditions split into *row conditions* — evaluable on one object — and
+*tree conditions*:
+
+* :class:`ForAllRows` (∀rows): every node of the tree must satisfy a row
+  condition, otherwise the result tree is empty ("all or nothing").
+* :class:`ExistsStructure` (∃structure): a node of type O is visible only
+  if a related object of type U exists via relation *rel*.
+* :class:`TreeAggregate`: an aggregate over the whole tree compared
+  against an expression ("at most ten assemblies").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from repro.errors import RuleError
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+class Term:
+    """Base class of row-condition terms."""
+
+
+@dataclass(frozen=True)
+class Attribute(Term):
+    """An attribute of the object under test, e.g. ``make_or_buy``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A literal constant."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class UserVar(Term):
+    """A variable of the user's environment, e.g. the selected structure
+    options; bound from the user context at translation/evaluation time."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Apply(Term):
+    """Application of a (stored) function to terms (paper Section 3.2:
+    conditions beyond plain predicates need stored functions)."""
+
+    function: str
+    args: Tuple[Term, ...]
+
+    def __init__(self, function: str, args) -> None:
+        object.__setattr__(self, "function", function)
+        object.__setattr__(self, "args", tuple(args))
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+
+class Condition:
+    """Base class of all conditions."""
+
+
+_COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Comparison(Condition):
+    """A comparison between two terms — the simplest row condition."""
+
+    operator: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.operator not in _COMPARISON_OPS:
+            raise RuleError(f"unknown comparison operator {self.operator!r}")
+
+
+@dataclass(frozen=True)
+class BoolFunction(Condition):
+    """A boolean-valued (stored) function used directly as a condition,
+    e.g. ``options_overlap(strc_opt, user_options)``."""
+
+    function: str
+    args: Tuple[Term, ...]
+
+    def __init__(self, function: str, args) -> None:
+        object.__setattr__(self, "function", function)
+        object.__setattr__(self, "args", tuple(args))
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    left: Condition
+    right: Condition
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    left: Condition
+    right: Condition
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    operand: Condition
+
+
+@dataclass(frozen=True)
+class ForAllRows(Condition):
+    """∀rows condition: every tree node (optionally only those of
+    ``object_type``) must satisfy ``row_condition`` or the tree is empty.
+
+    Paper example 2: every node of the subtree must be checked in before
+    a check-out is permitted.
+    """
+
+    row_condition: Condition
+    object_type: Optional[str] = None  # None: all node types
+
+    def __post_init__(self) -> None:
+        _require_row_condition(self.row_condition, "ForAllRows")
+
+
+@dataclass(frozen=True)
+class ExistsStructure(Condition):
+    """∃structure condition (paper 5.3.2): an object of ``object_type`` is
+    visible only if it is related — through ``relation_table`` whose
+    ``left_column`` refers to the object and ``right_column`` to the
+    related object — to at least one row of ``related_table``.
+    """
+
+    object_type: str
+    relation_table: str
+    related_table: str
+    left_column: str = "left"
+    right_column: str = "right"
+    object_id_column: str = "obid"
+    related_id_column: str = "obid"
+
+
+@dataclass(frozen=True)
+class TreeAggregate(Condition):
+    """Tree-aggregate condition (paper 5.3.3):
+    ``agg(attribute over tree nodes [of object_type]) <op> threshold``.
+
+    ``attribute`` is None for COUNT(*).
+    """
+
+    function: str  # AVG, COUNT, MAX, MIN, SUM
+    attribute: Optional[str]
+    operator: str
+    threshold: Term
+    object_type: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.function.upper() not in ("AVG", "COUNT", "MAX", "MIN", "SUM"):
+            raise RuleError(f"unknown aggregate {self.function!r}")
+        if self.operator not in _COMPARISON_OPS:
+            raise RuleError(f"unknown comparison operator {self.operator!r}")
+        if self.function.upper() != "COUNT" and self.attribute is None:
+            raise RuleError(f"{self.function} requires an attribute")
+
+
+class ConditionClass(Enum):
+    """The four leaves of the classification tree in paper Figure 1."""
+
+    ROW = "row"
+    FORALL_ROWS = "forall-rows"
+    EXISTS_STRUCTURE = "exists-structure"
+    TREE_AGGREGATE = "tree-aggregate"
+
+
+_ROW_CONDITION_TYPES = (Comparison, BoolFunction, And, Or, Not)
+
+
+def is_row_condition(condition: Condition) -> bool:
+    """True if *condition* is evaluable on a single object.
+
+    A boolean combination is a row condition only if all leaves are.
+    """
+    if isinstance(condition, (Comparison, BoolFunction)):
+        return True
+    if isinstance(condition, Not):
+        return is_row_condition(condition.operand)
+    if isinstance(condition, (And, Or)):
+        return is_row_condition(condition.left) and is_row_condition(
+            condition.right
+        )
+    return False
+
+
+def classify(condition: Condition) -> ConditionClass:
+    """Classify *condition* per Figure 1.
+
+    Raises :class:`RuleError` for boolean combinations that mix row and
+    tree conditions — those are not in the paper's taxonomy and the query
+    modificator could not place them.
+    """
+    if is_row_condition(condition):
+        return ConditionClass.ROW
+    if isinstance(condition, ForAllRows):
+        return ConditionClass.FORALL_ROWS
+    if isinstance(condition, ExistsStructure):
+        return ConditionClass.EXISTS_STRUCTURE
+    if isinstance(condition, TreeAggregate):
+        return ConditionClass.TREE_AGGREGATE
+    raise RuleError(
+        f"condition {condition!r} is neither a pure row condition nor a "
+        f"recognised tree condition"
+    )
+
+
+def _require_row_condition(condition: Condition, context: str) -> None:
+    if not is_row_condition(condition):
+        raise RuleError(f"{context} requires a row condition")
+
+
+def attributes_used(condition: Condition) -> List[str]:
+    """Attribute names referenced by a row condition (for validation)."""
+    names: List[str] = []
+
+    def walk_term(term: Term) -> None:
+        if isinstance(term, Attribute):
+            names.append(term.name)
+        elif isinstance(term, Apply):
+            for arg in term.args:
+                walk_term(arg)
+
+    def walk(cond: Condition) -> None:
+        if isinstance(cond, Comparison):
+            walk_term(cond.left)
+            walk_term(cond.right)
+        elif isinstance(cond, BoolFunction):
+            for arg in cond.args:
+                walk_term(arg)
+        elif isinstance(cond, Not):
+            walk(cond.operand)
+        elif isinstance(cond, (And, Or)):
+            walk(cond.left)
+            walk(cond.right)
+        elif isinstance(cond, ForAllRows):
+            walk(cond.row_condition)
+        elif isinstance(cond, TreeAggregate):
+            if cond.attribute is not None:
+                names.append(cond.attribute)
+
+    walk(condition)
+    return names

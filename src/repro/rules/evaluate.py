@@ -1,0 +1,213 @@
+"""Late (client-side) rule evaluation — the reference semantics.
+
+The navigational baseline of the paper ships whole result sets to the
+client and filters there.  This module implements that filtering over
+plain attribute dictionaries, and it doubles as the specification the SQL
+translations must match: the property-based tests assert that early
+evaluation (predicates injected into queries) yields exactly the node set
+this evaluator admits.
+
+Rule combination semantics (Section 3.1 + 4.1): rules *permit*; several
+relevant rules combine by OR; if no rule is relevant for a (user, action,
+type), the object is permitted by default unless the caller opts into the
+strict negative-biased mode.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import RuleError
+from repro.rules import conditions as cond
+from repro.rules.conditions import ConditionClass
+from repro.rules.model import Rule
+
+#: An object is a plain mapping of lowercase attribute names to values;
+#: ``type`` and ``obid`` are always present.
+ObjectAttrs = Dict[str, Any]
+
+
+class EvaluationContext:
+    """Everything the interpreter needs besides the object itself.
+
+    ``functions`` supplies the client-side implementations of the stored
+    functions used in conditions (they must agree with the server-side
+    registrations — a deliberate invariant the tests check).
+
+    ``related`` answers ∃structure probes:
+    ``related(obid, relation_table, related_table) -> bool``.
+    """
+
+    def __init__(
+        self,
+        user_env: Optional[Dict[str, Any]] = None,
+        functions: Optional[Dict[str, Callable[..., Any]]] = None,
+        related: Optional[Callable[[Any, str, str], bool]] = None,
+    ) -> None:
+        self.user_env = dict(user_env or {})
+        self.functions = dict(functions or {})
+        self.related = related
+
+    def call(self, name: str, args: List[Any]) -> Any:
+        function = self.functions.get(name.lower())
+        if function is None:
+            raise RuleError(f"no client-side implementation of function {name!r}")
+        return function(*args)
+
+
+def eval_term(term: cond.Term, attrs: ObjectAttrs, ctx: EvaluationContext) -> Any:
+    if isinstance(term, cond.Attribute):
+        key = term.name.lower()
+        if key not in attrs:
+            raise RuleError(
+                f"object of type {attrs.get('type')!r} has no attribute "
+                f"{term.name!r}"
+            )
+        return attrs[key]
+    if isinstance(term, cond.Const):
+        return term.value
+    if isinstance(term, cond.UserVar):
+        if term.name not in ctx.user_env:
+            raise RuleError(f"user environment lacks variable {term.name!r}")
+        return ctx.user_env[term.name]
+    if isinstance(term, cond.Apply):
+        return ctx.call(
+            term.function, [eval_term(arg, attrs, ctx) for arg in term.args]
+        )
+    raise RuleError(f"cannot evaluate term {term!r}")
+
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def eval_row_condition(
+    condition: cond.Condition, attrs: ObjectAttrs, ctx: EvaluationContext
+) -> bool:
+    """Evaluate a row condition on one object.
+
+    SQL's UNKNOWN maps to False here (a row only qualifies when the
+    predicate is true), which keeps late and early evaluation aligned.
+    """
+    if isinstance(condition, cond.Comparison):
+        left = eval_term(condition.left, attrs, ctx)
+        right = eval_term(condition.right, attrs, ctx)
+        if left is None or right is None:
+            return False
+        return bool(_COMPARATORS[condition.operator](left, right))
+    if isinstance(condition, cond.BoolFunction):
+        result = ctx.call(
+            condition.function,
+            [eval_term(arg, attrs, ctx) for arg in condition.args],
+        )
+        return bool(result) if result is not None else False
+    if isinstance(condition, cond.Not):
+        return not eval_row_condition(condition.operand, attrs, ctx)
+    if isinstance(condition, cond.And):
+        return eval_row_condition(condition.left, attrs, ctx) and eval_row_condition(
+            condition.right, attrs, ctx
+        )
+    if isinstance(condition, cond.Or):
+        return eval_row_condition(condition.left, attrs, ctx) or eval_row_condition(
+            condition.right, attrs, ctx
+        )
+    raise RuleError(f"{type(condition).__name__} is not a row condition")
+
+
+def object_permitted(
+    rules: Sequence[Rule],
+    attrs: ObjectAttrs,
+    ctx: EvaluationContext,
+    default_permit: bool = True,
+) -> bool:
+    """Combine the *relevant row rules* for one object by OR.
+
+    ``rules`` must already be filtered to the object's type/user/action
+    (use :meth:`repro.rules.ruletable.RuleTable.relevant`).  With
+    ``default_permit=False`` the strict negative-biased semantics of the
+    paper apply: no rule, no access.
+    """
+    row_rules = [
+        rule for rule in rules if rule.condition_class is ConditionClass.ROW
+    ]
+    if not row_rules:
+        return default_permit
+    return any(
+        eval_row_condition(rule.condition, attrs, ctx) for rule in row_rules
+    )
+
+
+def forall_holds(
+    condition: cond.ForAllRows,
+    nodes: Iterable[ObjectAttrs],
+    ctx: EvaluationContext,
+) -> bool:
+    """∀rows over a node set: all (type-matching) nodes must satisfy."""
+    for attrs in nodes:
+        if (
+            condition.object_type is not None
+            and attrs.get("type") != condition.object_type
+        ):
+            continue
+        if not eval_row_condition(condition.row_condition, attrs, ctx):
+            return False
+    return True
+
+
+def exists_structure_holds(
+    condition: cond.ExistsStructure, attrs: ObjectAttrs, ctx: EvaluationContext
+) -> bool:
+    """∃structure for one object: a related object must exist."""
+    if ctx.related is None:
+        raise RuleError(
+            "evaluation context provides no related-object resolver"
+        )
+    return bool(
+        ctx.related(
+            attrs["obid"], condition.relation_table, condition.related_table
+        )
+    )
+
+
+def tree_aggregate_holds(
+    condition: cond.TreeAggregate,
+    nodes: Iterable[ObjectAttrs],
+    ctx: EvaluationContext,
+) -> bool:
+    """Tree-aggregate over a node set, compared against the threshold."""
+    values: List[Any] = []
+    count = 0
+    for attrs in nodes:
+        if (
+            condition.object_type is not None
+            and attrs.get("type") != condition.object_type
+        ):
+            continue
+        count += 1
+        if condition.attribute is not None:
+            value = attrs.get(condition.attribute.lower())
+            if value is not None:
+                values.append(value)
+    function = condition.function.upper()
+    if function == "COUNT":
+        aggregate: Any = count if condition.attribute is None else len(values)
+    elif not values:
+        return False  # SQL would compare against NULL -> UNKNOWN -> drop
+    elif function == "SUM":
+        aggregate = sum(values)
+    elif function == "AVG":
+        aggregate = sum(values) / len(values)
+    elif function == "MAX":
+        aggregate = max(values)
+    else:
+        aggregate = min(values)
+    threshold = eval_term(condition.threshold, {}, ctx)
+    if threshold is None:
+        return False
+    return bool(_COMPARATORS[condition.operator](aggregate, threshold))

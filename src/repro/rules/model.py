@@ -1,0 +1,85 @@
+"""Rules as 4-tuples: (user, action, object type, condition).
+
+Paper Section 3.1: "A user is permitted to perform an action on an
+instance of an object type, if the condition is met."  The rule system is
+negative-biased — rules *permit*; several rules matching the same
+(user, action, type) are combined by OR (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import RuleError
+from repro.rules.conditions import Condition, ConditionClass, classify
+
+#: Wildcard user (paper example 2 uses ``user: *``).
+ANY_USER = "*"
+
+
+class Actions:
+    """Well-known action names.
+
+    ``ACCESS`` is special: per Section 5.5 step D, access rules apply to
+    every query that touches the object type, whatever the user action is.
+    """
+
+    ACCESS = "access"
+    QUERY = "query"
+    EXPAND = "expand"
+    MULTI_LEVEL_EXPAND = "multi_level_expand"
+    CHECK_OUT = "check_out"
+    CHECK_IN = "check_in"
+
+    ALL = (ACCESS, QUERY, EXPAND, MULTI_LEVEL_EXPAND, CHECK_OUT, CHECK_IN)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One permission rule.
+
+    ``object_type`` names the PDM object type the rule guards: a node
+    table (``assy``, ``comp``), the relation table (``link`` — this is how
+    structure options and effectivities are expressed once relations are
+    treated as first-class objects, paper example 3), or — for tree
+    conditions — the type of the *root* of the tree being operated on.
+    """
+
+    user: str
+    action: str
+    object_type: str
+    condition: Condition
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.user:
+            raise RuleError("rule user must be non-empty (use '*' for any)")
+        if self.action not in Actions.ALL:
+            raise RuleError(
+                f"unknown action {self.action!r}; expected one of {Actions.ALL}"
+            )
+        # Validate the condition is classifiable now, not at query time.
+        classify(self.condition)
+
+    @property
+    def condition_class(self) -> ConditionClass:
+        return classify(self.condition)
+
+    def matches(self, user: str, action: str, object_type: str) -> bool:
+        """True if this rule is *relevant* (paper footnote 9) for the given
+        user, action and object type."""
+        if self.user != ANY_USER and self.user != user:
+            return False
+        if self.action != Actions.ACCESS and self.action != action:
+            return False
+        return self.object_type.lower() == object_type.lower()
+
+    def describe(self) -> str:
+        """Human-readable 4-tuple rendering, as in the paper's examples."""
+        label = f" [{self.name}]" if self.name else ""
+        return (
+            f"user: {self.user}  action: {self.action}  "
+            f"type: {self.object_type}  class: {self.condition_class.value}"
+            f"{label}"
+        )

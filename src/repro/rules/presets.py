@@ -1,0 +1,103 @@
+"""Ready-made rules for the standard PDM schema.
+
+These are the rule shapes the paper's examples use, parameterised over the
+user environment variables:
+
+* :func:`structure_option_rules` — paper example 3: an object/relation is
+  accessible iff its structure-option mask overlaps the user's selection
+  (stored function ``options_overlap``).
+* :func:`effectivity_rule` — links are traversable only if effective for
+  the user-selected unit number (stored function ``is_effective``).
+* :func:`checkout_all_checked_in_rule` — paper example 2: a subtree can be
+  checked out only if every node is checked in (∀rows condition).
+* :func:`make_not_buy_rule` — paper example 1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.rules.conditions import (
+    Attribute,
+    BoolFunction,
+    Comparison,
+    Const,
+    ForAllRows,
+)
+from repro.rules.model import ANY_USER, Actions, Rule
+
+#: Conventional user-environment variable names.
+USER_OPTIONS_VAR = "user_options"
+EFFECTIVITY_UNIT_VAR = "effectivity_unit"
+
+
+def structure_option_rules(
+    object_types: tuple = ("assy", "comp", "link"),
+    user: str = ANY_USER,
+) -> List[Rule]:
+    """One access rule per object type: option masks must overlap."""
+    from repro.rules.conditions import UserVar
+
+    return [
+        Rule(
+            user=user,
+            action=Actions.ACCESS,
+            object_type=object_type,
+            condition=BoolFunction(
+                "options_overlap",
+                (Attribute("strc_opt"), UserVar(USER_OPTIONS_VAR)),
+            ),
+            name=f"options-{object_type}",
+        )
+        for object_type in object_types
+    ]
+
+
+def effectivity_rule(user: str = ANY_USER) -> Rule:
+    """Links are traversable only when effective for the selected unit.
+
+    Paper Section 3.1: "objects are included in a current product only if
+    the associated effectivity overlaps the effectivity selected by the
+    user" — here the user selects a single unit number.
+    """
+    from repro.rules.conditions import UserVar
+
+    return Rule(
+        user=user,
+        action=Actions.ACCESS,
+        object_type="link",
+        condition=BoolFunction(
+            "is_effective",
+            (
+                Attribute("eff_from"),
+                Attribute("eff_to"),
+                UserVar(EFFECTIVITY_UNIT_VAR),
+            ),
+        ),
+        name="effectivity",
+    )
+
+
+def checkout_all_checked_in_rule(user: str = ANY_USER) -> Rule:
+    """Paper example 2: check-out permitted iff the subtree is checked in."""
+    return Rule(
+        user=user,
+        action=Actions.CHECK_OUT,
+        object_type="assy",
+        condition=ForAllRows(
+            Comparison("=", Attribute("checkedout"), Const(False))
+        ),
+        name="all-checked-in",
+    )
+
+
+def make_not_buy_rule(user: str = "scott") -> Rule:
+    """Paper example 1: Scott may multi-level expand assemblies that are
+    not bought from a supplier."""
+    return Rule(
+        user=user,
+        action=Actions.MULTI_LEVEL_EXPAND,
+        object_type="assy",
+        condition=Comparison("<>", Attribute("make_or_buy"), Const("buy")),
+        name="make-not-buy",
+    )

@@ -1,0 +1,225 @@
+"""Translate domain conditions into SQL predicate ASTs.
+
+Paper Section 4.1: row conditions "can be transformed straightforward
+into an SQL WHERE clause"; Section 5.3 gives the patterns for the three
+tree-condition classes.  The translators build
+:mod:`repro.sqldb.ast_nodes` expressions (not strings), so the query
+modificator can splice them into the right WHERE clauses structurally and
+render the final SQL once.
+
+User-environment variables (:class:`~repro.rules.conditions.UserVar`) are
+bound to literals from a ``user_env`` mapping at translation time —
+mirroring the paper's design where translated conditions are stored in a
+client-side rule table (Section 5.5) ready for use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ConditionTranslationError
+from repro.sqldb import ast_nodes as ast
+from repro.rules import conditions as cond
+
+UserEnv = Dict[str, object]
+
+
+def translate_term(
+    term: cond.Term, qualifier: Optional[str], user_env: UserEnv
+) -> ast.Expression:
+    """Translate a term; attribute references get the given qualifier."""
+    if isinstance(term, cond.Attribute):
+        return ast.ColumnRef(name=term.name, qualifier=qualifier)
+    if isinstance(term, cond.Const):
+        return ast.Literal(value=term.value)
+    if isinstance(term, cond.UserVar):
+        if term.name not in user_env:
+            raise ConditionTranslationError(
+                f"user environment does not define variable {term.name!r}"
+            )
+        return ast.Literal(value=user_env[term.name])
+    if isinstance(term, cond.Apply):
+        return ast.FunctionCall(
+            name=term.function,
+            args=[translate_term(arg, qualifier, user_env) for arg in term.args],
+        )
+    raise ConditionTranslationError(f"cannot translate term {term!r}")
+
+
+def translate_row_condition(
+    condition: cond.Condition, qualifier: Optional[str], user_env: UserEnv
+) -> ast.Expression:
+    """Translate a row condition into a boolean SQL expression.
+
+    ``qualifier`` is the table alias the object's attributes live under in
+    the target query (e.g. ``assembly.make_or_buy <> 'buy'``).
+    """
+    if isinstance(condition, cond.Comparison):
+        return ast.BinaryOp(
+            operator=condition.operator,
+            left=translate_term(condition.left, qualifier, user_env),
+            right=translate_term(condition.right, qualifier, user_env),
+        )
+    if isinstance(condition, cond.BoolFunction):
+        return ast.FunctionCall(
+            name=condition.function,
+            args=[
+                translate_term(arg, qualifier, user_env) for arg in condition.args
+            ],
+        )
+    if isinstance(condition, cond.Not):
+        return ast.UnaryOp(
+            operator="NOT",
+            operand=translate_row_condition(condition.operand, qualifier, user_env),
+        )
+    if isinstance(condition, cond.And):
+        return ast.BinaryOp(
+            operator="AND",
+            left=translate_row_condition(condition.left, qualifier, user_env),
+            right=translate_row_condition(condition.right, qualifier, user_env),
+        )
+    if isinstance(condition, cond.Or):
+        return ast.BinaryOp(
+            operator="OR",
+            left=translate_row_condition(condition.left, qualifier, user_env),
+            right=translate_row_condition(condition.right, qualifier, user_env),
+        )
+    raise ConditionTranslationError(
+        f"{type(condition).__name__} is not a row condition"
+    )
+
+
+def translate_forall(
+    condition: cond.ForAllRows,
+    cte_name: str,
+    user_env: UserEnv,
+    type_column: str = "type",
+) -> ast.Expression:
+    """∀rows → all-or-nothing predicate over the recursion result
+    (paper 5.3.1)::
+
+        NOT EXISTS (SELECT * FROM <cte> WHERE [type = 'T' AND] NOT row_cond)
+    """
+    violating = ast.UnaryOp(
+        operator="NOT",
+        operand=translate_row_condition(condition.row_condition, None, user_env),
+    )
+    if condition.object_type is not None:
+        violating = ast.BinaryOp(
+            operator="AND",
+            left=ast.BinaryOp(
+                operator="=",
+                left=ast.ColumnRef(name=type_column),
+                right=ast.Literal(value=condition.object_type),
+            ),
+            right=violating,
+        )
+    subquery = ast.SelectStatement(
+        body=ast.SelectCore(
+            items=[ast.Star()],
+            from_items=[ast.TableRef(name=cte_name)],
+            where=violating,
+        )
+    )
+    return ast.ExistsTest(subquery=subquery, negated=True)
+
+
+def translate_tree_aggregate(
+    condition: cond.TreeAggregate,
+    cte_name: str,
+    user_env: UserEnv,
+    type_column: str = "type",
+) -> ast.Expression:
+    """Tree-aggregate → scalar-subquery comparison (paper 5.3.3)::
+
+        (SELECT AGG(attr) FROM <cte> [WHERE type = 'T']) <op> threshold
+    """
+    where: Optional[ast.Expression] = None
+    if condition.object_type is not None:
+        where = ast.BinaryOp(
+            operator="=",
+            left=ast.ColumnRef(name=type_column),
+            right=ast.Literal(value=condition.object_type),
+        )
+    if condition.function.upper() == "COUNT" and condition.attribute is None:
+        call = ast.FunctionCall(name="COUNT", star=True)
+    else:
+        call = ast.FunctionCall(
+            name=condition.function.upper(),
+            args=[ast.ColumnRef(name=condition.attribute)],
+        )
+    subquery = ast.SelectStatement(
+        body=ast.SelectCore(
+            items=[ast.SelectItem(expression=call)],
+            from_items=[ast.TableRef(name=cte_name)],
+            where=where,
+        )
+    )
+    return ast.BinaryOp(
+        operator=condition.operator,
+        left=ast.ScalarSubquery(subquery=subquery),
+        right=translate_term(condition.threshold, None, user_env),
+    )
+
+
+def translate_exists_structure(
+    condition: cond.ExistsStructure,
+    object_alias: str,
+    relation_alias: str = "rel_probe",
+) -> ast.Expression:
+    """∃structure → correlated EXISTS probe (paper 5.3.2)::
+
+        EXISTS (SELECT * FROM rel AS r JOIN U ON r.right = U.obid
+                WHERE r.left = <object_alias>.obid)
+    """
+    join = ast.Join(
+        left=ast.TableRef(name=condition.relation_table, alias=relation_alias),
+        right=ast.TableRef(name=condition.related_table),
+        kind="INNER",
+        condition=ast.BinaryOp(
+            operator="=",
+            left=ast.ColumnRef(
+                name=condition.right_column, qualifier=relation_alias
+            ),
+            right=ast.ColumnRef(
+                name=condition.related_id_column, qualifier=condition.related_table
+            ),
+        ),
+    )
+    subquery = ast.SelectStatement(
+        body=ast.SelectCore(
+            items=[ast.Star()],
+            from_items=[join],
+            where=ast.BinaryOp(
+                operator="=",
+                left=ast.ColumnRef(
+                    name=condition.left_column, qualifier=relation_alias
+                ),
+                right=ast.ColumnRef(
+                    name=condition.object_id_column, qualifier=object_alias
+                ),
+            ),
+        )
+    )
+    return ast.ExistsTest(subquery=subquery)
+
+
+def disjunction(predicates: Sequence[ast.Expression]) -> ast.Expression:
+    """OR-combine predicates (two or more qualifying conditions "are always
+    connected via the OR operator", paper 4.1)."""
+    if not predicates:
+        raise ConditionTranslationError("cannot build an empty disjunction")
+    combined = predicates[0]
+    for predicate in predicates[1:]:
+        combined = ast.BinaryOp(operator="OR", left=combined, right=predicate)
+    return combined
+
+
+def and_append(
+    where: Optional[ast.Expression], predicate: ast.Expression
+) -> ast.Expression:
+    """Append *predicate* to an existing WHERE clause with AND (or start a
+    new clause), per paper 4.1."""
+    if where is None:
+        return predicate
+    return ast.BinaryOp(operator="AND", left=where, right=predicate)

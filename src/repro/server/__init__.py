@@ -1,0 +1,21 @@
+"""Client/server stack over the simulated network.
+
+A :class:`~repro.server.server.DatabaseServer` wraps a
+:class:`repro.sqldb.Database` and answers wire-encoded requests; a
+:class:`~repro.server.client.RemoteConnection` is the client-side driver
+that ships SQL text (and stored-procedure calls) across a
+:class:`repro.network.NetworkLink`, paying latency and transfer time for
+every message exactly as the paper's model prescribes.
+"""
+
+from repro.server.client import RemoteConnection
+from repro.server.protocol import Opcode, decode_envelope, encode_envelope
+from repro.server.server import DatabaseServer
+
+__all__ = [
+    "DatabaseServer",
+    "RemoteConnection",
+    "Opcode",
+    "encode_envelope",
+    "decode_envelope",
+]

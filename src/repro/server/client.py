@@ -1,0 +1,136 @@
+"""Client-side driver: ships requests over the simulated link.
+
+Every :meth:`RemoteConnection.execute` call is one round trip: the SQL
+text (plus bound parameters) travels to the server, the encoded result
+set travels back, and the link's simulated clock advances by the latency
+and transfer time of both messages.  This is the data-shipping behaviour
+whose cost the paper analyses; reducing the number of these calls is the
+whole point of the recursive-query approach.
+
+Local query evaluation time is *not* charged, matching the paper:
+"transmission costs are the dominating limitation factor.  Therefore
+local query evaluation costs were ignored" (Section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.errors import (
+    CheckOutError,
+    ExecutionError,
+    ProtocolError,
+    ReproError,
+    SQLError,
+)
+from repro.network.link import NetworkLink
+from repro.server import protocol
+from repro.server.protocol import Opcode
+from repro.server.server import DatabaseServer
+from repro.sqldb import wire
+from repro.sqldb.result import ResultSet
+
+#: Error classes the client can reconstruct from ERROR frames.
+_ERROR_TYPES = {
+    "CheckOutError": CheckOutError,
+    "ExecutionError": ExecutionError,
+    "ProtocolError": ProtocolError,
+}
+
+
+class RemoteError(ReproError):
+    """A server-side error re-raised at the client, preserving the server's
+    error class name and message."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.remote_message = message
+
+
+class RemoteConnection:
+    """A connection from a (possibly intercontinental) client to a server."""
+
+    def __init__(self, server: DatabaseServer, link: NetworkLink) -> None:
+        self.server = server
+        self.link = link
+        self.closed = False
+        self.statistics = {"round_trips": 0}
+
+    # -- core round trip ------------------------------------------------------
+
+    def _round_trip(self, request: bytes) -> bytes:
+        if self.closed:
+            raise ProtocolError("connection is closed")
+        self.link.transmit(len(request), is_request=True)
+        response = self.server.handle(request)
+        cpu_seconds = getattr(self.server, "last_cpu_seconds", 0.0)
+        if cpu_seconds:
+            # Server-side evaluation time (zero unless a CPU cost model is
+            # configured, matching the paper's Section 6 convention).
+            self.link.clock.advance(cpu_seconds)
+            self.link.stats.server_seconds += cpu_seconds
+        self.link.transmit(len(response), is_request=False)
+        self.statistics["round_trips"] += 1
+        return response
+
+    # -- public API -------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Execute one SQL statement on the server (one round trip)."""
+        request = protocol.encode_envelope(
+            Opcode.QUERY, wire.encode_query(sql, params)
+        )
+        response = self._round_trip(request)
+        opcode, body = protocol.decode_envelope(response)
+        if opcode is Opcode.ERROR:
+            self._raise_remote(body)
+        if opcode is not Opcode.RESULT:
+            raise ProtocolError(f"unexpected response opcode {opcode.name}")
+        return wire.decode_result(body)
+
+    def call_procedure(self, name: str, args: Sequence[Any] = ()) -> List[Any]:
+        """Invoke a server procedure (one round trip, function shipping)."""
+        request = protocol.encode_envelope(
+            Opcode.CALL_PROCEDURE, protocol.encode_procedure_call(name, args)
+        )
+        response = self._round_trip(request)
+        opcode, body = protocol.decode_envelope(response)
+        if opcode is Opcode.ERROR:
+            self._raise_remote(body)
+        if opcode is not Opcode.PROCEDURE_RESULT:
+            raise ProtocolError(f"unexpected response opcode {opcode.name}")
+        return protocol.decode_values(body)
+
+    def ping(self) -> float:
+        """Measure one empty round trip; returns the delay in seconds."""
+        before = self.link.clock.now
+        response = self._round_trip(protocol.encode_envelope(Opcode.PING))
+        opcode, __ = protocol.decode_envelope(response)
+        if opcode is not Opcode.PONG:
+            raise ProtocolError(f"unexpected response opcode {opcode.name}")
+        return self.link.clock.now - before
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __enter__(self) -> "RemoteConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _raise_remote(self, body: bytes) -> None:
+        kind, message = protocol.decode_error(body)
+        error_type = _ERROR_TYPES.get(kind)
+        if error_type is not None:
+            raise error_type(message)
+        if kind.endswith("Error") and kind in (
+            "ParseError",
+            "LexerError",
+            "CatalogError",
+            "TypeMismatchError",
+            "IntegrityError",
+        ):
+            raise SQLError(f"{kind}: {message}")
+        raise RemoteError(kind, message)

@@ -1,0 +1,256 @@
+"""Multi-server deployment: replicated sites over heterogeneous links.
+
+Paper Section 7 (outlook): "multi-server environments in conjunction with
+distributed data management ... have to be taken into consideration."
+This module implements the deployment the DaimlerChrysler setting
+suggests: a *primary* PDM server (Germany) plus read replicas near the
+remote engineering sites (Brazil), each reached over its own simulated
+link.
+
+* Reads are routed to the site with the lowest expected round-trip cost —
+  typically a LAN-attached replica, which makes even navigational access
+  tolerable again.
+* Writes (check-out!) must go to the primary and are propagated to every
+  replica, either synchronously (the caller waits for the slowest site)
+  or asynchronously (replicas lag until :meth:`ReplicatedDatabase.flush`)
+  — the classic consistency/latency trade-off the paper's outlook points
+  at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProtocolError
+from repro.network.link import NetworkLink
+from repro.network.profiles import LinkProfile
+from repro.server.client import RemoteConnection
+from repro.server.server import DatabaseServer
+from repro.sqldb.database import Database
+from repro.sqldb.result import ResultSet
+
+
+@dataclass
+class Site:
+    """One server location: its database, server, link and connection."""
+
+    name: str
+    database: Database
+    server: DatabaseServer
+    link: NetworkLink
+    connection: RemoteConnection
+
+    @property
+    def expected_round_trip_s(self) -> float:
+        """Cost estimate used by the read router: two latencies plus one
+        packet each way at the site's data rate."""
+        per_packet = self.link.transfer_seconds_for(self.link.packet_bytes)
+        return 2 * self.link.latency_s + 2 * per_packet
+
+
+def make_site(
+    name: str,
+    database: Database,
+    profile: LinkProfile,
+    install_procedures=None,
+) -> Site:
+    """Wire one site from a database and a link profile."""
+    server = DatabaseServer(database)
+    if install_procedures is not None:
+        install_procedures(server)
+    link = profile.create_link()
+    return Site(
+        name=name,
+        database=database,
+        server=server,
+        link=link,
+        connection=RemoteConnection(server, link),
+    )
+
+
+class ReplicatedDatabase:
+    """A primary site plus read replicas with write propagation."""
+
+    def __init__(self, primary: Site, replicas: Sequence[Site]) -> None:
+        names = [primary.name] + [replica.name for replica in replicas]
+        if len(set(names)) != len(names):
+            raise ProtocolError("site names must be unique")
+        self.primary = primary
+        self.replicas = list(replicas)
+        #: Pending asynchronous write statements per replica name.
+        self._backlog: Dict[str, List[Tuple[str, Tuple[Any, ...]]]] = {
+            replica.name: [] for replica in self.replicas
+        }
+        self.statistics = {
+            "reads": 0,
+            "writes": 0,
+            "replicated_statements": 0,
+        }
+
+    # -- routing ------------------------------------------------------------
+
+    def sites(self) -> List[Site]:
+        return [self.primary] + self.replicas
+
+    def site(self, name: str) -> Site:
+        for candidate in self.sites():
+            if candidate.name == name:
+                return candidate
+        raise ProtocolError(f"unknown site {name!r}")
+
+    def nearest_site(self) -> Site:
+        """The site a read should go to (lowest expected round trip)."""
+        return min(self.sites(), key=lambda site: site.expected_round_trip_s)
+
+    # -- reads ----------------------------------------------------------------
+
+    def execute_read(
+        self, sql: str, params: Sequence[Any] = ()
+    ) -> Tuple[ResultSet, float, Site]:
+        """Run a query on the nearest site; return (result, seconds, site).
+
+        A replica read may observe stale data if asynchronous writes are
+        pending — check :meth:`lag` or call :meth:`flush` first.
+        """
+        site = self.nearest_site()
+        before = site.link.clock.now
+        result = site.connection.execute(sql, params)
+        self.statistics["reads"] += 1
+        return result, site.link.clock.now - before, site
+
+    # -- writes --------------------------------------------------------------
+
+    def execute_write(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        synchronous: bool = True,
+    ) -> Tuple[ResultSet, float]:
+        """Run a DML statement on the primary and propagate to replicas.
+
+        Returns (primary result, perceived seconds).  Synchronous mode
+        waits for the slowest replica (propagation happens in parallel, so
+        the perceived extra delay is the maximum, not the sum);
+        asynchronous mode queues the statement per replica.
+        """
+        before = self.primary.link.clock.now
+        result = self.primary.connection.execute(sql, params)
+        seconds = self.primary.link.clock.now - before
+        self.statistics["writes"] += 1
+        if synchronous:
+            seconds += self._propagate_now(sql, params)
+        else:
+            for replica in self.replicas:
+                self._backlog[replica.name].append((sql, tuple(params)))
+        return result, seconds
+
+    def call_procedure_write(
+        self,
+        name: str,
+        args: Sequence[Any] = (),
+        synchronous: bool = True,
+    ) -> Tuple[List[Any], float]:
+        """Run a state-changing server procedure on the primary and replay
+        it on every replica (check-out must lock the object on all sites).
+
+        Returns (primary's result values, perceived seconds).  The replay
+        assumes the procedure is deterministic given the database state —
+        true for the check-out/check-in procedures shipped here.
+        """
+        before = self.primary.link.clock.now
+        values = self.primary.connection.call_procedure(name, args)
+        seconds = self.primary.link.clock.now - before
+        self.statistics["writes"] += 1
+        if synchronous:
+            slowest = 0.0
+            for replica in self.replicas:
+                replica_before = replica.link.clock.now
+                replica.connection.call_procedure(name, args)
+                self.statistics["replicated_statements"] += 1
+                slowest = max(slowest, replica.link.clock.now - replica_before)
+            seconds += slowest
+        else:
+            for replica in self.replicas:
+                self._backlog[replica.name].append((("procedure", name), tuple(args)))
+        return values, seconds
+
+    def _propagate_now(self, sql: str, params: Sequence[Any]) -> float:
+        slowest = 0.0
+        for replica in self.replicas:
+            before = replica.link.clock.now
+            replica.connection.execute(sql, params)
+            self.statistics["replicated_statements"] += 1
+            slowest = max(slowest, replica.link.clock.now - before)
+        return slowest
+
+    # -- asynchronous replication ------------------------------------------------
+
+    def lag(self, site_name: str) -> int:
+        """Number of statements a replica is behind the primary."""
+        if site_name == self.primary.name:
+            return 0
+        return len(self._backlog[site_name])
+
+    def flush(self, site_name: Optional[str] = None) -> float:
+        """Apply pending asynchronous writes (one replica or all).
+
+        Returns the simulated time the slowest flushed replica needed.
+        """
+        names = (
+            [site_name]
+            if site_name is not None
+            else [replica.name for replica in self.replicas]
+        )
+        slowest = 0.0
+        for name in names:
+            replica = self.site(name)
+            pending = self._backlog[name]
+            self._backlog[name] = []
+            before = replica.link.clock.now
+            for statement, params in pending:
+                if isinstance(statement, tuple) and statement[0] == "procedure":
+                    replica.connection.call_procedure(statement[1], params)
+                else:
+                    replica.connection.execute(statement, params)
+                self.statistics["replicated_statements"] += 1
+            slowest = max(slowest, replica.link.clock.now - before)
+        return slowest
+
+
+def build_replicated_deployment(
+    product,
+    primary_profile: LinkProfile,
+    replica_profiles: Dict[str, LinkProfile],
+    primary_name: str = "primary",
+) -> ReplicatedDatabase:
+    """Create one database per site, load the same product everywhere, and
+    wire the replication topology."""
+    from repro.pdm.schema import (
+        create_pdm_schema,
+        install_checkout_procedures,
+        load_product,
+    )
+
+    def new_loaded_database() -> Database:
+        database = Database()
+        create_pdm_schema(database)
+        load_product(database, product)
+        return database
+
+    primary = make_site(
+        primary_name,
+        new_loaded_database(),
+        primary_profile,
+        install_procedures=install_checkout_procedures,
+    )
+    replicas = [
+        make_site(
+            name,
+            new_loaded_database(),
+            profile,
+            install_procedures=install_checkout_procedures,
+        )
+        for name, profile in replica_profiles.items()
+    ]
+    return ReplicatedDatabase(primary, replicas)

@@ -1,0 +1,127 @@
+"""Request/response envelopes for the client/server protocol.
+
+An envelope is ``opcode (1 byte) + body``.  Query bodies are encoded by
+:mod:`repro.sqldb.wire`; procedure calls encode the procedure name and a
+value list with the same primitives.  Error responses carry the error
+class name and message so the client can re-raise a faithful exception.
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import IntEnum
+from typing import Any, List, Sequence, Tuple
+
+from repro.errors import ProtocolError
+from repro.sqldb import wire
+
+
+class Opcode(IntEnum):
+    """First byte of every envelope."""
+
+    QUERY = 1
+    CALL_PROCEDURE = 2
+    PING = 3
+    RESULT = 16
+    PROCEDURE_RESULT = 17
+    PONG = 18
+    ERROR = 32
+
+
+def encode_envelope(opcode: Opcode, body: bytes = b"") -> bytes:
+    return bytes([int(opcode)]) + body
+
+
+def decode_envelope(frame: bytes) -> Tuple[Opcode, bytes]:
+    if not frame:
+        raise ProtocolError("empty frame")
+    try:
+        opcode = Opcode(frame[0])
+    except ValueError:
+        raise ProtocolError(f"unknown opcode {frame[0]}") from None
+    return opcode, frame[1:]
+
+
+def encode_procedure_call(name: str, args: Sequence[Any]) -> bytes:
+    """Body of a CALL_PROCEDURE request."""
+    payload = name.encode("utf-8")
+    parts = [struct.pack(">I", len(payload)), payload, struct.pack(">H", len(args))]
+    parts.extend(wire.encode_value(value) for value in args)
+    return b"".join(parts)
+
+
+def decode_procedure_call(body: bytes) -> Tuple[str, List[Any]]:
+    if len(body) < 4:
+        raise ProtocolError("truncated procedure-call frame")
+    length = struct.unpack_from(">I", body, 0)[0]
+    offset = 4
+    if offset + length + 2 > len(body):
+        raise ProtocolError("truncated procedure-call frame")
+    try:
+        name = body[offset : offset + length].decode("utf-8")
+    except UnicodeDecodeError:
+        raise ProtocolError("invalid UTF-8 in procedure name") from None
+    offset += length
+    count = struct.unpack_from(">H", body, offset)[0]
+    offset += 2
+    args: List[Any] = []
+    for __ in range(count):
+        value, offset = wire.decode_value(body, offset)
+        args.append(value)
+    if offset != len(body):
+        raise ProtocolError("trailing bytes after procedure-call frame")
+    return name, args
+
+
+def encode_error(error: Exception) -> bytes:
+    """Body of an ERROR response."""
+    kind = type(error).__name__.encode("utf-8")
+    message = str(error).encode("utf-8")
+    return (
+        struct.pack(">I", len(kind))
+        + kind
+        + struct.pack(">I", len(message))
+        + message
+    )
+
+
+def decode_error(body: bytes) -> Tuple[str, str]:
+    if len(body) < 4:
+        raise ProtocolError("truncated error frame")
+    kind_length = struct.unpack_from(">I", body, 0)[0]
+    offset = 4
+    try:
+        kind = body[offset : offset + kind_length].decode("utf-8")
+    except UnicodeDecodeError:
+        raise ProtocolError("invalid UTF-8 in error frame") from None
+    offset += kind_length
+    if offset + 4 > len(body):
+        raise ProtocolError("truncated error frame")
+    message_length = struct.unpack_from(">I", body, offset)[0]
+    offset += 4
+    try:
+        message = body[offset : offset + message_length].decode("utf-8")
+    except UnicodeDecodeError:
+        raise ProtocolError("invalid UTF-8 in error frame") from None
+    return kind, message
+
+
+def encode_values(values: Sequence[Any]) -> bytes:
+    """Body of a PROCEDURE_RESULT response (a flat value list)."""
+    parts = [struct.pack(">H", len(values))]
+    parts.extend(wire.encode_value(value) for value in values)
+    return b"".join(parts)
+
+
+def decode_values(body: bytes) -> List[Any]:
+    if len(body) < 2:
+        raise ProtocolError("truncated value-list frame")
+    count = struct.unpack_from(">H", body, 0)[0]
+    offset = 2
+    values: List[Any] = []
+    for __ in range(count):
+        value, offset = wire.decode_value(body, offset)
+        values.append(value)
+    if offset != len(body):
+        raise ProtocolError("trailing bytes after value-list frame")
+    return values

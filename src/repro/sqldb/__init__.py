@@ -1,0 +1,46 @@
+"""A from-scratch relational database engine with SQL:1999 recursion.
+
+This package is the main substrate of the reproduction: the paper's PDM
+system "sits on top of a relational DBMS using it (more or less) as a
+simple record manager", and both tuning approaches (early rule evaluation
+and recursive queries) are pure SQL techniques.  The engine therefore
+implements the SQL subset the paper exercises, end to end:
+
+* DDL: ``CREATE TABLE``, ``CREATE INDEX``, ``DROP TABLE``
+* DML: ``INSERT``, ``UPDATE``, ``DELETE``
+* Queries: ``SELECT`` with ``JOIN .. ON``, ``WHERE``, ``GROUP BY``,
+  ``HAVING``, ``ORDER BY``, ``LIMIT``, ``UNION [ALL]``, ``EXISTS``/``IN``
+  subqueries, scalar subqueries, aggregate functions, ``CAST``, and —
+  centrally — ``WITH [RECURSIVE]`` common table expressions evaluated with
+  the semi-naive fixpoint algorithm.
+* Stored scalar functions registered from Python (the stand-in for
+  SQL/PSM stored functions the paper relies on for set/interval
+  comparisons, Section 3.2).
+
+The public entry point is :class:`repro.sqldb.database.Database`.
+"""
+
+from repro.sqldb.database import Database
+from repro.sqldb.result import ResultSet
+from repro.sqldb.schema import Column, TableSchema
+from repro.sqldb.types import (
+    SQLType,
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    VARCHAR,
+    is_null,
+)
+
+__all__ = [
+    "Database",
+    "ResultSet",
+    "Column",
+    "TableSchema",
+    "SQLType",
+    "BOOLEAN",
+    "DOUBLE",
+    "INTEGER",
+    "VARCHAR",
+    "is_null",
+]

@@ -1,0 +1,421 @@
+"""The :class:`Database` facade: parse, plan (with caching), execute.
+
+This is the "relational DBMS" the PDM system sits on.  The facade keeps an
+LRU plan cache keyed by statement text, so the navigational workload —
+thousands of executions of the same parameterised child-fetch query — pays
+the parse/plan cost once, mirroring the prepared-statement behaviour of a
+production DBMS.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError, ExecutionError, IntegrityError
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.executor import ExecutionEnv
+from repro.sqldb.expressions import (
+    CompileContext,
+    Frame,
+    Scope,
+    compile_expression,
+)
+from repro.sqldb.functions import FunctionRegistry
+from repro.sqldb.parser import parse_script, parse_statement
+from repro.sqldb.planner import Plan, Planner
+from repro.sqldb.recursive import execute_plan
+from repro.sqldb.result import ResultSet
+from repro.sqldb.schema import Catalog, Column, TableSchema
+from repro.sqldb.storage import TableStorage
+from repro.sqldb.types import coerce_value, is_null
+
+
+class Database:
+    """An in-memory SQL database.
+
+    >>> db = Database()
+    >>> _ = db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(20))")
+    >>> _ = db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')")
+    >>> db.execute("SELECT name FROM t WHERE id = ?", [2]).scalar()
+    'two'
+    """
+
+    def __init__(self, plan_cache_size: int = 512, recursion_limit: int = 1_000_000) -> None:
+        self.catalog = Catalog()
+        self.functions = FunctionRegistry()
+        self.recursion_limit = recursion_limit
+        #: Statement-text -> Plan cache (SELECT only; DML re-plans, which is
+        #: cheap because DML statements here are tiny).
+        self._plan_cache: "OrderedDict[str, Plan]" = OrderedDict()
+        self._plan_cache_size = plan_cache_size
+        #: Counters a server can report: statements executed, cache hits.
+        self.statistics = {
+            "statements": 0,
+            "plan_cache_hits": 0,
+            "rows_returned": 0,
+        }
+        #: Ablation switch threaded into every execution environment
+        #: (paper Section 5.3.1 — uncorrelated subquery caching).
+        self.enable_subquery_cache = True
+        #: Ablation switch: semi-naive (True) vs naive recursive fixpoint.
+        self.enable_seminaive = True
+        #: name (lower) -> ast.CreateView records, expanded at plan time.
+        self.views: dict = {}
+        #: Counters of the most recent execution (rows scanned, index
+        #: probes, subquery executions) — the input to a server-side CPU
+        #: cost model.
+        self.last_counters: dict = {}
+        #: Tables whose storage is enlisted in the active transaction;
+        #: None when no transaction is active.
+        self._transaction_tables: Optional[list] = None
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Parse, plan and execute a single statement."""
+        self.statistics["statements"] += 1
+        statement = None
+        if isinstance(sql, str):
+            cached = self._plan_cache.get(sql)
+            if cached is not None:
+                self.statistics["plan_cache_hits"] += 1
+                self._plan_cache.move_to_end(sql)
+                return self._run_select(cached, params)
+            statement = parse_statement(sql)
+        else:
+            statement = sql  # pre-parsed AST, used by the server fast path
+        if isinstance(statement, ast.SelectStatement):
+            plan = self._plan(statement)
+            if isinstance(sql, str):
+                self._remember_plan(sql, plan)
+            return self._run_select(plan, params)
+        return self._execute_dml(statement, params)
+
+    def executemany(self, sql: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Execute a parameterised DML statement once per parameter row.
+
+        Parses once; returns the total number of affected rows.  This is the
+        bulk-load path used when a scenario database is generated.
+        """
+        statement = parse_statement(sql)
+        total = 0
+        for params in rows:
+            result = self._execute_dml(statement, params)
+            total += result.rowcount
+        return total
+
+    def execute_script(self, sql: str) -> None:
+        """Execute a ``;``-separated script (DDL bootstrap)."""
+        for statement in parse_script(sql):
+            if isinstance(statement, ast.SelectStatement):
+                plan = self._plan(statement)
+                self._run_select(plan, ())
+            else:
+                self._execute_dml(statement, ())
+
+    def register_function(self, name: str, function, propagate_null: bool = True) -> None:
+        """Register a stored scalar function callable from SQL (SQL/PSM
+        stand-in; see :mod:`repro.sqldb.functions`)."""
+        self.functions.register(name, function, propagate_null=propagate_null)
+        # Plans compile function calls through the registry at run time, so
+        # cached plans remain valid after (re)registration.
+
+    def table_names(self) -> List[str]:
+        return self.catalog.table_names()
+
+    def view_names(self) -> List[str]:
+        return sorted(view.name for view in self.views.values())
+
+    def table_rowcount(self, name: str) -> int:
+        return len(self.catalog.lookup(name).storage)
+
+    def explain(self, sql: str) -> ResultSet:
+        """Return the physical plan of a SELECT statement as text rows."""
+        return self.execute(f"EXPLAIN {sql}")
+
+    # -- transactions ------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._transaction_tables is not None
+
+    def begin(self) -> None:
+        """Start a transaction (DML becomes undoable until commit)."""
+        if self.in_transaction:
+            raise ExecutionError("a transaction is already active")
+        self._transaction_tables = []
+
+    def commit(self) -> None:
+        """Make the transaction's changes permanent."""
+        if not self.in_transaction:
+            raise ExecutionError("no transaction is active")
+        for storage in self._transaction_tables:
+            storage.commit_undo()
+        self._transaction_tables = None
+
+    def rollback(self) -> None:
+        """Undo every change made since :meth:`begin`."""
+        if not self.in_transaction:
+            raise ExecutionError("no transaction is active")
+        for storage in reversed(self._transaction_tables):
+            storage.rollback_undo()
+        self._transaction_tables = None
+
+    def transaction(self):
+        """Context manager: commit on success, roll back on exception.
+
+        >>> db = Database()
+        >>> _ = db.execute("CREATE TABLE t (v INTEGER)")
+        >>> with db.transaction():
+        ...     _ = db.execute("INSERT INTO t VALUES (1)")
+        >>> db.table_rowcount("t")
+        1
+        """
+        return _TransactionContext(self)
+
+    def _enlist(self, storage) -> None:
+        if self._transaction_tables is None:
+            return
+        if not storage.in_transaction:
+            storage.begin_undo()
+            self._transaction_tables.append(storage)
+
+    # -- planning / environments -----------------------------------------------
+
+    def _plan(self, statement: ast.SelectStatement) -> Plan:
+        planner = Planner(self.catalog, self.functions, views=self.views)
+        return planner.plan_select(statement)
+
+    def _remember_plan(self, sql: str, plan: Plan) -> None:
+        self._plan_cache[sql] = plan
+        if len(self._plan_cache) > self._plan_cache_size:
+            self._plan_cache.popitem(last=False)
+
+    def _environment(self, params: Sequence[Any]) -> ExecutionEnv:
+        env = ExecutionEnv(
+            params=params,
+            functions=self.functions,
+            recursion_limit=self.recursion_limit,
+        )
+        env.enable_subquery_cache = self.enable_subquery_cache
+        env.enable_seminaive = self.enable_seminaive
+        return env
+
+    def _run_select(self, plan: Plan, params: Sequence[Any]) -> ResultSet:
+        env = self._environment(params)
+        rows = execute_plan(plan, env)
+        self.statistics["rows_returned"] += len(rows)
+        self.last_counters = dict(env.counters)
+        return ResultSet(plan.output_names, rows)
+
+    # -- DML / DDL ----------------------------------------------------------------
+
+    def _execute_dml(self, statement, params: Sequence[Any]) -> ResultSet:
+        if self.in_transaction and isinstance(
+            statement,
+            (
+                ast.CreateTable,
+                ast.CreateIndex,
+                ast.DropTable,
+                ast.CreateView,
+                ast.DropView,
+            ),
+        ):
+            raise ExecutionError("DDL is not allowed inside a transaction")
+        if isinstance(statement, ast.CreateTable):
+            return self._create_table(statement)
+        if isinstance(statement, ast.CreateIndex):
+            entry = self.catalog.lookup(statement.table)
+            entry.storage.create_index(
+                statement.name, statement.columns, unique=statement.unique
+            )
+            return ResultSet([], [], rowcount=0)
+        if isinstance(statement, ast.DropTable):
+            self.catalog.drop(statement.name)
+            self._plan_cache.clear()
+            return ResultSet([], [], rowcount=0)
+        if isinstance(statement, ast.Insert):
+            return self._insert(statement, params)
+        if isinstance(statement, ast.Update):
+            return self._update(statement, params)
+        if isinstance(statement, ast.Delete):
+            return self._delete(statement, params)
+        if isinstance(statement, ast.CreateView):
+            return self._create_view(statement)
+        if isinstance(statement, ast.DropView):
+            key = statement.name.lower()
+            if key not in self.views:
+                raise CatalogError(f"view {statement.name!r} does not exist")
+            del self.views[key]
+            self._plan_cache.clear()
+            return ResultSet([], [], rowcount=0)
+        if isinstance(statement, ast.BeginTransaction):
+            self.begin()
+            return ResultSet([], [], rowcount=0)
+        if isinstance(statement, ast.CommitTransaction):
+            self.commit()
+            return ResultSet([], [], rowcount=0)
+        if isinstance(statement, ast.RollbackTransaction):
+            self.rollback()
+            return ResultSet([], [], rowcount=0)
+        if isinstance(statement, ast.Explain):
+            from repro.sqldb.explain import explain_plan
+
+            plan = self._plan(statement.statement)
+            lines = explain_plan(plan)
+            return ResultSet(["plan"], [(line,) for line in lines])
+        raise ExecutionError(
+            f"unsupported statement type {type(statement).__name__}"
+        )
+
+    def _create_view(self, statement: ast.CreateView) -> ResultSet:
+        key = statement.name.lower()
+        if self.catalog.exists(statement.name) or key in self.views:
+            raise CatalogError(
+                f"a table or view named {statement.name!r} already exists"
+            )
+        # Validate the definition now (plannable, column arity) so broken
+        # views fail at CREATE time, not at first use.
+        planner = Planner(self.catalog, self.functions, views=self.views)
+        plan = planner.plan_select(statement.select)
+        if statement.columns is not None and len(statement.columns) != len(
+            plan.output_names
+        ):
+            raise CatalogError(
+                f"view {statement.name!r} declares {len(statement.columns)} "
+                f"columns but its query produces {len(plan.output_names)}"
+            )
+        self.views[key] = statement
+        self._plan_cache.clear()
+        return ResultSet([], [], rowcount=0)
+
+    def _create_table(self, statement: ast.CreateTable) -> ResultSet:
+        schema = TableSchema(
+            name=statement.name,
+            columns=[
+                Column(
+                    name=column.name,
+                    sql_type=column.sql_type,
+                    not_null=column.not_null,
+                    primary_key=column.primary_key,
+                )
+                for column in statement.columns
+            ],
+        )
+        self.catalog.create(schema, TableStorage(schema))
+        return ResultSet([], [], rowcount=0)
+
+    def _insert(self, statement: ast.Insert, params: Sequence[Any]) -> ResultSet:
+        entry = self.catalog.lookup(statement.table)
+        self._enlist(entry.storage)
+        schema = entry.schema
+        if statement.columns is not None:
+            positions = [schema.column_index(name) for name in statement.columns]
+        else:
+            positions = list(range(schema.arity))
+        env = self._environment(params)
+        source_rows: List[Tuple[Any, ...]]
+        if statement.rows is not None:
+            ctx = CompileContext([Frame(Scope([]))], self._reject_subquery, self.functions)
+            source_rows = []
+            for value_exprs in statement.rows:
+                if len(value_exprs) != len(positions):
+                    raise IntegrityError(
+                        f"INSERT supplies {len(value_exprs)} values for "
+                        f"{len(positions)} columns"
+                    )
+                closures = [compile_expression(expr, ctx) for expr in value_exprs]
+                source_rows.append(tuple(fn((), env) for fn in closures))
+        else:
+            plan = self._plan(statement.select)
+            source_rows = execute_plan(plan, env)
+            if source_rows and len(source_rows[0]) != len(positions):
+                raise IntegrityError(
+                    "INSERT ... SELECT column count mismatch"
+                )
+        inserted = 0
+        for values in source_rows:
+            full_row: List[Any] = [None] * schema.arity
+            for position, value in zip(positions, values):
+                column = schema.columns[position]
+                full_row[position] = (
+                    None if is_null(value) else coerce_value(value, column.sql_type)
+                )
+            entry.storage.insert(full_row)
+            inserted += 1
+        return ResultSet([], [], rowcount=inserted)
+
+    def _reject_subquery(self, statement, frames):
+        # INSERT ... VALUES may not embed subqueries in this dialect; the
+        # planner callback position still has to exist for the compiler.
+        raise ExecutionError("subqueries are not allowed in VALUES lists")
+
+    def _table_context(self, entry) -> Tuple[CompileContext, Scope]:
+        scope = Scope([(entry.schema.name, entry.schema.column_names)])
+        planner = Planner(self.catalog, self.functions, views=self.views)
+        frames = [Frame(scope)]
+        ctx = CompileContext(frames, planner._plan_subquery, self.functions)
+        return ctx, scope
+
+    def _matching_row_ids(self, entry, where, params, env) -> List[int]:
+        ctx, __ = self._table_context(entry)
+        predicate = (
+            compile_expression(where, ctx) if where is not None else None
+        )
+        matches = []
+        for row_id, row in entry.storage.scan():
+            if predicate is None or predicate(row, env) is True:
+                matches.append(row_id)
+        return matches
+
+    def _update(self, statement: ast.Update, params: Sequence[Any]) -> ResultSet:
+        entry = self.catalog.lookup(statement.table)
+        self._enlist(entry.storage)
+        schema = entry.schema
+        env = self._environment(params)
+        ctx, __ = self._table_context(entry)
+        compiled = [
+            (schema.column_index(column), compile_expression(value, ctx))
+            for column, value in statement.assignments
+        ]
+        row_ids = self._matching_row_ids(entry, statement.where, params, env)
+        for row_id in row_ids:
+            old_row = entry.storage.fetch(row_id)
+            row = list(old_row)
+            # SQL semantics: every assignment sees the pre-update row.
+            for position, closure in compiled:
+                value = closure(old_row, env)
+                column = schema.columns[position]
+                row[position] = (
+                    None if is_null(value) else coerce_value(value, column.sql_type)
+                )
+            entry.storage.update(row_id, row)
+        return ResultSet([], [], rowcount=len(row_ids))
+
+    def _delete(self, statement: ast.Delete, params: Sequence[Any]) -> ResultSet:
+        entry = self.catalog.lookup(statement.table)
+        self._enlist(entry.storage)
+        env = self._environment(params)
+        row_ids = self._matching_row_ids(entry, statement.where, params, env)
+        for row_id in row_ids:
+            entry.storage.delete(row_id)
+        return ResultSet([], [], rowcount=len(row_ids))
+
+
+class _TransactionContext:
+    """Context manager returned by :meth:`Database.transaction`."""
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+
+    def __enter__(self) -> Database:
+        self._database.begin()
+        return self._database
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self._database.commit()
+        else:
+            self._database.rollback()
+        return False

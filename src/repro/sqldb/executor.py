@@ -1,0 +1,505 @@
+"""Physical operators and the execution environment.
+
+The engine uses the classic iterator ("volcano") model: every operator
+exposes ``rows(env)`` yielding plain Python tuples.  Compiled expressions
+are closures ``(row, env) -> value`` produced by
+:mod:`repro.sqldb.expressions`; operators are therefore independent of the
+AST and can be unit-tested with hand-written closures.
+
+:class:`ExecutionEnv` carries everything that varies per execution:
+statement parameters, the function registry, materialised CTE frames
+(rebound per fixpoint iteration by :mod:`repro.sqldb.recursive`), the
+outer-row stack used by correlated subqueries, and the uncorrelated
+subquery cache with its invalidation epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.sqldb.functions import Aggregator, FunctionRegistry
+from repro.sqldb.storage import TableStorage
+from repro.sqldb.types import is_null
+
+Row = Tuple[Any, ...]
+ExprFn = Callable[[Row, "ExecutionEnv"], Any]
+
+
+@dataclass
+class CTEFrame:
+    """A materialised common table expression: column names plus rows."""
+
+    columns: List[str]
+    rows: List[Row] = field(default_factory=list)
+
+
+class ExecutionEnv:
+    """Per-execution state threaded through every operator and expression."""
+
+    def __init__(
+        self,
+        params: Sequence[Any] = (),
+        functions: Optional[FunctionRegistry] = None,
+        recursion_limit: int = 1_000_000,
+    ) -> None:
+        self.params = tuple(params)
+        self.functions = functions if functions is not None else FunctionRegistry()
+        self.recursion_limit = recursion_limit
+        self.cte_frames: Dict[str, CTEFrame] = {}
+        self.outer_rows: List[Row] = []
+        self.cache_epoch = 0
+        self.subquery_cache: Dict[int, Tuple[int, Any]] = {}
+        self.counters: Dict[str, int] = {
+            "rows_scanned": 0,
+            "subquery_executions": 0,
+            "index_probes": 0,
+        }
+        #: When False, uncorrelated subqueries are re-evaluated every time —
+        #: the "no intelligent optimizer" ablation (paper Section 5.3.1).
+        self.enable_subquery_cache = True
+        #: When False, recursive CTEs are evaluated with the naive fixpoint
+        #: (the whole accumulated set re-joined each round) instead of the
+        #: semi-naive delta algorithm — an engine ablation.
+        self.enable_seminaive = True
+
+    def bind_cte(self, name: str, frame: CTEFrame) -> None:
+        """(Re)bind a CTE name; invalidates the uncorrelated-subquery cache
+        because cached results may depend on the old binding."""
+        self.cte_frames[name.lower()] = frame
+        self.cache_epoch += 1
+
+    def cte(self, name: str) -> CTEFrame:
+        try:
+            return self.cte_frames[name.lower()]
+        except KeyError:
+            raise ExecutionError(f"CTE {name!r} is not materialised") from None
+
+    def parameter(self, index: int) -> Any:
+        if index >= len(self.params):
+            raise ExecutionError(
+                f"statement has a ?-parameter at position {index} but only "
+                f"{len(self.params)} values were bound"
+            )
+        return self.params[index]
+
+
+class Operator:
+    """Base class for physical operators.
+
+    ``output_names`` lists the result column names in slot order; they
+    drive result-set metadata and star expansion.
+    """
+
+    output_names: List[str] = []
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        raise NotImplementedError
+
+
+class SeqScan(Operator):
+    """Full scan of a base table."""
+
+    def __init__(self, storage: TableStorage) -> None:
+        self.storage = storage
+        self.output_names = list(storage.schema.column_names)
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        for row in self.storage.rows():
+            env.counters["rows_scanned"] += 1
+            yield row
+
+
+class IndexLookup(Operator):
+    """Equality probe into a hash index of a base table.
+
+    ``key_fns`` compute the probe key; they may reference outer rows (for
+    correlated lookups) but never the scanned table itself.
+    """
+
+    def __init__(self, storage: TableStorage, index, key_fns: List[ExprFn]) -> None:
+        self.storage = storage
+        self.index = index
+        self.key_fns = key_fns
+        self.output_names = list(storage.schema.column_names)
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        key = tuple(fn((), env) for fn in self.key_fns)
+        env.counters["index_probes"] += 1
+        for row_id in self.index.probe(key):
+            env.counters["rows_scanned"] += 1
+            yield self.storage.fetch(row_id)
+
+
+class CTEScan(Operator):
+    """Scan of a materialised CTE frame looked up by name at runtime.
+
+    The late lookup is what lets the recursive evaluator rebind the name to
+    the per-iteration delta without re-planning.
+    """
+
+    def __init__(self, name: str, columns: List[str]) -> None:
+        self.name = name
+        self.output_names = list(columns)
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        frame = env.cte(self.name)
+        for row in frame.rows:
+            env.counters["rows_scanned"] += 1
+            yield row
+
+
+class RowsSource(Operator):
+    """An operator over a pre-materialised list of rows (derived tables,
+    VALUES lists, test fixtures)."""
+
+    def __init__(self, columns: List[str], rows: List[Row]) -> None:
+        self.output_names = list(columns)
+        self._rows = rows
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        return iter(self._rows)
+
+
+class Filter(Operator):
+    """Keep rows for which the predicate is TRUE (not FALSE, not UNKNOWN)."""
+
+    def __init__(self, child: Operator, predicate: ExprFn) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.output_names = list(child.output_names)
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        predicate = self.predicate
+        for row in self.child.rows(env):
+            if predicate(row, env) is True:
+                yield row
+
+
+class Project(Operator):
+    """Compute the select list."""
+
+    def __init__(self, child: Operator, exprs: List[ExprFn], names: List[str]) -> None:
+        self.child = child
+        self.exprs = exprs
+        self.output_names = list(names)
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        exprs = self.exprs
+        for row in self.child.rows(env):
+            yield tuple(fn(row, env) for fn in exprs)
+
+
+class NestedLoopJoin(Operator):
+    """Tuple-at-a-time join supporting INNER, LEFT and CROSS kinds.
+
+    The right child is materialised once (it may be an arbitrary subplan);
+    the full ON condition is evaluated on concatenated rows.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        condition: Optional[ExprFn],
+        kind: str = "INNER",
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.kind = kind
+        self.output_names = list(left.output_names) + list(right.output_names)
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        right_rows = list(self.right.rows(env))
+        pad = (None,) * len(self.right.output_names)
+        for left_row in self.left.rows(env):
+            matched = False
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if self.condition is None or self.condition(combined, env) is True:
+                    matched = True
+                    yield combined
+            if self.kind == "LEFT" and not matched:
+                yield left_row + pad
+
+
+class HashJoin(Operator):
+    """Equi-join: build a hash table on the right child, probe with left.
+
+    ``left_keys``/``right_keys`` are closures evaluated against the child
+    rows *alone* (right keys see the right row padded into the combined
+    slot layout is unnecessary — they are compiled against the right scope
+    only).  A residual condition, if any, is checked on combined rows.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: List[ExprFn],
+        right_keys: List[ExprFn],
+        residual: Optional[ExprFn] = None,
+        kind: str = "INNER",
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.kind = kind
+        self.output_names = list(left.output_names) + list(right.output_names)
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        table: Dict[Tuple[Any, ...], List[Row]] = {}
+        for right_row in self.right.rows(env):
+            key = tuple(fn(right_row, env) for fn in self.right_keys)
+            if any(is_null(part) for part in key):
+                continue  # NULL never equi-joins
+            table.setdefault(key, []).append(right_row)
+        pad = (None,) * len(self.right.output_names)
+        for left_row in self.left.rows(env):
+            key = tuple(fn(left_row, env) for fn in self.left_keys)
+            matched = False
+            if not any(is_null(part) for part in key):
+                for right_row in table.get(key, ()):
+                    combined = left_row + right_row
+                    if self.residual is None or self.residual(combined, env) is True:
+                        matched = True
+                        yield combined
+            if self.kind == "LEFT" and not matched:
+                yield left_row + pad
+
+
+class IndexNestedLoopJoin(Operator):
+    """Join probing a base-table hash index once per left row.
+
+    This is the operator that makes the paper-scale simulations feasible:
+    the navigational child fetch and the recursive branch both join the
+    working set against ``link`` (and then against ``assy``/``comp``) on
+    indexed equality keys.  ``left_key_fns`` are compiled against the left
+    scope; the residual condition (the full ON clause) is verified on the
+    combined row, so a partially-matching index never loses correctness.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        storage: TableStorage,
+        index,
+        left_key_fns: List[ExprFn],
+        residual: Optional[ExprFn],
+        kind: str = "INNER",
+    ) -> None:
+        self.left = left
+        self.storage = storage
+        self.index = index
+        self.left_key_fns = left_key_fns
+        self.residual = residual
+        self.kind = kind
+        self.output_names = list(left.output_names) + list(
+            storage.schema.column_names
+        )
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        pad = (None,) * self.storage.schema.arity
+        for left_row in self.left.rows(env):
+            key = tuple(fn(left_row, env) for fn in self.left_key_fns)
+            env.counters["index_probes"] += 1
+            matched = False
+            for row_id in self.index.probe(key):
+                env.counters["rows_scanned"] += 1
+                combined = left_row + self.storage.fetch(row_id)
+                if self.residual is None or self.residual(combined, env) is True:
+                    matched = True
+                    yield combined
+            if self.kind == "LEFT" and not matched:
+                yield left_row + pad
+
+
+class UnionAll(Operator):
+    """Concatenate children (arity checked at plan time)."""
+
+    def __init__(self, children: List[Operator]) -> None:
+        self.children = children
+        self.output_names = list(children[0].output_names)
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        for child in self.children:
+            for row in child.rows(env):
+                yield row
+
+
+class Distinct(Operator):
+    """Remove duplicate rows (used for UNION and SELECT DISTINCT)."""
+
+    def __init__(self, child: Operator) -> None:
+        self.child = child
+        self.output_names = list(child.output_names)
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        seen = set()
+        for row in self.child.rows(env):
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+
+class SetDifference(Operator):
+    """EXCEPT (distinct) — rows of left not present in right."""
+
+    def __init__(self, left: Operator, right: Operator) -> None:
+        self.left = left
+        self.right = right
+        self.output_names = list(left.output_names)
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        exclude = set(self.right.rows(env))
+        seen = set()
+        for row in self.left.rows(env):
+            if row not in exclude and row not in seen:
+                seen.add(row)
+                yield row
+
+
+class SetIntersection(Operator):
+    """INTERSECT (distinct) — rows occurring in both children."""
+
+    def __init__(self, left: Operator, right: Operator) -> None:
+        self.left = left
+        self.right = right
+        self.output_names = list(left.output_names)
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        keep = set(self.right.rows(env))
+        seen = set()
+        for row in self.left.rows(env):
+            if row in keep and row not in seen:
+                seen.add(row)
+                yield row
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregate computation: function name, input closure, flags."""
+
+    name: str
+    argument: Optional[ExprFn]
+    distinct: bool = False
+    star: bool = False
+
+    def new_aggregator(self) -> Aggregator:
+        return Aggregator(self.name, distinct=self.distinct, star=self.star)
+
+
+class Aggregate(Operator):
+    """Hash aggregation.
+
+    Output rows are ``group key values + aggregate values``; the planner
+    compiles the select list and HAVING against that synthetic layout.
+    With no GROUP BY there is exactly one (possibly empty) group, matching
+    SQL's scalar-aggregate semantics.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_exprs: List[ExprFn],
+        aggregates: List[AggregateSpec],
+        output_names: List[str],
+    ) -> None:
+        self.child = child
+        self.group_exprs = group_exprs
+        self.aggregates = aggregates
+        self.output_names = list(output_names)
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        groups: Dict[Tuple[Any, ...], List[Aggregator]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for row in self.child.rows(env):
+            key = tuple(fn(row, env) for fn in self.group_exprs)
+            aggregators = groups.get(key)
+            if aggregators is None:
+                aggregators = [spec.new_aggregator() for spec in self.aggregates]
+                groups[key] = aggregators
+                order.append(key)
+            for spec, aggregator in zip(self.aggregates, aggregators):
+                if spec.star:
+                    aggregator.add(None)
+                else:
+                    aggregator.add(spec.argument(row, env))
+        if not self.group_exprs and not groups:
+            # SELECT COUNT(*) FROM empty_table must yield one row.
+            groups[()] = [spec.new_aggregator() for spec in self.aggregates]
+            order.append(())
+        for key in order:
+            yield key + tuple(agg.result() for agg in groups[key])
+
+
+class Sort(Operator):
+    """Stable multi-key sort; NULLs sort last ascending, first descending."""
+
+    def __init__(self, child: Operator, keys: List[Tuple[ExprFn, bool]]) -> None:
+        self.child = child
+        self.keys = keys  # (closure, descending)
+        self.output_names = list(child.output_names)
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        materialised = list(self.child.rows(env))
+        # Stable sort by least-significant key first.
+        for key_fn, descending in reversed(self.keys):
+            materialised.sort(
+                key=lambda row: _null_safe_key(key_fn(row, env)),
+                reverse=descending,
+            )
+        return iter(materialised)
+
+
+def _null_safe_key(value: Any):
+    """Total-order key: NULL greatest, numbers before strings by type rank."""
+    if is_null(value):
+        return (2, 0)
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (1, str(value))
+
+
+class Offset(Operator):
+    """Skip the first N rows; N comes from a compiled expression."""
+
+    def __init__(self, child: Operator, offset_fn: ExprFn) -> None:
+        self.child = child
+        self.offset_fn = offset_fn
+        self.output_names = list(child.output_names)
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        skip = self.offset_fn((), env)
+        skip = 0 if is_null(skip) else int(skip)
+        for position, row in enumerate(self.child.rows(env)):
+            if position >= skip:
+                yield row
+
+
+class Limit(Operator):
+    """Yield at most N rows; N comes from a compiled expression."""
+
+    def __init__(self, child: Operator, limit_fn: ExprFn) -> None:
+        self.child = child
+        self.limit_fn = limit_fn
+        self.output_names = list(child.output_names)
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        remaining = self.limit_fn((), env)
+        if is_null(remaining):
+            remaining = 0
+        remaining = int(remaining)
+        if remaining <= 0:
+            return
+        for row in self.child.rows(env):
+            yield row
+            remaining -= 1
+            if remaining == 0:
+                return

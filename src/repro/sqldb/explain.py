@@ -1,0 +1,121 @@
+"""Render physical plans as indented text (the ``EXPLAIN`` statement).
+
+Useful for verifying the planner's access-path decisions — e.g. that the
+recursive multi-level expand probes the ``link`` table through its hash
+index instead of rescanning it per fixpoint iteration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sqldb.executor import (
+    Aggregate,
+    CTEScan,
+    Distinct,
+    Filter,
+    HashJoin,
+    IndexLookup,
+    IndexNestedLoopJoin,
+    Limit,
+    NestedLoopJoin,
+    Operator,
+    Project,
+    RowsSource,
+    SeqScan,
+    SetDifference,
+    SetIntersection,
+    Sort,
+    UnionAll,
+)
+from repro.sqldb.planner import Plan, PlannedCTE, SubplanOperator
+
+
+def explain_plan(plan: Plan) -> List[str]:
+    """Flatten a plan (CTE materialisations first, then the root tree)."""
+    lines: List[str] = []
+    for cte in plan.ctes:
+        lines.extend(_explain_cte(cte))
+    lines.extend(_explain_operator(plan.root, 0))
+    return lines
+
+
+def _explain_cte(cte: PlannedCTE) -> List[str]:
+    kind = "recursive cte" if cte.recursive else "cte"
+    dedup = "UNION" if cte.distinct else "UNION ALL"
+    lines = [f"materialize {kind} {cte.name} ({dedup})"]
+    for branch in cte.seed_plans:
+        lines.append("  seed branch:")
+        lines.extend(_explain_operator(branch, 2))
+    for branch in cte.recursive_plans:
+        lines.append("  recursive branch (joins the delta):")
+        lines.extend(_explain_operator(branch, 2))
+    return lines
+
+
+def _label(operator: Operator) -> str:
+    if isinstance(operator, SeqScan):
+        return f"SeqScan({operator.storage.schema.name})"
+    if isinstance(operator, IndexLookup):
+        return (
+            f"IndexLookup({operator.storage.schema.name} "
+            f"via {operator.index.name})"
+        )
+    if isinstance(operator, IndexNestedLoopJoin):
+        return (
+            f"IndexNestedLoopJoin({operator.kind} probe "
+            f"{operator.storage.schema.name} via {operator.index.name})"
+        )
+    if isinstance(operator, CTEScan):
+        return f"CTEScan({operator.name})"
+    if isinstance(operator, RowsSource):
+        return "Values"
+    if isinstance(operator, Filter):
+        return "Filter"
+    if isinstance(operator, Project):
+        return f"Project({', '.join(operator.output_names)})"
+    if isinstance(operator, NestedLoopJoin):
+        kind = "CROSS" if operator.condition is None else operator.kind
+        return f"NestedLoopJoin({kind})"
+    if isinstance(operator, HashJoin):
+        return f"HashJoin({len(operator.left_keys)} key(s))"
+    if isinstance(operator, UnionAll):
+        return "UnionAll"
+    if isinstance(operator, Distinct):
+        return "Distinct"
+    if isinstance(operator, SetDifference):
+        return "Except"
+    if isinstance(operator, SetIntersection):
+        return "Intersect"
+    if isinstance(operator, Aggregate):
+        return (
+            f"Aggregate({len(operator.group_exprs)} group key(s), "
+            f"{len(operator.aggregates)} aggregate(s))"
+        )
+    if isinstance(operator, Sort):
+        return f"Sort({len(operator.keys)} key(s))"
+    if isinstance(operator, Limit):
+        return "Limit"
+    if isinstance(operator, SubplanOperator):
+        return "Subplan"
+    return type(operator).__name__
+
+
+def _children(operator: Operator) -> List[Operator]:
+    if isinstance(operator, SubplanOperator):
+        return [operator.subquery.plan.root]
+    if isinstance(operator, UnionAll):
+        return list(operator.children)
+    children: List[Operator] = []
+    for attribute in ("child", "left", "right"):
+        value = getattr(operator, attribute, None)
+        if isinstance(value, Operator):
+            children.append(value)
+    return children
+
+
+def _explain_operator(operator: Operator, depth: int) -> List[str]:
+    lines = ["  " * depth + "-> " + _label(operator)]
+    for child in _children(operator):
+        lines.extend(_explain_operator(child, depth + 1))
+    return lines

@@ -1,0 +1,1182 @@
+"""Translate SQL ASTs into operator trees.
+
+The planner is deliberately rule-based rather than cost-based — the paper's
+workload needs exactly three access-path decisions, all of which are
+implemented here:
+
+1. **Index lookups** for ``WHERE col = <independent expr>`` on the leftmost
+   base table of a core (the navigational child fetch).
+2. **Index nested-loop joins** when the inner side of a join is a base
+   table with a hash index on its equi-join key (the recursive branch of
+   the multi-level expand, and the ∃structure EXISTS probes).
+3. **Hash joins** for remaining equi-joins; nested loops otherwise.
+
+The full WHERE / ON predicates are always kept as residual filters, so a
+missed or partial optimisation can never change results — only speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ExecutionError, ParseError, SQLError
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.executor import (
+    Aggregate,
+    AggregateSpec,
+    CTEScan,
+    Distinct,
+    ExecutionEnv,
+    Filter,
+    HashJoin,
+    IndexLookup,
+    IndexNestedLoopJoin,
+    Limit,
+    NestedLoopJoin,
+    Offset,
+    Operator,
+    Project,
+    RowsSource,
+    SeqScan,
+    SetDifference,
+    SetIntersection,
+    Sort,
+    UnionAll,
+)
+from repro.sqldb.expressions import (
+    CompileContext,
+    Frame,
+    Scope,
+    SlotRef,
+    UnresolvedColumnError,
+    compile_expression,
+    contains_aggregate,
+)
+from repro.sqldb.functions import AGGREGATE_NAMES, FunctionRegistry
+from repro.sqldb.render import expression_key
+from repro.sqldb.schema import Catalog
+
+
+@dataclass
+class PlannedCTE:
+    """A planned common table expression ready for materialisation.
+
+    For non-recursive CTEs ``seed_plans`` holds a single plan of the whole
+    body.  For recursive CTEs the UNION branches are split into seeds and
+    recursive branches; ``distinct`` records whether UNION (as opposed to
+    UNION ALL) semantics apply across the fixpoint.
+    """
+
+    name: str
+    columns: List[str]
+    seed_plans: List[Operator] = field(default_factory=list)
+    recursive_plans: List[Operator] = field(default_factory=list)
+    recursive: bool = False
+    distinct: bool = True
+
+
+@dataclass
+class Plan:
+    """An executable query plan: CTEs to materialise, then the root tree."""
+
+    root: Operator
+    output_names: List[str]
+    ctes: List[PlannedCTE] = field(default_factory=list)
+
+
+class CompiledSubquery:
+    """Runtime wrapper around a planned subquery expression.
+
+    Provides the three access styles expression closures need (EXISTS,
+    IN-set, scalar).  Results of *uncorrelated* subqueries are cached in
+    the execution environment, keyed by the cache epoch so that CTE
+    rebinding (recursive fixpoint iterations) invalidates stale entries.
+    The paper relies on exactly this behaviour: "an intelligent query
+    optimizer will recognize that the inner clause needs to be evaluated
+    only once, as it is an uncorrelated sub-query" (Section 5.3.1).
+    """
+
+    def __init__(self, plan: Plan, correlated: bool) -> None:
+        self.plan = plan
+        self.correlated = correlated
+
+    # -- cache plumbing ----------------------------------------------------
+
+    def _cached(self, env: ExecutionEnv, kind: str):
+        if self.correlated or not env.enable_subquery_cache:
+            return None
+        hit = env.subquery_cache.get((id(self), kind))
+        if hit is not None and hit[0] == env.cache_epoch:
+            return hit
+        return None
+
+    def _store(self, env: ExecutionEnv, kind: str, value) -> None:
+        if self.correlated or not env.enable_subquery_cache:
+            return
+        env.subquery_cache[(id(self), kind)] = (env.cache_epoch, value)
+
+    def _enter(self, row, env: ExecutionEnv) -> Dict[str, object]:
+        env.counters["subquery_executions"] += 1
+        env.outer_rows.append(row)
+        saved: Dict[str, object] = {}
+        for cte in self.plan.ctes:
+            key = cte.name.lower()
+            saved[key] = env.cte_frames.get(key)
+        from repro.sqldb.recursive import materialize_cte
+
+        for cte in self.plan.ctes:
+            materialize_cte(cte, env)
+        return saved
+
+    def _exit(self, env: ExecutionEnv, saved: Dict[str, object]) -> None:
+        for key, frame in saved.items():
+            if frame is None:
+                env.cte_frames.pop(key, None)
+            else:
+                env.cte_frames[key] = frame
+        if saved:
+            env.cache_epoch += 1
+        env.outer_rows.pop()
+
+    # -- access styles -----------------------------------------------------
+
+    def exists(self, row, env: ExecutionEnv) -> bool:
+        """True if the subquery yields at least one row (early exit)."""
+        hit = self._cached(env, "exists")
+        if hit is not None:
+            return hit[1]
+        saved = self._enter(row, env)
+        try:
+            result = False
+            for __ in self.plan.root.rows(env):
+                result = True
+                break
+        finally:
+            self._exit(env, saved)
+        self._store(env, "exists", result)
+        return result
+
+    def value_set(self, row, env: ExecutionEnv):
+        """Return ``(frozen set of non-NULL first-column values, has_null)``."""
+        hit = self._cached(env, "value_set")
+        if hit is not None:
+            return hit[1]
+        if len(self.plan.output_names) != 1:
+            raise ExecutionError("IN subquery must return exactly one column")
+        saved = self._enter(row, env)
+        try:
+            values = set()
+            has_null = False
+            for result_row in self.plan.root.rows(env):
+                value = result_row[0]
+                if value is None:
+                    has_null = True
+                else:
+                    values.add(value)
+        finally:
+            self._exit(env, saved)
+        payload = (values, has_null)
+        self._store(env, "value_set", payload)
+        return payload
+
+    def scalar(self, row, env: ExecutionEnv):
+        """Return the single value of the subquery (NULL when empty)."""
+        hit = self._cached(env, "scalar")
+        if hit is not None:
+            return hit[1]
+        if len(self.plan.output_names) != 1:
+            raise ExecutionError("scalar subquery must return exactly one column")
+        saved = self._enter(row, env)
+        try:
+            value = None
+            count = 0
+            for result_row in self.plan.root.rows(env):
+                count += 1
+                if count > 1:
+                    raise ExecutionError("scalar subquery returned more than one row")
+                value = result_row[0]
+        finally:
+            self._exit(env, saved)
+        self._store(env, "scalar", value)
+        return value
+
+    def rows(self, row, env: ExecutionEnv) -> List[tuple]:
+        """Materialise all rows (used by derived tables and tests)."""
+        saved = self._enter(row, env)
+        try:
+            return list(self.plan.root.rows(env))
+        finally:
+            self._exit(env, saved)
+
+
+class SubplanOperator(Operator):
+    """Operator adapter running a full :class:`Plan` (derived tables)."""
+
+    def __init__(self, plan: Plan) -> None:
+        self.subquery = CompiledSubquery(plan, correlated=True)
+        self.output_names = list(plan.output_names)
+
+    def rows(self, env: ExecutionEnv):
+        # Derived tables see no extra outer row; push an empty tuple so the
+        # outer-row stack depth stays consistent for the subplan.
+        return iter(self.subquery.rows((), env))
+
+
+class Planner:
+    """Plans one statement; child planners are spawned for subqueries."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        functions: FunctionRegistry,
+        cte_columns: Optional[Dict[str, List[str]]] = None,
+        views: Optional[Dict[str, "object"]] = None,
+        expanding_views: Optional[set] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.functions = functions
+        self.cte_columns: Dict[str, List[str]] = dict(cte_columns or {})
+        #: name (lower) -> ast.CreateView; shared with the owning Database.
+        self.views: Dict[str, object] = views if views is not None else {}
+        #: Views currently being expanded (cycle detection).
+        self._expanding_views: set = (
+            expanding_views if expanding_views is not None else set()
+        )
+
+    # -- public entry points -------------------------------------------------
+
+    def plan_select(
+        self, statement: ast.SelectStatement, frames: Optional[List[Frame]] = None
+    ) -> Plan:
+        """Plan a SELECT statement (including its WITH clause)."""
+        if frames is None:
+            frames = [Frame(None)]
+        planned_ctes: List[PlannedCTE] = []
+        if statement.with_clause is not None:
+            for cte in statement.with_clause.ctes:
+                planned = self._plan_cte(
+                    cte, statement.with_clause.recursive, frames
+                )
+                planned_ctes.append(planned)
+                self.cte_columns[cte.name.lower()] = planned.columns
+        root = self._plan_body(statement.body, frames)
+        output_names = list(root.output_names)
+        if statement.order_by:
+            try:
+                root = self._plan_order_by(root, statement.order_by, frames)
+            except UnresolvedColumnError:
+                # SQL resolves ORDER BY keys against the underlying FROM
+                # scope too ("hidden" sort columns): re-plan the core with
+                # the keys appended, sort, then strip them again.
+                root = self._plan_order_by_hidden(statement, root, frames)
+        if statement.offset is not None:
+            offset_fn = self._compile_scalar(statement.offset, frames)
+            root = Offset(root, offset_fn)
+        if statement.limit is not None:
+            limit_fn = self._compile_scalar(statement.limit, frames)
+            root = Limit(root, limit_fn)
+        return Plan(root=root, output_names=output_names, ctes=planned_ctes)
+
+    # -- WITH clause -----------------------------------------------------------
+
+    def _plan_cte(
+        self, cte: ast.CommonTableExpr, recursive_allowed: bool, frames: List[Frame]
+    ) -> PlannedCTE:
+        branches, operators = _flatten_set_operations(cte.body)
+        self_referencing = [
+            branch for branch in branches if _core_references(branch, cte.name)
+        ]
+        if not self_referencing:
+            plan = self._plan_body(cte.body, frames)
+            columns = cte.columns or list(plan.output_names)
+            if cte.columns and len(cte.columns) != len(plan.output_names):
+                raise ParseError(
+                    f"CTE {cte.name!r} declares {len(cte.columns)} columns but "
+                    f"its body produces {len(plan.output_names)}"
+                )
+            return PlannedCTE(
+                name=cte.name, columns=columns, seed_plans=[plan], recursive=False
+            )
+        if not recursive_allowed:
+            raise ParseError(
+                f"CTE {cte.name!r} references itself but WITH is not RECURSIVE"
+            )
+        if any(op not in ("UNION", "UNION ALL") for op in operators):
+            raise ParseError(
+                "recursive CTEs support only UNION / UNION ALL between branches"
+            )
+        seeds = [b for b in branches if not _core_references(b, cte.name)]
+        if not seeds:
+            raise ParseError(
+                f"recursive CTE {cte.name!r} has no non-recursive seed branch"
+            )
+        seed_plans = [self._plan_body(branch, frames) for branch in seeds]
+        columns = cte.columns or list(seed_plans[0].output_names)
+        for plan in seed_plans:
+            if len(plan.output_names) != len(columns):
+                raise ParseError(
+                    f"branches of recursive CTE {cte.name!r} disagree on arity"
+                )
+        # The recursive branches may reference the CTE: register it first.
+        self.cte_columns[cte.name.lower()] = columns
+        recursive_plans = []
+        for branch in self_referencing:
+            plan = self._plan_body(branch, frames)
+            if len(plan.output_names) != len(columns):
+                raise ParseError(
+                    f"branches of recursive CTE {cte.name!r} disagree on arity"
+                )
+            recursive_plans.append(plan)
+        distinct = any(op == "UNION" for op in operators)
+        return PlannedCTE(
+            name=cte.name,
+            columns=columns,
+            seed_plans=seed_plans,
+            recursive_plans=recursive_plans,
+            recursive=True,
+            distinct=distinct,
+        )
+
+    # -- query bodies ------------------------------------------------------------
+
+    def _plan_body(
+        self, body: Union[ast.SelectCore, ast.SetOperation], frames: List[Frame]
+    ) -> Operator:
+        if isinstance(body, ast.SelectCore):
+            return self._plan_core(body, frames)
+        left = self._plan_body(body.left, frames)
+        right = self._plan_body(body.right, frames)
+        if len(left.output_names) != len(right.output_names):
+            raise ParseError(
+                f"{body.operator} operands have different numbers of columns "
+                f"({len(left.output_names)} vs {len(right.output_names)})"
+            )
+        if body.operator == "UNION ALL":
+            return UnionAll([left, right])
+        if body.operator == "UNION":
+            return Distinct(UnionAll([left, right]))
+        if body.operator == "EXCEPT":
+            return SetDifference(left, right)
+        if body.operator == "INTERSECT":
+            return SetIntersection(left, right)
+        raise ParseError(f"unknown set operator {body.operator!r}")
+
+    def _plan_core(self, core: ast.SelectCore, frames: List[Frame]) -> Operator:
+        frame = frames[-1]
+        saved_scope = frame.scope
+        frame.scope = None
+        try:
+            where_conjuncts = _split_conjuncts(core.where)
+            source, bindings = self._plan_from(core.from_items, frames, where_conjuncts)
+            scope = Scope(bindings)
+            frame.scope = scope
+            ctx = self._context(frames)
+            operator: Operator = source
+            if core.where is not None:
+                operator = Filter(operator, compile_expression(core.where, ctx))
+            needs_aggregate = bool(core.group_by) or any(
+                contains_aggregate(item.expression)
+                for item in core.items
+                if isinstance(item, ast.SelectItem)
+            )
+            if core.having is not None and contains_aggregate(core.having):
+                needs_aggregate = True
+            if needs_aggregate:
+                operator = self._plan_aggregate(core, operator, frames)
+            else:
+                if core.having is not None:
+                    raise ParseError("HAVING requires GROUP BY or aggregates")
+                operator = self._plan_projection(core.items, operator, scope, frames)
+            if core.distinct:
+                operator = Distinct(operator)
+            return operator
+        finally:
+            frame.scope = saved_scope
+
+    # -- FROM clause ------------------------------------------------------------
+
+    def _plan_from(
+        self,
+        from_items: Sequence[ast.FromItem],
+        frames: List[Frame],
+        where_conjuncts: List[ast.Expression],
+    ) -> Tuple[Operator, List[Tuple[Optional[str], List[str]]]]:
+        if not from_items:
+            return RowsSource([], [()]), []
+        operator: Optional[Operator] = None
+        bindings: List[Tuple[Optional[str], List[str]]] = []
+        for position, item in enumerate(from_items):
+            leftmost = position == 0
+            item_op, item_bindings = self._plan_from_item(
+                item, frames, bindings, where_conjuncts, leftmost
+            )
+            bindings = bindings + item_bindings
+            if operator is None:
+                operator = item_op
+            else:
+                operator = NestedLoopJoin(operator, item_op, condition=None)
+        return operator, bindings
+
+    def _plan_from_item(
+        self,
+        item: ast.FromItem,
+        frames: List[Frame],
+        left_bindings: List[Tuple[Optional[str], List[str]]],
+        where_conjuncts: List[ast.Expression],
+        leftmost: bool,
+    ) -> Tuple[Operator, List[Tuple[Optional[str], List[str]]]]:
+        if isinstance(item, ast.TableRef):
+            return self._plan_table_ref(item, frames, where_conjuncts, leftmost)
+        if isinstance(item, ast.SubqueryRef):
+            child = Planner(
+                self.catalog,
+                self.functions,
+                dict(self.cte_columns),
+                views=self.views,
+                expanding_views=self._expanding_views,
+            )
+            sub_frame = Frame(None)
+            plan = child.plan_select(item.subquery, frames + [sub_frame])
+            operator = SubplanOperator(plan)
+            return operator, [(item.alias, list(plan.output_names))]
+        if isinstance(item, ast.Join):
+            left_op, left_binds = self._plan_from_item(
+                item.left, frames, left_bindings, where_conjuncts, leftmost
+            )
+            join_op, right_binds = self._plan_join(
+                item, left_op, left_bindings + left_binds, frames
+            )
+            return join_op, left_binds + right_binds
+        raise ParseError(f"unsupported FROM item {type(item).__name__}")
+
+    def _plan_table_ref(
+        self,
+        ref: ast.TableRef,
+        frames: List[Frame],
+        where_conjuncts: List[ast.Expression],
+        leftmost: bool,
+    ) -> Tuple[Operator, List[Tuple[Optional[str], List[str]]]]:
+        binding = ref.binding_name
+        if ref.name.lower() in self.cte_columns:
+            columns = self.cte_columns[ref.name.lower()]
+            return CTEScan(ref.name, columns), [(binding, list(columns))]
+        view = self.views.get(ref.name.lower())
+        if view is not None:
+            return self._plan_view(ref, view)
+        entry = self.catalog.lookup(ref.name)
+        storage = entry.storage
+        columns = entry.schema.column_names
+        if leftmost and where_conjuncts:
+            indexed = self._try_index_scan(
+                entry, binding, where_conjuncts, frames
+            )
+            if indexed is not None:
+                return indexed, [(binding, list(columns))]
+        return SeqScan(storage), [(binding, list(columns))]
+
+    def _plan_view(self, ref: ast.TableRef, view):
+        """Expand a view reference by planning its defining statement.
+
+        The expansion happens below the current query's scope — the query
+        modificator never sees the view's internals, which is precisely
+        the paper's Section 5.5 limitation.
+        """
+        key = ref.name.lower()
+        if key in self._expanding_views:
+            raise ParseError(f"view {view.name!r} is recursively defined")
+        self._expanding_views.add(key)
+        try:
+            child = Planner(
+                self.catalog,
+                self.functions,
+                views=self.views,
+                expanding_views=self._expanding_views,
+            )
+            plan = child.plan_select(view.select)
+        finally:
+            self._expanding_views.discard(key)
+        columns = list(view.columns or plan.output_names)
+        if len(columns) != len(plan.output_names):
+            raise ParseError(
+                f"view {view.name!r} declares {len(columns)} columns but its "
+                f"query produces {len(plan.output_names)}"
+            )
+        operator = SubplanOperator(plan)
+        operator.output_names = columns
+        return operator, [(ref.binding_name, columns)]
+
+    def _try_index_scan(
+        self, entry, binding: str, conjuncts: List[ast.Expression], frames: List[Frame]
+    ) -> Optional[Operator]:
+        """Turn a leftmost base-table scan into an index probe when a WHERE
+        conjunct pins an indexed column to a scope-independent value."""
+        for conjunct in conjuncts:
+            if not (
+                isinstance(conjunct, ast.BinaryOp) and conjunct.operator == "="
+            ):
+                continue
+            for column_side, value_side in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if not isinstance(column_side, ast.ColumnRef):
+                    continue
+                if column_side.qualifier is not None:
+                    if column_side.qualifier.lower() != binding.lower():
+                        continue
+                if not entry.schema.has_column(column_side.name):
+                    continue
+                index = entry.storage.find_index([column_side.name])
+                if index is None:
+                    continue
+                key_fn = self._compile_independent(
+                    value_side, frames, entry.schema
+                )
+                if key_fn is None:
+                    continue
+                return IndexLookup(entry.storage, index, [key_fn])
+        return None
+
+    def _plan_join(
+        self,
+        join: ast.Join,
+        left_op: Operator,
+        left_bindings: List[Tuple[Optional[str], List[str]]],
+        frames: List[Frame],
+    ) -> Tuple[Operator, List[Tuple[Optional[str], List[str]]]]:
+        frame = frames[-1]
+        if join.kind == "CROSS":
+            right_op, right_binds = self._plan_from_item(
+                join.right, frames, left_bindings, [], False
+            )
+            bindings = _strip_prefix(left_bindings, right_binds)
+            return (
+                NestedLoopJoin(left_op, right_op, condition=None),
+                bindings,
+            )
+        # Try an index nested-loop join with the right side as a base table.
+        if isinstance(join.right, ast.TableRef) and join.right.name.lower() not in (
+            self.cte_columns
+        ) and self.catalog.exists(join.right.name):
+            indexed = self._try_index_join(
+                join, left_op, left_bindings, frames
+            )
+            if indexed is not None:
+                return indexed
+        right_op, right_binds = self._plan_from_item(
+            join.right, frames, left_bindings, [], False
+        )
+        combined_bindings = left_bindings + right_binds
+        combined_scope = Scope(combined_bindings)
+        saved = frame.scope
+        frame.scope = combined_scope
+        try:
+            condition_fn = (
+                compile_expression(join.condition, self._context(frames))
+                if join.condition is not None
+                else None
+            )
+            hash_join = None
+            if join.kind == "INNER" and join.condition is not None:
+                hash_join = self._try_hash_join(
+                    join, left_op, right_op, left_bindings, right_binds, frames,
+                    condition_fn,
+                )
+            if hash_join is not None:
+                return hash_join, _strip_prefix(left_bindings, right_binds)
+        finally:
+            frame.scope = saved
+        operator = NestedLoopJoin(left_op, right_op, condition_fn, kind=join.kind)
+        return operator, _strip_prefix(left_bindings, right_binds)
+
+    def _try_index_join(
+        self,
+        join: ast.Join,
+        left_op: Operator,
+        left_bindings: List[Tuple[Optional[str], List[str]]],
+        frames: List[Frame],
+    ) -> Optional[Tuple[Operator, List[Tuple[Optional[str], List[str]]]]]:
+        entry = self.catalog.lookup(join.right.name)
+        right_binding = join.right.binding_name
+        frame = frames[-1]
+        conjuncts = _split_conjuncts(join.condition)
+        left_scope = Scope(left_bindings)
+        for conjunct in conjuncts:
+            if not (
+                isinstance(conjunct, ast.BinaryOp) and conjunct.operator == "="
+            ):
+                continue
+            for column_side, key_side in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if not isinstance(column_side, ast.ColumnRef):
+                    continue
+                qualifier = column_side.qualifier
+                if qualifier is not None and qualifier.lower() != right_binding.lower():
+                    continue
+                if qualifier is None and _scope_has_column(
+                    left_scope, column_side.name
+                ):
+                    continue  # would be ambiguous or belong to the left side
+                if not entry.schema.has_column(column_side.name):
+                    continue
+                index = entry.storage.find_index([column_side.name])
+                if index is None:
+                    continue
+                saved = frame.scope
+                frame.scope = left_scope
+                try:
+                    key_fn = self._compile_independent(
+                        key_side, frames, entry.schema
+                    )
+                finally:
+                    frame.scope = saved
+                if key_fn is None:
+                    continue
+                combined_bindings = left_bindings + [
+                    (right_binding, list(entry.schema.column_names))
+                ]
+                saved = frame.scope
+                frame.scope = Scope(combined_bindings)
+                try:
+                    residual = compile_expression(
+                        join.condition, self._context(frames)
+                    )
+                finally:
+                    frame.scope = saved
+                operator = IndexNestedLoopJoin(
+                    left_op,
+                    entry.storage,
+                    index,
+                    [key_fn],
+                    residual,
+                    kind=join.kind,
+                )
+                return operator, [
+                    (right_binding, list(entry.schema.column_names))
+                ]
+        return None
+
+    def _try_hash_join(
+        self,
+        join: ast.Join,
+        left_op: Operator,
+        right_op: Operator,
+        left_bindings,
+        right_binds,
+        frames: List[Frame],
+        condition_fn,
+    ) -> Optional[Operator]:
+        frame = frames[-1]
+        left_scope = Scope(left_bindings)
+        right_scope = Scope(right_binds)
+        left_keys = []
+        right_keys = []
+        for conjunct in _split_conjuncts(join.condition):
+            if not (
+                isinstance(conjunct, ast.BinaryOp) and conjunct.operator == "="
+            ):
+                return None
+            pair = self._classify_equi_sides(
+                conjunct, left_scope, right_scope, frames
+            )
+            if pair is None:
+                return None
+            left_keys.append(pair[0])
+            right_keys.append(pair[1])
+        if not left_keys:
+            return None
+        return HashJoin(
+            left_op,
+            right_op,
+            left_keys,
+            right_keys,
+            residual=None,
+            kind="INNER",
+        )
+
+    def _classify_equi_sides(
+        self,
+        conjunct: ast.BinaryOp,
+        left_scope: Scope,
+        right_scope: Scope,
+        frames: List[Frame],
+    ):
+        """Compile the sides of an equi-conjunct against (left, right) scopes.
+
+        Returns ``(left_key_fn, right_key_fn)`` or None if the conjunct does
+        not split cleanly across the join.
+        """
+        frame = frames[-1]
+
+        def compile_against(expr, scope):
+            saved = frame.scope
+            frame.scope = scope
+            try:
+                return compile_expression(expr, self._context(frames))
+            except SQLError:
+                return None
+            finally:
+                frame.scope = saved
+
+        left_fn = compile_against(conjunct.left, left_scope)
+        right_fn = compile_against(conjunct.right, right_scope)
+        if left_fn is not None and right_fn is not None:
+            # Ensure neither side is actually resolvable on both scopes,
+            # which would make this split ambiguous — fall back.
+            if (
+                compile_against(conjunct.left, right_scope) is not None
+                or compile_against(conjunct.right, left_scope) is not None
+            ):
+                return None
+            return (left_fn, right_fn)
+        swapped_left = compile_against(conjunct.right, left_scope)
+        swapped_right = compile_against(conjunct.left, right_scope)
+        if swapped_left is not None and swapped_right is not None:
+            return (swapped_left, swapped_right)
+        return None
+
+    def _compile_independent(self, expr: ast.Expression, frames: List[Frame], avoid_schema):
+        """Compile *expr* so that it may reference outer frames and the
+        current frame's (possibly partial) scope, but must not reference the
+        table described by *avoid_schema* through unqualified names.
+
+        Returns None when the expression cannot be compiled in that context
+        (then the caller falls back to an unoptimised plan).
+        """
+        for node in ast.walk_expression(expr):
+            if isinstance(node, ast.ColumnRef) and node.qualifier is None:
+                if avoid_schema.has_column(node.name):
+                    return None
+            if isinstance(
+                node,
+                (ast.ExistsTest, ast.InSubquery, ast.ScalarSubquery),
+            ):
+                return None  # keep the optimisation path simple and safe
+        try:
+            return compile_expression(expr, self._context(frames))
+        except SQLError:
+            return None
+
+    # -- projection / aggregation -----------------------------------------------
+
+    def _plan_projection(
+        self,
+        items: Sequence[Union[ast.SelectItem, ast.Star]],
+        child: Operator,
+        scope: Scope,
+        frames: List[Frame],
+    ) -> Operator:
+        ctx = self._context(frames)
+        exprs = []
+        names: List[str] = []
+        for item in items:
+            if isinstance(item, ast.Star):
+                start, end = (
+                    scope.binding_slot_range(item.qualifier)
+                    if item.qualifier
+                    else (0, scope.arity)
+                )
+                display = _display_names(scope)
+                for slot in range(start, end):
+                    exprs.append(compile_expression(SlotRef(slot), ctx))
+                    names.append(display[slot])
+                continue
+            exprs.append(compile_expression(item.expression, ctx))
+            names.append(_output_name(item, len(names)))
+        return Project(child, exprs, names)
+
+    def _plan_aggregate(
+        self, core: ast.SelectCore, child: Operator, frames: List[Frame]
+    ) -> Operator:
+        if any(isinstance(item, ast.Star) for item in core.items):
+            raise ParseError("SELECT * cannot be combined with aggregation")
+        ctx = self._context(frames)
+        group_fns = [compile_expression(expr, ctx) for expr in core.group_by]
+        group_keys = [expression_key(expr) for expr in core.group_by]
+        aggregate_nodes: List[ast.FunctionCall] = []
+        aggregate_keys: List[str] = []
+
+        def collect(expression: ast.Expression) -> None:
+            for node in ast.walk_expression(expression):
+                if (
+                    isinstance(node, ast.FunctionCall)
+                    and node.name.upper() in AGGREGATE_NAMES
+                ):
+                    key = expression_key(node)
+                    if key not in aggregate_keys:
+                        aggregate_keys.append(key)
+                        aggregate_nodes.append(node)
+
+        for item in core.items:
+            collect(item.expression)
+        if core.having is not None:
+            collect(core.having)
+        specs: List[AggregateSpec] = []
+        for node in aggregate_nodes:
+            if node.star:
+                specs.append(AggregateSpec(node.name, None, star=True))
+                continue
+            if len(node.args) != 1:
+                raise ParseError(
+                    f"aggregate {node.name} takes exactly one argument"
+                )
+            specs.append(
+                AggregateSpec(
+                    node.name,
+                    compile_expression(node.args[0], ctx),
+                    distinct=node.distinct,
+                )
+            )
+        output_names = [f"__group_{i}" for i in range(len(group_fns))] + [
+            f"__agg_{i}" for i in range(len(specs))
+        ]
+        aggregate_op = Aggregate(child, group_fns, specs, output_names)
+        # Compile post-aggregation expressions: group keys and aggregate
+        # calls become direct slot references.  Plain-column group keys
+        # additionally stay addressable by name — including their original
+        # table qualifier — so correlated subqueries in HAVING/SELECT can
+        # reference the grouping column (``HAVING SUM(x) >= (SELECT goal
+        # FROM t WHERE t.region = sale.region)``).
+        frame = frames[-1]
+        saved = frame.scope
+        pre_scope = saved
+        post_bindings: List[Tuple[Optional[str], List[str]]] = []
+        for position, group_expr in enumerate(core.group_by):
+            binding_name = None
+            column_name = f"__group_{position}"
+            if isinstance(group_expr, ast.ColumnRef):
+                column_name = group_expr.name
+                binding_name = group_expr.qualifier
+                if binding_name is None and pre_scope is not None:
+                    try:
+                        slot = pre_scope.resolve(None, group_expr.name)
+                        binding_name = pre_scope.binding_of_slot(slot)
+                    except SQLError:
+                        binding_name = None
+            post_bindings.append((binding_name, [column_name]))
+        post_bindings.append((None, [f"__agg_{i}" for i in range(len(specs))]))
+        frame.scope = Scope(post_bindings)
+        try:
+            post_ctx = self._context(frames)
+
+            def rewrite(expression: ast.Expression) -> ast.Expression:
+                key = expression_key(expression)
+                if key in group_keys:
+                    return SlotRef(group_keys.index(key))
+                if key in aggregate_keys:
+                    return SlotRef(len(group_keys) + aggregate_keys.index(key))
+                return _rebuild(expression, rewrite)
+
+            operator: Operator = aggregate_op
+            if core.having is not None:
+                having_fn = compile_expression(rewrite(core.having), post_ctx)
+                operator = Filter(operator, having_fn)
+            exprs = []
+            names = []
+            for item in core.items:
+                exprs.append(compile_expression(rewrite(item.expression), post_ctx))
+                names.append(_output_name(item, len(names)))
+            return Project(operator, exprs, names)
+        finally:
+            frame.scope = saved
+
+    # -- ORDER BY / LIMIT ----------------------------------------------------------
+
+    def _plan_order_by(
+        self, child: Operator, order_by: List[ast.OrderItem], frames: List[Frame]
+    ) -> Operator:
+        frame = frames[-1]
+        saved = frame.scope
+        frame.scope = Scope([(None, list(child.output_names))])
+        try:
+            ctx = self._context(frames)
+            keys = []
+            for item in order_by:
+                expression = item.expression
+                if contains_aggregate(expression):
+                    # ORDER BY SUM(x): handled by the hidden-key re-plan,
+                    # where the aggregate rewrite sees the key.
+                    raise UnresolvedColumnError(
+                        "aggregate ORDER BY key needs a hidden sort column"
+                    )
+                if isinstance(expression, ast.Literal) and isinstance(
+                    expression.value, int
+                ):
+                    position = expression.value
+                    if not 1 <= position <= len(child.output_names):
+                        raise ParseError(
+                            f"ORDER BY position {position} is out of range"
+                        )
+                    expression = SlotRef(position - 1)
+                keys.append((compile_expression(expression, ctx), item.descending))
+            return Sort(child, keys)
+        finally:
+            frame.scope = saved
+
+    def _plan_order_by_hidden(
+        self,
+        statement: ast.SelectStatement,
+        planned_root: Operator,
+        frames: List[Frame],
+    ) -> Operator:
+        """ORDER BY keys referencing non-output columns: re-plan the core
+        with the keys appended to the select list, sort on the appended
+        slots, then project the hidden slots away."""
+        core = statement.body
+        if not isinstance(core, ast.SelectCore):
+            raise ParseError(
+                "ORDER BY over a set operation must reference output columns"
+            )
+        if core.distinct:
+            raise ParseError(
+                "ORDER BY keys of a SELECT DISTINCT must appear in the "
+                "select list"
+            )
+        output_names = list(planned_root.output_names)
+        lower_names = [name.lower() for name in output_names]
+        key_slots: List[Tuple[int, bool]] = []
+        hidden_items: List[ast.SelectItem] = []
+        for item in statement.order_by:
+            expression = item.expression
+            if isinstance(expression, ast.Literal) and isinstance(
+                expression.value, int
+            ):
+                position = expression.value
+                if not 1 <= position <= len(output_names):
+                    raise ParseError(
+                        f"ORDER BY position {position} is out of range"
+                    )
+                key_slots.append((position - 1, item.descending))
+                continue
+            if (
+                isinstance(expression, ast.ColumnRef)
+                and expression.qualifier is None
+                and lower_names.count(expression.name.lower()) == 1
+            ):
+                key_slots.append(
+                    (lower_names.index(expression.name.lower()), item.descending)
+                )
+                continue
+            slot = len(output_names) + len(hidden_items)
+            hidden_items.append(
+                ast.SelectItem(expression=expression, alias=f"__order_{slot}")
+            )
+            key_slots.append((slot, item.descending))
+        extended = ast.SelectCore(
+            items=list(core.items) + hidden_items,
+            from_items=core.from_items,
+            where=core.where,
+            group_by=core.group_by,
+            having=core.having,
+            distinct=False,
+        )
+        extended_root = self._plan_core(extended, frames)
+        keys = [
+            ((lambda slot: (lambda row, env: row[slot]))(slot), descending)
+            for slot, descending in key_slots
+        ]
+        sorted_root = Sort(extended_root, keys)
+        strip = [
+            (lambda slot: (lambda row, env: row[slot]))(position)
+            for position in range(len(output_names))
+        ]
+        return Project(sorted_root, strip, output_names)
+
+    def _compile_scalar(self, expression: ast.Expression, frames: List[Frame]):
+        frame = frames[-1]
+        saved = frame.scope
+        frame.scope = Scope([])
+        try:
+            return compile_expression(expression, self._context(frames))
+        finally:
+            frame.scope = saved
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _context(self, frames: List[Frame]) -> CompileContext:
+        return CompileContext(frames, self._plan_subquery, self.functions)
+
+    def _plan_subquery(
+        self, statement: ast.SelectStatement, frames: List[Frame]
+    ) -> CompiledSubquery:
+        child = Planner(
+                self.catalog,
+                self.functions,
+                dict(self.cte_columns),
+                views=self.views,
+                expanding_views=self._expanding_views,
+            )
+        sub_frame = Frame(None)
+        plan = child.plan_select(statement, list(frames) + [sub_frame])
+        return CompiledSubquery(plan, sub_frame.correlated)
+
+
+def _split_conjuncts(expression: Optional[ast.Expression]) -> List[ast.Expression]:
+    """Split a predicate on top-level ANDs."""
+    if expression is None:
+        return []
+    if isinstance(expression, ast.BinaryOp) and expression.operator == "AND":
+        return _split_conjuncts(expression.left) + _split_conjuncts(expression.right)
+    return [expression]
+
+
+def _strip_prefix(left_bindings, right_binds):
+    """Bindings contributed by a join node = right side only (the caller
+    already owns the left bindings)."""
+    return right_binds
+
+
+def _scope_has_column(scope: Scope, name: str) -> bool:
+    wanted = name.lower()
+    return any(
+        column.lower() == wanted
+        for __, columns in scope.bindings
+        for column in columns
+    )
+
+
+def _display_names(scope: Scope) -> List[str]:
+    names: List[str] = []
+    for __, columns in scope.bindings:
+        names.extend(columns)
+    return names
+
+
+def _output_name(item: ast.SelectItem, position: int) -> str:
+    if item.alias:
+        return item.alias
+    expression = item.expression
+    if isinstance(expression, ast.ColumnRef):
+        return expression.name
+    if isinstance(expression, ast.Cast) and isinstance(
+        expression.operand, ast.ColumnRef
+    ):
+        return expression.operand.name
+    if isinstance(expression, ast.FunctionCall):
+        return expression.name.lower()
+    return f"col{position + 1}"
+
+
+def _rebuild(expression: ast.Expression, transform) -> ast.Expression:
+    """Shallow-copy *expression* with children passed through *transform*.
+
+    Subquery wrappers are kept as-is: their internals compile in their own
+    frames and may not reference pre-aggregation columns.
+    """
+    if isinstance(expression, ast.UnaryOp):
+        return ast.UnaryOp(expression.operator, transform(expression.operand))
+    if isinstance(expression, ast.BinaryOp):
+        return ast.BinaryOp(
+            expression.operator,
+            transform(expression.left),
+            transform(expression.right),
+        )
+    if isinstance(expression, ast.FunctionCall):
+        return ast.FunctionCall(
+            expression.name,
+            [transform(arg) for arg in expression.args],
+            star=expression.star,
+            distinct=expression.distinct,
+        )
+    if isinstance(expression, ast.Cast):
+        return ast.Cast(transform(expression.operand), expression.target)
+    if isinstance(expression, ast.IsNullTest):
+        return ast.IsNullTest(transform(expression.operand), expression.negated)
+    if isinstance(expression, ast.InList):
+        return ast.InList(
+            transform(expression.operand),
+            [transform(item) for item in expression.items],
+            expression.negated,
+        )
+    if isinstance(expression, ast.Between):
+        return ast.Between(
+            transform(expression.operand),
+            transform(expression.low),
+            transform(expression.high),
+            expression.negated,
+        )
+    if isinstance(expression, ast.Like):
+        return ast.Like(
+            transform(expression.operand),
+            transform(expression.pattern),
+            expression.negated,
+        )
+    if isinstance(expression, ast.CaseWhen):
+        return ast.CaseWhen(
+            [
+                (transform(condition), transform(value))
+                for condition, value in expression.branches
+            ],
+            transform(expression.default)
+            if expression.default is not None
+            else None,
+        )
+    return expression
+
+
+def _flatten_set_operations(body) -> Tuple[List[ast.SelectCore], List[str]]:
+    """Flatten a left-associated set-operation tree into branch/operator
+    lists: ``a UNION b UNION ALL c`` -> ([a, b, c], ["UNION", "UNION ALL"])."""
+    if isinstance(body, ast.SelectCore):
+        return [body], []
+    left_branches, left_ops = _flatten_set_operations(body.left)
+    right_branches, right_ops = _flatten_set_operations(body.right)
+    return (
+        left_branches + right_branches,
+        left_ops + [body.operator] + right_ops,
+    )
+
+
+def _core_references(core: ast.SelectCore, table_name: str) -> bool:
+    """True if *core* references *table_name* anywhere (FROM items, join
+    trees, subqueries in any clause)."""
+    wanted = table_name.lower()
+
+    def from_item_references(item: ast.FromItem) -> bool:
+        if isinstance(item, ast.TableRef):
+            return item.name.lower() == wanted
+        if isinstance(item, ast.SubqueryRef):
+            return _statement_references(item.subquery, wanted)
+        if isinstance(item, ast.Join):
+            if from_item_references(item.left) or from_item_references(item.right):
+                return True
+            if item.condition is not None and _expression_references(
+                item.condition, wanted
+            ):
+                return True
+            return False
+        return False
+
+    for item in core.from_items:
+        if from_item_references(item):
+            return True
+    for clause in (core.where, core.having):
+        if clause is not None and _expression_references(clause, wanted):
+            return True
+    for select_item in core.items:
+        if isinstance(select_item, ast.SelectItem) and _expression_references(
+            select_item.expression, wanted
+        ):
+            return True
+    return False
+
+
+def _expression_references(expression: ast.Expression, wanted: str) -> bool:
+    for node in ast.walk_expression(expression):
+        if isinstance(node, (ast.ExistsTest, ast.InSubquery, ast.ScalarSubquery)):
+            if _statement_references(node.subquery, wanted):
+                return True
+    return False
+
+
+def _statement_references(statement: ast.SelectStatement, wanted: str) -> bool:
+    branches, __ = _flatten_set_operations(statement.body)
+    if statement.with_clause is not None:
+        for cte in statement.with_clause.ctes:
+            cte_branches, __ = _flatten_set_operations(cte.body)
+            if any(_core_references(branch, wanted) for branch in cte_branches):
+                return True
+    return any(_core_references(branch, wanted) for branch in branches)

@@ -1,0 +1,224 @@
+"""Row storage: an in-memory heap of tuples plus hash indexes.
+
+Rows are stored as Python tuples in insertion order.  Hash indexes map a
+key (tuple of column values) to the list of row ids holding that key; they
+accelerate the equality lookups that dominate the paper's navigational
+workload (``WHERE link.left = ?``) and the engine's hash joins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError, IntegrityError
+from repro.sqldb.schema import TableSchema
+from repro.sqldb.types import is_null
+
+Row = Tuple[object, ...]
+
+
+class HashIndex:
+    """An equality index over one or more columns of a heap.
+
+    NULL keys are never indexed (SQL equality with NULL is UNKNOWN, so an
+    equality probe can never match them anyway).
+    """
+
+    def __init__(self, name: str, column_positions: Sequence[int], unique: bool = False) -> None:
+        self.name = name
+        self.column_positions = tuple(column_positions)
+        self.unique = unique
+        self._buckets: Dict[Tuple[object, ...], List[int]] = {}
+
+    def key_for(self, row: Row) -> Optional[Tuple[object, ...]]:
+        key = tuple(row[position] for position in self.column_positions)
+        if any(is_null(part) for part in key):
+            return None
+        return key
+
+    def add(self, row_id: int, row: Row) -> None:
+        key = self.key_for(row)
+        if key is None:
+            return
+        bucket = self._buckets.setdefault(key, [])
+        if self.unique and bucket:
+            raise IntegrityError(
+                f"unique index {self.name!r} violated by key {key!r}"
+            )
+        bucket.append(row_id)
+
+    def remove(self, row_id: int, row: Row) -> None:
+        key = self.key_for(row)
+        if key is None:
+            return
+        bucket = self._buckets.get(key)
+        if bucket and row_id in bucket:
+            bucket.remove(row_id)
+            if not bucket:
+                del self._buckets[key]
+
+    def probe(self, key: Tuple[object, ...]) -> List[int]:
+        """Return the row ids whose indexed columns equal *key*."""
+        if any(is_null(part) for part in key):
+            return []
+        return list(self._buckets.get(key, ()))
+
+
+class TableStorage:
+    """Heap storage for one table, with optional hash indexes.
+
+    Row ids are stable for the lifetime of a row; deleted slots hold None
+    and are skipped on scan.  This keeps index maintenance O(1) per
+    operation without compaction machinery the workload does not need.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: List[Optional[Row]] = []
+        self._live_count = 0
+        self._indexes: Dict[str, HashIndex] = {}
+        #: Undo log for the enclosing transaction; None when not enlisted.
+        self._undo: Optional[List[tuple]] = None
+        pk_position = schema.primary_key_index()
+        if pk_position is not None:
+            self.create_index(f"{schema.name}_pk", [schema.columns[pk_position].name], unique=True)
+
+    # -- rows --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def insert(self, row: Sequence[object]) -> int:
+        """Validate and insert *row*; return its row id."""
+        if len(row) != self.schema.arity:
+            raise IntegrityError(
+                f"table {self.schema.name!r} expects {self.schema.arity} values, "
+                f"got {len(row)}"
+            )
+        stored = tuple(row)
+        for column, value in zip(self.schema.columns, stored):
+            if column.not_null and is_null(value):
+                raise IntegrityError(
+                    f"column {self.schema.name}.{column.name} is NOT NULL"
+                )
+        row_id = len(self._rows)
+        # Index maintenance first so a unique violation leaves no trace.
+        for index in self._indexes.values():
+            index.add(row_id, stored)
+        self._rows.append(stored)
+        self._live_count += 1
+        if self._undo is not None:
+            self._undo.append(("insert", row_id))
+        return row_id
+
+    def delete(self, row_id: int) -> None:
+        row = self._rows[row_id]
+        if row is None:
+            return
+        for index in self._indexes.values():
+            index.remove(row_id, row)
+        self._rows[row_id] = None
+        self._live_count -= 1
+        if self._undo is not None:
+            self._undo.append(("delete", row_id, row))
+
+    def update(self, row_id: int, new_row: Sequence[object]) -> None:
+        old_row = self._rows[row_id]
+        if old_row is None:
+            raise IntegrityError(f"row {row_id} of {self.schema.name!r} is deleted")
+        stored = tuple(new_row)
+        for column, value in zip(self.schema.columns, stored):
+            if column.not_null and is_null(value):
+                raise IntegrityError(
+                    f"column {self.schema.name}.{column.name} is NOT NULL"
+                )
+        for index in self._indexes.values():
+            index.remove(row_id, old_row)
+        for index in self._indexes.values():
+            index.add(row_id, stored)
+        self._rows[row_id] = stored
+        if self._undo is not None:
+            self._undo.append(("update", row_id, old_row))
+
+    def scan(self) -> Iterator[Tuple[int, Row]]:
+        """Yield (row_id, row) for every live row in insertion order."""
+        for row_id, row in enumerate(self._rows):
+            if row is not None:
+                yield row_id, row
+
+    def rows(self) -> Iterator[Row]:
+        """Yield every live row (without row ids)."""
+        for __, row in self.scan():
+            yield row
+
+    def fetch(self, row_id: int) -> Row:
+        row = self._rows[row_id]
+        if row is None:
+            raise IntegrityError(f"row {row_id} of {self.schema.name!r} is deleted")
+        return row
+
+    # -- transactions ---------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._undo is not None
+
+    def begin_undo(self) -> None:
+        """Enlist this table in a transaction: start recording inverses."""
+        if self._undo is None:
+            self._undo = []
+
+    def commit_undo(self) -> None:
+        """Forget the undo log (changes become permanent)."""
+        self._undo = None
+
+    def rollback_undo(self) -> None:
+        """Replay the undo log backwards, restoring the pre-transaction
+        state (rows and indexes)."""
+        entries = self._undo
+        self._undo = None  # replay must not log
+        if not entries:
+            return
+        for entry in reversed(entries):
+            kind = entry[0]
+            if kind == "insert":
+                self.delete(entry[1])
+            elif kind == "delete":
+                self._restore(entry[1], entry[2])
+            else:
+                self.update(entry[1], entry[2])
+
+    def _restore(self, row_id: int, row: Row) -> None:
+        """Re-materialise a deleted row in its original slot."""
+        if self._rows[row_id] is not None:
+            raise IntegrityError(
+                f"cannot restore row {row_id} of {self.schema.name!r}: "
+                f"slot is occupied"
+            )
+        for index in self._indexes.values():
+            index.add(row_id, row)
+        self._rows[row_id] = row
+        self._live_count += 1
+
+    # -- indexes -------------------------------------------------------------
+
+    def create_index(self, name: str, column_names: Sequence[str], unique: bool = False) -> None:
+        key = name.lower()
+        if key in self._indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        positions = [self.schema.column_index(column) for column in column_names]
+        index = HashIndex(name, positions, unique=unique)
+        for row_id, row in self.scan():
+            index.add(row_id, row)
+        self._indexes[key] = index
+
+    def find_index(self, column_names: Sequence[str]) -> Optional[HashIndex]:
+        """Return an index whose key is exactly *column_names*, if any."""
+        wanted = tuple(self.schema.column_index(column) for column in column_names)
+        for index in self._indexes.values():
+            if index.column_positions == wanted:
+                return index
+        return None
+
+    def index_names(self) -> List[str]:
+        return [index.name for index in self._indexes.values()]

@@ -1,0 +1,165 @@
+"""Binary wire encoding of requests and result sets.
+
+The experiments measure *bytes on the wire*, so the client/server stack
+serialises queries and results with this small, deterministic format
+instead of guessing sizes.  The format is deliberately close to what a
+real DBMS wire protocol produces for the paper's schema: small per-value
+type tags, length-prefixed strings, 8-byte integers.
+
+Layout (big-endian):
+
+* request  = opcode(1) u32-len + sql-utf8, u16 param count, params as values
+* response = u16 column count, columns as strings, u32 row count, rows as
+  values; or an error frame (opcode carried by the transport envelope)
+* value    = tag(1) + payload:  N=null, I=int64, D=float64, B=bool(1),
+  S=u32-len + utf8
+
+The functions raise :class:`ProtocolError` on malformed frames — the tests
+inject corruption to verify that.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Sequence, Tuple
+
+from repro.errors import ProtocolError
+from repro.sqldb.result import ResultSet
+
+_TAG_NULL = b"N"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"D"
+_TAG_BOOL = b"B"
+_TAG_STR = b"S"
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one SQL value."""
+    if value is None:
+        return _TAG_NULL
+    if isinstance(value, bool):
+        return _TAG_BOOL + (b"\x01" if value else b"\x00")
+    if isinstance(value, int):
+        return _TAG_INT + struct.pack(">q", value)
+    if isinstance(value, float):
+        return _TAG_FLOAT + struct.pack(">d", value)
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        return _TAG_STR + struct.pack(">I", len(payload)) + payload
+    raise ProtocolError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(buffer: bytes, offset: int) -> Tuple[Any, int]:
+    """Decode one value at *offset*; return (value, next offset)."""
+    if offset >= len(buffer):
+        raise ProtocolError("truncated value frame")
+    tag = buffer[offset : offset + 1]
+    offset += 1
+    if tag == _TAG_NULL:
+        return None, offset
+    if tag == _TAG_BOOL:
+        _check(buffer, offset, 1)
+        return buffer[offset] != 0, offset + 1
+    if tag == _TAG_INT:
+        _check(buffer, offset, 8)
+        return struct.unpack_from(">q", buffer, offset)[0], offset + 8
+    if tag == _TAG_FLOAT:
+        _check(buffer, offset, 8)
+        return struct.unpack_from(">d", buffer, offset)[0], offset + 8
+    if tag == _TAG_STR:
+        _check(buffer, offset, 4)
+        length = struct.unpack_from(">I", buffer, offset)[0]
+        offset += 4
+        _check(buffer, offset, length)
+        text = _decode_utf8(buffer[offset : offset + length])
+        return text, offset + length
+    raise ProtocolError(f"unknown value tag {tag!r}")
+
+
+def _check(buffer: bytes, offset: int, needed: int) -> None:
+    if offset + needed > len(buffer):
+        raise ProtocolError("truncated value frame")
+
+
+def _decode_utf8(payload: bytes) -> str:
+    try:
+        return payload.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"invalid UTF-8 in frame: {exc}") from None
+
+
+def _encode_str(text: str) -> bytes:
+    payload = text.encode("utf-8")
+    return struct.pack(">I", len(payload)) + payload
+
+
+def _decode_str(buffer: bytes, offset: int) -> Tuple[str, int]:
+    _check(buffer, offset, 4)
+    length = struct.unpack_from(">I", buffer, offset)[0]
+    offset += 4
+    _check(buffer, offset, length)
+    return _decode_utf8(buffer[offset : offset + length]), offset + length
+
+
+def encode_query(sql: str, params: Sequence[Any] = ()) -> bytes:
+    """Encode an execute-query request body."""
+    if len(params) > 0xFFFF:
+        raise ProtocolError("too many parameters")
+    parts = [_encode_str(sql), struct.pack(">H", len(params))]
+    parts.extend(encode_value(value) for value in params)
+    return b"".join(parts)
+
+
+def decode_query(buffer: bytes) -> Tuple[str, List[Any]]:
+    """Decode an execute-query request body."""
+    sql, offset = _decode_str(buffer, 0)
+    _check(buffer, offset, 2)
+    count = struct.unpack_from(">H", buffer, offset)[0]
+    offset += 2
+    params: List[Any] = []
+    for __ in range(count):
+        value, offset = decode_value(buffer, offset)
+        params.append(value)
+    if offset != len(buffer):
+        raise ProtocolError("trailing bytes after query frame")
+    return sql, params
+
+
+def encode_result(result: ResultSet) -> bytes:
+    """Encode a result set (columns + rows + rowcount)."""
+    if len(result.columns) > 0xFFFF:
+        raise ProtocolError("too many columns")
+    parts = [struct.pack(">H", len(result.columns))]
+    parts.extend(_encode_str(name) for name in result.columns)
+    parts.append(struct.pack(">I", len(result.rows)))
+    for row in result.rows:
+        parts.extend(encode_value(value) for value in row)
+    parts.append(struct.pack(">I", result.rowcount))
+    return b"".join(parts)
+
+
+def decode_result(buffer: bytes) -> ResultSet:
+    """Decode a result set frame."""
+    _check(buffer, 0, 2)
+    column_count = struct.unpack_from(">H", buffer, 0)[0]
+    offset = 2
+    columns: List[str] = []
+    for __ in range(column_count):
+        name, offset = _decode_str(buffer, offset)
+        columns.append(name)
+    _check(buffer, offset, 4)
+    row_count = struct.unpack_from(">I", buffer, offset)[0]
+    offset += 4
+    rows: List[Tuple[Any, ...]] = []
+    for __ in range(row_count):
+        values = []
+        for __col in range(column_count):
+            value, offset = decode_value(buffer, offset)
+            values.append(value)
+        rows.append(tuple(values))
+    _check(buffer, offset, 4)
+    rowcount = struct.unpack_from(">I", buffer, offset)[0]
+    offset += 4
+    if offset != len(buffer):
+        raise ProtocolError("trailing bytes after result frame")
+    return ResultSet(columns, rows, rowcount=rowcount)

@@ -1,0 +1,157 @@
+"""Experiment registry and reports: model-vs-paper agreement, formatting."""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    run_figure4,
+    run_figure5,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+from repro.bench.report import ComparisonRow, ExperimentReport
+from repro.bench import paper_values
+from repro.model.tables import (
+    figure4_series,
+    figure5_series,
+    format_figure,
+    format_table,
+    table2_cells,
+    table3_cells,
+    table4_cells,
+)
+
+
+class TestTableExperiments:
+    def test_table2_model_matches_paper_to_the_cent(self):
+        report = run_table2(simulate=False)
+        assert len(report.rows) == 27  # 3 networks x 3 trees x 3 actions
+        assert report.max_model_error() <= 0.011
+
+    def test_table3_model_matches_paper(self):
+        report = run_table3(simulate=False)
+        assert report.max_model_error() <= 0.011
+        for row in report.rows:
+            assert row.model_saving == pytest.approx(row.paper_saving, abs=0.02)
+
+    def test_table4_model_matches_paper(self):
+        report = run_table4(simulate=False)
+        assert len(report.rows) == 9  # MLE only
+        assert report.max_model_error() <= 0.011
+
+    def test_report_text_renders(self):
+        text = run_table4(simulate=False).to_text()
+        assert "table4" in text
+        assert "mle" in text
+
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table2",
+            "table3",
+            "table4",
+            "figure4",
+            "figure5",
+        }
+
+
+class TestFigures:
+    def test_figure4_model_equals_paper_columns(self):
+        series = figure4_series()
+        for strategy, bars in paper_values.FIGURE4.items():
+            for action, value in bars.items():
+                assert series[strategy][action] == pytest.approx(value, abs=0.011)
+
+    def test_figure5_model_equals_paper_columns(self):
+        series = figure5_series()
+        for strategy, bars in paper_values.FIGURE5.items():
+            for action, value in bars.items():
+                assert series[strategy][action] == pytest.approx(value, abs=0.011)
+
+    def test_figure_texts_render(self):
+        assert "figure4" in run_figure4(simulate=False)
+        assert "figure5" in run_figure5(simulate=False)
+
+    def test_figure_shape_claims(self):
+        """Paper Section 6: expand gains little; queries gain >95% from
+        early eval; MLE only becomes acceptable with recursion."""
+        for series in (figure4_series(), figure5_series()):
+            late, early, recursion = (
+                series["late eval"],
+                series["early eval"],
+                series["recursion"],
+            )
+            # Single-level expand is already sub-second everywhere.
+            assert late["EXPAND"] < 1.0
+            # Early eval cuts query times by >95%.
+            assert early["QUERY"] < 0.05 * late["QUERY"]
+            # Early eval alone saves only ~2% on MLE.
+            assert early["MLE"] > 0.95 * late["MLE"]
+            # Recursion + early eval eliminates >95% of the MLE time.
+            assert recursion["MLE"] < 0.05 * late["MLE"]
+
+
+class TestModelTableFormatting:
+    def test_format_table2(self):
+        text = format_table(table2_cells(), with_saving=False)
+        assert "d3k9 QUERY" in text
+        assert "13.28" in text
+
+    def test_format_table3_with_savings(self):
+        text = format_table(table3_cells(), with_saving=True)
+        assert "saving %" in text
+
+    def test_format_table4_only_mle(self):
+        text = format_table(table4_cells(), with_saving=True)
+        assert "QUERY" not in text.split("\n")[0]
+
+    def test_format_figure(self):
+        text = format_figure(figure4_series(), "Figure 4")
+        assert "Figure 4" in text
+        assert "#" in text
+
+
+class TestReportObjects:
+    def test_comparison_row_metrics(self):
+        row = ComparisonRow(
+            network="n", tree="t", action="mle",
+            paper_seconds=100.0, model_seconds=100.005,
+            simulated_seconds=90.0,
+        )
+        assert row.model_error == pytest.approx(0.005)
+        assert row.simulated_ratio == pytest.approx(0.9)
+
+    def test_empty_report_renders(self):
+        report = ExperimentReport(experiment_id="x", title="empty")
+        assert report.max_model_error() == 0.0
+        assert "x" in report.to_text()
+
+
+class TestCLI:
+    def test_main_runs_model_only(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out
+        assert "96.9" in out or "96.93" in out
+
+    def test_main_all_experiments(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in out
+
+
+class TestCLIOutput:
+    def test_output_flag_writes_report(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        target = tmp_path / "report.txt"
+        assert main(["table4", "--output", str(target)]) == 0
+        capsys.readouterr()
+        written = target.read_text()
+        assert "table4" in written
+        assert "96.9" in written or "96.93" in written

@@ -1,0 +1,108 @@
+"""Session workload generation and replay."""
+
+import pytest
+
+from repro.bench.session import (
+    DEFAULT_MIX,
+    SessionStep,
+    compare_strategies,
+    generate_session,
+    replay_session,
+)
+from repro.errors import PDMError
+from repro.pdm.operations import ExpandStrategy
+
+
+class TestGeneration:
+    def test_length_and_determinism(self, small_scenario):
+        first = generate_session(small_scenario, length=15, seed=3)
+        second = generate_session(small_scenario, length=15, seed=3)
+        assert len(first) == 15
+        assert first == second
+
+    def test_different_seeds_differ(self, small_scenario):
+        assert generate_session(small_scenario, length=15, seed=1) != (
+            generate_session(small_scenario, length=15, seed=2)
+        )
+
+    def test_targets_are_visible_assemblies(self, small_scenario):
+        steps = generate_session(small_scenario, length=30, seed=5)
+        visible = small_scenario.product.visible_obids
+        components = {c.obid for c in small_scenario.product.components}
+        for step in steps:
+            assert step.target_obid in visible
+            assert step.target_obid not in components
+
+    def test_custom_mix_restricts_kinds(self, small_scenario):
+        steps = generate_session(
+            small_scenario, length=20, seed=1, mix={"expand": 1.0}
+        )
+        assert {step.kind for step in steps} == {"expand"}
+
+    def test_partial_mle_gets_depth(self, small_scenario):
+        steps = generate_session(
+            small_scenario, length=10, seed=1, mix={"partial_mle": 1.0}
+        )
+        assert all(step.depth is not None for step in steps)
+
+    def test_unknown_kind_rejected(self, small_scenario):
+        with pytest.raises(PDMError):
+            generate_session(small_scenario, mix={"teleport": 1.0})
+
+    def test_default_mix_constants(self):
+        assert set(DEFAULT_MIX) == {
+            "expand",
+            "partial_mle",
+            "mle",
+            "query",
+            "checkout_cycle",
+        }
+
+
+class TestReplay:
+    def test_replay_accounts_every_step(self, small_scenario):
+        steps = generate_session(small_scenario, length=8, seed=7)
+        result = replay_session(
+            small_scenario, steps, ExpandStrategy.RECURSIVE_EARLY
+        )
+        assert len(result.step_seconds) == 8
+        assert result.total_seconds == pytest.approx(sum(result.step_seconds))
+        assert result.round_trips > 0
+
+    def test_slowest_step_identified(self, small_scenario):
+        steps = [
+            SessionStep("expand", small_scenario.product.root_obid),
+            SessionStep("query", small_scenario.product.root_obid),
+        ]
+        result = replay_session(
+            small_scenario, steps, ExpandStrategy.NAVIGATIONAL_LATE
+        )
+        step, seconds = result.slowest_step
+        assert seconds == max(result.step_seconds)
+
+    def test_checkout_cycle_leaves_database_clean(self, small_scenario):
+        steps = [
+            SessionStep("checkout_cycle", small_scenario.product.root_obid)
+        ]
+        for strategy in ExpandStrategy:
+            replay_session(small_scenario, steps, strategy)
+            held = small_scenario.database.execute(
+                "SELECT COUNT(*) FROM assy WHERE checkedout = TRUE"
+            ).scalar()
+            assert held == 0
+
+    def test_recursive_session_dominates(self, small_scenario):
+        results = compare_strategies(small_scenario, length=12, seed=11)
+        late = results[ExpandStrategy.NAVIGATIONAL_LATE]
+        early = results[ExpandStrategy.NAVIGATIONAL_EARLY]
+        recursive = results[ExpandStrategy.RECURSIVE_EARLY]
+        assert recursive.total_seconds < early.total_seconds
+        # Browsing steps cost the same everywhere, so the session-level
+        # saving is smaller than the per-MLE saving — but still decisive.
+        assert recursive.total_seconds < 0.75 * late.total_seconds
+        assert recursive.round_trips < late.round_trips
+
+    def test_same_steps_all_strategies(self, small_scenario):
+        results = compare_strategies(small_scenario, length=6, seed=2)
+        step_lists = [result.steps for result in results.values()]
+        assert step_lists[0] == step_lists[1] == step_lists[2]

@@ -1,0 +1,112 @@
+"""Benchmark harness plumbing: scenarios, measurement, traffic pricing."""
+
+import pytest
+
+from repro.bench.measure import measure_action, measure_grid, price_traffic
+from repro.bench.workload import build_scenario, scenario_rules
+from repro.model.parameters import NetworkParameters, TreeParameters
+from repro.model.response_time import Action, Strategy, predict
+from repro.network.profiles import WAN_256, WAN_512
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(
+        TreeParameters(depth=3, branching=3, visibility=0.6), WAN_256, seed=42
+    )
+
+
+class TestScenarioRules:
+    def test_rules_cover_all_types(self):
+        table = scenario_rules()
+        assert table.object_types() == ["assy", "comp", "link"]
+
+    def test_rules_use_stored_function(self):
+        table = scenario_rules()
+        for rule in table:
+            assert rule.condition.function == "options_overlap"
+
+
+class TestBuildScenario:
+    def test_database_populated(self, scenario):
+        total = scenario.database.table_rowcount(
+            "assy"
+        ) + scenario.database.table_rowcount("comp")
+        assert total == scenario.product.node_count
+
+    def test_checkout_procedures_installed(self, scenario):
+        assert "check_out_tree" in scenario.server.procedure_names()
+
+    def test_shared_product_reuse(self, scenario):
+        other = build_scenario(
+            scenario.tree, WAN_512, product=scenario.product
+        )
+        assert other.product is scenario.product
+        assert other.link.latency_s == WAN_512.latency_s
+
+
+class TestMeasurement:
+    def test_round_trips_match_model_exactly(self, scenario):
+        measured = measure_action(scenario, Action.MLE, Strategy.EARLY)
+        assert measured.round_trips == 1 + scenario.product.visible_node_count
+
+    def test_recursive_round_trips(self, scenario):
+        measured = measure_action(scenario, Action.MLE, Strategy.RECURSIVE)
+        assert measured.round_trips == 1
+        assert measured.traffic.messages == 2
+
+    def test_grid_covers_all_combinations(self, scenario):
+        grid = measure_grid(scenario)
+        assert len(grid) == 9
+        assert all(m.seconds > 0 for m in grid.values())
+
+    def test_result_nodes_match_ground_truth(self, scenario):
+        for strategy in (Strategy.LATE, Strategy.EARLY, Strategy.RECURSIVE):
+            measured = measure_action(scenario, Action.MLE, strategy)
+            assert measured.result_nodes == scenario.product.visible_node_count
+
+
+class TestPriceTraffic:
+    def test_pricing_matches_direct_measurement(self, scenario):
+        measured = measure_action(scenario, Action.EXPAND, Strategy.EARLY)
+        network = NetworkParameters(
+            latency_s=scenario.link.latency_s,
+            dtr_kbit_s=scenario.link.dtr_kbit_s,
+        )
+        assert price_traffic(measured.traffic, network) == pytest.approx(
+            measured.seconds
+        )
+
+    def test_repricing_scales_with_bandwidth(self, scenario):
+        measured = measure_action(scenario, Action.QUERY, Strategy.LATE)
+        slow = price_traffic(
+            measured.traffic, NetworkParameters(latency_s=0.15, dtr_kbit_s=256)
+        )
+        fast = price_traffic(
+            measured.traffic, NetworkParameters(latency_s=0.15, dtr_kbit_s=512)
+        )
+        transfer_slow = slow - measured.traffic.messages * 0.15
+        transfer_fast = fast - measured.traffic.messages * 0.15
+        assert transfer_slow == pytest.approx(2 * transfer_fast)
+
+
+class TestSimulationMatchesModelShape:
+    """Simulated values won't equal the analytic expectations (one σ draw,
+    real wire bytes) but must land in the same regime."""
+
+    def test_mle_simulated_within_factor_two_of_model(self, scenario):
+        network = NetworkParameters(latency_s=0.15, dtr_kbit_s=256)
+        for strategy in (Strategy.LATE, Strategy.EARLY, Strategy.RECURSIVE):
+            measured = measure_action(scenario, Action.MLE, strategy)
+            model = predict(Action.MLE, strategy, scenario.tree, network)
+            ratio = measured.seconds / model.total_seconds
+            assert 0.5 < ratio < 2.0, (strategy, ratio)
+
+    def test_savings_ordering_preserved(self, scenario):
+        late = measure_action(scenario, Action.MLE, Strategy.LATE)
+        early = measure_action(scenario, Action.MLE, Strategy.EARLY)
+        recursive = measure_action(scenario, Action.MLE, Strategy.RECURSIVE)
+        assert recursive.seconds < early.seconds <= late.seconds
+        # Recursion eliminates ~90% of the navigational response time at
+        # this small scale (>95% at paper scale, see benchmarks/).
+        assert recursive.seconds < 0.12 * late.seconds

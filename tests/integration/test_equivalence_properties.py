@@ -1,0 +1,103 @@
+"""The central correctness property of the reproduction.
+
+For arbitrary product trees and rule draws, the three strategies must
+produce the *same* result sets: late client-side evaluation is the
+reference semantics, early evaluation folds the same conditions into the
+navigational SQL, and the recursive query folds them into one statement.
+The paper's performance claims are only meaningful if this holds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workload import build_scenario
+from repro.model.parameters import TreeParameters
+from repro.network.profiles import WAN_1024
+from repro.pdm.operations import ExpandStrategy
+from repro.pdm.structure import trees_equal
+from repro.rules.conditions import Attribute, Comparison, Const
+from repro.rules.model import Actions, Rule
+
+tree_params = st.builds(
+    TreeParameters,
+    depth=st.integers(min_value=1, max_value=4),
+    branching=st.integers(min_value=1, max_value=3),
+    visibility=st.sampled_from([0.0, 0.3, 0.6, 1.0]),
+)
+
+
+@st.composite
+def scenarios(draw):
+    tree = draw(tree_params)
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return build_scenario(tree, WAN_1024, seed=seed)
+
+
+class TestStrategyEquivalence:
+    @given(scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_mle_strategies_agree(self, scenario):
+        root = scenario.product.root_obid
+        root_attrs = scenario.product.root_attributes()
+        late = scenario.client.multi_level_expand(
+            root, ExpandStrategy.NAVIGATIONAL_LATE, root_attrs=root_attrs
+        ).tree
+        early = scenario.client.multi_level_expand(
+            root, ExpandStrategy.NAVIGATIONAL_EARLY, root_attrs=root_attrs
+        ).tree
+        recursive = scenario.client.multi_level_expand(
+            root, ExpandStrategy.RECURSIVE_EARLY, root_attrs=root_attrs
+        ).tree
+        assert trees_equal(late, early)
+        assert trees_equal(late, recursive)
+        assert late.obids() == scenario.product.visible_obids
+
+    @given(scenarios())
+    @settings(max_examples=15, deadline=None)
+    def test_query_strategies_agree(self, scenario):
+        root = scenario.product.root_obid
+        late = scenario.client.query(root, ExpandStrategy.NAVIGATIONAL_LATE)
+        early = scenario.client.query(root, ExpandStrategy.NAVIGATIONAL_EARLY)
+        assert {a["obid"] for a in late.objects} == {
+            a["obid"] for a in early.objects
+        }
+
+    @given(scenarios())
+    @settings(max_examples=15, deadline=None)
+    def test_recursive_never_slower_in_round_trips(self, scenario):
+        root = scenario.product.root_obid
+        root_attrs = scenario.product.root_attributes()
+        navigational = scenario.client.multi_level_expand(
+            root, ExpandStrategy.NAVIGATIONAL_EARLY, root_attrs=root_attrs
+        )
+        recursive = scenario.client.multi_level_expand(
+            root, ExpandStrategy.RECURSIVE_EARLY, root_attrs=root_attrs
+        )
+        assert recursive.round_trips == 1
+        assert navigational.round_trips >= recursive.round_trips
+
+    @given(
+        scenarios(),
+        st.sampled_from(["make", "buy"]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_extra_row_rule_keeps_equivalence(self, scenario, blocked):
+        """Add a second, unrelated row rule; strategies must still agree."""
+        scenario.rule_table.add(
+            Rule(
+                user="*",
+                action=Actions.ACCESS,
+                object_type="assy",
+                condition=Comparison("<>", Attribute("make_or_buy"), Const(blocked)),
+            )
+        )
+        client = scenario.fresh_client()
+        root = scenario.product.root_obid
+        root_attrs = scenario.product.root_attributes()
+        late = client.multi_level_expand(
+            root, ExpandStrategy.NAVIGATIONAL_LATE, root_attrs=root_attrs
+        ).tree
+        recursive = client.multi_level_expand(
+            root, ExpandStrategy.RECURSIVE_EARLY, root_attrs=root_attrs
+        ).tree
+        assert trees_equal(late, recursive)

@@ -1,0 +1,142 @@
+"""Capacity-planning helpers: closed-form solutions vs brute force."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.crossover import (
+    latency_where_saving_reaches,
+    max_latency_for_budget,
+    min_bandwidth_for_budget,
+    response_time_at,
+    saving_is_monotone_in_latency,
+)
+from repro.model.parameters import NetworkParameters, TreeParameters
+from repro.model.response_time import Action, Strategy, predict, saving_percent
+
+TREE = TreeParameters(depth=9, branching=3, visibility=0.6)
+NETWORK = NetworkParameters(latency_s=0.15, dtr_kbit_s=512)
+
+
+class TestOverrides:
+    def test_response_time_at_reproduces_base(self):
+        direct = predict(Action.MLE, Strategy.LATE, TREE, NETWORK).total_seconds
+        assert response_time_at(Action.MLE, Strategy.LATE, TREE, NETWORK) == (
+            pytest.approx(direct)
+        )
+
+    def test_latency_override(self):
+        fast = response_time_at(
+            Action.MLE, Strategy.LATE, TREE, NETWORK, latency_s=0.01
+        )
+        assert fast < predict(
+            Action.MLE, Strategy.LATE, TREE, NETWORK
+        ).total_seconds
+
+
+class TestLatencyBudget:
+    def test_solution_is_exact(self):
+        budget = 60.0  # above the ~47.5 s pure-transfer share
+        threshold = max_latency_for_budget(
+            Action.MLE, Strategy.LATE, TREE, NETWORK, budget
+        )
+        at_threshold = response_time_at(
+            Action.MLE, Strategy.LATE, TREE, NETWORK, latency_s=threshold
+        )
+        assert at_threshold == pytest.approx(budget)
+        above = response_time_at(
+            Action.MLE, Strategy.LATE, TREE, NETWORK, latency_s=threshold * 1.01
+        )
+        assert above > budget
+
+    def test_none_when_bandwidth_bound(self):
+        # 2 s budget but the transfer alone takes ~45 s: hopeless.
+        assert (
+            max_latency_for_budget(Action.MLE, Strategy.LATE, TREE, NETWORK, 2.0)
+            is None
+        )
+
+    def test_recursive_tolerates_huge_latency(self):
+        threshold = max_latency_for_budget(
+            Action.MLE, Strategy.RECURSIVE, TREE, NETWORK, 10.0
+        )
+        # Two communications: even seconds of latency are fine.
+        assert threshold > 1.0
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ModelError):
+            max_latency_for_budget(Action.MLE, Strategy.LATE, TREE, NETWORK, 0)
+
+
+class TestBandwidthBudget:
+    def test_solution_is_exact(self):
+        budget = 200.0
+        dtr = min_bandwidth_for_budget(
+            Action.MLE, Strategy.LATE, TREE, NETWORK, budget
+        )
+        at_threshold = response_time_at(
+            Action.MLE, Strategy.LATE, TREE, NETWORK, dtr_kbit_s=dtr
+        )
+        assert at_threshold == pytest.approx(budget)
+
+    def test_none_when_latency_bound(self):
+        # The late MLE pays ~890 communications x 150 ms = ~133 s of pure
+        # latency: a 60-second budget is unreachable at any bandwidth.
+        assert (
+            min_bandwidth_for_budget(Action.MLE, Strategy.LATE, TREE, NETWORK, 60.0)
+            is None
+        )
+        # ... while the recursive query only needs a modest link.
+        dtr = min_bandwidth_for_budget(
+            Action.MLE, Strategy.RECURSIVE, TREE, NETWORK, 60.0
+        )
+        assert dtr is not None and dtr < NETWORK.dtr_kbit_s
+
+
+class TestSavingThreshold:
+    def test_threshold_matches_brute_force(self):
+        target = 95.0
+        threshold = latency_where_saving_reaches(TREE, NETWORK, target)
+        assert threshold is not None
+
+        def saving_at(latency):
+            late = response_time_at(
+                Action.MLE, Strategy.LATE, TREE, NETWORK, latency_s=latency
+            )
+            recursive = response_time_at(
+                Action.MLE, Strategy.RECURSIVE, TREE, NETWORK, latency_s=latency
+            )
+            return saving_percent(late, recursive)
+
+        assert saving_at(threshold) == pytest.approx(target, abs=0.01)
+        assert saving_at(threshold * 1.5) > target
+        if threshold > 0:
+            assert saving_at(threshold * 0.5) < target
+
+    def test_paper_grid_already_beyond_95(self):
+        threshold = latency_where_saving_reaches(TREE, NETWORK, 95.0)
+        assert threshold < 0.15  # table rows use 150 ms -> saving > 95 %
+
+    def test_unreachable_target_returns_none(self):
+        assert (
+            latency_where_saving_reaches(TREE, NETWORK, 99.999) is None
+            or latency_where_saving_reaches(TREE, NETWORK, 99.999) > 0
+        )
+        # Against itself no saving is ever possible.
+        assert (
+            latency_where_saving_reaches(
+                TREE, NETWORK, 50.0, baseline=Strategy.RECURSIVE
+            )
+            is None
+        )
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ModelError):
+            latency_where_saving_reaches(TREE, NETWORK, 0)
+        with pytest.raises(ModelError):
+            latency_where_saving_reaches(TREE, NETWORK, 100)
+
+    def test_monotonicity_predicate(self):
+        assert saving_is_monotone_in_latency(TREE, NETWORK)
+        assert not saving_is_monotone_in_latency(
+            TREE, NETWORK, baseline=Strategy.RECURSIVE, improved=Strategy.LATE
+        )

@@ -1,0 +1,167 @@
+"""Response-time equations (1)-(6) and their published values.
+
+The decisive test: every cell of Tables 2, 3 and 4 — latency part,
+transfer part, total, and saving percentage — must match the paper to
+±0.01 s / ±0.02 percentage points.
+"""
+
+import pytest
+
+from repro.bench import paper_values
+from repro.errors import ModelError
+from repro.model.parameters import (
+    NetworkParameters,
+    PAPER_NETWORKS,
+    PAPER_TREES,
+    TreeParameters,
+)
+from repro.model.response_time import Action, Strategy, predict, saving_percent
+
+
+def tree_for(key):
+    return next(
+        tree
+        for tree in PAPER_TREES
+        if (tree.depth, tree.branching) == key
+    )
+
+
+def network_for(key):
+    return next(
+        network
+        for network in PAPER_NETWORKS
+        if (network.latency_s, network.dtr_kbit_s) == key
+    )
+
+
+ACTIONS = {
+    "query": Action.QUERY,
+    "expand": Action.EXPAND,
+    "mle": Action.MLE,
+}
+
+
+class TestTable2LateEvaluation:
+    @pytest.mark.parametrize("network_key", paper_values.NETWORKS)
+    @pytest.mark.parametrize("tree_key", paper_values.TREES)
+    @pytest.mark.parametrize("action_name", paper_values.ACTIONS)
+    def test_cell(self, network_key, tree_key, action_name):
+        latency, transfer, total = paper_values.TABLE2[network_key][tree_key][
+            action_name
+        ]
+        prediction = predict(
+            ACTIONS[action_name],
+            Strategy.LATE,
+            tree_for(tree_key),
+            network_for(network_key),
+        )
+        assert prediction.latency_seconds == pytest.approx(latency, abs=0.011)
+        assert prediction.transfer_seconds == pytest.approx(transfer, abs=0.011)
+        assert prediction.total_seconds == pytest.approx(total, abs=0.011)
+
+
+class TestTable3EarlyEvaluation:
+    @pytest.mark.parametrize("network_key", paper_values.NETWORKS)
+    @pytest.mark.parametrize("tree_key", paper_values.TREES)
+    @pytest.mark.parametrize("action_name", paper_values.ACTIONS)
+    def test_cell(self, network_key, tree_key, action_name):
+        latency, transfer, total = paper_values.TABLE3[network_key][tree_key][
+            action_name
+        ]
+        prediction = predict(
+            ACTIONS[action_name],
+            Strategy.EARLY,
+            tree_for(tree_key),
+            network_for(network_key),
+        )
+        assert prediction.latency_seconds == pytest.approx(latency, abs=0.011)
+        assert prediction.transfer_seconds == pytest.approx(transfer, abs=0.011)
+        assert prediction.total_seconds == pytest.approx(total, abs=0.011)
+
+    @pytest.mark.parametrize("network_key", paper_values.NETWORKS)
+    @pytest.mark.parametrize("tree_key", paper_values.TREES)
+    @pytest.mark.parametrize("action_name", paper_values.ACTIONS)
+    def test_saving(self, network_key, tree_key, action_name):
+        published = paper_values.TABLE3_SAVINGS[network_key][tree_key][action_name]
+        tree, network = tree_for(tree_key), network_for(network_key)
+        late = predict(ACTIONS[action_name], Strategy.LATE, tree, network)
+        early = predict(ACTIONS[action_name], Strategy.EARLY, tree, network)
+        saving = saving_percent(late.total_seconds, early.total_seconds)
+        assert saving == pytest.approx(published, abs=0.02)
+
+
+class TestTable4Recursive:
+    @pytest.mark.parametrize("network_key", paper_values.NETWORKS)
+    @pytest.mark.parametrize("tree_key", paper_values.TREES)
+    def test_cell(self, network_key, tree_key):
+        latency, transfer, total, published_saving = paper_values.TABLE4[
+            network_key
+        ][tree_key]
+        tree, network = tree_for(tree_key), network_for(network_key)
+        prediction = predict(Action.MLE, Strategy.RECURSIVE, tree, network)
+        assert prediction.latency_seconds == pytest.approx(latency, abs=0.011)
+        assert prediction.transfer_seconds == pytest.approx(transfer, abs=0.011)
+        assert prediction.total_seconds == pytest.approx(total, abs=0.011)
+        late = predict(Action.MLE, Strategy.LATE, tree, network)
+        saving = saving_percent(late.total_seconds, prediction.total_seconds)
+        assert saving == pytest.approx(published_saving, abs=0.02)
+
+    def test_recursive_mle_uses_two_communications(self):
+        prediction = predict(
+            Action.MLE, Strategy.RECURSIVE, PAPER_TREES[0], PAPER_NETWORKS[0]
+        )
+        assert prediction.communications == 2.0
+
+    def test_larger_query_text_costs_more_packets(self):
+        tree, network = PAPER_TREES[0], PAPER_NETWORKS[0]
+        one = predict(Action.MLE, Strategy.RECURSIVE, tree, network, query_packets=1)
+        three = predict(Action.MLE, Strategy.RECURSIVE, tree, network, query_packets=3)
+        expected_extra = 2 * 1.5 * network.packet_bytes * 8 / network.bits_per_second
+        assert three.total_seconds - one.total_seconds == pytest.approx(expected_extra)
+
+    def test_zero_query_packets_rejected(self):
+        with pytest.raises(ModelError):
+            predict(
+                Action.MLE,
+                Strategy.RECURSIVE,
+                PAPER_TREES[0],
+                PAPER_NETWORKS[0],
+                query_packets=0,
+            )
+
+
+class TestModelStructure:
+    def test_communications_twice_queries(self):
+        prediction = predict(
+            Action.MLE, Strategy.LATE, PAPER_TREES[0], PAPER_NETWORKS[0]
+        )
+        assert prediction.communications == pytest.approx(2 * prediction.queries)
+
+    def test_recursion_equals_early_for_query_and_expand(self):
+        for action in (Action.QUERY, Action.EXPAND):
+            early = predict(action, Strategy.EARLY, PAPER_TREES[1], PAPER_NETWORKS[1])
+            recursive = predict(
+                action, Strategy.RECURSIVE, PAPER_TREES[1], PAPER_NETWORKS[1]
+            )
+            assert recursive.total_seconds == pytest.approx(early.total_seconds)
+
+    def test_saving_requires_positive_baseline(self):
+        with pytest.raises(ModelError):
+            saving_percent(0.0, 1.0)
+
+    def test_network_validation(self):
+        with pytest.raises(ModelError):
+            NetworkParameters(latency_s=-1, dtr_kbit_s=256)
+        with pytest.raises(ModelError):
+            NetworkParameters(latency_s=0.1, dtr_kbit_s=0)
+
+    def test_volume_decomposition(self):
+        """vol = q*size_p + n_t*size_node + q*size_p/2 (equation (3))."""
+        tree, network = PAPER_TREES[0], PAPER_NETWORKS[0]
+        prediction = predict(Action.QUERY, Strategy.LATE, tree, network)
+        expected = (
+            prediction.queries * network.packet_bytes
+            + prediction.transmitted_nodes * network.node_bytes
+            + prediction.queries * network.packet_bytes / 2
+        )
+        assert prediction.volume_bytes == pytest.approx(expected)

@@ -1,0 +1,108 @@
+"""Tree node-count formulas (paper Section 2)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.parameters import TreeParameters
+from repro.model.trees import (
+    expected_visible_nodes,
+    full_node_count,
+    level_width,
+    navigational_query_count,
+    transmitted_nodes,
+    visible_node_count,
+)
+
+
+class TestCounts:
+    def test_level_width(self):
+        tree = TreeParameters(depth=3, branching=4)
+        assert [level_width(tree, i) for i in range(4)] == [1, 4, 16, 64]
+
+    def test_level_out_of_range(self):
+        tree = TreeParameters(depth=3, branching=4)
+        with pytest.raises(ModelError):
+            level_width(tree, 4)
+
+    def test_full_node_count_excludes_root(self):
+        tree = TreeParameters(depth=3, branching=9)
+        assert full_node_count(tree) == 9 + 81 + 729  # paper scenario 1
+
+    def test_paper_scenario_counts(self):
+        assert full_node_count(TreeParameters(9, 3)) == 29523
+        assert full_node_count(TreeParameters(7, 5)) == 97655
+
+    def test_visible_counts_are_expectations(self):
+        tree = TreeParameters(depth=3, branching=9, visibility=0.6)
+        expected = 5.4 + 5.4**2 + 5.4**3
+        assert visible_node_count(tree) == pytest.approx(expected)
+
+    def test_expected_visible_per_level(self):
+        tree = TreeParameters(depth=2, branching=10, visibility=0.5)
+        assert expected_visible_nodes(tree, 1) == pytest.approx(5.0)
+        assert expected_visible_nodes(tree, 2) == pytest.approx(25.0)
+
+    def test_sigma_one_matches_full_count(self):
+        tree = TreeParameters(depth=5, branching=2, visibility=1.0)
+        assert visible_node_count(tree) == full_node_count(tree)
+
+
+class TestTransmittedNodes:
+    def test_query_action(self):
+        tree = TreeParameters(depth=3, branching=9, visibility=0.6)
+        assert transmitted_nodes(tree, "query", early=False) == 819
+        assert transmitted_nodes(tree, "query", early=True) == pytest.approx(
+            visible_node_count(tree)
+        )
+
+    def test_expand_action(self):
+        tree = TreeParameters(depth=3, branching=9, visibility=0.6)
+        assert transmitted_nodes(tree, "expand", early=False) == 9
+        assert transmitted_nodes(tree, "expand", early=True) == pytest.approx(5.4)
+
+    def test_mle_late_formula(self):
+        """n_t = κ · Σ_{i=0..δ-1} (σκ)^i."""
+        tree = TreeParameters(depth=3, branching=9, visibility=0.6)
+        expected = 9 * (1 + 5.4 + 5.4**2)
+        assert transmitted_nodes(tree, "mle", early=False) == pytest.approx(expected)
+
+    def test_mle_early_is_visible_count(self):
+        tree = TreeParameters(depth=3, branching=9, visibility=0.6)
+        assert transmitted_nodes(tree, "mle", early=True) == pytest.approx(
+            visible_node_count(tree)
+        )
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ModelError):
+            transmitted_nodes(TreeParameters(1, 1), "drop", early=False)
+
+
+class TestQueryCounts:
+    def test_single_query_actions(self):
+        tree = TreeParameters(depth=3, branching=9, visibility=0.6)
+        assert navigational_query_count(tree, "query") == 1.0
+        assert navigational_query_count(tree, "expand") == 1.0
+
+    def test_mle_query_count_has_root_probe(self):
+        """Pinned by Table 2's latency column: 57.91 / 0.15 / 2 = 193.02."""
+        tree = TreeParameters(depth=3, branching=9, visibility=0.6)
+        assert navigational_query_count(tree, "mle") == pytest.approx(
+            193.024, abs=0.001
+        )
+
+
+class TestParameterValidation:
+    def test_bad_depth(self):
+        with pytest.raises(ModelError):
+            TreeParameters(depth=0, branching=2)
+
+    def test_bad_branching(self):
+        with pytest.raises(ModelError):
+            TreeParameters(depth=2, branching=0)
+
+    def test_bad_visibility(self):
+        with pytest.raises(ModelError):
+            TreeParameters(depth=2, branching=2, visibility=1.5)
+
+    def test_label(self):
+        assert "kappa=3" in TreeParameters(9, 3).label

@@ -1,0 +1,159 @@
+"""Check-out / check-in: two-phase vs server procedure (paper Section 6)."""
+
+import pytest
+
+from repro.errors import CheckOutError
+from repro.pdm.operations import CheckOutMode, ExpandStrategy
+from repro.rules.conditions import Attribute, Comparison, Const, ForAllRows
+from repro.rules.model import Actions, Rule
+
+
+@pytest.fixture
+def scenario(tiny_scenario):
+    """Fully visible 2x2 tree with the paper-example-2 check-out rule."""
+    tiny_scenario.rule_table.add(
+        Rule(
+            user="*",
+            action=Actions.CHECK_OUT,
+            object_type="assy",
+            condition=ForAllRows(
+                Comparison("=", Attribute("checkedout"), Const(False))
+            ),
+            name="all-checked-in",
+        )
+    )
+    return tiny_scenario
+
+
+def checked_out_obids(db):
+    rows = db.execute(
+        "SELECT obid FROM assy WHERE checkedout = TRUE "
+        "UNION ALL SELECT obid FROM comp WHERE checkedout = TRUE"
+    )
+    return set(rows.column("obid"))
+
+
+class TestTwoPhase:
+    def test_checks_out_whole_subtree(self, scenario):
+        root = scenario.product.root_obid
+        result = scenario.client.check_out(
+            root, CheckOutMode.TWO_PHASE,
+            root_attrs=scenario.product.root_attributes(),
+        )
+        assert set(result.checked_out) == scenario.product.visible_obids
+        assert checked_out_obids(scenario.database) == scenario.product.visible_obids
+
+    def test_costs_three_round_trips(self, scenario):
+        result = scenario.client.check_out(
+            scenario.product.root_obid,
+            CheckOutMode.TWO_PHASE,
+            root_attrs=scenario.product.root_attributes(),
+        )
+        # 1 recursive fetch + 1 UPDATE per node table.
+        assert result.round_trips == 3
+
+    def test_conflict_detected_by_forall_rule(self, scenario):
+        scenario.database.execute(
+            "UPDATE comp SET checkedout = TRUE, checkedout_by = 'mike' "
+            "WHERE obid = ?",
+            [scenario.product.components[0].obid],
+        )
+        with pytest.raises(CheckOutError):
+            scenario.client.check_out(
+                scenario.product.root_obid,
+                CheckOutMode.TWO_PHASE,
+                root_attrs=scenario.product.root_attributes(),
+            )
+        # Nothing was partially checked out by scott.
+        owners = scenario.database.execute(
+            "SELECT DISTINCT checkedout_by FROM comp WHERE checkedout = TRUE"
+        ).column("checkedout_by")
+        assert owners == ["mike"]
+
+    def test_check_in_releases(self, scenario):
+        root = scenario.product.root_obid
+        scenario.client.check_out(
+            root, CheckOutMode.TWO_PHASE,
+            root_attrs=scenario.product.root_attributes(),
+        )
+        result = scenario.client.check_in(root, CheckOutMode.TWO_PHASE)
+        assert checked_out_obids(scenario.database) == set()
+        assert set(result.checked_out) == scenario.product.visible_obids
+
+
+class TestServerProcedure:
+    def test_single_round_trip(self, scenario):
+        result = scenario.client.check_out(
+            scenario.product.root_obid, CheckOutMode.SERVER_PROCEDURE
+        )
+        assert result.round_trips == 1
+        assert checked_out_obids(scenario.database) == scenario.product.visible_obids
+
+    def test_conflict_raises_and_changes_nothing(self, scenario):
+        conflicted = scenario.product.components[0].obid
+        scenario.database.execute(
+            "UPDATE comp SET checkedout = TRUE WHERE obid = ?", [conflicted]
+        )
+        with pytest.raises(CheckOutError):
+            scenario.client.check_out(
+                scenario.product.root_obid, CheckOutMode.SERVER_PROCEDURE
+            )
+        assert checked_out_obids(scenario.database) == {conflicted}
+
+    def test_unknown_root_raises(self, scenario):
+        with pytest.raises(CheckOutError):
+            scenario.client.check_out(999_999, CheckOutMode.SERVER_PROCEDURE)
+
+    def test_check_in_by_other_user_is_noop(self, scenario):
+        root = scenario.product.root_obid
+        scenario.client.check_out(root, CheckOutMode.SERVER_PROCEDURE)
+        other = scenario.fresh_client(user="mike")
+        result = other.check_in(root, CheckOutMode.SERVER_PROCEDURE)
+        assert result.checked_out == []
+        assert checked_out_obids(scenario.database)  # still held by scott
+
+    def test_check_in_releases_only_own_subtree(self, scenario):
+        root = scenario.product.root_obid
+        scenario.client.check_out(root, CheckOutMode.SERVER_PROCEDURE)
+        result = scenario.client.check_in(root, CheckOutMode.SERVER_PROCEDURE)
+        assert set(result.checked_out) == scenario.product.visible_obids
+        assert checked_out_obids(scenario.database) == set()
+
+    def test_injected_failure_rolls_back_partial_updates(self, scenario, monkeypatch):
+        """Failure injection: the server procedure updates assy first and
+        comp second; a fault between the two must not leave the assemblies
+        flagged (the transactional substrate extension)."""
+        from repro.errors import ExecutionError
+
+        db = scenario.database
+        original_execute = db.execute
+
+        def flaky_execute(sql, params=()):
+            if isinstance(sql, str) and sql.startswith("UPDATE comp"):
+                raise ExecutionError("injected storage failure")
+            return original_execute(sql, params)
+
+        monkeypatch.setattr(db, "execute", flaky_execute)
+        with pytest.raises(ExecutionError):
+            scenario.client.check_out(
+                scenario.product.root_obid, CheckOutMode.SERVER_PROCEDURE
+            )
+        monkeypatch.undo()
+        # No assembly may remain checked out after the rollback.
+        assert checked_out_obids(scenario.database) == set()
+        # The server survived and a retry succeeds.
+        result = scenario.client.check_out(
+            scenario.product.root_obid, CheckOutMode.SERVER_PROCEDURE
+        )
+        assert set(result.checked_out) == scenario.product.visible_obids
+
+    def test_procedure_faster_than_two_phase_on_wan(self, scenario):
+        root = scenario.product.root_obid
+        root_attrs = scenario.product.root_attributes()
+        two_phase = scenario.client.check_out(
+            root, CheckOutMode.TWO_PHASE, root_attrs=root_attrs
+        )
+        scenario.client.check_in(root, CheckOutMode.TWO_PHASE)
+        procedure = scenario.client.check_out(root, CheckOutMode.SERVER_PROCEDURE)
+        # Latency: 3 round trips vs 1.
+        assert procedure.traffic.latency_seconds < two_phase.traffic.latency_seconds

@@ -1,0 +1,168 @@
+"""The Section 5.5 remark: where ∃structure probes are placed matters.
+
+INSIDE the recursion (the paper's 5.3.2 translation) an object failing the
+probe never enters the working table, so its whole subtree is pruned.
+OUTSIDE (the remark's rewrite against the homogenised result with a type
+discriminator) the recursion collects everything and only the failing
+objects themselves are filtered — their descendants survive.
+
+Both placements are implemented; this test pins down the semantic
+difference on a product where an *assembly* carries the ∃structure
+condition and has children.
+"""
+
+import pytest
+
+from repro.bench.workload import build_scenario
+from repro.model.parameters import TreeParameters
+from repro.network.profiles import WAN_512
+from repro.pdm.generator import generate_product
+from repro.pdm.objects import Specification, SpecifiedBy
+from repro.pdm.operations import ExpandStrategy, PDMClient
+from repro.rules.conditions import ExistsStructure
+from repro.rules.model import Actions, Rule
+from repro.rules.modificator import ExistsPlacement
+from repro.rules.ruletable import RuleTable
+
+
+@pytest.fixture
+def scenario():
+    """Depth-3 binary tree; every node EXCEPT one depth-1 assembly gets a
+    specification document."""
+    tree = TreeParameters(depth=3, branching=2, visibility=1.0)
+    product = generate_product(tree, seed=5)
+    unspecified = product.children[product.root_obid][0][1]
+    spec_id = 9_000_000
+    for obid in sorted(
+        {a.obid for a in product.assemblies}
+        | {c.obid for c in product.components}
+    ):
+        if obid == unspecified:
+            continue
+        product.specifications.append(
+            Specification(obid=spec_id, name=f"Spec{spec_id}")
+        )
+        product.specified_by.append(
+            SpecifiedBy(obid=spec_id + 1, left=obid, right=spec_id)
+        )
+        spec_id += 2
+    built = build_scenario(
+        tree, WAN_512, product=product, rule_table=RuleTable()
+    )
+    return built, unspecified
+
+
+def exists_rule():
+    return Rule(
+        user="*",
+        action=Actions.MULTI_LEVEL_EXPAND,
+        object_type="assy",
+        condition=ExistsStructure("assy", "specified_by", "spec"),
+    )
+
+
+def expand(scenario, placement):
+    built, __ = scenario
+    table = RuleTable([exists_rule()])
+    client = PDMClient(
+        built.connection,
+        rule_table=table,
+        exists_placement=placement,
+    )
+    result = client.multi_level_expand(
+        built.product.root_obid,
+        ExpandStrategy.RECURSIVE_EARLY,
+        root_attrs=built.product.root_attributes(),
+    )
+    return result.tree
+
+
+class TestPlacementSemantics:
+    def test_inside_prunes_whole_subtree(self, scenario):
+        built, unspecified = scenario
+        tree = expand(scenario, ExistsPlacement.INSIDE)
+        obids = tree.obids()
+        assert unspecified not in obids
+        # Every descendant of the unspecified assembly is gone too.
+        for link, child in built.product.children[unspecified]:
+            assert child not in obids
+
+    def test_outside_filters_only_the_object_itself(self, scenario):
+        built, unspecified = scenario
+        tree = expand(scenario, ExistsPlacement.OUTSIDE)
+        # The unspecified assembly's node row is filtered from the result,
+        # so it cannot be attached — and because the structure is a tree,
+        # its children become unreachable during reassembly even though
+        # their rows were shipped.  The observable difference is the data
+        # volume, checked below.
+        assert unspecified not in tree.obids()
+
+    def test_outside_ships_more_data(self, scenario):
+        """INSIDE placement saves the WAN traffic of the pruned subtree;
+        OUTSIDE collects the full tree before filtering."""
+        built, __ = scenario
+        table = RuleTable([exists_rule()])
+        root_attrs = built.product.root_attributes()
+        inside_client = PDMClient(
+            built.connection,
+            rule_table=table,
+            exists_placement=ExistsPlacement.INSIDE,
+        )
+        outside_client = PDMClient(
+            built.connection,
+            rule_table=table,
+            exists_placement=ExistsPlacement.OUTSIDE,
+        )
+        inside = inside_client.multi_level_expand(
+            built.product.root_obid,
+            ExpandStrategy.RECURSIVE_EARLY,
+            root_attrs=root_attrs,
+        )
+        outside = outside_client.multi_level_expand(
+            built.product.root_obid,
+            ExpandStrategy.RECURSIVE_EARLY,
+            root_attrs=root_attrs,
+        )
+        assert outside.traffic.payload_bytes > inside.traffic.payload_bytes
+
+    def test_late_evaluation_pays_extra_round_trips(self, scenario):
+        """The WAN argument for early ∃structure evaluation: the late
+        client must probe the specified_by relation once per candidate
+        object — each probe is a full round trip — while the recursive
+        query folds all probes into its single statement."""
+        built, __ = scenario
+        table = RuleTable([exists_rule()])
+        client = PDMClient(built.connection, rule_table=table)
+        root_attrs = built.product.root_attributes()
+        late = client.multi_level_expand(
+            built.product.root_obid,
+            ExpandStrategy.NAVIGATIONAL_LATE,
+            root_attrs=root_attrs,
+        )
+        recursive = client.multi_level_expand(
+            built.product.root_obid,
+            ExpandStrategy.RECURSIVE_EARLY,
+            root_attrs=root_attrs,
+        )
+        assert recursive.round_trips == 1
+        # Navigational fetches plus one ∃structure probe per surviving
+        # assembly (7 assemblies in the depth-3 binary tree, minus the
+        # pruned one, plus the root).
+        expansion_round_trips = 1 + built.product.visible_node_count
+        assert late.round_trips > expansion_round_trips
+
+    def test_late_reference_semantics_match_inside(self, scenario):
+        """The client-side (late) evaluator prunes subtrees — i.e. the
+        paper's 5.3.2 INSIDE placement is the reference semantics."""
+        from repro.pdm.structure import trees_equal
+
+        built, __ = scenario
+        table = RuleTable([exists_rule()])
+        client = PDMClient(built.connection, rule_table=table)
+        late = client.multi_level_expand(
+            built.product.root_obid,
+            ExpandStrategy.NAVIGATIONAL_LATE,
+            root_attrs=built.product.root_attributes(),
+        ).tree
+        inside = expand(scenario, ExistsPlacement.INSIDE)
+        assert trees_equal(late, inside)

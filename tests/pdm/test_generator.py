@@ -1,0 +1,171 @@
+"""Product generators: tree shape, visibility ground truth, determinism."""
+
+import pytest
+
+from repro.errors import PDMError
+from repro.model.parameters import TreeParameters
+from repro.model.trees import full_node_count
+from repro.pdm.generator import (
+    figure2_dataset,
+    generate_product,
+    payload_length_for,
+)
+from repro.pdm.objects import OPTION_ALTERNATE, OPTION_STANDARD
+
+
+class TestKaryTree:
+    def test_node_counts_match_formula(self):
+        tree = TreeParameters(depth=3, branching=4, visibility=1.0)
+        product = generate_product(tree, seed=1)
+        assert product.node_count == full_node_count(tree) + 1  # + root
+        assert len(product.components) == 4**3
+        assert len(product.assemblies) == 1 + 4 + 16
+
+    def test_links_connect_every_non_root_node(self):
+        tree = TreeParameters(depth=2, branching=3, visibility=1.0)
+        product = generate_product(tree, seed=1)
+        assert len(product.links) == product.node_count - 1
+        child_ids = {link.right for link in product.links}
+        all_ids = {a.obid for a in product.assemblies} | {
+            c.obid for c in product.components
+        }
+        assert child_ids == all_ids - {product.root_obid}
+
+    def test_leaves_are_components_inner_are_assemblies(self):
+        tree = TreeParameters(depth=2, branching=2, visibility=1.0)
+        product = generate_product(tree, seed=3)
+        parents = {link.left for link in product.links}
+        for component in product.components:
+            assert component.obid not in parents
+
+    def test_full_visibility_when_sigma_one(self):
+        tree = TreeParameters(depth=3, branching=2, visibility=1.0)
+        product = generate_product(tree, seed=5)
+        assert product.visible_node_count == full_node_count(tree)
+        assert len(product.visible_links) == len(product.links)
+
+    def test_zero_visibility_hides_everything_but_root(self):
+        tree = TreeParameters(depth=2, branching=2, visibility=0.0)
+        product = generate_product(tree, seed=5)
+        assert product.visible_obids == {product.root_obid}
+
+    def test_visibility_is_path_consistent(self):
+        """A node is visible iff its parent is visible AND its incoming
+        link is visible (the ground truth must respect root paths)."""
+        tree = TreeParameters(depth=4, branching=3, visibility=0.5)
+        product = generate_product(tree, seed=11)
+        parent_of = {link.right: (link.left, link.obid) for link in product.links}
+        for node in list(product.visible_obids):
+            if node == product.root_obid:
+                continue
+            parent, link_id = parent_of[node]
+            assert parent in product.visible_obids
+            assert link_id in product.visible_links
+
+    def test_option_masks_encode_visibility(self):
+        tree = TreeParameters(depth=3, branching=3, visibility=0.5)
+        product = generate_product(tree, seed=13)
+        for assembly in product.assemblies:
+            expected = (
+                OPTION_STANDARD
+                if assembly.obid in product.visible_obids
+                else OPTION_ALTERNATE
+            )
+            assert assembly.strc_opt == expected
+        for link in product.links:
+            expected = (
+                OPTION_STANDARD
+                if link.obid in product.visible_links
+                else OPTION_ALTERNATE
+            )
+            assert link.strc_opt == expected
+
+    def test_deterministic_for_seed(self):
+        tree = TreeParameters(depth=3, branching=3, visibility=0.6)
+        first = generate_product(tree, seed=9)
+        second = generate_product(tree, seed=9)
+        assert first.visible_obids == second.visible_obids
+        assert [l.to_row() for l in first.links] == [
+            l.to_row() for l in second.links
+        ]
+
+    def test_different_seed_differs(self):
+        tree = TreeParameters(depth=4, branching=3, visibility=0.6)
+        first = generate_product(tree, seed=1)
+        second = generate_product(tree, seed=2)
+        assert first.visible_obids != second.visible_obids
+
+    def test_visible_fraction_approximates_sigma(self):
+        tree = TreeParameters(depth=1, branching=2000, visibility=0.6)
+        product = generate_product(tree, seed=3)
+        fraction = product.visible_node_count / 2000
+        assert abs(fraction - 0.6) < 0.05
+
+    def test_specifications_attached_with_probability(self):
+        tree = TreeParameters(depth=2, branching=4, visibility=1.0)
+        product = generate_product(tree, seed=3, spec_probability=1.0)
+        assert len(product.specifications) == product.node_count - 1
+        none = generate_product(tree, seed=3, spec_probability=0.0)
+        assert none.specifications == []
+
+    def test_overlapping_user_options_rejected(self):
+        tree = TreeParameters(depth=1, branching=1)
+        with pytest.raises(PDMError):
+            generate_product(tree, user_options=OPTION_ALTERNATE)
+
+    def test_children_map_matches_links(self):
+        tree = TreeParameters(depth=2, branching=2, visibility=1.0)
+        product = generate_product(tree, seed=3)
+        total_children = sum(len(v) for v in product.children.values())
+        assert total_children == len(product.links)
+
+    def test_root_attributes(self):
+        tree = TreeParameters(depth=1, branching=2)
+        product = generate_product(tree, seed=1)
+        attrs = product.root_attributes()
+        assert attrs["obid"] == product.root_obid
+        assert attrs["type"] == "assy"
+        assert attrs["strc_opt"] == OPTION_STANDARD
+
+
+class TestPayloadPadding:
+    def test_padding_positive_for_default_target(self):
+        assert payload_length_for(512) > 0
+
+    def test_tiny_target_clamps_to_zero(self):
+        assert payload_length_for(10) == 0
+
+    def test_node_bytes_controls_row_size(self):
+        tree = TreeParameters(depth=1, branching=1)
+        small = generate_product(tree, seed=1, node_bytes=256)
+        large = generate_product(tree, seed=1, node_bytes=1024)
+        assert len(large.assemblies[0].payload) > len(small.assemblies[0].payload)
+
+
+class TestFigure2:
+    def test_figure2_shape(self):
+        product = figure2_dataset()
+        assert len(product.assemblies) == 8
+        assert len(product.components) == 7
+        assert len(product.links) == 8
+
+    def test_figure2_effectivities_match_paper(self):
+        product = figure2_dataset()
+        by_id = {link.obid: link for link in product.links}
+        assert (by_id[1001].eff_from, by_id[1001].eff_to) == (1, 3)
+        assert (by_id[1005].eff_from, by_id[1005].eff_to) == (6, 10)
+
+    def test_figure2_decomposable_flags(self):
+        product = figure2_dataset()
+        decs = {a.obid: a.decomposable for a in product.assemblies}
+        assert decs[1] and decs[4]
+        assert not decs[5] and not decs[8]
+
+    def test_figure2_specifications_cover_101_103_104(self):
+        product = figure2_dataset()
+        specified = {rel.left for rel in product.specified_by}
+        assert specified == {101, 103, 104}
+
+    def test_figure2_without_specifications(self):
+        product = figure2_dataset(with_specifications=False)
+        assert product.specified_by == []

@@ -1,0 +1,117 @@
+"""Irregular (random-attachment) product structures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workload import build_scenario
+from repro.errors import PDMError
+from repro.network.profiles import WAN_1024
+from repro.pdm.generator import generate_irregular_product
+from repro.pdm.operations import ExpandStrategy
+from repro.pdm.structure import trees_equal
+
+
+class TestGeneratorInvariants:
+    def test_node_count(self):
+        product = generate_irregular_product(40, seed=1)
+        assert product.node_count == 40
+        assert len(product.links) == 39
+
+    def test_single_node_product(self):
+        product = generate_irregular_product(1, seed=1)
+        assert product.node_count == 1
+        assert product.links == []
+
+    def test_all_nodes_reachable_from_root(self):
+        product = generate_irregular_product(60, seed=5)
+        adjacency = {}
+        for link in product.links:
+            adjacency.setdefault(link.left, []).append(link.right)
+        seen = {product.root_obid}
+        frontier = [product.root_obid]
+        while frontier:
+            node = frontier.pop()
+            for child in adjacency.get(node, ()):
+                seen.add(child)
+                frontier.append(child)
+        all_ids = {a.obid for a in product.assemblies} | {
+            c.obid for c in product.components
+        }
+        assert seen == all_ids
+
+    def test_components_never_have_children(self):
+        product = generate_irregular_product(80, seed=7, leaf_probability=0.6)
+        parents = {link.left for link in product.links}
+        for component in product.components:
+            assert component.obid not in parents
+
+    def test_visibility_path_consistent(self):
+        product = generate_irregular_product(80, seed=9, visibility=0.5)
+        parent_of = {link.right: (link.left, link.obid) for link in product.links}
+        for obid in product.visible_obids - {product.root_obid}:
+            parent, link_id = parent_of[obid]
+            assert parent in product.visible_obids
+            assert link_id in product.visible_links
+
+    def test_realised_shape_recorded(self):
+        product = generate_irregular_product(100, seed=11)
+        fanouts = {}
+        for link in product.links:
+            fanouts[link.left] = fanouts.get(link.left, 0) + 1
+        assert product.tree.branching == max(fanouts.values())
+
+    def test_deterministic(self):
+        first = generate_irregular_product(30, seed=2)
+        second = generate_irregular_product(30, seed=2)
+        assert [l.to_row() for l in first.links] == [
+            l.to_row() for l in second.links
+        ]
+
+    def test_validation(self):
+        with pytest.raises(PDMError):
+            generate_irregular_product(0)
+        with pytest.raises(PDMError):
+            generate_irregular_product(5, leaf_probability=1.0)
+
+
+class TestStrategyEquivalenceOnIrregularShapes:
+    """The equivalence property must not depend on complete κ-ary trees."""
+
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=0, max_value=5000),
+        st.sampled_from([0.0, 0.4, 0.7, 1.0]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_all_strategies_agree(self, node_count, seed, visibility):
+        product = generate_irregular_product(
+            node_count, seed=seed, visibility=visibility
+        )
+        scenario = build_scenario(
+            product.tree, WAN_1024, product=product
+        )
+        root = product.root_obid
+        root_attrs = product.root_attributes()
+        trees = [
+            scenario.client.multi_level_expand(
+                root, strategy, root_attrs=root_attrs
+            ).tree
+            for strategy in ExpandStrategy
+        ]
+        assert trees_equal(trees[0], trees[1])
+        assert trees_equal(trees[0], trees[2])
+        assert trees[0].obids() == product.visible_obids
+
+    def test_where_used_on_irregular_tree(self):
+        product = generate_irregular_product(50, seed=17)
+        scenario = build_scenario(product.tree, WAN_1024, product=product)
+        leaf = product.components[0].obid
+        result = scenario.client.where_used(leaf)
+        parent_of = {link.right: link.left for link in product.links}
+        expected = []
+        node = leaf
+        while node in parent_of:
+            node = parent_of[node]
+            expected.append(node)
+        assert [a["obid"] for a in result.objects] == expected

@@ -1,0 +1,206 @@
+"""PDMClient actions: strategies, round-trip counts, rule filtering."""
+
+import pytest
+
+from repro.errors import UnknownObjectError
+from repro.pdm.operations import ExpandStrategy
+from repro.pdm.structure import trees_equal
+from repro.rules.conditions import Attribute, Comparison, Const
+from repro.rules.model import Actions, Rule
+
+
+class TestQueryAction:
+    def test_late_and_early_agree_on_visible_set(self, small_scenario):
+        scenario = small_scenario
+        late = scenario.client.query(
+            scenario.product.root_obid, ExpandStrategy.NAVIGATIONAL_LATE
+        )
+        early = scenario.client.query(
+            scenario.product.root_obid, ExpandStrategy.NAVIGATIONAL_EARLY
+        )
+        late_ids = {attrs["obid"] for attrs in late.objects}
+        early_ids = {attrs["obid"] for attrs in early.objects}
+        assert late_ids == early_ids == scenario.product.visible_obids
+
+    def test_single_round_trip_each(self, small_scenario):
+        scenario = small_scenario
+        for strategy in (
+            ExpandStrategy.NAVIGATIONAL_LATE,
+            ExpandStrategy.NAVIGATIONAL_EARLY,
+        ):
+            result = scenario.client.query(scenario.product.root_obid, strategy)
+            assert result.round_trips == 1
+
+    def test_early_transfers_fewer_bytes(self, small_scenario):
+        scenario = small_scenario
+        late = scenario.client.query(
+            scenario.product.root_obid, ExpandStrategy.NAVIGATIONAL_LATE
+        )
+        early = scenario.client.query(
+            scenario.product.root_obid, ExpandStrategy.NAVIGATIONAL_EARLY
+        )
+        assert early.traffic.payload_bytes < late.traffic.payload_bytes
+        assert early.seconds < late.seconds
+
+
+class TestSingleLevelExpand:
+    def test_returns_visible_children(self, small_scenario):
+        scenario = small_scenario
+        result = scenario.client.single_level_expand(
+            scenario.product.root_obid, ExpandStrategy.NAVIGATIONAL_EARLY
+        )
+        expected = {
+            child
+            for __, child in scenario.product.children[scenario.product.root_obid]
+            if child in scenario.product.visible_obids
+        }
+        assert {attrs["obid"] for attrs in result.objects} == expected
+
+    def test_late_equals_early(self, small_scenario):
+        scenario = small_scenario
+        late = scenario.client.single_level_expand(
+            scenario.product.root_obid, ExpandStrategy.NAVIGATIONAL_LATE
+        )
+        early = scenario.client.single_level_expand(
+            scenario.product.root_obid, ExpandStrategy.NAVIGATIONAL_EARLY
+        )
+        assert {a["obid"] for a in late.objects} == {
+            a["obid"] for a in early.objects
+        }
+
+    def test_expand_of_leaf_returns_nothing(self, small_scenario):
+        scenario = small_scenario
+        leaf = scenario.product.components[0].obid
+        result = scenario.client.single_level_expand(
+            leaf, ExpandStrategy.NAVIGATIONAL_EARLY
+        )
+        assert result.objects == []
+        assert result.round_trips == 1
+
+
+class TestMultiLevelExpand:
+    def test_all_three_strategies_agree(self, small_scenario):
+        scenario = small_scenario
+        root = scenario.product.root_obid
+        root_attrs = scenario.product.root_attributes()
+        trees = {
+            strategy: scenario.client.multi_level_expand(
+                root, strategy, root_attrs=root_attrs
+            ).tree
+            for strategy in ExpandStrategy
+        }
+        late = trees[ExpandStrategy.NAVIGATIONAL_LATE]
+        assert trees_equal(late, trees[ExpandStrategy.NAVIGATIONAL_EARLY])
+        assert trees_equal(late, trees[ExpandStrategy.RECURSIVE_EARLY])
+
+    def test_tree_matches_generator_ground_truth(self, small_scenario):
+        scenario = small_scenario
+        result = scenario.client.multi_level_expand(
+            scenario.product.root_obid,
+            ExpandStrategy.RECURSIVE_EARLY,
+            root_attrs=scenario.product.root_attributes(),
+        )
+        assert result.tree.obids() == scenario.product.visible_obids
+
+    def test_navigational_round_trips_match_model(self, small_scenario):
+        """1 (root) + one per visible node, leaves probed too."""
+        scenario = small_scenario
+        result = scenario.client.multi_level_expand(
+            scenario.product.root_obid,
+            ExpandStrategy.NAVIGATIONAL_EARLY,
+            root_attrs=scenario.product.root_attributes(),
+        )
+        assert result.round_trips == 1 + scenario.product.visible_node_count
+
+    def test_recursive_is_exactly_one_round_trip(self, small_scenario):
+        scenario = small_scenario
+        result = scenario.client.multi_level_expand(
+            scenario.product.root_obid,
+            ExpandStrategy.RECURSIVE_EARLY,
+            root_attrs=scenario.product.root_attributes(),
+        )
+        assert result.round_trips == 1
+
+    def test_recursive_much_faster_on_wan(self, small_scenario):
+        scenario = small_scenario
+        root_attrs = scenario.product.root_attributes()
+        navigational = scenario.client.multi_level_expand(
+            scenario.product.root_obid,
+            ExpandStrategy.NAVIGATIONAL_LATE,
+            root_attrs=root_attrs,
+        )
+        recursive = scenario.client.multi_level_expand(
+            scenario.product.root_obid,
+            ExpandStrategy.RECURSIVE_EARLY,
+            root_attrs=root_attrs,
+        )
+        assert recursive.seconds < navigational.seconds / 5
+
+    def test_fully_visible_tree_complete(self, tiny_scenario):
+        scenario = tiny_scenario
+        result = scenario.client.multi_level_expand(
+            scenario.product.root_obid,
+            ExpandStrategy.RECURSIVE_EARLY,
+            root_attrs=scenario.product.root_attributes(),
+        )
+        assert result.tree.node_count() == scenario.product.node_count
+        assert result.tree.depth() == scenario.tree.depth
+
+
+class TestFetchObject:
+    def test_fetch_assembly(self, small_scenario):
+        scenario = small_scenario
+        attrs = scenario.client.fetch_object(scenario.product.root_obid)
+        assert attrs["type"] == "assy"
+
+    def test_fetch_component_gets_empty_dec(self, small_scenario):
+        scenario = small_scenario
+        leaf = scenario.product.components[0].obid
+        attrs = scenario.client.fetch_object(leaf)
+        assert attrs["type"] == "comp"
+        assert attrs["dec"] == ""
+
+    def test_fetch_missing_raises(self, small_scenario):
+        with pytest.raises(UnknownObjectError):
+            small_scenario.client.fetch_object(99_999_999)
+
+
+class TestActionResult:
+    def test_measurement_fields(self, small_scenario):
+        scenario = small_scenario
+        result = scenario.client.query(
+            scenario.product.root_obid, ExpandStrategy.NAVIGATIONAL_EARLY
+        )
+        assert result.seconds > 0
+        assert result.traffic.messages == 2
+        assert result.node_count == len(result.objects)
+
+    def test_measurements_are_deltas(self, small_scenario):
+        scenario = small_scenario
+        first = scenario.client.query(
+            scenario.product.root_obid, ExpandStrategy.NAVIGATIONAL_EARLY
+        )
+        second = scenario.client.query(
+            scenario.product.root_obid, ExpandStrategy.NAVIGATIONAL_EARLY
+        )
+        assert second.seconds == pytest.approx(first.seconds)
+        assert second.traffic.messages == first.traffic.messages
+
+
+class TestActionSpecificRules:
+    def test_mle_rule_does_not_affect_query_action(self, small_scenario):
+        scenario = small_scenario
+        scenario.rule_table.add(
+            Rule(
+                user="scott",
+                action=Actions.MULTI_LEVEL_EXPAND,
+                object_type="assy",
+                condition=Comparison("=", Attribute("obid"), Const(-1)),
+            )
+        )
+        fresh = scenario.fresh_client()
+        result = fresh.query(
+            scenario.product.root_obid, ExpandStrategy.NAVIGATIONAL_EARLY
+        )
+        # Unaffected: the rule is bound to the MLE action.
+        assert len(result.objects) == len(scenario.product.visible_obids)

@@ -1,0 +1,161 @@
+"""The paper's worked examples, end to end against the engine.
+
+Section 5.2: the recursive query over the Figure 2 dataset must produce
+exactly the Figure 3 result table.  Sections 5.3.1-5.3.3: the three tree
+condition examples must behave as the paper describes.
+"""
+
+import pytest
+
+RECURSIVE_CTE = """
+WITH RECURSIVE rtbl (type, obid, name, dec) AS
+(SELECT type, obid, name, dec FROM assy WHERE assy.obid = 1
+ UNION
+ SELECT assy.type, assy.obid, assy.name, assy.dec
+ FROM rtbl JOIN link ON rtbl.obid = link.left
+           JOIN assy ON link.right = assy.obid
+ UNION
+ SELECT comp.type, comp.obid, comp.name, ''
+ FROM rtbl JOIN link ON rtbl.obid = link.left
+           JOIN comp ON link.right = comp.obid)
+"""
+
+OUTER_NODES = """
+SELECT type, obid, name, dec AS "DEC",
+       CAST(NULL AS INTEGER) AS "LEFT",
+       CAST(NULL AS INTEGER) AS "RIGHT",
+       CAST(NULL AS INTEGER) AS "EFF_FROM",
+       CAST(NULL AS INTEGER) AS "EFF_TO"
+FROM rtbl
+"""
+
+OUTER_LINKS = """
+SELECT type, obid, '' AS "NAME", '' AS "DEC",
+       left, right, eff_from, eff_to
+FROM link
+WHERE (left IN (SELECT obid FROM rtbl)
+       AND right IN (SELECT obid FROM rtbl))
+"""
+
+#: Figure 3, transcribed ('-' rendered as None / '').
+FIGURE3_ROWS = [
+    ("assy", 1, "Assy1", "+", None, None, None, None),
+    ("assy", 2, "Assy2", "+", None, None, None, None),
+    ("assy", 3, "Assy3", "+", None, None, None, None),
+    ("assy", 4, "Assy4", "+", None, None, None, None),
+    ("assy", 5, "Assy5", "-", None, None, None, None),
+    ("comp", 101, "Comp1", "", None, None, None, None),
+    ("comp", 102, "Comp2", "", None, None, None, None),
+    ("comp", 103, "Comp3", "", None, None, None, None),
+    ("comp", 104, "Comp4", "", None, None, None, None),
+    ("link", 1001, "", "", 1, 2, 1, 3),
+    ("link", 1002, "", "", 1, 3, 4, 10),
+    ("link", 1003, "", "", 2, 4, 1, 10),
+    ("link", 1004, "", "", 2, 5, 1, 10),
+    ("link", 1005, "", "", 4, 101, 6, 10),
+    ("link", 1006, "", "", 4, 102, 1, 5),
+    ("link", 1007, "", "", 5, 103, 1, 10),
+    ("link", 1008, "", "", 5, 104, 1, 10),
+]
+
+
+class TestSection52:
+    def test_figure3_reproduced_exactly(self, figure2_db):
+        sql = RECURSIVE_CTE + OUTER_NODES + " UNION " + OUTER_LINKS + " ORDER BY 1, 2"
+        result = figure2_db.execute(sql)
+        assert result.columns == [
+            "type", "obid", "name", "DEC", "LEFT", "RIGHT", "EFF_FROM", "EFF_TO",
+        ]
+        assert result.rows == FIGURE3_ROWS
+
+    def test_unconnected_objects_not_collected(self, figure2_db):
+        """Assemblies 6-8 and components 105-107 exist in the tables but
+        are not reachable from object 1 (Figure 2 shows them as spares)."""
+        sql = RECURSIVE_CTE + "SELECT obid FROM rtbl"
+        obids = set(figure2_db.execute(sql).column("obid"))
+        assert obids == {1, 2, 3, 4, 5, 101, 102, 103, 104}
+
+
+class TestSection531ForAllRows:
+    def sql(self, condition):
+        return (
+            RECURSIVE_CTE
+            + OUTER_NODES
+            + f" WHERE NOT EXISTS (SELECT * FROM rtbl WHERE ({condition}))"
+            + " UNION "
+            + OUTER_LINKS
+            + f" AND NOT EXISTS (SELECT * FROM rtbl WHERE ({condition}))"
+            + " ORDER BY 1, 2"
+        )
+
+    def test_result_empty_because_assy5_not_decomposable(self, figure2_db):
+        """Paper: 'The result of this query is empty because of assembly
+        number five.'"""
+        result = figure2_db.execute(self.sql("type = 'assy' AND dec <> '+'"))
+        assert result.rows == []
+
+    def test_result_full_when_condition_never_violated(self, figure2_db):
+        figure2_db.execute("UPDATE assy SET dec = '+' WHERE obid = 5")
+        result = figure2_db.execute(self.sql("type = 'assy' AND dec <> '+'"))
+        assert len(result) == 17
+
+
+class TestSection532ExistsStructure:
+    def test_unspecified_component_filtered(self, figure2_db):
+        """Components visible only if specified by a document: Comp2 (102)
+        has no specification and must disappear from the recursion."""
+        sql = (
+            RECURSIVE_CTE.replace(
+                "JOIN comp ON link.right = comp.obid",
+                "JOIN comp ON link.right = comp.obid "
+                "WHERE EXISTS (SELECT * FROM specified_by AS s JOIN spec "
+                "ON s.right = spec.obid WHERE s.left = comp.obid)",
+            )
+            + "SELECT obid FROM rtbl ORDER BY 1"
+        )
+        obids = figure2_db.execute(sql).column("obid")
+        assert 102 not in obids
+        assert {101, 103, 104} <= set(obids)
+
+
+class TestSection533TreeAggregate:
+    def sql(self, condition):
+        return (
+            RECURSIVE_CTE
+            + OUTER_NODES
+            + f" WHERE {condition}"
+            + " UNION "
+            + OUTER_LINKS
+            + f" AND {condition}"
+            + " ORDER BY 1, 2"
+        )
+
+    def test_at_most_ten_assemblies_returns_full_tree(self, figure2_db):
+        """Paper: 'the tree contains only five assemblies, so the entire
+        tree would be returned.'"""
+        condition = "(SELECT COUNT(*) FROM rtbl WHERE type = 'assy') <= 10"
+        assert len(figure2_db.execute(self.sql(condition))) == 17
+
+    def test_tight_threshold_empties_result(self, figure2_db):
+        condition = "(SELECT COUNT(*) FROM rtbl WHERE type = 'assy') <= 4"
+        assert len(figure2_db.execute(self.sql(condition))) == 0
+
+    def test_average_aggregate_variant(self, figure2_db):
+        # Reachable assemblies are 1,2,3,4,5 -> avg(obid) = 3, passes.
+        condition = "(SELECT AVG(obid) FROM rtbl WHERE type = 'assy') <= 12"
+        assert len(figure2_db.execute(self.sql(condition))) == 17
+        tight = "(SELECT AVG(obid) FROM rtbl WHERE type = 'assy') <= 2"
+        assert len(figure2_db.execute(self.sql(tight))) == 0
+
+
+class TestSection41RowConditions:
+    def test_make_or_buy_where_clause(self, figure2_db):
+        """Paper example 1 embedded in a query: assemblies not bought."""
+        figure2_db.execute(
+            "UPDATE assy SET make_or_buy = 'buy' WHERE obid = 3"
+        )
+        result = figure2_db.execute(
+            "SELECT obid FROM assy WHERE make_or_buy <> 'buy' ORDER BY 1"
+        )
+        assert 3 not in result.column("obid")
+        assert 1 in result.column("obid")

@@ -1,0 +1,105 @@
+"""Depth-bounded (partial) multi-level expands.
+
+The paper's users "repeat this so-called single-level expand until they
+find what they look for" — a bounded multi-level expand covers the middle
+ground between one level and the full structure, and the recursive query
+supports it with a parameterised depth column.
+"""
+
+import pytest
+
+from repro.pdm.operations import ExpandStrategy
+from repro.pdm.structure import trees_equal
+
+
+@pytest.mark.parametrize("max_depth", [0, 1, 2, 3, 5])
+def test_depth_bound_respected_recursive(tiny_scenario, max_depth):
+    scenario = tiny_scenario  # full tree has depth 2
+    result = scenario.client.multi_level_expand(
+        scenario.product.root_obid,
+        ExpandStrategy.RECURSIVE_EARLY,
+        root_attrs=scenario.product.root_attributes(),
+        max_depth=max_depth,
+    )
+    assert result.tree.depth() == min(max_depth, scenario.tree.depth)
+    assert result.round_trips == 1
+
+
+@pytest.mark.parametrize("max_depth", [1, 2])
+def test_strategies_agree_under_depth_bound(small_scenario, max_depth):
+    scenario = small_scenario
+    root_attrs = scenario.product.root_attributes()
+    trees = [
+        scenario.client.multi_level_expand(
+            scenario.product.root_obid,
+            strategy,
+            root_attrs=root_attrs,
+            max_depth=max_depth,
+        ).tree
+        for strategy in ExpandStrategy
+    ]
+    assert trees_equal(trees[0], trees[1])
+    assert trees_equal(trees[0], trees[2])
+
+
+def test_bounded_expand_cheaper_than_full(small_scenario):
+    scenario = small_scenario
+    root_attrs = scenario.product.root_attributes()
+    bounded = scenario.client.multi_level_expand(
+        scenario.product.root_obid,
+        ExpandStrategy.RECURSIVE_EARLY,
+        root_attrs=root_attrs,
+        max_depth=1,
+    )
+    full = scenario.client.multi_level_expand(
+        scenario.product.root_obid,
+        ExpandStrategy.RECURSIVE_EARLY,
+        root_attrs=root_attrs,
+    )
+    assert bounded.traffic.payload_bytes < full.traffic.payload_bytes
+    assert bounded.tree.node_count() <= full.tree.node_count()
+
+
+def test_navigational_round_trips_shrink_with_bound(small_scenario):
+    scenario = small_scenario
+    root_attrs = scenario.product.root_attributes()
+    bounded = scenario.client.multi_level_expand(
+        scenario.product.root_obid,
+        ExpandStrategy.NAVIGATIONAL_EARLY,
+        root_attrs=root_attrs,
+        max_depth=1,
+    )
+    full = scenario.client.multi_level_expand(
+        scenario.product.root_obid,
+        ExpandStrategy.NAVIGATIONAL_EARLY,
+        root_attrs=root_attrs,
+    )
+    assert bounded.round_trips < full.round_trips
+    # A depth-1 bounded expand is exactly the single-level expand: one
+    # probe of the root only.
+    assert bounded.round_trips == 1
+
+
+def test_depth_zero_returns_just_the_root(tiny_scenario):
+    scenario = tiny_scenario
+    result = scenario.client.multi_level_expand(
+        scenario.product.root_obid,
+        ExpandStrategy.NAVIGATIONAL_LATE,
+        root_attrs=scenario.product.root_attributes(),
+        max_depth=0,
+    )
+    assert result.tree.node_count() == 1
+    assert result.round_trips == 0  # nothing was fetched
+
+
+def test_depth_bound_with_rules(small_scenario):
+    """Visibility rules and the depth bound compose."""
+    scenario = small_scenario
+    result = scenario.client.multi_level_expand(
+        scenario.product.root_obid,
+        ExpandStrategy.RECURSIVE_EARLY,
+        root_attrs=scenario.product.root_attributes(),
+        max_depth=2,
+    )
+    visible = scenario.product.visible_obids
+    assert result.tree.obids() <= visible

@@ -1,0 +1,111 @@
+"""PDM schema: DDL, loading, stored functions, server/client parity."""
+
+import pytest
+
+from repro.pdm.generator import figure2_dataset, generate_product
+from repro.pdm.schema import (
+    CLIENT_FUNCTIONS,
+    HOMOGENISED_COLUMNS,
+    LINK_ONLY_COLUMNS,
+    NODE_COLUMNS,
+    create_pdm_schema,
+    load_product,
+)
+from repro.model.parameters import TreeParameters
+from repro.sqldb.database import Database
+
+
+class TestSchema:
+    def test_all_tables_created(self, figure2_db):
+        names = set(figure2_db.table_names())
+        assert {"assy", "comp", "link", "spec", "specified_by"} <= names
+
+    def test_homogenised_columns_consistent(self):
+        assert HOMOGENISED_COLUMNS == NODE_COLUMNS + LINK_ONLY_COLUMNS
+        assert "type" in NODE_COLUMNS
+        assert "link_opt" in LINK_ONLY_COLUMNS
+
+    def test_indexes_support_navigation(self, figure2_db):
+        entry = figure2_db.catalog.lookup("link")
+        assert entry.storage.find_index(["left"]) is not None
+        assert entry.storage.find_index(["right"]) is not None
+
+    def test_load_figure2_rowcounts(self, figure2_db):
+        assert figure2_db.table_rowcount("assy") == 8
+        assert figure2_db.table_rowcount("comp") == 7
+        assert figure2_db.table_rowcount("link") == 8
+        assert figure2_db.table_rowcount("spec") == 3
+        assert figure2_db.table_rowcount("specified_by") == 3
+
+    def test_load_generated_product(self):
+        db = Database()
+        create_pdm_schema(db)
+        product = generate_product(
+            TreeParameters(depth=2, branching=3, visibility=0.6), seed=3
+        )
+        load_product(db, product)
+        total = db.table_rowcount("assy") + db.table_rowcount("comp")
+        assert total == product.node_count
+
+    def test_navigational_child_query_works(self, figure2_db):
+        result = figure2_db.execute(
+            "SELECT link.right FROM link JOIN assy ON link.right = assy.obid "
+            "WHERE link.left = ? ORDER BY 1",
+            [1],
+        )
+        assert result.column("right") == [2, 3]
+
+
+class TestStoredFunctions:
+    def test_registered_on_server(self, figure2_db):
+        for name in CLIENT_FUNCTIONS:
+            assert figure2_db.functions.is_registered(name)
+
+    def test_options_overlap_semantics(self):
+        overlap = CLIENT_FUNCTIONS["options_overlap"]
+        assert overlap(1, 1)
+        assert overlap(3, 1)
+        assert not overlap(2, 1)
+        assert not overlap(0, 7)
+
+    def test_intervals_overlap_semantics(self):
+        overlap = CLIENT_FUNCTIONS["intervals_overlap"]
+        assert overlap(1, 5, 5, 9)  # touching counts
+        assert overlap(1, 10, 4, 6)  # containment
+        assert not overlap(1, 3, 4, 10)
+
+    def test_is_effective_semantics(self):
+        effective = CLIENT_FUNCTIONS["is_effective"]
+        assert effective(1, 10, 1)
+        assert effective(1, 10, 10)
+        assert not effective(1, 10, 11)
+
+    def test_sql_and_python_agree(self, figure2_db):
+        """Server-side (SQL) and client-side (Python) evaluations of the
+        stored functions must agree — the correctness backbone of the
+        early-vs-late equivalence."""
+        cases = [(1, 1), (2, 1), (3, 2), (0, 0), (7, 8)]
+        for a, b in cases:
+            sql_value = figure2_db.execute(
+                "SELECT options_overlap(?, ?)", [a, b]
+            ).scalar()
+            assert sql_value == CLIENT_FUNCTIONS["options_overlap"](a, b)
+        for bounds in [(1, 5, 2, 3), (1, 2, 3, 4), (5, 9, 1, 5)]:
+            sql_value = figure2_db.execute(
+                "SELECT intervals_overlap(?, ?, ?, ?)", list(bounds)
+            ).scalar()
+            assert sql_value == CLIENT_FUNCTIONS["intervals_overlap"](*bounds)
+
+    def test_effectivity_query_on_figure2(self, figure2_db):
+        """Paper example 3 semantics: links effective for unit 4."""
+        result = figure2_db.execute(
+            "SELECT obid FROM link WHERE is_effective(eff_from, eff_to, ?) "
+            "ORDER BY 1",
+            [4],
+        )
+        # Link 1001 (eff 1-3) and 1005 (eff 6-10) are not effective at 4,
+        # 1006 (1-5) is.
+        obids = result.column("obid")
+        assert 1001 not in obids
+        assert 1005 not in obids
+        assert 1006 in obids

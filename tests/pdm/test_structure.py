@@ -1,0 +1,126 @@
+"""Tree reassembly from homogenised flat rows."""
+
+import pytest
+
+from repro.errors import PDMError
+from repro.pdm.structure import StructureNode, build_tree, trees_equal
+
+COLUMNS = ["type", "obid", "name", "left", "right"]
+
+
+def node_row(obid, kind="assy", name=None):
+    return (kind, obid, name or f"N{obid}", None, None)
+
+
+def link_row(obid, left, right):
+    return ("link", obid, "", left, right)
+
+
+@pytest.fixture
+def rows():
+    # 1 -> 2 -> 4, 1 -> 3 (3 and 4 are comps)
+    return [
+        node_row(1),
+        node_row(2),
+        node_row(3, kind="comp"),
+        node_row(4, kind="comp"),
+        link_row(100, 1, 2),
+        link_row(101, 1, 3),
+        link_row(102, 2, 4),
+    ]
+
+
+class TestBuildTree:
+    def test_structure(self, rows):
+        tree = build_tree(COLUMNS, rows, 1)
+        assert tree.obid == 1
+        assert sorted(child.obid for child in tree.children) == [2, 3]
+        node2 = tree.find(2)
+        assert [child.obid for child in node2.children] == [4]
+
+    def test_link_attrs_attached(self, rows):
+        tree = build_tree(COLUMNS, rows, 1)
+        node2 = tree.find(2)
+        assert node2.link["obid"] == 100
+        assert tree.link is None
+
+    def test_node_count_and_obids(self, rows):
+        tree = build_tree(COLUMNS, rows, 1)
+        assert tree.node_count() == 4
+        assert tree.obids() == {1, 2, 3, 4}
+
+    def test_obids_by_type(self, rows):
+        tree = build_tree(COLUMNS, rows, 1)
+        grouped = tree.obids_by_type()
+        assert sorted(grouped["assy"]) == [1, 2]
+        assert sorted(grouped["comp"]) == [3, 4]
+
+    def test_depth(self, rows):
+        assert build_tree(COLUMNS, rows, 1).depth() == 2
+
+    def test_empty_result_returns_none(self):
+        assert build_tree(COLUMNS, [], 1) is None
+
+    def test_missing_root_without_attrs_returns_none(self, rows):
+        assert build_tree(COLUMNS, rows[1:], 1) is None
+
+    def test_missing_root_with_client_attrs(self, rows):
+        tree = build_tree(
+            COLUMNS, rows[1:], 1, root_attrs={"type": "assy", "obid": 1}
+        )
+        assert tree is not None
+        assert sorted(child.obid for child in tree.children) == [2, 3]
+
+    def test_dangling_link_ignored(self, rows):
+        rows = rows + [link_row(103, 2, 999)]  # child row filtered out
+        tree = build_tree(COLUMNS, rows, 1)
+        assert tree.node_count() == 4
+
+    def test_unreachable_node_not_attached(self, rows):
+        rows = rows + [node_row(50)]
+        tree = build_tree(COLUMNS, rows, 1)
+        assert 50 not in tree.obids()
+
+    def test_diamond_rejected(self, rows):
+        rows = rows + [link_row(103, 3, 4)]  # 4 reachable via 2 and 3
+        with pytest.raises(PDMError):
+            build_tree(COLUMNS, rows, 1)
+
+    def test_find_missing_returns_none(self, rows):
+        assert build_tree(COLUMNS, rows, 1).find(999) is None
+
+
+class TestPrune:
+    def test_prune_drops_subtrees(self, rows):
+        tree = build_tree(COLUMNS, rows, 1)
+        tree.prune(lambda node: node.obid != 2)
+        assert tree.obids() == {1, 3}
+
+    def test_prune_keep_all(self, rows):
+        tree = build_tree(COLUMNS, rows, 1)
+        tree.prune(lambda node: True)
+        assert tree.node_count() == 4
+
+
+class TestTreesEqual:
+    def test_equal_trees(self, rows):
+        first = build_tree(COLUMNS, rows, 1)
+        second = build_tree(COLUMNS, list(reversed(rows)), 1)
+        assert trees_equal(first, second)
+
+    def test_different_shape_detected(self, rows):
+        first = build_tree(COLUMNS, rows, 1)
+        second = build_tree(COLUMNS, rows[:-1], 1)  # missing link to 4
+        assert not trees_equal(first, second)
+
+    def test_none_handling(self, rows):
+        tree = build_tree(COLUMNS, rows, 1)
+        assert trees_equal(None, None)
+        assert not trees_equal(tree, None)
+        assert not trees_equal(None, tree)
+
+    def test_iter_nodes_preorder(self, rows):
+        tree = build_tree(COLUMNS, rows, 1)
+        order = [node.obid for node in tree.iter_nodes()]
+        assert order[0] == 1
+        assert set(order) == {1, 2, 3, 4}

@@ -1,0 +1,101 @@
+"""Where-used (reverse BOM): upward recursion vs navigational climbing."""
+
+import pytest
+
+from repro.pdm.operations import ExpandStrategy
+
+
+class TestFigure2WhereUsed:
+    """Figure 2 ground truth: Comp3 (103) sits under Assy5, which sits
+    under Assy2, which sits under Assy1."""
+
+    def client(self, scenario):
+        return scenario.fresh_client()
+
+    @pytest.fixture
+    def scenario(self, figure2_db, figure2_product):
+        from repro.bench.workload import build_scenario
+        from repro.model.parameters import TreeParameters
+        from repro.network.profiles import WAN_512
+        from repro.rules.ruletable import RuleTable
+
+        return build_scenario(
+            TreeParameters(depth=2, branching=2, visibility=1.0),
+            WAN_512,
+            product=figure2_product,
+            rule_table=RuleTable(),
+        )
+
+    def test_component_ancestry_recursive(self, scenario):
+        result = scenario.client.where_used(103, ExpandStrategy.RECURSIVE_EARLY)
+        chain = [(a["obid"], a["distance"]) for a in result.objects]
+        assert chain == [(5, 1), (2, 2), (1, 3)]
+        assert result.round_trips == 1
+
+    def test_component_ancestry_navigational(self, scenario):
+        result = scenario.client.where_used(
+            103, ExpandStrategy.NAVIGATIONAL_LATE
+        )
+        chain = [(a["obid"], a["distance"]) for a in result.objects]
+        assert chain == [(5, 1), (2, 2), (1, 3)]
+        # One probe per visited node (103, 5, 2, 1).
+        assert result.round_trips == 4
+
+    def test_strategies_agree(self, scenario):
+        recursive = scenario.client.where_used(
+            104, ExpandStrategy.RECURSIVE_EARLY
+        )
+        navigational = scenario.client.where_used(
+            104, ExpandStrategy.NAVIGATIONAL_EARLY
+        )
+        assert [a["obid"] for a in recursive.objects] == [
+            a["obid"] for a in navigational.objects
+        ]
+
+    def test_root_has_no_ancestors(self, scenario):
+        result = scenario.client.where_used(1, ExpandStrategy.RECURSIVE_EARLY)
+        assert result.objects == []
+
+    def test_via_links_reported(self, scenario):
+        result = scenario.client.where_used(103, ExpandStrategy.RECURSIVE_EARLY)
+        assert result.objects[0]["via_link"] == 1007  # 5 -> 103
+
+    def test_recursive_cheaper_on_wan(self, scenario):
+        recursive = scenario.client.where_used(
+            103, ExpandStrategy.RECURSIVE_EARLY
+        )
+        navigational = scenario.client.where_used(
+            103, ExpandStrategy.NAVIGATIONAL_LATE
+        )
+        assert recursive.seconds < navigational.seconds
+
+
+class TestGeneratedTreeWhereUsed:
+    def test_leaf_ancestry_matches_generator(self, tiny_scenario):
+        scenario = tiny_scenario
+        product = scenario.product
+        parent_of = {link.right: link.left for link in product.links}
+        leaf = product.components[-1].obid
+        expected = []
+        node = leaf
+        while node in parent_of:
+            node = parent_of[node]
+            expected.append(node)
+        result = scenario.client.where_used(leaf)
+        assert [a["obid"] for a in result.objects] == expected
+
+    def test_shared_component_multiple_parents(self, tiny_scenario):
+        """A component used in two assemblies reports both parents (the
+        motivating case for where-used)."""
+        scenario = tiny_scenario
+        product = scenario.product
+        shared = product.components[0].obid
+        other_parent = product.assemblies[-1].obid
+        scenario.database.execute(
+            "INSERT INTO link VALUES ('link', 7999999, ?, ?, 1, 999999, 1)",
+            [other_parent, shared],
+        )
+        result = scenario.client.where_used(shared)
+        parents = [a["obid"] for a in result.objects if a["distance"] == 1]
+        assert other_parent in parents
+        assert len(parents) == 2

@@ -1,0 +1,113 @@
+"""Condition taxonomy: construction, classification (paper Figure 1)."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.rules.conditions import (
+    And,
+    Apply,
+    Attribute,
+    BoolFunction,
+    Comparison,
+    ConditionClass,
+    Const,
+    ExistsStructure,
+    ForAllRows,
+    Not,
+    Or,
+    TreeAggregate,
+    UserVar,
+    attributes_used,
+    classify,
+    is_row_condition,
+)
+
+
+def make_or_buy_condition():
+    """Paper example 1: assembly.make_or_buy <> 'buy'."""
+    return Comparison("<>", Attribute("make_or_buy"), Const("buy"))
+
+
+def checked_in_condition():
+    """Paper example 2 row part: n.checkedout <> TRUE."""
+    return Comparison("=", Attribute("checkedout"), Const(False))
+
+
+class TestClassification:
+    def test_comparison_is_row(self):
+        assert classify(make_or_buy_condition()) is ConditionClass.ROW
+
+    def test_function_condition_is_row(self):
+        condition = BoolFunction(
+            "options_overlap", (Attribute("strc_opt"), UserVar("user_options"))
+        )
+        assert classify(condition) is ConditionClass.ROW
+
+    def test_boolean_combination_of_rows_is_row(self):
+        condition = And(
+            make_or_buy_condition(), Or(checked_in_condition(), Not(checked_in_condition()))
+        )
+        assert classify(condition) is ConditionClass.ROW
+
+    def test_forall_rows(self):
+        condition = ForAllRows(checked_in_condition())
+        assert classify(condition) is ConditionClass.FORALL_ROWS
+
+    def test_exists_structure(self):
+        condition = ExistsStructure("comp", "specified_by", "spec")
+        assert classify(condition) is ConditionClass.EXISTS_STRUCTURE
+
+    def test_tree_aggregate(self):
+        condition = TreeAggregate("COUNT", None, "<=", Const(10), object_type="assy")
+        assert classify(condition) is ConditionClass.TREE_AGGREGATE
+
+    def test_is_row_condition_rejects_tree(self):
+        assert not is_row_condition(ForAllRows(checked_in_condition()))
+
+    def test_mixed_boolean_combination_rejected(self):
+        mixed = And(make_or_buy_condition(), ForAllRows(checked_in_condition()))
+        with pytest.raises(RuleError):
+            classify(mixed)
+
+
+class TestValidation:
+    def test_bad_comparison_operator_rejected(self):
+        with pytest.raises(RuleError):
+            Comparison("~=", Attribute("a"), Const(1))
+
+    def test_forall_requires_row_condition(self):
+        with pytest.raises(RuleError):
+            ForAllRows(ForAllRows(checked_in_condition()))
+
+    def test_tree_aggregate_unknown_function_rejected(self):
+        with pytest.raises(RuleError):
+            TreeAggregate("MEDIAN", "weight", "<=", Const(1))
+
+    def test_tree_aggregate_needs_attribute_except_count(self):
+        with pytest.raises(RuleError):
+            TreeAggregate("AVG", None, "<=", Const(1))
+        TreeAggregate("COUNT", None, "<=", Const(1))  # fine
+
+    def test_apply_args_coerced_to_tuple(self):
+        term = Apply("f", [Attribute("a")])
+        assert isinstance(term.args, tuple)
+
+
+class TestAttributesUsed:
+    def test_collects_from_comparison(self):
+        assert attributes_used(make_or_buy_condition()) == ["make_or_buy"]
+
+    def test_collects_through_functions_and_boolean_ops(self):
+        condition = And(
+            BoolFunction("f", (Apply("g", (Attribute("x"),)),)),
+            Comparison("=", Attribute("y"), Const(1)),
+        )
+        assert sorted(attributes_used(condition)) == ["x", "y"]
+
+    def test_collects_from_forall(self):
+        condition = ForAllRows(checked_in_condition(), object_type="assy")
+        assert attributes_used(condition) == ["checkedout"]
+
+    def test_collects_from_tree_aggregate(self):
+        condition = TreeAggregate("AVG", "weight", "<=", Const(12))
+        assert attributes_used(condition) == ["weight"]

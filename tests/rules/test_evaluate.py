@@ -1,0 +1,196 @@
+"""Late (client-side) rule evaluation — the reference semantics."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.rules.conditions import (
+    And,
+    Apply,
+    Attribute,
+    BoolFunction,
+    Comparison,
+    Const,
+    ExistsStructure,
+    ForAllRows,
+    Not,
+    Or,
+    TreeAggregate,
+    UserVar,
+)
+from repro.rules.evaluate import (
+    EvaluationContext,
+    eval_row_condition,
+    eval_term,
+    exists_structure_holds,
+    forall_holds,
+    object_permitted,
+    tree_aggregate_holds,
+)
+from repro.rules.model import Actions, Rule
+
+
+@pytest.fixture
+def ctx():
+    return EvaluationContext(
+        user_env={"user_options": 1, "unit": 5},
+        functions={"options_overlap": lambda a, b: (a & b) != 0},
+    )
+
+
+ASSY = {"type": "assy", "obid": 1, "make_or_buy": "make", "weight": 2.0,
+        "checkedout": False, "strc_opt": 1}
+BOUGHT = {"type": "assy", "obid": 2, "make_or_buy": "buy", "weight": 5.0,
+          "checkedout": True, "strc_opt": 2}
+COMP = {"type": "comp", "obid": 101, "weight": 0.5, "checkedout": False,
+        "strc_opt": 1}
+
+
+class TestTerms:
+    def test_attribute(self, ctx):
+        assert eval_term(Attribute("weight"), ASSY, ctx) == 2.0
+
+    def test_missing_attribute_raises(self, ctx):
+        with pytest.raises(RuleError):
+            eval_term(Attribute("missing"), ASSY, ctx)
+
+    def test_const(self, ctx):
+        assert eval_term(Const(7), {}, ctx) == 7
+
+    def test_user_var(self, ctx):
+        assert eval_term(UserVar("unit"), {}, ctx) == 5
+
+    def test_missing_user_var_raises(self, ctx):
+        with pytest.raises(RuleError):
+            eval_term(UserVar("nope"), {}, ctx)
+
+    def test_function_application(self, ctx):
+        term = Apply("options_overlap", (Attribute("strc_opt"), Const(3)))
+        assert eval_term(term, ASSY, ctx) is True
+
+    def test_unknown_function_raises(self, ctx):
+        with pytest.raises(RuleError):
+            eval_term(Apply("mystery", ()), {}, ctx)
+
+
+class TestRowConditions:
+    def test_paper_example_1(self, ctx):
+        condition = Comparison("<>", Attribute("make_or_buy"), Const("buy"))
+        assert eval_row_condition(condition, ASSY, ctx)
+        assert not eval_row_condition(condition, BOUGHT, ctx)
+
+    def test_null_comparison_is_false(self, ctx):
+        condition = Comparison("=", Attribute("state"), Const("x"))
+        assert not eval_row_condition(condition, {"type": "t", "state": None}, ctx)
+
+    def test_boolean_operators(self, ctx):
+        both = And(
+            Comparison(">", Attribute("weight"), Const(1)),
+            Comparison("<", Attribute("weight"), Const(3)),
+        )
+        assert eval_row_condition(both, ASSY, ctx)
+        assert not eval_row_condition(both, BOUGHT, ctx)
+        either = Or(
+            Comparison("=", Attribute("make_or_buy"), Const("buy")),
+            Comparison("=", Attribute("make_or_buy"), Const("make")),
+        )
+        assert eval_row_condition(either, ASSY, ctx)
+        assert eval_row_condition(Not(both), BOUGHT, ctx)
+
+    def test_stored_function_condition(self, ctx):
+        condition = BoolFunction(
+            "options_overlap", (Attribute("strc_opt"), UserVar("user_options"))
+        )
+        assert eval_row_condition(condition, ASSY, ctx)
+        assert not eval_row_condition(condition, BOUGHT, ctx)
+
+    def test_tree_condition_rejected(self, ctx):
+        with pytest.raises(RuleError):
+            eval_row_condition(ForAllRows(Comparison("=", Attribute("a"), Const(1))), ASSY, ctx)
+
+
+class TestObjectPermitted:
+    def rule(self, condition, **kw):
+        defaults = dict(user="*", action=Actions.ACCESS, object_type="assy")
+        defaults.update(kw)
+        return Rule(condition=condition, **defaults)
+
+    def test_no_rules_default_permit(self, ctx):
+        assert object_permitted([], ASSY, ctx)
+
+    def test_no_rules_strict_mode_denies(self, ctx):
+        assert not object_permitted([], ASSY, ctx, default_permit=False)
+
+    def test_single_rule(self, ctx):
+        rules = [self.rule(Comparison("<>", Attribute("make_or_buy"), Const("buy")))]
+        assert object_permitted(rules, ASSY, ctx)
+        assert not object_permitted(rules, BOUGHT, ctx)
+
+    def test_rules_combine_with_or(self, ctx):
+        # Paper 4.1: qualifying conditions are connected via OR.
+        rules = [
+            self.rule(Comparison("=", Attribute("make_or_buy"), Const("lease"))),
+            self.rule(Comparison(">", Attribute("weight"), Const(4))),
+        ]
+        assert object_permitted(rules, BOUGHT, ctx)  # second rule permits
+        assert not object_permitted(rules, ASSY, ctx)
+
+
+class TestTreeConditions:
+    def test_forall_all_pass(self, ctx):
+        condition = ForAllRows(Comparison("=", Attribute("checkedout"), Const(False)))
+        assert forall_holds(condition, [ASSY, COMP], ctx)
+
+    def test_forall_one_violation_fails(self, ctx):
+        condition = ForAllRows(Comparison("=", Attribute("checkedout"), Const(False)))
+        assert not forall_holds(condition, [ASSY, BOUGHT], ctx)
+
+    def test_forall_type_filter_skips_other_types(self, ctx):
+        condition = ForAllRows(
+            Comparison("=", Attribute("make_or_buy"), Const("make")),
+            object_type="assy",
+        )
+        # COMP has no make_or_buy check applied because it's filtered by type.
+        assert forall_holds(condition, [ASSY, {"type": "comp", "obid": 9}], ctx)
+
+    def test_forall_empty_tree_holds(self, ctx):
+        condition = ForAllRows(Comparison("=", Attribute("checkedout"), Const(False)))
+        assert forall_holds(condition, [], ctx)
+
+    def test_tree_aggregate_count(self, ctx):
+        condition = TreeAggregate("COUNT", None, "<=", Const(2), object_type="assy")
+        assert tree_aggregate_holds(condition, [ASSY, BOUGHT, COMP], ctx)
+        condition_tight = TreeAggregate("COUNT", None, "<=", Const(1), object_type="assy")
+        assert not tree_aggregate_holds(condition_tight, [ASSY, BOUGHT, COMP], ctx)
+
+    def test_tree_aggregate_avg(self, ctx):
+        condition = TreeAggregate("AVG", "weight", "<=", Const(3))
+        assert tree_aggregate_holds(condition, [ASSY, COMP], ctx)  # avg 1.25
+        assert not tree_aggregate_holds(condition, [BOUGHT, BOUGHT], ctx)
+
+    def test_tree_aggregate_sum_min_max(self, ctx):
+        nodes = [ASSY, BOUGHT, COMP]
+        assert tree_aggregate_holds(TreeAggregate("SUM", "weight", ">", Const(7)), nodes, ctx)
+        assert tree_aggregate_holds(TreeAggregate("MIN", "weight", "=", Const(0.5)), nodes, ctx)
+        assert tree_aggregate_holds(TreeAggregate("MAX", "weight", "=", Const(5.0)), nodes, ctx)
+
+    def test_aggregate_over_empty_set_fails(self, ctx):
+        condition = TreeAggregate("AVG", "weight", "<=", Const(100))
+        assert not tree_aggregate_holds(condition, [], ctx)
+
+    def test_exists_structure_uses_resolver(self):
+        related_calls = []
+
+        def related(obid, relation, target):
+            related_calls.append((obid, relation, target))
+            return obid == 101
+
+        ctx = EvaluationContext(related=related)
+        condition = ExistsStructure("comp", "specified_by", "spec")
+        assert exists_structure_holds(condition, COMP, ctx)
+        assert not exists_structure_holds(condition, {"obid": 999}, ctx)
+        assert related_calls[0] == (101, "specified_by", "spec")
+
+    def test_exists_structure_without_resolver_raises(self, ctx):
+        condition = ExistsStructure("comp", "specified_by", "spec")
+        with pytest.raises(RuleError):
+            exists_structure_holds(condition, COMP, ctx)

@@ -1,0 +1,76 @@
+"""Rule 4-tuples: matching semantics (paper Section 3.1, footnote 9)."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.rules.conditions import Attribute, Comparison, Const, ForAllRows
+from repro.rules.model import ANY_USER, Actions, Rule
+
+
+def row_rule(**overrides):
+    defaults = dict(
+        user="scott",
+        action=Actions.MULTI_LEVEL_EXPAND,
+        object_type="assy",
+        condition=Comparison("<>", Attribute("make_or_buy"), Const("buy")),
+    )
+    defaults.update(overrides)
+    return Rule(**defaults)
+
+
+class TestMatching:
+    def test_exact_match(self):
+        rule = row_rule()
+        assert rule.matches("scott", Actions.MULTI_LEVEL_EXPAND, "assy")
+
+    def test_other_user_rejected(self):
+        assert not row_rule().matches("mike", Actions.MULTI_LEVEL_EXPAND, "assy")
+
+    def test_wildcard_user(self):
+        rule = row_rule(user=ANY_USER)
+        assert rule.matches("anybody", Actions.MULTI_LEVEL_EXPAND, "assy")
+
+    def test_other_action_rejected(self):
+        assert not row_rule().matches("scott", Actions.CHECK_OUT, "assy")
+
+    def test_access_rules_apply_to_every_action(self):
+        # Paper 5.5 step D: access rules are folded into any query that
+        # touches the type, whatever the user action is.
+        rule = row_rule(action=Actions.ACCESS)
+        for action in (Actions.QUERY, Actions.EXPAND, Actions.CHECK_OUT):
+            assert rule.matches("scott", action, "assy")
+
+    def test_type_match_case_insensitive(self):
+        assert row_rule().matches("scott", Actions.MULTI_LEVEL_EXPAND, "ASSY")
+
+    def test_other_type_rejected(self):
+        assert not row_rule().matches("scott", Actions.MULTI_LEVEL_EXPAND, "comp")
+
+
+class TestValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(RuleError):
+            row_rule(action="frobnicate")
+
+    def test_empty_user_rejected(self):
+        with pytest.raises(RuleError):
+            row_rule(user="")
+
+    def test_condition_classified_at_construction(self):
+        rule = row_rule()
+        assert rule.condition_class.value == "row"
+
+    def test_paper_example_2(self):
+        """user *, action check-out, type tree(assembly), all checked in."""
+        rule = Rule(
+            user=ANY_USER,
+            action=Actions.CHECK_OUT,
+            object_type="assy",
+            condition=ForAllRows(
+                Comparison("=", Attribute("checkedout"), Const(False))
+            ),
+            name="example-2",
+        )
+        assert rule.condition_class.value == "forall-rows"
+        assert "check_out" in rule.describe()
+        assert "example-2" in rule.describe()

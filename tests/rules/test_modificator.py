@@ -1,0 +1,238 @@
+"""Query modificator: Section 5.5 steps A-D on structured query specs."""
+
+import pytest
+
+from repro.errors import QueryModificationError
+from repro.pdm.queries import child_fetch_spec, recursive_mle_spec
+from repro.rules.conditions import (
+    Attribute,
+    BoolFunction,
+    Comparison,
+    Const,
+    ExistsStructure,
+    ForAllRows,
+    TreeAggregate,
+    UserVar,
+)
+from repro.rules.model import Actions, Rule
+from repro.rules.modificator import (
+    BlockRole,
+    ExistsPlacement,
+    OpaqueQuery,
+    QueryModificator,
+)
+from repro.rules.ruletable import RuleTable
+from repro.sqldb.parser import parse_statement
+from repro.sqldb.render import render_select
+
+
+def modificator_with(*rules, user="scott", user_env=None):
+    table = RuleTable(rules)
+    return QueryModificator(table, user, user_env or {"user_options": 1})
+
+
+def rendered(spec):
+    sql = render_select(spec.to_statement())
+    parse_statement(sql)  # every modification must stay valid SQL
+    return sql
+
+
+class TestStepD_RowConditions:
+    def test_row_rule_lands_in_matching_blocks(self):
+        rule = Rule(
+            user="*",
+            action=Actions.ACCESS,
+            object_type="assy",
+            condition=Comparison("<>", Attribute("make_or_buy"), Const("buy")),
+        )
+        spec = modificator_with(rule).modify_recursive(
+            recursive_mle_spec(), Actions.MULTI_LEVEL_EXPAND
+        )
+        sql = rendered(spec)
+        # Seed and the assy recursive branch carry the predicate; the comp
+        # branch does not.
+        assert sql.count("assy.make_or_buy <> 'buy'") == 2
+
+    def test_link_rule_lands_inside_and_outside(self):
+        rule = Rule(
+            user="*",
+            action=Actions.ACCESS,
+            object_type="link",
+            condition=BoolFunction(
+                "options_overlap",
+                (Attribute("strc_opt"), UserVar("user_options")),
+            ),
+        )
+        spec = modificator_with(rule).modify_recursive(
+            recursive_mle_spec(), Actions.MULTI_LEVEL_EXPAND
+        )
+        sql = rendered(spec)
+        # Both recursive branches join link; the outer link select also
+        # refers to link: 3 occurrences.
+        assert sql.count("options_overlap(link.strc_opt, 1)") == 3
+
+    def test_multiple_row_rules_or_combined(self):
+        first = Rule(
+            user="*", action=Actions.ACCESS, object_type="assy",
+            condition=Comparison("=", Attribute("state"), Const("released")),
+        )
+        second = Rule(
+            user="*", action=Actions.ACCESS, object_type="assy",
+            condition=Comparison("=", Attribute("state"), Const("in_work")),
+        )
+        spec = modificator_with(first, second).modify_recursive(
+            recursive_mle_spec(), Actions.MULTI_LEVEL_EXPAND
+        )
+        sql = rendered(spec)
+        assert "OR" in sql
+        assert "released" in sql and "in_work" in sql
+
+    def test_irrelevant_user_rule_ignored(self):
+        rule = Rule(
+            user="mike",
+            action=Actions.ACCESS,
+            object_type="assy",
+            condition=Comparison("=", Attribute("state"), Const("x")),
+        )
+        spec = modificator_with(rule).modify_recursive(
+            recursive_mle_spec(), Actions.MULTI_LEVEL_EXPAND
+        )
+        assert "state = 'x'" not in rendered(spec)
+
+    def test_navigational_spec_gets_row_rules_only(self):
+        row_rule = Rule(
+            user="*", action=Actions.ACCESS, object_type="comp",
+            condition=Comparison(">", Attribute("weight"), Const(0)),
+        )
+        tree_rule = Rule(
+            user="*", action=Actions.MULTI_LEVEL_EXPAND, object_type="assy",
+            condition=ForAllRows(Comparison("=", Attribute("checkedout"), Const(False))),
+        )
+        modificator = modificator_with(row_rule, tree_rule)
+        spec = modificator.modify_navigational(
+            child_fetch_spec(), Actions.MULTI_LEVEL_EXPAND
+        )
+        sql = render_select(spec.to_statement())
+        assert "comp.weight > 0" in sql
+        assert "NOT EXISTS" not in sql  # tree conditions never go in
+
+
+class TestStepA_ForAllRows:
+    def test_forall_appended_to_outer_selects_only(self):
+        rule = Rule(
+            user="*",
+            action=Actions.MULTI_LEVEL_EXPAND,
+            object_type="assy",
+            condition=ForAllRows(
+                Comparison("=", Attribute("dec"), Const("+")), object_type="assy"
+            ),
+        )
+        spec = modificator_with(rule).modify_recursive(
+            recursive_mle_spec(), Actions.MULTI_LEVEL_EXPAND
+        )
+        for block in spec.recursive_blocks:
+            assert block.core.where is None  # recursion untouched by step A
+        sql = rendered(spec)
+        # Two outer selects, each carries the all-or-nothing predicate.
+        assert sql.count("NOT EXISTS (SELECT * FROM rtbl") == 2
+
+    def test_forall_rules_for_other_root_type_ignored(self):
+        rule = Rule(
+            user="*",
+            action=Actions.MULTI_LEVEL_EXPAND,
+            object_type="comp",  # tree(comp) — our spec's root is assy
+            condition=ForAllRows(Comparison("=", Attribute("dec"), Const("+"))),
+        )
+        spec = modificator_with(rule).modify_recursive(
+            recursive_mle_spec(), Actions.MULTI_LEVEL_EXPAND
+        )
+        assert "NOT EXISTS" not in rendered(spec)
+
+
+class TestStepB_TreeAggregates:
+    def test_aggregate_appended_to_outer_selects(self):
+        rule = Rule(
+            user="*",
+            action=Actions.MULTI_LEVEL_EXPAND,
+            object_type="assy",
+            condition=TreeAggregate(
+                "COUNT", None, "<=", Const(10), object_type="assy"
+            ),
+        )
+        spec = modificator_with(rule).modify_recursive(
+            recursive_mle_spec(), Actions.MULTI_LEVEL_EXPAND
+        )
+        sql = rendered(spec)
+        assert sql.count("SELECT COUNT(*) FROM rtbl") == 2
+
+
+class TestStepC_ExistsStructure:
+    def rule(self):
+        return Rule(
+            user="*",
+            action=Actions.MULTI_LEVEL_EXPAND,
+            object_type="assy",  # defined at the root object type...
+            condition=ExistsStructure("comp", "specified_by", "spec"),
+        )
+
+    def test_inside_placement_modifies_comp_branch(self):
+        spec = modificator_with(self.rule()).modify_recursive(
+            recursive_mle_spec(),
+            Actions.MULTI_LEVEL_EXPAND,
+            exists_placement=ExistsPlacement.INSIDE,
+        )
+        sql = rendered(spec)
+        # ... but evaluated at objects of type O = comp (paper remark).
+        assert sql.count("EXISTS (SELECT * FROM specified_by") == 1
+        comp_branch = [
+            block
+            for block in spec.recursive_blocks
+            if block.object_type == "comp"
+        ][0]
+        assert comp_branch.core.where is not None
+
+    def test_outside_placement_uses_type_discriminator(self):
+        spec = modificator_with(self.rule()).modify_recursive(
+            recursive_mle_spec(),
+            Actions.MULTI_LEVEL_EXPAND,
+            exists_placement=ExistsPlacement.OUTSIDE,
+        )
+        sql = rendered(spec)
+        assert "type <> 'comp'" in sql
+        # Probes correlate against the homogenised CTE, not the comp table.
+        assert "rtbl.obid" in sql
+        # The recursive comp branch stays unmodified.
+        comp_branch = [
+            block
+            for block in spec.recursive_blocks
+            if block.object_type == "comp"
+        ][0]
+        assert comp_branch.core.where is None
+
+
+class TestOpaqueQueries:
+    def test_view_cannot_be_modified(self):
+        modificator = modificator_with()
+        with pytest.raises(QueryModificationError):
+            modificator.modify_recursive(
+                OpaqueQuery(sql="SELECT * FROM hidden_view"), Actions.QUERY
+            )
+        with pytest.raises(QueryModificationError):
+            modificator.modify_navigational(
+                OpaqueQuery(sql="SELECT * FROM hidden_view"), Actions.QUERY
+            )
+
+
+class TestSpecAssembly:
+    def test_unmodified_spec_matches_paper_shape(self):
+        sql = render_select(recursive_mle_spec(order_by=True).to_statement())
+        assert sql.startswith("WITH RECURSIVE rtbl")
+        assert "UNION" in sql
+        assert sql.endswith("ORDER BY 1, 2")
+        parse_statement(sql)
+
+    def test_all_blocks_listing(self):
+        spec = recursive_mle_spec()
+        assert len(spec.all_blocks()) == 5  # seed + 2 recursive + 2 outer
+        roles = [block.role for block in spec.all_blocks()]
+        assert roles.count(BlockRole.RECURSIVE) == 2

@@ -1,0 +1,126 @@
+"""Rule presets and the effectivity workflow on the paper's Figure 2 data."""
+
+import pytest
+
+from repro.bench.workload import build_scenario
+from repro.model.parameters import TreeParameters
+from repro.network.profiles import WAN_512
+from repro.pdm.generator import figure2_dataset
+from repro.pdm.operations import ExpandStrategy, PDMClient
+from repro.rules.model import Actions
+from repro.rules.presets import (
+    EFFECTIVITY_UNIT_VAR,
+    checkout_all_checked_in_rule,
+    effectivity_rule,
+    make_not_buy_rule,
+    structure_option_rules,
+)
+from repro.rules.ruletable import RuleTable
+
+
+class TestPresetShapes:
+    def test_structure_option_rules_cover_types(self):
+        rules = structure_option_rules()
+        assert [rule.object_type for rule in rules] == ["assy", "comp", "link"]
+        assert all(rule.action == Actions.ACCESS for rule in rules)
+
+    def test_effectivity_rule_targets_links(self):
+        rule = effectivity_rule()
+        assert rule.object_type == "link"
+        assert rule.condition.function == "is_effective"
+
+    def test_checkout_rule_is_forall(self):
+        assert checkout_all_checked_in_rule().condition_class.value == "forall-rows"
+
+    def test_example1_rule(self):
+        rule = make_not_buy_rule()
+        assert rule.user == "scott"
+        assert rule.action == Actions.MULTI_LEVEL_EXPAND
+
+
+@pytest.fixture
+def effectivity_scenario():
+    """Figure 2 behind a WAN with only the effectivity rule installed."""
+    table = RuleTable([effectivity_rule()])
+    return build_scenario(
+        TreeParameters(depth=2, branching=2, visibility=1.0),
+        WAN_512,
+        product=figure2_dataset(),
+        rule_table=table,
+    )
+
+
+class TestEffectivityWorkflow:
+    """Figure 2's printed effectivities: link 1001 (1-3), 1002 (4-10),
+    1003/1004 (1-10), 1005 (6-10), 1006 (1-5), 1007/1008 (1-10)."""
+
+    def expand(self, scenario, unit, strategy):
+        client = PDMClient(
+            scenario.connection,
+            rule_table=scenario.rule_table,
+            user="scott",
+            user_env={EFFECTIVITY_UNIT_VAR: unit},
+        )
+        return client.multi_level_expand(
+            1, strategy, root_attrs=scenario.product.root_attributes()
+        ).tree
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [ExpandStrategy.NAVIGATIONAL_LATE, ExpandStrategy.RECURSIVE_EARLY],
+    )
+    def test_unit_2_excludes_late_branch(self, effectivity_scenario, strategy):
+        """At unit 2, link 1002 (eff 4-10) is not yet effective: Assy3 is
+        absent; link 1005 (6-10) hides Comp1."""
+        tree = self.expand(effectivity_scenario, 2, strategy)
+        obids = tree.obids()
+        assert 3 not in obids
+        assert 101 not in obids
+        assert {1, 2, 4, 5, 102, 103, 104} <= obids
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [ExpandStrategy.NAVIGATIONAL_LATE, ExpandStrategy.RECURSIVE_EARLY],
+    )
+    def test_unit_7_excludes_early_links(self, effectivity_scenario, strategy):
+        """At unit 7, link 1001 (1-3) has expired: the whole subtree of
+        Assy2 disappears; link 1006 (1-5) hides Comp2."""
+        tree = self.expand(effectivity_scenario, 7, strategy)
+        obids = tree.obids()
+        assert {2, 4, 5, 102, 103, 104}.isdisjoint(obids)
+        assert 3 in obids
+        assert 101 not in obids  # only reachable through Assy2's subtree
+
+    def test_strategies_agree_across_units(self, effectivity_scenario):
+        from repro.pdm.structure import trees_equal
+
+        for unit in (1, 3, 4, 6, 9, 11):
+            late = self.expand(
+                effectivity_scenario, unit, ExpandStrategy.NAVIGATIONAL_LATE
+            )
+            recursive = self.expand(
+                effectivity_scenario, unit, ExpandStrategy.RECURSIVE_EARLY
+            )
+            assert trees_equal(late, recursive), f"unit {unit}"
+
+    def test_effectivity_prunes_traversal_bytes(self, effectivity_scenario):
+        """Early evaluation of the effectivity ships fewer on-wire bytes
+        than the late variant for the same restricted view.  (Payload
+        bytes can actually be *larger* for early evaluation — the injected
+        predicates lengthen the query text — but under the paper's
+        packet accounting a request occupies whole packets either way,
+        while the response shrinks.)"""
+        client = PDMClient(
+            effectivity_scenario.connection,
+            rule_table=effectivity_scenario.rule_table,
+            user="scott",
+            user_env={EFFECTIVITY_UNIT_VAR: 7},
+        )
+        root_attrs = effectivity_scenario.product.root_attributes()
+        late = client.multi_level_expand(
+            1, ExpandStrategy.NAVIGATIONAL_LATE, root_attrs=root_attrs
+        )
+        early = client.multi_level_expand(
+            1, ExpandStrategy.NAVIGATIONAL_EARLY, root_attrs=root_attrs
+        )
+        assert early.traffic.wire_bytes <= late.traffic.wire_bytes

@@ -1,0 +1,163 @@
+"""Client-side rule table: relevance filtering, translation caching."""
+
+import pytest
+
+from repro.rules.conditions import (
+    Attribute,
+    BoolFunction,
+    Comparison,
+    ConditionClass,
+    Const,
+    ExistsStructure,
+    ForAllRows,
+    TreeAggregate,
+    UserVar,
+)
+from repro.rules.model import Actions, Rule
+from repro.rules.ruletable import RuleTable
+
+
+@pytest.fixture
+def table():
+    table = RuleTable()
+    table.add(
+        Rule(
+            user="scott",
+            action=Actions.MULTI_LEVEL_EXPAND,
+            object_type="assy",
+            condition=Comparison("<>", Attribute("make_or_buy"), Const("buy")),
+            name="scott-mle",
+        )
+    )
+    table.add(
+        Rule(
+            user="*",
+            action=Actions.ACCESS,
+            object_type="link",
+            condition=BoolFunction(
+                "options_overlap", (Attribute("strc_opt"), UserVar("user_options"))
+            ),
+            name="options",
+        )
+    )
+    table.add(
+        Rule(
+            user="*",
+            action=Actions.CHECK_OUT,
+            object_type="assy",
+            condition=ForAllRows(
+                Comparison("=", Attribute("checkedout"), Const(False))
+            ),
+            name="all-checked-in",
+        )
+    )
+    table.add(
+        Rule(
+            user="*",
+            action=Actions.MULTI_LEVEL_EXPAND,
+            object_type="assy",
+            condition=TreeAggregate("COUNT", None, "<=", Const(10), object_type="assy"),
+            name="small-trees-only",
+        )
+    )
+    table.add(
+        Rule(
+            user="*",
+            action=Actions.MULTI_LEVEL_EXPAND,
+            object_type="assy",
+            condition=ExistsStructure("comp", "specified_by", "spec"),
+            name="specified-comps",
+        )
+    )
+    return table
+
+
+class TestRelevance:
+    def test_user_and_action_filtering(self, table):
+        rules = table.relevant("scott", Actions.MULTI_LEVEL_EXPAND, "assy")
+        names = {rule.name for rule in rules}
+        assert "scott-mle" in names
+        assert "all-checked-in" not in names  # different action
+
+    def test_wildcard_rules_apply_to_everyone(self, table):
+        rules = table.relevant("mike", Actions.QUERY, "link")
+        assert {rule.name for rule in rules} == {"options"}
+
+    def test_access_rules_included_for_any_action(self, table):
+        rules = table.relevant("mike", Actions.CHECK_OUT, "link")
+        assert {rule.name for rule in rules} == {"options"}
+
+    def test_condition_class_filter(self, table):
+        rows = table.relevant(
+            "scott", Actions.MULTI_LEVEL_EXPAND, "assy", ConditionClass.ROW
+        )
+        assert {rule.name for rule in rows} == {"scott-mle"}
+        aggregates = table.relevant(
+            "scott",
+            Actions.MULTI_LEVEL_EXPAND,
+            "assy",
+            ConditionClass.TREE_AGGREGATE,
+        )
+        assert {rule.name for rule in aggregates} == {"small-trees-only"}
+        exists = table.relevant(
+            "scott",
+            Actions.MULTI_LEVEL_EXPAND,
+            "assy",
+            ConditionClass.EXISTS_STRUCTURE,
+        )
+        assert {rule.name for rule in exists} == {"specified-comps"}
+
+    def test_remove(self, table):
+        rule = next(r for r in table if r.name == "options")
+        table.remove(rule)
+        assert table.relevant("mike", Actions.QUERY, "link") == []
+
+    def test_len_and_iter(self, table):
+        assert len(table) == 5
+        assert len(list(table)) == 5
+
+    def test_object_types(self, table):
+        assert table.object_types() == ["assy", "link"]
+
+
+class TestTranslationCache:
+    def test_translated_cached_per_user_env(self, table):
+        rule = next(r for r in table if r.name == "options")
+        env = {"user_options": 1}
+        first = table.translated(rule, env)
+        second = table.translated(rule, env)
+        assert first is second
+
+    def test_different_env_different_translation(self, table):
+        rule = next(r for r in table if r.name == "options")
+        first = table.translated(rule, {"user_options": 1})
+        second = table.translated(rule, {"user_options": 2})
+        assert first is not second
+
+    def test_row_rule_sql_text_stored(self, table):
+        """The paper stores the translated representation in the rule
+        table; check it is available for inspection."""
+        rule = next(r for r in table if r.name == "scott-mle")
+        translated = table.translated(rule, {})
+        assert "make_or_buy" in translated.sql_text
+
+    def test_row_predicate_requalified_per_alias(self, table):
+        rule = next(r for r in table if r.name == "scott-mle")
+        translated = table.translated(rule, {})
+        from repro.sqldb.render import render_expression
+
+        assert "a1.make_or_buy" in render_expression(
+            translated.row_predicate("a1")
+        )
+
+    def test_wrong_kind_accessors_raise(self, table):
+        from repro.errors import RuleError
+
+        rule = next(r for r in table if r.name == "scott-mle")
+        translated = table.translated(rule, {})
+        with pytest.raises(RuleError):
+            translated.forall_predicate("rtbl")
+        with pytest.raises(RuleError):
+            translated.aggregate_predicate("rtbl")
+        with pytest.raises(RuleError):
+            translated.exists_predicate("assy")

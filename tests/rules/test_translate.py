@@ -1,0 +1,191 @@
+"""Condition → SQL translation (paper Sections 4.1 and 5.3)."""
+
+import pytest
+
+from repro.errors import ConditionTranslationError
+from repro.rules.conditions import (
+    And,
+    Apply,
+    Attribute,
+    BoolFunction,
+    Comparison,
+    Const,
+    ExistsStructure,
+    ForAllRows,
+    Not,
+    Or,
+    TreeAggregate,
+    UserVar,
+)
+from repro.rules.translate import (
+    and_append,
+    disjunction,
+    translate_exists_structure,
+    translate_forall,
+    translate_row_condition,
+    translate_term,
+    translate_tree_aggregate,
+)
+from repro.sqldb.parser import parse_expression
+from repro.sqldb.render import render_expression
+
+
+def sql_of(expr):
+    return render_expression(expr)
+
+
+class TestRowConditions:
+    def test_paper_example_1(self):
+        """assembly.make_or_buy <> 'buy' (Section 4.1)."""
+        condition = Comparison("<>", Attribute("make_or_buy"), Const("buy"))
+        sql = sql_of(translate_row_condition(condition, "assembly", {}))
+        assert sql == "(assembly.make_or_buy <> 'buy')"
+
+    def test_unqualified_attribute(self):
+        condition = Comparison("=", Attribute("dec"), Const("+"))
+        assert sql_of(translate_row_condition(condition, None, {})) == "(dec = '+')"
+
+    def test_user_var_bound_to_literal(self):
+        condition = Comparison(">=", Attribute("eff_to"), UserVar("unit"))
+        sql = sql_of(translate_row_condition(condition, "link", {"unit": 7}))
+        assert sql == "(link.eff_to >= 7)"
+
+    def test_missing_user_var_raises(self):
+        condition = Comparison("=", Attribute("a"), UserVar("missing"))
+        with pytest.raises(ConditionTranslationError):
+            translate_row_condition(condition, None, {})
+
+    def test_function_condition(self):
+        condition = BoolFunction(
+            "options_overlap", (Attribute("strc_opt"), UserVar("user_options"))
+        )
+        sql = sql_of(translate_row_condition(condition, "link", {"user_options": 3}))
+        assert sql == "options_overlap(link.strc_opt, 3)"
+
+    def test_nested_function_term(self):
+        condition = Comparison(
+            ">", Apply("weight_of", (Attribute("obid"),)), Const(10)
+        )
+        sql = sql_of(translate_row_condition(condition, "assy", {}))
+        assert sql == "(weight_of(assy.obid) > 10)"
+
+    def test_boolean_combinations(self):
+        condition = Or(
+            Not(Comparison("=", Attribute("a"), Const(1))),
+            And(
+                Comparison("<", Attribute("b"), Const(2)),
+                Comparison(">", Attribute("c"), Const(3)),
+            ),
+        )
+        sql = sql_of(translate_row_condition(condition, "t", {}))
+        assert sql == "((NOT ((t.a = 1))) OR ((t.b < 2) AND (t.c > 3)))"
+
+    def test_tree_condition_rejected(self):
+        with pytest.raises(ConditionTranslationError):
+            translate_row_condition(
+                ForAllRows(Comparison("=", Attribute("a"), Const(1))), None, {}
+            )
+
+    def test_translation_parses_as_sql(self):
+        condition = And(
+            Comparison("<>", Attribute("state"), Const("frozen")),
+            BoolFunction("options_overlap", (Attribute("strc_opt"), Const(1))),
+        )
+        sql = sql_of(translate_row_condition(condition, "assy", {}))
+        parse_expression(sql)  # must be valid SQL
+
+
+class TestForAllRows:
+    def test_all_or_nothing_shape(self):
+        """Paper 5.3.1: NOT EXISTS (SELECT * FROM rtbl WHERE NOT row_cond)."""
+        condition = ForAllRows(
+            Comparison("=", Attribute("dec"), Const("+")), object_type="assy"
+        )
+        sql = sql_of(translate_forall(condition, "rtbl", {}))
+        assert sql.startswith("NOT EXISTS (SELECT * FROM rtbl WHERE")
+        assert "type = 'assy'" in sql
+        assert "NOT ((dec = '+'))" in sql
+
+    def test_untyped_forall_has_no_type_guard(self):
+        condition = ForAllRows(Comparison("=", Attribute("checkedout"), Const(False)))
+        sql = sql_of(translate_forall(condition, "rtbl", {}))
+        assert "type =" not in sql
+
+    def test_forall_parses(self):
+        condition = ForAllRows(
+            Comparison("=", Attribute("checkedout"), Const(False))
+        )
+        parse_expression(sql_of(translate_forall(condition, "rtbl", {})))
+
+
+class TestTreeAggregate:
+    def test_count_shape(self):
+        """Paper 5.3.3: (SELECT COUNT(*) FROM rtbl WHERE type='assy') <= 10."""
+        condition = TreeAggregate("COUNT", None, "<=", Const(10), object_type="assy")
+        sql = sql_of(translate_tree_aggregate(condition, "rtbl", {}))
+        assert sql == (
+            "((SELECT COUNT(*) FROM rtbl WHERE (type = 'assy')) <= 10)"
+        )
+
+    def test_avg_with_attribute(self):
+        condition = TreeAggregate("AVG", "weight", "<=", Const(12))
+        sql = sql_of(translate_tree_aggregate(condition, "rtbl", {}))
+        assert sql == "((SELECT AVG(weight) FROM rtbl) <= 12)"
+
+    def test_threshold_user_var(self):
+        condition = TreeAggregate(
+            "COUNT", None, "<=", UserVar("max_nodes"), object_type="assy"
+        )
+        sql = sql_of(translate_tree_aggregate(condition, "rtbl", {"max_nodes": 50}))
+        assert sql.endswith("<= 50)")
+
+
+class TestExistsStructure:
+    def test_paper_5_3_2_shape(self):
+        condition = ExistsStructure(
+            object_type="comp", relation_table="specified_by", related_table="spec"
+        )
+        sql = sql_of(translate_exists_structure(condition, "comp"))
+        assert sql == (
+            "EXISTS (SELECT * FROM specified_by AS rel_probe JOIN spec "
+            "ON (rel_probe.right = spec.obid) "
+            "WHERE (rel_probe.left = comp.obid))"
+        )
+
+    def test_custom_columns(self):
+        condition = ExistsStructure(
+            object_type="assy",
+            relation_table="approved_by",
+            related_table="engineer",
+            left_column="subject",
+            right_column="approver",
+            related_id_column="id",
+        )
+        sql = sql_of(translate_exists_structure(condition, "a"))
+        assert "approved_by" in sql
+        assert "rel_probe.approver = engineer.id" in sql
+        assert "rel_probe.subject = a.obid" in sql
+
+
+class TestCombinators:
+    def test_disjunction_of_one(self):
+        predicate = parse_expression("a = 1")
+        assert disjunction([predicate]) is predicate
+
+    def test_disjunction_of_three(self):
+        predicates = [parse_expression(f"a = {i}") for i in range(3)]
+        sql = sql_of(disjunction(predicates))
+        assert sql == "(((a = 0) OR (a = 1)) OR (a = 2))"
+
+    def test_empty_disjunction_rejected(self):
+        with pytest.raises(ConditionTranslationError):
+            disjunction([])
+
+    def test_and_append_to_existing(self):
+        where = parse_expression("x > 0")
+        combined = and_append(where, parse_expression("y < 1"))
+        assert sql_of(combined) == "((x > 0) AND (y < 1))"
+
+    def test_and_append_to_none_starts_clause(self):
+        predicate = parse_expression("y < 1")
+        assert and_append(None, predicate) is predicate

@@ -1,0 +1,188 @@
+"""Client/server stack: round trips, errors, procedures, accounting."""
+
+import pytest
+
+from repro.errors import CheckOutError, ProtocolError, SQLError
+from repro.network.profiles import LAN, WAN_256
+from repro.server.client import RemoteConnection, RemoteError
+from repro.server.protocol import (
+    Opcode,
+    decode_envelope,
+    decode_error,
+    decode_procedure_call,
+    decode_values,
+    encode_envelope,
+    encode_error,
+    encode_procedure_call,
+    encode_values,
+)
+from repro.server.server import DatabaseServer
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def stack():
+    db = Database()
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(10))")
+    db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')")
+    server = DatabaseServer(db)
+    connection = RemoteConnection(server, WAN_256.create_link())
+    return db, server, connection
+
+
+class TestProtocolFrames:
+    def test_envelope_roundtrip(self):
+        opcode, body = decode_envelope(encode_envelope(Opcode.QUERY, b"abc"))
+        assert opcode is Opcode.QUERY
+        assert body == b"abc"
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_envelope(b"")
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_envelope(bytes([250]))
+
+    def test_procedure_call_roundtrip(self):
+        name, args = decode_procedure_call(
+            encode_procedure_call("check_out_tree", [5, "scott"])
+        )
+        assert name == "check_out_tree"
+        assert args == [5, "scott"]
+
+    def test_values_roundtrip(self):
+        assert decode_values(encode_values([1, None, "x"])) == [1, None, "x"]
+
+    def test_error_roundtrip(self):
+        kind, message = decode_error(encode_error(ValueError("boom")))
+        assert (kind, message) == ("ValueError", "boom")
+
+    def test_truncated_procedure_call_rejected(self):
+        encoded = encode_procedure_call("p", [1])
+        with pytest.raises(ProtocolError):
+            decode_procedure_call(encoded[:-2])
+
+
+class TestQueries:
+    def test_remote_select(self, stack):
+        __, __, connection = stack
+        result = connection.execute("SELECT name FROM t WHERE id = ?", [2])
+        assert result.scalar() == "two"
+
+    def test_remote_dml_rowcount(self, stack):
+        __, __, connection = stack
+        result = connection.execute("UPDATE t SET name = 'x'")
+        assert result.rowcount == 2
+
+    def test_each_execute_is_one_round_trip(self, stack):
+        __, __, connection = stack
+        connection.execute("SELECT 1")
+        connection.execute("SELECT 2")
+        assert connection.statistics["round_trips"] == 2
+        assert connection.link.stats.messages == 4
+
+    def test_clock_advances_per_query(self, stack):
+        __, __, connection = stack
+        before = connection.link.clock.now
+        connection.execute("SELECT * FROM t")
+        # At least 2 x 150 ms latency.
+        assert connection.link.clock.now - before >= 0.30
+
+    def test_sql_error_costs_a_round_trip_but_not_the_server(self, stack):
+        __, server, connection = stack
+        with pytest.raises(SQLError):
+            connection.execute("SELECT * FROM missing_table")
+        assert server.statistics["errors"] == 1
+        # The server still answers afterwards.
+        assert connection.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_parse_error_propagates_as_sql_error(self, stack):
+        __, __, connection = stack
+        with pytest.raises(SQLError):
+            connection.execute("SELEKT broken")
+
+    def test_closed_connection_rejected(self, stack):
+        __, __, connection = stack
+        connection.close()
+        with pytest.raises(ProtocolError):
+            connection.execute("SELECT 1")
+
+    def test_context_manager_closes(self, stack):
+        __, __, connection = stack
+        with connection as conn:
+            conn.execute("SELECT 1")
+        assert connection.closed
+
+    def test_ping(self, stack):
+        __, __, connection = stack
+        delay = connection.ping()
+        assert delay > 0.3  # two latencies over the 150 ms WAN
+
+
+class TestProcedures:
+    def test_register_and_call(self, stack):
+        db, server, connection = stack
+        server.register_procedure(
+            "double_all", lambda database, factor: [
+                row[0] * factor for row in database.execute("SELECT id FROM t").rows
+            ],
+        )
+        assert connection.call_procedure("double_all", [10]) == [10, 20]
+        assert server.statistics["procedure_calls"] == 1
+
+    def test_unknown_procedure_raises(self, stack):
+        __, __, connection = stack
+        with pytest.raises(ProtocolError):
+            connection.call_procedure("nope")
+
+    def test_procedure_error_reconstructed(self, stack):
+        __, server, connection = stack
+
+        def failing(database):
+            raise CheckOutError("subtree busy")
+
+        server.register_procedure("fail", failing)
+        with pytest.raises(CheckOutError):
+            connection.call_procedure("fail")
+
+    def test_unknown_error_type_becomes_remote_error(self, stack):
+        __, server, connection = stack
+
+        def handler(frame):
+            from repro.server import protocol
+
+            return protocol.encode_envelope(
+                Opcode.ERROR, protocol.encode_error(KeyError("odd"))
+            )
+
+        server.handle = handler
+        with pytest.raises(RemoteError):
+            connection.execute("SELECT 1")
+
+    def test_procedure_call_is_single_round_trip(self, stack):
+        __, server, connection = stack
+        server.register_procedure("noop", lambda database: [])
+        before = connection.statistics["round_trips"]
+        connection.call_procedure("noop")
+        assert connection.statistics["round_trips"] == before + 1
+
+
+class TestTrafficRealism:
+    def test_bigger_results_cost_more_time(self, stack):
+        db, server, __ = stack
+        for i in range(3, 300):
+            db.execute("INSERT INTO t VALUES (?, ?)", [i, f"row{i}"])
+        fast = RemoteConnection(server, LAN.create_link())
+        slow = RemoteConnection(server, WAN_256.create_link())
+        fast.execute("SELECT * FROM t")
+        slow.execute("SELECT * FROM t")
+        assert slow.link.clock.now > fast.link.clock.now * 20
+
+    def test_request_bytes_include_query_text(self, stack):
+        __, __, connection = stack
+        connection.execute("SELECT 1")
+        small = connection.link.stats.payload_bytes
+        connection.execute("SELECT 1 -- " + "padding " * 100)
+        grown = connection.link.stats.payload_bytes - small
+        assert grown > 800

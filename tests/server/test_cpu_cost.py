@@ -1,0 +1,95 @@
+"""Server CPU cost model (the paper's Section 6 caveat)."""
+
+import pytest
+
+from repro.network.profiles import LAN, WAN_256
+from repro.server.client import RemoteConnection
+from repro.server.server import CpuCostModel, DatabaseServer
+from repro.sqldb import Database
+
+
+def make_stack(profile, cpu_cost=None):
+    db = Database()
+    db.execute("CREATE TABLE t (v INTEGER)")
+    db.executemany("INSERT INTO t VALUES (?)", [(i,) for i in range(500)])
+    server = DatabaseServer(db, cpu_cost=cpu_cost)
+    return server, RemoteConnection(server, profile.create_link())
+
+
+class TestDefaultsMatchPaper:
+    def test_zero_cost_by_default(self):
+        server, connection = make_stack(WAN_256)
+        connection.execute("SELECT COUNT(*) FROM t")
+        assert server.last_cpu_seconds == 0.0
+        assert connection.link.stats.server_seconds == 0.0
+
+    def test_disabled_model_reports_not_enabled(self):
+        assert not CpuCostModel().enabled
+        assert CpuCostModel(seconds_per_statement=0.001).enabled
+
+
+class TestCharging:
+    def test_per_statement_cost(self):
+        server, connection = make_stack(
+            WAN_256, CpuCostModel(seconds_per_statement=0.01)
+        )
+        before = connection.link.clock.now
+        connection.execute("SELECT 1")
+        elapsed = connection.link.clock.now - before
+        assert server.last_cpu_seconds == pytest.approx(0.01)
+        assert elapsed > 0.30  # latency still dominates
+
+    def test_per_row_cost_scales_with_scan(self):
+        server, connection = make_stack(
+            LAN, CpuCostModel(seconds_per_row_scanned=0.0001)
+        )
+        connection.execute("SELECT COUNT(*) FROM t")
+        full_scan = server.last_cpu_seconds
+        connection.execute("SELECT 1")
+        no_scan = server.last_cpu_seconds
+        assert full_scan == pytest.approx(0.05)  # 500 rows x 0.1 ms
+        assert no_scan < full_scan
+
+    def test_server_seconds_accumulate_in_stats(self):
+        server, connection = make_stack(
+            WAN_256, CpuCostModel(seconds_per_statement=0.02)
+        )
+        connection.execute("SELECT 1")
+        connection.execute("SELECT 1")
+        assert connection.link.stats.server_seconds == pytest.approx(0.04)
+        assert server.statistics["cpu_seconds"] == pytest.approx(0.04)
+        snapshot = connection.link.stats.snapshot()
+        connection.execute("SELECT 1")
+        delta = connection.link.stats.delta_since(snapshot)
+        assert delta.server_seconds == pytest.approx(0.02)
+
+    def test_failed_statement_not_charged(self):
+        from repro.errors import SQLError
+
+        server, connection = make_stack(
+            WAN_256, CpuCostModel(seconds_per_statement=0.02)
+        )
+        with pytest.raises(SQLError):
+            connection.execute("SELECT * FROM missing")
+        assert server.last_cpu_seconds == 0.0
+
+
+class TestSection6Caveat:
+    def test_cpu_negligible_on_wan_visible_on_lan(self):
+        """'In higher bandwidth environments ... it may be reasonable to
+        take local query execution time into consideration': the CPU share
+        of the response time is tiny over the WAN and dominant on a LAN."""
+        cost = CpuCostModel(seconds_per_row_scanned=0.00005)
+        for profile, cpu_share_bound, dominant in (
+            (WAN_256, 0.1, False),
+            (LAN, 0.5, True),
+        ):
+            __, connection = make_stack(profile, cost)
+            before = connection.link.clock.now
+            connection.execute("SELECT COUNT(*) FROM t")
+            elapsed = connection.link.clock.now - before
+            share = connection.link.stats.server_seconds / elapsed
+            if dominant:
+                assert share > cpu_share_bound
+            else:
+                assert share < cpu_share_bound

@@ -1,0 +1,204 @@
+"""Multi-site replication (the paper's Section 7 outlook)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.model.parameters import TreeParameters
+from repro.network.profiles import LAN, WAN_256, WAN_512
+from repro.pdm.generator import generate_product
+from repro.server.multisite import ReplicatedDatabase, build_replicated_deployment
+
+
+@pytest.fixture
+def deployment():
+    """Primary behind an intercontinental WAN; one LAN replica near the
+    client; one WAN-512 replica at a third site."""
+    product = generate_product(
+        TreeParameters(depth=3, branching=2, visibility=1.0), seed=3
+    )
+    return build_replicated_deployment(
+        product,
+        primary_profile=WAN_256,
+        replica_profiles={"brazil-lan": LAN, "us-wan": WAN_512},
+        primary_name="germany",
+    )
+
+
+class TestRouting:
+    def test_nearest_site_is_the_lan_replica(self, deployment):
+        assert deployment.nearest_site().name == "brazil-lan"
+
+    def test_reads_go_to_nearest(self, deployment):
+        result, seconds, site = deployment.execute_read(
+            "SELECT COUNT(*) FROM assy"
+        )
+        assert site.name == "brazil-lan"
+        assert result.scalar() == 7  # root + 2 + 4
+        assert seconds < 0.05  # LAN round trip
+
+    def test_read_from_primary_much_slower(self, deployment):
+        primary = deployment.site("germany")
+        before = primary.link.clock.now
+        primary.connection.execute("SELECT COUNT(*) FROM assy")
+        assert primary.link.clock.now - before > 0.3
+
+    def test_unknown_site_rejected(self, deployment):
+        with pytest.raises(ProtocolError):
+            deployment.site("mars")
+
+    def test_duplicate_site_names_rejected(self, deployment):
+        with pytest.raises(ProtocolError):
+            ReplicatedDatabase(
+                deployment.primary, [deployment.primary]
+            )
+
+
+class TestSynchronousWrites:
+    def test_write_visible_on_every_site(self, deployment):
+        deployment.execute_write(
+            "UPDATE assy SET state = 'frozen' WHERE obid = 1"
+        )
+        for site in deployment.sites():
+            state = site.database.execute(
+                "SELECT state FROM assy WHERE obid = 1"
+            ).scalar()
+            assert state == "frozen", site.name
+
+    def test_synchronous_write_pays_primary_plus_slowest_replica(self, deployment):
+        __, seconds = deployment.execute_write(
+            "UPDATE assy SET state = 'released' WHERE obid = 1"
+        )
+        # Primary (WAN-256) round trip is ~0.3 s latency alone; the
+        # slowest replica (WAN-512) adds ~0.3 s more.
+        assert seconds > 0.6
+
+    def test_read_after_sync_write_consistent(self, deployment):
+        deployment.execute_write("UPDATE comp SET weight = 9.5")
+        result, __, __ = deployment.execute_read(
+            "SELECT MIN(weight) FROM comp"
+        )
+        assert result.scalar() == 9.5
+
+
+class TestAsynchronousWrites:
+    def test_async_write_returns_after_primary_only(self, deployment):
+        __, seconds = deployment.execute_write(
+            "UPDATE assy SET state = 'released'", synchronous=False
+        )
+        assert seconds < 0.6  # primary only
+        assert deployment.lag("brazil-lan") == 1
+        assert deployment.lag("us-wan") == 1
+        assert deployment.lag("germany") == 0
+
+    def test_replica_reads_are_stale_until_flush(self, deployment):
+        deployment.execute_write(
+            "UPDATE assy SET state = 'released'", synchronous=False
+        )
+        result, __, site = deployment.execute_read(
+            "SELECT DISTINCT state FROM assy"
+        )
+        assert site.name == "brazil-lan"
+        assert result.column("state") == ["in_work"]  # stale!
+        deployment.flush("brazil-lan")
+        result, __, __ = deployment.execute_read(
+            "SELECT DISTINCT state FROM assy"
+        )
+        assert result.column("state") == ["released"]
+        assert deployment.lag("brazil-lan") == 0
+        assert deployment.lag("us-wan") == 1  # still pending
+
+    def test_flush_all(self, deployment):
+        for __ in range(3):
+            deployment.execute_write(
+                "UPDATE comp SET weight = weight + 1", synchronous=False
+            )
+        deployment.flush()
+        assert deployment.lag("brazil-lan") == 0
+        assert deployment.lag("us-wan") == 0
+        for site in deployment.sites():
+            weight = site.database.execute(
+                "SELECT MIN(weight) FROM comp"
+            ).scalar()
+            assert weight == pytest.approx(3.1)
+
+    def test_statistics(self, deployment):
+        deployment.execute_write("UPDATE comp SET weight = 1", synchronous=True)
+        deployment.execute_read("SELECT 1")
+        assert deployment.statistics["writes"] == 1
+        assert deployment.statistics["reads"] == 1
+        assert deployment.statistics["replicated_statements"] == 2
+
+
+class TestExpandNearTheUser:
+    def test_navigational_expand_tolerable_on_replica(self, deployment):
+        """The deployment answer to the paper's problem statement: with a
+        replica next to the Brazilian client, even navigational access is
+        fast again — at the price of replication lag for writes."""
+        from repro.pdm.operations import ExpandStrategy, PDMClient
+        from repro.pdm.structure import trees_equal
+
+        near = PDMClient(deployment.site("brazil-lan").connection)
+        far = PDMClient(deployment.site("germany").connection)
+        near_result = near.multi_level_expand(
+            1, ExpandStrategy.NAVIGATIONAL_LATE
+        )
+        far_result = far.multi_level_expand(
+            1, ExpandStrategy.NAVIGATIONAL_LATE
+        )
+        assert trees_equal(near_result.tree, far_result.tree)
+        assert near_result.seconds < far_result.seconds / 20
+
+
+class TestProcedureReplication:
+    def test_checkout_propagates_to_all_sites(self, deployment):
+        values, seconds = deployment.call_procedure_write(
+            "check_out_tree", [1, "scott"]
+        )
+        assert values  # checked-out obids from the primary
+        for site in deployment.sites():
+            held = site.database.execute(
+                "SELECT COUNT(*) FROM assy WHERE checkedout = TRUE"
+            ).scalar()
+            assert held > 0, site.name
+        # Synchronous: primary round trip plus the slowest replica.
+        assert seconds > 0.3
+
+    def test_async_procedure_lags_until_flush(self, deployment):
+        deployment.call_procedure_write(
+            "check_out_tree", [1, "scott"], synchronous=False
+        )
+        replica = deployment.site("brazil-lan")
+        held = replica.database.execute(
+            "SELECT COUNT(*) FROM assy WHERE checkedout = TRUE"
+        ).scalar()
+        assert held == 0  # not yet replayed
+        assert deployment.lag("brazil-lan") == 1
+        deployment.flush("brazil-lan")
+        held = replica.database.execute(
+            "SELECT COUNT(*) FROM assy WHERE checkedout = TRUE"
+        ).scalar()
+        assert held > 0
+
+    def test_mixed_backlog_replays_in_order(self, deployment):
+        deployment.execute_write(
+            "UPDATE assy SET state = 'frozen' WHERE obid = 1",
+            synchronous=False,
+        )
+        deployment.call_procedure_write(
+            "check_out_tree", [1, "scott"], synchronous=False
+        )
+        deployment.execute_write(
+            "UPDATE comp SET weight = 0.5", synchronous=False
+        )
+        assert deployment.lag("us-wan") == 3
+        deployment.flush()
+        replica = deployment.site("us-wan")
+        assert replica.database.execute(
+            "SELECT state FROM assy WHERE obid = 1"
+        ).scalar() == "frozen"
+        assert replica.database.execute(
+            "SELECT COUNT(*) FROM assy WHERE checkedout = TRUE"
+        ).scalar() > 0
+        assert replica.database.execute(
+            "SELECT MIN(weight) FROM comp"
+        ).scalar() == 0.5

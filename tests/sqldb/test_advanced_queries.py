@@ -1,0 +1,145 @@
+"""Advanced query shapes: combinations the basic suites don't reach."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.execute_script(
+        """
+        CREATE TABLE sale (region VARCHAR(8), item VARCHAR(8), amount INTEGER);
+        CREATE TABLE target (region VARCHAR(8), goal INTEGER)
+        """
+    )
+    sales = [
+        ("north", "bolt", 10),
+        ("north", "nut", 20),
+        ("south", "bolt", 5),
+        ("south", "nut", 40),
+        ("south", "gear", 15),
+    ]
+    db.executemany("INSERT INTO sale VALUES (?, ?, ?)", sales)
+    db.executemany(
+        "INSERT INTO target VALUES (?, ?)", [("north", 25), ("south", 70)]
+    )
+    return db
+
+
+class TestMixedShapes:
+    def test_exists_in_select_list(self, db):
+        result = db.execute(
+            "SELECT region, EXISTS (SELECT 1 FROM target "
+            "WHERE target.region = sale.region AND goal > 30) "
+            "FROM sale WHERE item = 'bolt' ORDER BY 1"
+        )
+        assert result.rows == [("north", False), ("south", True)]
+
+    def test_case_over_aggregate(self, db):
+        result = db.execute(
+            "SELECT region, CASE WHEN SUM(amount) >= 60 THEN 'hit' "
+            "ELSE 'miss' END FROM sale GROUP BY region ORDER BY 1"
+        )
+        assert result.rows == [("north", "miss"), ("south", "hit")]
+
+    def test_group_key_expression_reused_in_select(self, db):
+        result = db.execute(
+            "SELECT UPPER(region), COUNT(*) FROM sale "
+            "GROUP BY UPPER(region) ORDER BY 1"
+        )
+        assert result.rows == [("NORTH", 2), ("SOUTH", 3)]
+
+    def test_aggregate_compared_to_correlated_scalar(self, db):
+        result = db.execute(
+            "SELECT region FROM sale GROUP BY region "
+            "HAVING SUM(amount) >= (SELECT goal FROM target "
+            "WHERE target.region = sale.region)"
+        )
+        # north: 30 >= 25 hit; south: 60 >= 70 miss.
+        assert result.column("region") == ["north"]
+
+    def test_union_inside_in_subquery(self, db):
+        result = db.execute(
+            "SELECT DISTINCT item FROM sale WHERE region IN "
+            "(SELECT 'north' UNION SELECT 'east') ORDER BY 1"
+        )
+        assert result.column("item") == ["bolt", "nut"]
+
+    def test_cte_feeding_aggregate(self, db):
+        result = db.execute(
+            "WITH big AS (SELECT * FROM sale WHERE amount > 9) "
+            "SELECT region, COUNT(*) FROM big GROUP BY region ORDER BY 1"
+        )
+        assert result.rows == [("north", 2), ("south", 2)]
+
+    def test_nested_cte_in_subquery(self, db):
+        result = db.execute(
+            "SELECT (WITH m AS (SELECT MAX(amount) AS top FROM sale) "
+            "SELECT top FROM m)"
+        )
+        assert result.scalar() == 40
+
+    def test_view_over_cte_free_query_then_joined(self, db):
+        db.execute(
+            "CREATE VIEW per_region AS "
+            "SELECT region, SUM(amount) AS total FROM sale GROUP BY region"
+        )
+        result = db.execute(
+            "SELECT per_region.region, total, goal FROM per_region "
+            "JOIN target ON per_region.region = target.region "
+            "WHERE total < goal"
+        )
+        assert result.rows == [("south", 60, 70)]
+
+    def test_derived_table_with_alias_columns(self, db):
+        result = db.execute(
+            "SELECT d.r, d.n FROM (SELECT region AS r, COUNT(*) AS n "
+            "FROM sale GROUP BY region) AS d ORDER BY d.n DESC"
+        )
+        assert result.rows == [("south", 3), ("north", 2)]
+
+    def test_order_by_expression_not_in_select(self, db):
+        result = db.execute(
+            "SELECT item FROM sale WHERE region = 'south' "
+            "ORDER BY amount * -1"
+        )
+        assert result.column("item") == ["nut", "gear", "bolt"]
+
+    def test_distinct_with_hidden_order_key_rejected(self, db):
+        with pytest.raises(ParseError):
+            db.execute("SELECT DISTINCT item FROM sale ORDER BY amount")
+
+    def test_between_with_subqueries(self, db):
+        result = db.execute(
+            "SELECT item FROM sale WHERE amount BETWEEN "
+            "(SELECT MIN(goal) FROM target) / 2 AND "
+            "(SELECT MAX(goal) FROM target) ORDER BY amount"
+        )
+        assert result.column("item") == ["gear", "nut", "nut"]
+
+    def test_self_referencing_scalar_subquery_per_row(self, db):
+        result = db.execute(
+            "SELECT item, amount, "
+            "(SELECT SUM(amount) FROM sale AS inner_s "
+            " WHERE inner_s.region = sale.region) AS region_total "
+            "FROM sale WHERE item = 'gear'"
+        )
+        assert result.rows == [("gear", 15, 60)]
+
+    def test_except_of_aggregated_sets(self, db):
+        result = db.execute(
+            "SELECT region FROM sale GROUP BY region "
+            "EXCEPT SELECT region FROM target WHERE goal > 50"
+        )
+        assert result.column("region") == ["north"]
+
+    def test_multi_level_view_stack_with_parameters(self, db):
+        db.execute("CREATE VIEW v1 AS SELECT region, amount FROM sale")
+        db.execute("CREATE VIEW v2 AS SELECT region FROM v1 WHERE amount > 10")
+        result = db.execute(
+            "SELECT COUNT(*) FROM v2 WHERE region = ?", ["south"]
+        )
+        assert result.scalar() == 2

@@ -1,0 +1,179 @@
+"""INSERT / UPDATE / DELETE / DDL semantics."""
+
+import pytest
+
+from repro.errors import CatalogError, IntegrityError
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(10), n INTEGER)"
+    )
+    return db
+
+
+class TestInsert:
+    def test_insert_and_rowcount(self, db):
+        result = db.execute("INSERT INTO t VALUES (1, 'a', 10)")
+        assert result.rowcount == 1
+
+    def test_multi_row_insert(self, db):
+        result = db.execute("INSERT INTO t VALUES (1, 'a', 1), (2, 'b', 2)")
+        assert result.rowcount == 2
+        assert db.table_rowcount("t") == 2
+
+    def test_insert_with_column_list_fills_nulls(self, db):
+        db.execute("INSERT INTO t (id, name) VALUES (1, 'a')")
+        assert db.execute("SELECT n FROM t").scalar() is None
+
+    def test_insert_with_params(self, db):
+        db.execute("INSERT INTO t VALUES (?, ?, ?)", [1, "x", 5])
+        assert db.execute("SELECT name FROM t WHERE id = 1").scalar() == "x"
+
+    def test_insert_select(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'a', 10), (2, 'b', 20)")
+        db.execute("CREATE TABLE t2 (id INTEGER, name VARCHAR(10), n INTEGER)")
+        result = db.execute("INSERT INTO t2 SELECT * FROM t WHERE n > 15")
+        assert result.rowcount == 1
+
+    def test_duplicate_primary_key_rejected(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'a', 1)")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO t VALUES (1, 'b', 2)")
+
+    def test_arity_mismatch_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO t (id, name) VALUES (1)")
+
+    def test_not_null_violation(self, db):
+        db.execute("CREATE TABLE strict (a INTEGER NOT NULL)")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO strict VALUES (NULL)")
+
+    def test_values_coerced_to_column_type(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'a', ?)", ["7"])
+        assert db.execute("SELECT n FROM t").scalar() == 7
+
+    def test_executemany(self, db):
+        total = db.executemany(
+            "INSERT INTO t VALUES (?, ?, ?)",
+            [(i, f"r{i}", i * 10) for i in range(5)],
+        )
+        assert total == 5
+        assert db.table_rowcount("t") == 5
+
+
+class TestUpdate:
+    @pytest.fixture(autouse=True)
+    def seed(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'a', 10), (2, 'b', 20), (3, 'c', 30)")
+
+    def test_update_with_where(self, db):
+        result = db.execute("UPDATE t SET n = 0 WHERE id = 2")
+        assert result.rowcount == 1
+        assert db.execute("SELECT n FROM t WHERE id = 2").scalar() == 0
+
+    def test_update_all_rows(self, db):
+        assert db.execute("UPDATE t SET n = 1").rowcount == 3
+
+    def test_update_expression_sees_old_values(self, db):
+        db.execute("UPDATE t SET n = n + 1, name = name || '!' WHERE id = 1")
+        row = db.execute("SELECT n, name FROM t WHERE id = 1").fetchone()
+        assert row == (11, "a!")
+
+    def test_update_with_in_list(self, db):
+        result = db.execute("UPDATE t SET n = -1 WHERE id IN (?, ?)", [1, 3])
+        assert result.rowcount == 2
+
+    def test_update_indexed_column_keeps_index_consistent(self, db):
+        db.execute("CREATE INDEX t_n ON t (n)")
+        db.execute("UPDATE t SET n = 99 WHERE id = 1")
+        assert db.execute("SELECT id FROM t WHERE n = 99").scalar() == 1
+        assert len(db.execute("SELECT id FROM t WHERE n = 10")) == 0
+
+    def test_update_with_subquery_in_where(self, db):
+        db.execute(
+            "UPDATE t SET name = 'max' WHERE n = (SELECT MAX(n) FROM t)"
+        )
+        assert db.execute("SELECT name FROM t WHERE id = 3").scalar() == "max"
+
+
+class TestDelete:
+    @pytest.fixture(autouse=True)
+    def seed(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'a', 10), (2, 'b', 20), (3, 'c', 30)")
+
+    def test_delete_with_where(self, db):
+        assert db.execute("DELETE FROM t WHERE n >= 20").rowcount == 2
+        assert db.table_rowcount("t") == 1
+
+    def test_delete_all(self, db):
+        assert db.execute("DELETE FROM t").rowcount == 3
+        assert db.table_rowcount("t") == 0
+
+    def test_deleted_rows_not_scanned(self, db):
+        db.execute("DELETE FROM t WHERE id = 2")
+        assert sorted(db.execute("SELECT id FROM t").column("id")) == [1, 3]
+
+    def test_reinsert_after_delete_allows_same_pk(self, db):
+        db.execute("DELETE FROM t WHERE id = 1")
+        db.execute("INSERT INTO t VALUES (1, 'again', 0)")
+        assert db.execute("SELECT name FROM t WHERE id = 1").scalar() == "again"
+
+
+class TestDDL:
+    def test_create_duplicate_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE t (x INTEGER)")
+
+    def test_drop_table(self, db):
+        db.execute("DROP TABLE t")
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM t")
+
+    def test_drop_missing_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE missing")
+
+    def test_create_index_on_existing_data(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'a', 10)")
+        db.execute("CREATE INDEX t_n ON t (n)")
+        assert db.execute("SELECT id FROM t WHERE n = 10").scalar() == 1
+
+    def test_unique_index_rejects_duplicates(self, db):
+        db.execute("CREATE UNIQUE INDEX t_name ON t (name)")
+        db.execute("INSERT INTO t VALUES (1, 'a', 1)")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO t VALUES (2, 'a', 2)")
+
+    def test_duplicate_column_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE dup (x INTEGER, x INTEGER)")
+
+    def test_table_names_listing(self, db):
+        assert "t" in db.table_names()
+
+
+class TestPlanCache:
+    def test_repeated_select_hits_cache(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'a', 10)")
+        db.execute("SELECT * FROM t WHERE id = ?", [1])
+        before = db.statistics["plan_cache_hits"]
+        db.execute("SELECT * FROM t WHERE id = ?", [1])
+        assert db.statistics["plan_cache_hits"] == before + 1
+
+    def test_cache_cleared_on_drop(self, db):
+        db.execute("SELECT * FROM t")
+        db.execute("DROP TABLE t")
+        db.execute("CREATE TABLE t (different INTEGER)")
+        result = db.execute("SELECT * FROM t")
+        assert result.columns == ["different"]
+
+    def test_different_params_share_plan(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'a', 10), (2, 'b', 20)")
+        first = db.execute("SELECT name FROM t WHERE id = ?", [1]).scalar()
+        second = db.execute("SELECT name FROM t WHERE id = ?", [2]).scalar()
+        assert (first, second) == ("a", "b")

@@ -1,0 +1,102 @@
+"""Error quality: wrong SQL must fail with actionable messages, and the
+failure must name the offending object."""
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    LexerError,
+    ParseError,
+    SQLError,
+)
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.execute("CREATE TABLE a (id INTEGER, x INTEGER)")
+    db.execute("CREATE TABLE b (id INTEGER, x INTEGER)")
+    return db
+
+
+class TestNameResolution:
+    def test_unknown_table_names_the_table(self, db):
+        with pytest.raises(CatalogError, match="ghost"):
+            db.execute("SELECT * FROM ghost")
+
+    def test_unknown_column_names_the_column(self, db):
+        with pytest.raises(SQLError, match="nope"):
+            db.execute("SELECT nope FROM a")
+
+    def test_unknown_alias_named(self, db):
+        with pytest.raises(SQLError, match="z"):
+            db.execute("SELECT z.id FROM a")
+
+    def test_ambiguous_column_named(self, db):
+        with pytest.raises(CatalogError, match="ambiguous.*x"):
+            db.execute("SELECT x FROM a JOIN b ON a.id = b.id")
+
+    def test_qualified_reference_disambiguates(self, db):
+        db.execute("INSERT INTO a VALUES (1, 10)")
+        db.execute("INSERT INTO b VALUES (1, 20)")
+        assert db.execute(
+            "SELECT b.x FROM a JOIN b ON a.id = b.id"
+        ).scalar() == 20
+
+    def test_unknown_function_named(self, db):
+        db.execute("INSERT INTO a VALUES (1, 10)")
+        with pytest.raises(ExecutionError, match="(?i)frobnicate"):
+            db.execute("SELECT frobnicate(id) FROM a")
+
+
+class TestSyntaxErrors:
+    def test_misspelled_keyword(self, db):
+        with pytest.raises(ParseError):
+            db.execute("SELEKT * FROM a")
+
+    def test_dangling_operator(self, db):
+        with pytest.raises(ParseError):
+            db.execute("SELECT id + FROM a")
+
+    def test_unbalanced_parenthesis(self, db):
+        with pytest.raises(ParseError):
+            db.execute("SELECT (id FROM a")
+
+    def test_unterminated_string_reports_offset(self, db):
+        with pytest.raises(LexerError) as excinfo:
+            db.execute("SELECT 'oops FROM a")
+        assert excinfo.value.position == 7
+
+    def test_error_message_mentions_found_token(self, db):
+        with pytest.raises(ParseError, match="WHERE"):
+            db.execute("SELECT * FROM WHERE id = 1")
+
+
+class TestRuntimeErrors:
+    def test_too_few_parameters(self, db):
+        db.execute("INSERT INTO a VALUES (1, 10)")
+        with pytest.raises(ExecutionError, match="position 1"):
+            db.execute("SELECT * FROM a WHERE id = ? AND x = ?", [1])
+
+    def test_aggregate_in_where_rejected(self, db):
+        with pytest.raises(SQLError):
+            db.execute("SELECT id FROM a WHERE COUNT(*) > 1")
+
+    def test_insert_arity_mismatch_named(self, db):
+        from repro.errors import IntegrityError
+
+        with pytest.raises(IntegrityError, match="2"):
+            db.execute("INSERT INTO a VALUES (1)")
+
+    def test_cross_type_comparison_rejected(self, db):
+        from repro.errors import TypeMismatchError
+
+        db.execute("INSERT INTO a VALUES (1, 1)")
+        with pytest.raises(TypeMismatchError):
+            db.execute("SELECT * FROM a WHERE id = 'one'")
+
+    def test_exceptions_are_sqlerror_subclasses(self):
+        for error_type in (CatalogError, ParseError, LexerError, ExecutionError):
+            assert issubclass(error_type, SQLError)

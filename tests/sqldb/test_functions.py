@@ -1,0 +1,134 @@
+"""Function registry: builtins, stored functions, aggregator unit tests."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.sqldb import Database
+from repro.sqldb.functions import Aggregator, FunctionRegistry
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        registry = FunctionRegistry()
+        for name in ("UPPER", "LOWER", "LENGTH", "ABS", "SUBSTR", "MOD"):
+            assert registry.is_registered(name)
+
+    def test_call_case_insensitive(self):
+        registry = FunctionRegistry()
+        assert registry.call("upper", ["abc"]) == "ABC"
+
+    def test_null_propagation_default(self):
+        registry = FunctionRegistry()
+        assert registry.call("UPPER", [None]) is None
+
+    def test_null_propagation_opt_out(self):
+        registry = FunctionRegistry()
+        registry.register("is_missing", lambda x: x is None, propagate_null=False)
+        assert registry.call("is_missing", [None]) is True
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(ExecutionError):
+            FunctionRegistry().call("nope", [])
+
+    def test_function_error_wrapped(self):
+        registry = FunctionRegistry()
+        registry.register("boom", lambda: 1 / 0)
+        with pytest.raises(ExecutionError):
+            registry.call("boom", [])
+
+    def test_reregistration_replaces(self):
+        registry = FunctionRegistry()
+        registry.register("f", lambda: 1)
+        registry.register("f", lambda: 2)
+        assert registry.call("f", []) == 2
+
+
+class TestStoredFunctionsInSQL:
+    """The SQL/PSM stand-in (paper Section 3.2): row conditions beyond
+    plain predicates call stored functions from the WHERE clause."""
+
+    @pytest.fixture
+    def db(self):
+        db = Database()
+        db.execute("CREATE TABLE lk (obid INTEGER, strc_opt INTEGER)")
+        for row in [(1, 1), (2, 2), (3, 3)]:
+            db.execute("INSERT INTO lk VALUES (?, ?)", row)
+        db.register_function(
+            "options_overlap", lambda a, b: (int(a) & int(b)) != 0
+        )
+        return db
+
+    def test_stored_function_in_where(self, db):
+        result = db.execute(
+            "SELECT obid FROM lk WHERE options_overlap(strc_opt, 1) ORDER BY 1"
+        )
+        assert result.column("obid") == [1, 3]
+
+    def test_stored_function_in_select_list(self, db):
+        result = db.execute(
+            "SELECT options_overlap(strc_opt, 2) FROM lk ORDER BY obid"
+        )
+        assert result.rows == [(False,), (True,), (True,)]
+
+    def test_stored_function_with_parameter(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM lk WHERE options_overlap(strc_opt, ?)", [2]
+        )
+        assert result.scalar() == 2
+
+    def test_interval_overlap_function(self, db):
+        db.register_function(
+            "intervals_overlap",
+            lambda a1, a2, b1, b2: a1 <= b2 and b1 <= a2,
+        )
+        db.execute(
+            "CREATE TABLE eff (obid INTEGER, f INTEGER, t INTEGER)"
+        )
+        db.execute("INSERT INTO eff VALUES (1, 1, 5), (2, 6, 10)")
+        result = db.execute(
+            "SELECT obid FROM eff WHERE intervals_overlap(f, t, 4, 7) ORDER BY 1"
+        )
+        assert result.column("obid") == [1, 2]
+
+
+class TestAggregatorUnit:
+    def test_count_star(self):
+        aggregator = Aggregator("COUNT", star=True)
+        for __ in range(3):
+            aggregator.add(None)
+        assert aggregator.result() == 3
+
+    def test_sum_ignores_nulls(self):
+        aggregator = Aggregator("SUM")
+        for value in (1, None, 2):
+            aggregator.add(value)
+        assert aggregator.result() == 3
+
+    def test_empty_sum_is_null(self):
+        assert Aggregator("SUM").result() is None
+
+    def test_empty_count_is_zero(self):
+        assert Aggregator("COUNT").result() == 0
+
+    def test_avg(self):
+        aggregator = Aggregator("AVG")
+        for value in (2, 4):
+            aggregator.add(value)
+        assert aggregator.result() == 3
+
+    def test_min_max(self):
+        low, high = Aggregator("MIN"), Aggregator("MAX")
+        for value in (5, 1, 3):
+            low.add(value)
+            high.add(value)
+        assert (low.result(), high.result()) == (1, 5)
+
+    def test_distinct_sum(self):
+        aggregator = Aggregator("SUM", distinct=True)
+        for value in (2, 2, 3):
+            aggregator.add(value)
+        assert aggregator.result() == 5
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ExecutionError):
+            Aggregator("MEDIAN")

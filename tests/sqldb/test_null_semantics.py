@@ -1,0 +1,114 @@
+"""SQL NULL semantics — the classic divergence point between a toy engine
+and a credible one.  Every behaviour here matches the SQL standard."""
+
+import pytest
+
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+    db.execute("INSERT INTO t VALUES (1, 10), (2, NULL), (3, 30)")
+    return db
+
+
+class TestComparisons:
+    def test_equals_null_matches_nothing(self, db):
+        assert len(db.execute("SELECT * FROM t WHERE v = NULL")) == 0
+
+    def test_not_equals_null_matches_nothing(self, db):
+        assert len(db.execute("SELECT * FROM t WHERE v <> NULL")) == 0
+
+    def test_null_comparison_in_negation(self, db):
+        # NOT (v > 5): UNKNOWN stays UNKNOWN, row 2 is still dropped.
+        result = db.execute("SELECT id FROM t WHERE NOT (v > 5)")
+        assert result.rows == []
+
+    def test_is_null_is_the_only_way(self, db):
+        assert db.execute("SELECT id FROM t WHERE v IS NULL").scalar() == 2
+
+    def test_between_with_null_bound(self, db):
+        assert len(db.execute("SELECT * FROM t WHERE v BETWEEN NULL AND 20")) == 0
+
+    def test_case_condition_unknown_falls_through(self, db):
+        result = db.execute(
+            "SELECT CASE WHEN v > 5 THEN 'big' ELSE 'other' END FROM t "
+            "WHERE id = 2"
+        )
+        assert result.scalar() == "other"
+
+
+class TestThreeValuedConnectives:
+    def test_unknown_or_true_is_true(self, db):
+        result = db.execute("SELECT id FROM t WHERE v > 5 OR id = 2")
+        assert sorted(result.column("id")) == [1, 2, 3]
+
+    def test_unknown_and_false_is_false(self, db):
+        result = db.execute("SELECT id FROM t WHERE v > 5 AND id <> id")
+        assert result.rows == []
+
+    def test_unknown_and_true_drops_row(self, db):
+        result = db.execute("SELECT id FROM t WHERE v > 5 AND id > 0")
+        assert sorted(result.column("id")) == [1, 3]
+
+
+class TestNullInOperations:
+    def test_arithmetic_propagates(self, db):
+        assert db.execute("SELECT v + 1 FROM t WHERE id = 2").scalar() is None
+        assert db.execute("SELECT v * 0 FROM t WHERE id = 2").scalar() is None
+
+    def test_functions_propagate(self, db):
+        assert db.execute("SELECT ABS(v) FROM t WHERE id = 2").scalar() is None
+
+    def test_aggregates_skip_nulls(self, db):
+        row = db.execute("SELECT COUNT(*), COUNT(v), AVG(v) FROM t").fetchone()
+        assert row == (3, 2, 20)
+
+    def test_like_with_null(self, db):
+        db.execute("CREATE TABLE s (name VARCHAR(10))")
+        db.execute("INSERT INTO s VALUES (NULL), ('abc')")
+        assert len(db.execute("SELECT * FROM s WHERE name LIKE 'a%'")) == 1
+        assert len(db.execute("SELECT * FROM s WHERE name NOT LIKE 'a%'")) == 0
+
+    def test_in_list_with_null_member(self, db):
+        # 10 IN (10, NULL) -> TRUE; 20 IN (10, NULL) -> UNKNOWN (dropped).
+        assert db.execute("SELECT id FROM t WHERE v IN (10, NULL)").scalar() == 1
+        result = db.execute("SELECT id FROM t WHERE v NOT IN (10, NULL)")
+        assert result.rows == []
+
+    def test_distinct_treats_nulls_as_one_group(self, db):
+        db.execute("INSERT INTO t VALUES (4, NULL)")
+        result = db.execute("SELECT DISTINCT v FROM t")
+        assert result.column("v").count(None) == 1
+
+    def test_group_by_null_key(self, db):
+        db.execute("INSERT INTO t VALUES (4, NULL)")
+        result = db.execute("SELECT v, COUNT(*) FROM t GROUP BY v")
+        groups = dict(result.rows)
+        assert groups[None] == 2
+
+    def test_join_on_null_never_matches(self, db):
+        db.execute("CREATE TABLE u (v INTEGER)")
+        db.execute("INSERT INTO u VALUES (NULL), (10)")
+        result = db.execute("SELECT t.id FROM t JOIN u ON t.v = u.v")
+        assert result.column("id") == [1]
+
+    def test_coalesce_picks_first_non_null(self, db):
+        result = db.execute(
+            "SELECT COALESCE(v, id * 100) FROM t ORDER BY id"
+        )
+        assert result.column("coalesce") == [10, 200, 30]
+
+    def test_unique_index_allows_multiple_nulls(self, db):
+        db.execute("CREATE TABLE w (x INTEGER)")
+        db.execute("CREATE UNIQUE INDEX w_x ON w (x)")
+        db.execute("INSERT INTO w VALUES (NULL), (NULL)")
+        assert db.table_rowcount("w") == 2
+
+    def test_order_by_null_positioning(self, db):
+        ascending = db.execute("SELECT v FROM t ORDER BY v").column("v")
+        descending = db.execute("SELECT v FROM t ORDER BY v DESC").column("v")
+        assert ascending == [10, 30, None]
+        assert descending == [None, 30, 10]

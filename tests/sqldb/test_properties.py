@@ -1,0 +1,158 @@
+"""Property-based tests of core engine invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqldb import Database
+from repro.sqldb import wire
+from repro.sqldb.result import ResultSet
+
+sql_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=50),
+)
+
+int_lists = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=0, max_size=30
+)
+
+
+def fresh_table(values):
+    db = Database()
+    db.execute("CREATE TABLE t (v INTEGER)")
+    for value in values:
+        db.execute("INSERT INTO t VALUES (?)", [value])
+    return db
+
+
+class TestWireProperties:
+    @given(st.lists(sql_values, max_size=8))
+    def test_value_row_roundtrip(self, values):
+        result = ResultSet([f"c{i}" for i in range(len(values))], [tuple(values)])
+        decoded = wire.decode_result(wire.encode_result(result))
+        assert decoded.rows == result.rows
+
+    @given(st.text(max_size=200), st.lists(sql_values, max_size=5))
+    def test_query_roundtrip(self, sql, params):
+        decoded_sql, decoded_params = wire.decode_query(
+            wire.encode_query(sql, params)
+        )
+        assert decoded_sql == sql
+        assert decoded_params == list(params)
+
+
+class TestQueryProperties:
+    @given(int_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_count_matches_python(self, values):
+        db = fresh_table(values)
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == len(values)
+
+    @given(int_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_sum_matches_python(self, values):
+        db = fresh_table(values)
+        expected = sum(values) if values else None
+        assert db.execute("SELECT SUM(v) FROM t").scalar() == expected
+
+    @given(int_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_order_by_sorts(self, values):
+        db = fresh_table(values)
+        result = db.execute("SELECT v FROM t ORDER BY v")
+        assert result.column("v") == sorted(values)
+
+    @given(int_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_matches_set(self, values):
+        db = fresh_table(values)
+        result = db.execute("SELECT DISTINCT v FROM t")
+        assert sorted(result.column("v")) == sorted(set(values))
+
+    @given(int_lists, st.integers(min_value=-1000, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_where_filter_matches_python(self, values, threshold):
+        db = fresh_table(values)
+        result = db.execute("SELECT v FROM t WHERE v > ?", [threshold])
+        assert sorted(result.column("v")) == sorted(
+            v for v in values if v > threshold
+        )
+
+    @given(int_lists, int_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_union_matches_set_union(self, left, right):
+        db = Database()
+        db.execute("CREATE TABLE a (v INTEGER)")
+        db.execute("CREATE TABLE b (v INTEGER)")
+        for value in left:
+            db.execute("INSERT INTO a VALUES (?)", [value])
+        for value in right:
+            db.execute("INSERT INTO b VALUES (?)", [value])
+        result = db.execute("SELECT v FROM a UNION SELECT v FROM b")
+        assert sorted(result.column("v")) == sorted(set(left) | set(right))
+        result_all = db.execute("SELECT v FROM a UNION ALL SELECT v FROM b")
+        assert len(result_all) == len(left) + len(right)
+
+    @given(int_lists, int_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_except_intersect_match_sets(self, left, right):
+        db = Database()
+        db.execute("CREATE TABLE a (v INTEGER)")
+        db.execute("CREATE TABLE b (v INTEGER)")
+        for value in left:
+            db.execute("INSERT INTO a VALUES (?)", [value])
+        for value in right:
+            db.execute("INSERT INTO b VALUES (?)", [value])
+        diff = db.execute("SELECT v FROM a EXCEPT SELECT v FROM b")
+        assert sorted(diff.column("v")) == sorted(set(left) - set(right))
+        both = db.execute("SELECT v FROM a INTERSECT SELECT v FROM b")
+        assert sorted(both.column("v")) == sorted(set(left) & set(right))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=20),
+            ),
+            max_size=40,
+        ),
+        st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recursive_reachability_matches_bfs(self, edges, start):
+        db = Database()
+        db.execute("CREATE TABLE e (s INTEGER, d INTEGER)")
+        db.execute("CREATE INDEX e_s ON e (s)")
+        for src, dst in edges:
+            db.execute("INSERT INTO e VALUES (?, ?)", [src, dst])
+        result = db.execute(
+            "WITH RECURSIVE r (n) AS "
+            "(SELECT ? UNION SELECT d FROM r JOIN e ON r.n = e.s) "
+            "SELECT n FROM r",
+            [start],
+        )
+        # Reference BFS.
+        adjacency = {}
+        for src, dst in edges:
+            adjacency.setdefault(src, set()).add(dst)
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for nxt in adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        assert sorted(result.column("n")) == sorted(seen)
+
+    @given(int_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_delete_then_count_consistent(self, values):
+        db = fresh_table(values)
+        deleted = db.execute("DELETE FROM t WHERE v < 0").rowcount
+        remaining = db.execute("SELECT COUNT(*) FROM t").scalar()
+        assert deleted + remaining == len(values)
+        assert all(v >= 0 for v in db.execute("SELECT v FROM t").column("v"))

@@ -1,0 +1,192 @@
+"""Property tests: SQL results vs. straightforward Python evaluation."""
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqldb import Database
+
+rows_left = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=-50, max_value=50),
+    ),
+    max_size=25,
+)
+rows_right = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=-50, max_value=50),
+    ),
+    max_size=25,
+)
+
+
+def load(db, table, rows):
+    db.execute(f"CREATE TABLE {table} (k INTEGER, v INTEGER)")
+    db.executemany(f"INSERT INTO {table} VALUES (?, ?)", rows)
+
+
+class TestJoinsAgainstReference:
+    @given(rows_left, rows_right)
+    @settings(max_examples=30, deadline=None)
+    def test_inner_equi_join(self, left, right):
+        db = Database()
+        load(db, "l", left)
+        load(db, "r", right)
+        result = db.execute(
+            "SELECT l.k, l.v, r.v FROM l JOIN r ON l.k = r.k"
+        )
+        expected = sorted(
+            (lk, lv, rv) for lk, lv in left for rk, rv in right if lk == rk
+        )
+        assert sorted(result.rows) == expected
+
+    @given(rows_left, rows_right)
+    @settings(max_examples=30, deadline=None)
+    def test_left_join(self, left, right):
+        db = Database()
+        load(db, "l", left)
+        load(db, "r", right)
+        result = db.execute(
+            "SELECT l.k, r.v FROM l LEFT JOIN r ON l.k = r.k"
+        )
+        expected = []
+        for lk, lv in left:
+            matches = [rv for rk, rv in right if rk == lk]
+            if matches:
+                expected.extend((lk, rv) for rv in matches)
+            else:
+                expected.append((lk, None))
+        key = lambda row: (row[0], -(10**9) if row[1] is None else row[1])
+        assert sorted(result.rows, key=key) == sorted(expected, key=key)
+
+    @given(rows_left, rows_right)
+    @settings(max_examples=25, deadline=None)
+    def test_hash_and_index_joins_agree(self, left, right):
+        """The same join with and without an index on the inner side."""
+        plain = Database()
+        load(plain, "l", left)
+        load(plain, "r", right)
+        indexed = Database()
+        load(indexed, "l", left)
+        load(indexed, "r", right)
+        indexed.execute("CREATE INDEX r_k ON r (k)")
+        sql = "SELECT l.v, r.v FROM l JOIN r ON l.k = r.k"
+        assert sorted(plain.execute(sql).rows) == sorted(
+            indexed.execute(sql).rows
+        )
+
+
+class TestGroupByAgainstReference:
+    @given(rows_left)
+    @settings(max_examples=30, deadline=None)
+    def test_group_count_sum(self, rows):
+        db = Database()
+        load(db, "t", rows)
+        result = db.execute(
+            "SELECT k, COUNT(*), SUM(v), MIN(v), MAX(v) FROM t GROUP BY k"
+        )
+        expected = defaultdict(list)
+        for k, v in rows:
+            expected[k].append(v)
+        reference = sorted(
+            (k, len(vs), sum(vs), min(vs), max(vs))
+            for k, vs in expected.items()
+        )
+        assert sorted(result.rows) == reference
+
+    @given(rows_left, st.integers(min_value=0, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_having_threshold(self, rows, threshold):
+        db = Database()
+        load(db, "t", rows)
+        result = db.execute(
+            "SELECT k FROM t GROUP BY k HAVING COUNT(*) >= ?", [threshold]
+        )
+        counts = defaultdict(int)
+        for k, __ in rows:
+            counts[k] += 1
+        expected = sorted(k for k, n in counts.items() if n >= threshold)
+        assert sorted(result.column("k")) == expected
+
+
+class TestSubqueriesAgainstReference:
+    @given(rows_left, rows_right)
+    @settings(max_examples=30, deadline=None)
+    def test_exists_semi_join(self, left, right):
+        db = Database()
+        load(db, "l", left)
+        load(db, "r", right)
+        result = db.execute(
+            "SELECT l.k, l.v FROM l WHERE EXISTS "
+            "(SELECT 1 FROM r WHERE r.k = l.k)"
+        )
+        right_keys = {rk for rk, __ in right}
+        expected = sorted((lk, lv) for lk, lv in left if lk in right_keys)
+        assert sorted(result.rows) == expected
+
+    @given(rows_left, rows_right)
+    @settings(max_examples=30, deadline=None)
+    def test_in_anti_join(self, left, right):
+        db = Database()
+        load(db, "l", left)
+        load(db, "r", right)
+        result = db.execute(
+            "SELECT l.k FROM l WHERE l.k NOT IN (SELECT k FROM r)"
+        )
+        right_keys = {rk for rk, __ in right}
+        expected = sorted(lk for lk, __ in left if lk not in right_keys)
+        assert sorted(result.column("k")) == expected
+
+    @given(rows_left)
+    @settings(max_examples=25, deadline=None)
+    def test_correlated_count(self, rows):
+        db = Database()
+        load(db, "t", rows)
+        db.execute("CREATE TABLE keys (k INTEGER)")
+        keys = sorted({k for k, __ in rows})
+        db.executemany("INSERT INTO keys VALUES (?)", [(k,) for k in keys])
+        result = db.execute(
+            "SELECT k, (SELECT COUNT(*) FROM t WHERE t.k = keys.k) "
+            "FROM keys ORDER BY 1"
+        )
+        counts = defaultdict(int)
+        for k, __ in rows:
+            counts[k] += 1
+        assert result.rows == [(k, counts[k]) for k in keys]
+
+
+class TestTransactionProperties:
+    @given(
+        rows_left,
+        st.lists(
+            st.sampled_from(["insert", "update", "delete"]),
+            min_size=1,
+            max_size=8,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rollback_always_restores_snapshot(self, rows, operations, rng):
+        db = Database()
+        load(db, "t", rows)
+        before = sorted(db.execute("SELECT k, v FROM t").rows)
+        db.begin()
+        next_key = 100
+        for operation in operations:
+            if operation == "insert":
+                db.execute("INSERT INTO t VALUES (?, ?)", [next_key, 1])
+                next_key += 1
+            elif operation == "update":
+                db.execute(
+                    "UPDATE t SET v = v + 1 WHERE k = ?",
+                    [rng.randint(0, 8)],
+                )
+            else:
+                db.execute(
+                    "DELETE FROM t WHERE k = ?", [rng.randint(0, 8)]
+                )
+        db.rollback()
+        assert sorted(db.execute("SELECT k, v FROM t").rows) == before

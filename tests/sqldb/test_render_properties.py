@@ -1,0 +1,108 @@
+"""Property test: rendering is a fixpoint under re-parsing.
+
+For randomly generated expression ASTs, ``render ∘ parse ∘ render`` must
+equal ``render`` — i.e. the conservative parenthesisation really does
+preserve structure, whatever the nesting.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.parser import parse_expression
+from repro.sqldb.render import render_expression
+
+literals = st.one_of(
+    st.integers(min_value=-1000, max_value=1000).map(ast.Literal),
+    st.booleans().map(ast.Literal),
+    st.just(ast.Literal(None)),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+        max_size=8,
+    ).map(ast.Literal),
+)
+
+column_names = st.sampled_from(["obid", "name", "weight", "left", "dec"])
+qualifiers = st.sampled_from([None, "assy", "link", "t1"])
+
+columns = st.builds(
+    lambda name, qualifier: ast.ColumnRef(name=name, qualifier=qualifier),
+    column_names,
+    qualifiers,
+)
+
+comparison_ops = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+arithmetic_ops = st.sampled_from(["+", "-", "*", "/"])
+boolean_ops = st.sampled_from(["AND", "OR"])
+
+
+def expressions(depth: int):
+    if depth <= 0:
+        return st.one_of(literals, columns)
+    sub = expressions(depth - 1)
+    return st.one_of(
+        literals,
+        columns,
+        st.builds(
+            lambda op, l, r: ast.BinaryOp(operator=op, left=l, right=r),
+            st.one_of(comparison_ops, arithmetic_ops, boolean_ops),
+            sub,
+            sub,
+        ),
+        st.builds(lambda e: ast.UnaryOp(operator="NOT", operand=e), sub),
+        st.builds(lambda e: ast.UnaryOp(operator="-", operand=e), sub),
+        st.builds(
+            lambda e, negated: ast.IsNullTest(operand=e, negated=negated),
+            sub,
+            st.booleans(),
+        ),
+        st.builds(
+            lambda e, items, negated: ast.InList(
+                operand=e, items=items, negated=negated
+            ),
+            sub,
+            st.lists(literals, min_size=1, max_size=3),
+            st.booleans(),
+        ),
+        st.builds(
+            lambda e, low, high: ast.Between(operand=e, low=low, high=high),
+            sub,
+            sub,
+            sub,
+        ),
+        st.builds(
+            lambda name, args: ast.FunctionCall(name=name, args=args),
+            st.sampled_from(["f", "options_overlap", "abs"]),
+            st.lists(sub, max_size=2),
+        ),
+    )
+
+
+class TestRenderFixpoint:
+    @given(expressions(3))
+    @settings(max_examples=200, deadline=None)
+    def test_render_normalises_within_one_round(self, expression):
+        """render∘parse reaches a stable normal form after one round.
+
+        (A strict textual fixpoint on the *first* render is impossible:
+        e.g. a nested negation of a literal renders as "-(0)" and then
+        normalises to "0".)"""
+        first = render_expression(parse_expression(render_expression(expression)))
+        second = render_expression(parse_expression(first))
+        assert second == first
+
+    @given(expressions(2), expressions(2))
+    @settings(max_examples=100, deadline=None)
+    def test_statement_roundtrip(self, where, item):
+        statement = ast.SelectStatement(
+            body=ast.SelectCore(
+                items=[ast.SelectItem(expression=item, alias="x")],
+                from_items=[ast.TableRef(name="t")],
+                where=where,
+            )
+        )
+        from repro.sqldb.parser import parse_statement
+        from repro.sqldb.render import render_statement
+
+        rendered = render_statement(parse_statement(render_statement(statement)))
+        assert render_statement(parse_statement(rendered)) == rendered

@@ -1,0 +1,65 @@
+"""ResultSet container semantics."""
+
+import pytest
+
+from repro.sqldb.result import ResultSet
+
+
+@pytest.fixture
+def result():
+    return ResultSet(
+        ["obid", "Name", "weight"],
+        [(1, "Assy1", 2.5), (2, "Assy2", None)],
+    )
+
+
+class TestAccessors:
+    def test_len_iter_bool(self, result):
+        assert len(result) == 2
+        assert list(result) == result.rows
+        assert bool(result)
+        assert not bool(ResultSet(["a"], []))
+
+    def test_fetch(self, result):
+        assert result.fetchone() == (1, "Assy1", 2.5)
+        assert result.fetchall() == result.rows
+        assert ResultSet(["a"], []).fetchone() is None
+
+    def test_scalar(self, result):
+        assert result.scalar() == 1
+        assert ResultSet(["a"], []).scalar() is None
+
+    def test_column_by_name_case_insensitive(self, result):
+        assert result.column("name") == ["Assy1", "Assy2"]
+        assert result.column("NAME") == ["Assy1", "Assy2"]
+
+    def test_unknown_column_raises_with_candidates(self, result):
+        with pytest.raises(KeyError, match="obid"):
+            result.column("missing")
+
+    def test_column_index(self, result):
+        assert result.column_index("weight") == 2
+
+    def test_as_dicts_lowercases_keys(self, result):
+        dicts = result.as_dicts()
+        assert dicts[0] == {"obid": 1, "name": "Assy1", "weight": 2.5}
+        assert dicts[1]["weight"] is None
+
+    def test_duplicate_column_names_first_wins(self):
+        duplicated = ResultSet(["x", "x"], [(1, 2)])
+        assert duplicated.column("x") == [1]
+
+    def test_rowcount_defaults_to_len(self, result):
+        assert result.rowcount == 2
+
+    def test_rowcount_override_for_dml(self):
+        dml = ResultSet([], [], rowcount=7)
+        assert dml.rowcount == 7
+        assert len(dml) == 0
+
+    def test_rows_are_tuples(self):
+        built = ResultSet(["a", "b"], [[1, 2]])
+        assert built.rows == [(1, 2)]
+
+    def test_repr_mentions_shape(self, result):
+        assert "rows=2" in repr(result)

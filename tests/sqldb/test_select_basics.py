@@ -1,0 +1,229 @@
+"""End-to-end SELECT semantics on small tables."""
+
+import pytest
+
+from repro.errors import CatalogError, ExecutionError
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.execute_script(
+        """
+        CREATE TABLE parts (
+            id INTEGER PRIMARY KEY,
+            name VARCHAR(20),
+            weight DOUBLE,
+            state VARCHAR(10)
+        )
+        """
+    )
+    rows = [
+        (1, "bolt", 0.1, "released"),
+        (2, "nut", 0.05, "released"),
+        (3, "frame", 12.5, "in_work"),
+        (4, "wheel", 3.0, None),
+    ]
+    for row in rows:
+        db.execute("INSERT INTO parts VALUES (?, ?, ?, ?)", row)
+    return db
+
+
+class TestProjection:
+    def test_select_star_returns_all_columns(self, db):
+        result = db.execute("SELECT * FROM parts WHERE id = 1")
+        assert result.columns == ["id", "name", "weight", "state"]
+        assert result.rows == [(1, "bolt", 0.1, "released")]
+
+    def test_projection_order_and_alias(self, db):
+        result = db.execute("SELECT name AS part_name, id FROM parts WHERE id = 2")
+        assert result.columns == ["part_name", "id"]
+        assert result.rows == [("nut", 2)]
+
+    def test_computed_column(self, db):
+        result = db.execute("SELECT weight * 2 FROM parts WHERE id = 3")
+        assert result.scalar() == 25.0
+
+    def test_select_constant_without_from(self, db):
+        assert db.execute("SELECT 2 + 3").scalar() == 5
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(Exception):
+            db.execute("SELECT nonsense FROM parts")
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM missing")
+
+
+class TestFiltering:
+    def test_equality(self, db):
+        assert len(db.execute("SELECT * FROM parts WHERE state = 'released'")) == 2
+
+    def test_inequality_excludes_nulls(self, db):
+        # state of 'wheel' is NULL: <> is UNKNOWN, so the row is dropped.
+        result = db.execute("SELECT id FROM parts WHERE state <> 'released'")
+        assert result.column("id") == [3]
+
+    def test_is_null(self, db):
+        assert db.execute("SELECT id FROM parts WHERE state IS NULL").scalar() == 4
+
+    def test_is_not_null(self, db):
+        assert len(db.execute("SELECT * FROM parts WHERE state IS NOT NULL")) == 3
+
+    def test_between(self, db):
+        result = db.execute("SELECT id FROM parts WHERE weight BETWEEN 0.1 AND 4")
+        assert sorted(result.column("id")) == [1, 4]
+
+    def test_like(self, db):
+        result = db.execute("SELECT name FROM parts WHERE name LIKE '%t'")
+        assert sorted(result.column("name")) == ["bolt", "nut"]
+
+    def test_like_underscore(self, db):
+        assert db.execute("SELECT name FROM parts WHERE name LIKE 'n_t'").scalar() == "nut"
+
+    def test_in_list(self, db):
+        result = db.execute("SELECT id FROM parts WHERE id IN (1, 3, 99)")
+        assert sorted(result.column("id")) == [1, 3]
+
+    def test_not_in_list(self, db):
+        result = db.execute("SELECT id FROM parts WHERE id NOT IN (1, 2, 3)")
+        assert result.column("id") == [4]
+
+    def test_and_or_combination(self, db):
+        result = db.execute(
+            "SELECT id FROM parts WHERE state = 'released' AND weight < 0.08 "
+            "OR id = 3"
+        )
+        assert sorted(result.column("id")) == [2, 3]
+
+    def test_parameters(self, db):
+        result = db.execute("SELECT name FROM parts WHERE id = ?", [3])
+        assert result.scalar() == "frame"
+
+    def test_missing_parameter_raises(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT * FROM parts WHERE id = ?")
+
+
+class TestOrderingAndLimit:
+    def test_order_by_column(self, db):
+        result = db.execute("SELECT name FROM parts ORDER BY weight")
+        assert result.column("name") == ["nut", "bolt", "wheel", "frame"]
+
+    def test_order_by_desc(self, db):
+        result = db.execute("SELECT id FROM parts ORDER BY weight DESC")
+        assert result.column("id") == [3, 4, 1, 2]
+
+    def test_order_by_position(self, db):
+        result = db.execute("SELECT weight, id FROM parts ORDER BY 1")
+        assert result.column("id") == [2, 1, 4, 3]
+
+    def test_nulls_sort_last_ascending(self, db):
+        result = db.execute("SELECT state FROM parts ORDER BY state")
+        assert result.column("state")[-1] is None
+
+    def test_order_by_multiple_keys(self, db):
+        db.execute("INSERT INTO parts VALUES (5, 'axle', 3.0, 'in_work')")
+        result = db.execute("SELECT id FROM parts ORDER BY weight DESC, id DESC")
+        assert result.column("id")[:3] == [3, 5, 4]
+
+    def test_limit(self, db):
+        assert len(db.execute("SELECT * FROM parts ORDER BY id LIMIT 2")) == 2
+
+    def test_limit_zero(self, db):
+        assert len(db.execute("SELECT * FROM parts LIMIT 0")) == 0
+
+    def test_order_by_position_out_of_range(self, db):
+        with pytest.raises(Exception):
+            db.execute("SELECT id FROM parts ORDER BY 9")
+
+
+class TestDistinct:
+    def test_distinct_rows(self, db):
+        result = db.execute("SELECT DISTINCT state FROM parts WHERE state = 'released'")
+        assert len(result) == 1
+
+    def test_distinct_keeps_null_once(self, db):
+        db.execute("INSERT INTO parts VALUES (6, 'shim', 0.01, NULL)")
+        result = db.execute("SELECT DISTINCT state FROM parts")
+        states = result.column("state")
+        assert states.count(None) == 1
+
+
+class TestExpressionsInQueries:
+    def test_case_expression(self, db):
+        result = db.execute(
+            "SELECT name, CASE WHEN weight > 1 THEN 'heavy' ELSE 'light' END "
+            "AS category FROM parts ORDER BY id"
+        )
+        assert result.column("category") == ["light", "light", "heavy", "heavy"]
+
+    def test_scalar_functions(self, db):
+        assert db.execute("SELECT UPPER(name) FROM parts WHERE id = 1").scalar() == "BOLT"
+        assert db.execute("SELECT LENGTH(name) FROM parts WHERE id = 2").scalar() == 3
+        assert db.execute("SELECT ABS(-5)").scalar() == 5
+
+    def test_integer_division_truncates(self, db):
+        assert db.execute("SELECT 7 / 2").scalar() == 3
+        assert db.execute("SELECT -7 / 2").scalar() == -3  # toward zero
+
+    def test_float_division(self, db):
+        assert db.execute("SELECT 7.0 / 2").scalar() == 3.5
+
+    def test_division_by_zero_raises(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT 1 / 0")
+
+    def test_string_concatenation(self, db):
+        assert db.execute("SELECT 'a' || 'b' || 'c'").scalar() == "abc"
+
+    def test_concat_with_null_is_null(self, db):
+        assert db.execute("SELECT 'a' || NULL").scalar() is None
+
+    def test_coalesce(self, db):
+        result = db.execute(
+            "SELECT COALESCE(state, 'unknown') FROM parts WHERE id = 4"
+        )
+        assert result.scalar() == "unknown"
+
+    def test_nullif(self, db):
+        assert db.execute("SELECT NULLIF(1, 1)").scalar() is None
+        assert db.execute("SELECT NULLIF(2, 1)").scalar() == 2
+
+    def test_cast(self, db):
+        assert db.execute("SELECT CAST('12' AS INTEGER)").scalar() == 12
+        assert db.execute("SELECT CAST(weight AS INTEGER) FROM parts WHERE id = 3").scalar() == 12
+
+
+class TestOffset:
+    def test_limit_with_offset(self, db):
+        result = db.execute("SELECT id FROM parts ORDER BY id LIMIT 2 OFFSET 1")
+        assert result.column("id") == [2, 3]
+
+    def test_offset_without_limit(self, db):
+        result = db.execute("SELECT id FROM parts ORDER BY id OFFSET 3")
+        assert result.column("id") == [4]
+
+    def test_offset_beyond_result_is_empty(self, db):
+        assert len(db.execute("SELECT id FROM parts OFFSET 99")) == 0
+
+    def test_parameterised_pagination(self, db):
+        page_size = 2
+        pages = [
+            db.execute(
+                "SELECT id FROM parts ORDER BY id LIMIT ? OFFSET ?",
+                [page_size, page * page_size],
+            ).column("id")
+            for page in range(3)
+        ]
+        assert pages == [[1, 2], [3, 4], []]
+
+    def test_offset_renders_and_reparses(self, db):
+        from repro.sqldb.parser import parse_statement
+        from repro.sqldb.render import render_statement
+
+        sql = "SELECT id FROM parts ORDER BY id LIMIT 2 OFFSET 1"
+        rendered = render_statement(parse_statement(sql))
+        assert db.execute(rendered).column("id") == [2, 3]

@@ -1,0 +1,91 @@
+"""UNION / UNION ALL / INTERSECT / EXCEPT semantics."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.execute_script(
+        "CREATE TABLE a (v INTEGER); CREATE TABLE b (v INTEGER)"
+    )
+    for v in (1, 2, 2, 3):
+        db.execute("INSERT INTO a VALUES (?)", [v])
+    for v in (2, 3, 4):
+        db.execute("INSERT INTO b VALUES (?)", [v])
+    return db
+
+
+class TestUnion:
+    def test_union_deduplicates(self, db):
+        result = db.execute("SELECT v FROM a UNION SELECT v FROM b ORDER BY 1")
+        assert result.column("v") == [1, 2, 3, 4]
+
+    def test_union_all_keeps_duplicates(self, db):
+        result = db.execute(
+            "SELECT v FROM a UNION ALL SELECT v FROM b ORDER BY 1"
+        )
+        assert result.column("v") == [1, 2, 2, 2, 3, 3, 4]
+
+    def test_union_column_names_from_left(self, db):
+        result = db.execute("SELECT v AS left_name FROM a UNION SELECT v FROM b")
+        assert result.columns == ["left_name"]
+
+    def test_union_of_heterogeneous_literals(self, db):
+        result = db.execute("SELECT 'x', 1 UNION SELECT 'y', 2 ORDER BY 2")
+        assert result.rows == [("x", 1), ("y", 2)]
+
+    def test_arity_mismatch_rejected(self, db):
+        with pytest.raises(ParseError):
+            db.execute("SELECT v FROM a UNION SELECT v, v FROM b")
+
+    def test_union_dedup_includes_nulls(self, db):
+        db.execute("INSERT INTO a VALUES (NULL)")
+        db.execute("INSERT INTO b VALUES (NULL)")
+        result = db.execute("SELECT v FROM a UNION SELECT v FROM b")
+        assert result.column("v").count(None) == 1
+
+
+class TestIntersectExcept:
+    def test_intersect(self, db):
+        result = db.execute(
+            "SELECT v FROM a INTERSECT SELECT v FROM b ORDER BY 1"
+        )
+        assert result.column("v") == [2, 3]
+
+    def test_except(self, db):
+        result = db.execute("SELECT v FROM a EXCEPT SELECT v FROM b")
+        assert result.column("v") == [1]
+
+    def test_except_removes_duplicates_from_left(self, db):
+        result = db.execute("SELECT v FROM a EXCEPT SELECT v FROM b WHERE v = 4")
+        assert sorted(result.column("v")) == [1, 2, 3]
+
+    def test_chained_operations_left_associative(self, db):
+        result = db.execute(
+            "SELECT v FROM a UNION SELECT v FROM b EXCEPT SELECT 4 ORDER BY 1"
+        )
+        assert result.column("v") == [1, 2, 3]
+
+
+class TestHomogenisation:
+    """The paper's 5.2 pattern: UNION of different object types cast to a
+    common result type with NULL-filled attributes."""
+
+    def test_union_with_null_casts(self, db):
+        result = db.execute(
+            "SELECT v, CAST(NULL AS INTEGER) AS extra FROM a WHERE v = 1 "
+            "UNION SELECT 99, v FROM b WHERE v = 4"
+        )
+        rows = sorted(result.rows)
+        assert rows == [(1, None), (99, 4)]
+
+    def test_union_all_in_one_statement_with_where(self, db):
+        result = db.execute(
+            "SELECT v FROM a WHERE v > 1 UNION ALL SELECT v FROM b WHERE v < 3 "
+            "ORDER BY 1"
+        )
+        assert result.column("v") == [2, 2, 2, 3]

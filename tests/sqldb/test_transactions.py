@@ -1,0 +1,153 @@
+"""Transactions: atomicity of multi-statement operations.
+
+The substrate extension motivated by check-out (paper Section 6): the
+retrieve-and-flag sequence must not leave the database half-updated.
+"""
+
+import pytest
+
+from repro.errors import ExecutionError, IntegrityError
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+    db.execute("CREATE INDEX t_v ON t (v)")
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+    return db
+
+
+def snapshot(db):
+    return db.execute("SELECT id, v FROM t ORDER BY 1").rows
+
+
+class TestCommit:
+    def test_commit_keeps_changes(self, db):
+        db.begin()
+        db.execute("UPDATE t SET v = 99 WHERE id = 1")
+        db.execute("INSERT INTO t VALUES (4, 40)")
+        db.commit()
+        assert snapshot(db) == [(1, 99), (2, 20), (3, 30), (4, 40)]
+
+    def test_sql_level_statements(self, db):
+        db.execute("BEGIN TRANSACTION")
+        db.execute("DELETE FROM t WHERE id = 2")
+        db.execute("COMMIT")
+        assert [row[0] for row in snapshot(db)] == [1, 3]
+
+    def test_reads_inside_transaction_see_own_writes(self, db):
+        with db.transaction():
+            db.execute("UPDATE t SET v = 0")
+            assert db.execute("SELECT SUM(v) FROM t").scalar() == 0
+
+
+class TestRollback:
+    def test_rollback_restores_all_dml_kinds(self, db):
+        before = snapshot(db)
+        db.begin()
+        db.execute("UPDATE t SET v = v + 1")
+        db.execute("DELETE FROM t WHERE id = 2")
+        db.execute("INSERT INTO t VALUES (9, 90)")
+        db.rollback()
+        assert snapshot(db) == before
+
+    def test_sql_level_rollback(self, db):
+        before = snapshot(db)
+        db.execute("BEGIN")
+        db.execute("DELETE FROM t")
+        db.execute("ROLLBACK")
+        assert snapshot(db) == before
+
+    def test_rollback_restores_indexes(self, db):
+        db.begin()
+        db.execute("UPDATE t SET v = 1000 WHERE id = 1")
+        db.rollback()
+        assert db.execute("SELECT id FROM t WHERE v = 10").scalar() == 1
+        assert len(db.execute("SELECT id FROM t WHERE v = 1000")) == 0
+
+    def test_rollback_restores_primary_key_index(self, db):
+        db.begin()
+        db.execute("DELETE FROM t WHERE id = 1")
+        db.rollback()
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO t VALUES (1, 0)")
+
+    def test_context_manager_rolls_back_on_error(self, db):
+        before = snapshot(db)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.execute("DELETE FROM t")
+                raise RuntimeError("injected failure")
+        assert snapshot(db) == before
+
+    def test_multi_table_rollback(self, db):
+        db.execute("CREATE TABLE u (id INTEGER)")
+        db.begin()
+        db.execute("INSERT INTO u VALUES (1)")
+        db.execute("DELETE FROM t WHERE id = 3")
+        db.rollback()
+        assert db.table_rowcount("u") == 0
+        assert db.table_rowcount("t") == 3
+
+    def test_interleaved_ops_on_same_rows(self, db):
+        before = snapshot(db)
+        db.begin()
+        db.execute("UPDATE t SET v = 1 WHERE id = 1")
+        db.execute("UPDATE t SET v = 2 WHERE id = 1")
+        db.execute("DELETE FROM t WHERE id = 1")
+        db.execute("INSERT INTO t VALUES (1, 3)")
+        db.rollback()
+        assert snapshot(db) == before
+
+
+class TestTransactionRules:
+    def test_nested_begin_rejected(self, db):
+        db.begin()
+        with pytest.raises(ExecutionError):
+            db.begin()
+        db.rollback()
+
+    def test_commit_without_begin_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.commit()
+
+    def test_rollback_without_begin_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.rollback()
+
+    def test_ddl_inside_transaction_rejected(self, db):
+        db.begin()
+        with pytest.raises(ExecutionError):
+            db.execute("CREATE TABLE nope (x INTEGER)")
+        with pytest.raises(ExecutionError):
+            db.execute("DROP TABLE t")
+        db.rollback()
+
+    def test_after_commit_new_transaction_possible(self, db):
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES (4, 40)")
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES (5, 50)")
+        assert db.table_rowcount("t") == 5
+
+    def test_changes_outside_transaction_unaffected_by_rollback(self, db):
+        db.execute("INSERT INTO t VALUES (4, 40)")  # autocommitted
+        db.begin()
+        db.execute("DELETE FROM t WHERE id = 4")
+        db.rollback()
+        assert db.execute("SELECT v FROM t WHERE id = 4").scalar() == 40
+
+
+class TestServerSideTransactions:
+    def test_remote_transactional_update(self, db):
+        from repro.network.profiles import WAN_512
+        from repro.server.client import RemoteConnection
+        from repro.server.server import DatabaseServer
+
+        connection = RemoteConnection(DatabaseServer(db), WAN_512.create_link())
+        connection.execute("BEGIN")
+        connection.execute("UPDATE t SET v = 0")
+        connection.execute("ROLLBACK")
+        assert db.execute("SELECT SUM(v) FROM t").scalar() == 60

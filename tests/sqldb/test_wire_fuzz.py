@@ -1,0 +1,66 @@
+"""Fuzzing the wire decoders: arbitrary bytes must fail *cleanly*.
+
+A malformed frame from a broken client may reject with ProtocolError but
+must never raise anything else (no IndexError/struct.error/etc. escaping
+into the server loop) and must never hang.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError, ReproError
+from repro.server import protocol
+from repro.sqldb import wire
+
+arbitrary_bytes = st.binary(max_size=300)
+
+
+def must_fail_cleanly(decoder, payload):
+    try:
+        decoder(payload)
+    except ProtocolError:
+        pass  # the only error class a decoder may raise
+
+
+class TestDecoderFuzz:
+    @given(arbitrary_bytes)
+    @settings(max_examples=200, deadline=None)
+    def test_decode_query(self, payload):
+        must_fail_cleanly(wire.decode_query, payload)
+
+    @given(arbitrary_bytes)
+    @settings(max_examples=200, deadline=None)
+    def test_decode_result(self, payload):
+        must_fail_cleanly(wire.decode_result, payload)
+
+    @given(arbitrary_bytes)
+    @settings(max_examples=200, deadline=None)
+    def test_decode_procedure_call(self, payload):
+        must_fail_cleanly(protocol.decode_procedure_call, payload)
+
+    @given(arbitrary_bytes)
+    @settings(max_examples=100, deadline=None)
+    def test_decode_envelope(self, payload):
+        must_fail_cleanly(protocol.decode_envelope, payload)
+
+
+class TestServerSurvivesGarbage:
+    @given(arbitrary_bytes)
+    @settings(max_examples=100, deadline=None)
+    def test_server_answers_error_frames(self, payload):
+        """The server must turn any garbage request into an ERROR response
+        (or a valid response if the bytes happen to parse) — never crash."""
+        from repro.server.server import DatabaseServer
+        from repro.sqldb import Database
+
+        db = Database()
+        db.execute("CREATE TABLE t (v INTEGER)")
+        server = DatabaseServer(db)
+        response = server.handle(payload)
+        opcode, __ = protocol.decode_envelope(response)
+        assert opcode in (
+            protocol.Opcode.RESULT,
+            protocol.Opcode.PROCEDURE_RESULT,
+            protocol.Opcode.PONG,
+            protocol.Opcode.ERROR,
+        )
