@@ -1,0 +1,123 @@
+"""Ablation — pipelined level-at-a-time batching vs the paper's strategies.
+
+The paper jumps from the navigational baseline (one round trip per
+visible node) straight to the recursive query (one round trip total).
+The batch protocol realises the intermediate point: one pipelined batch
+of frontier fetches per level, i.e. exactly δ round trips, with the
+multi-key index probes keeping each statement a single indexed access.
+This bench puts all four strategies side by side (model vs simulation)
+on a κ=4, δ=5, σ=0.5 product over the Figure-4 WAN.
+"""
+
+import pytest
+
+from repro.bench.measure import measure_action
+from repro.bench.workload import build_scenario
+from repro.model.parameters import NetworkParameters, TreeParameters
+from repro.model.response_time import Action, Strategy, predict
+from repro.network.profiles import WAN_512
+
+TREE = TreeParameters(depth=5, branching=4, visibility=0.5)
+NETWORK = NetworkParameters(latency_s=0.15, dtr_kbit_s=512)
+SEED = 42
+
+#: Each level's batch ships one frontier statement per node type, so the
+#: analytic model charges two query packets per level.
+BATCH_QUERY_PACKETS = 2
+
+STRATEGIES = (
+    Strategy.LATE,
+    Strategy.EARLY,
+    Strategy.BATCHED,
+    Strategy.RECURSIVE,
+)
+
+
+def _model_seconds(strategy):
+    packets = BATCH_QUERY_PACKETS if strategy is Strategy.BATCHED else 1
+    return predict(
+        Action.MLE, strategy, TREE, NETWORK, query_packets=packets
+    ).total_seconds
+
+
+@pytest.fixture(scope="module")
+def batching_scenario():
+    return build_scenario(TREE, WAN_512, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def measured(batching_scenario):
+    """One end-to-end MLE per strategy on the shared scenario."""
+    return {
+        strategy: measure_action(batching_scenario, Action.MLE, strategy)
+        for strategy in STRATEGIES
+    }
+
+
+def test_ablation_report(benchmark, measured, capsys):
+    def build_report():
+        lines = [
+            "ablation: level-at-a-time batching "
+            f"({TREE.label}; {NETWORK.label})",
+            f"{'strategy':<12s} {'sim s':>8s} {'model s':>8s} "
+            f"{'trips':>6s} {'stmts':>6s} {'cache':>6s} {'nodes':>6s}",
+        ]
+        for strategy in STRATEGIES:
+            action = measured[strategy]
+            lines.append(
+                f"{strategy.value:<12s} {action.seconds:>8.3f} "
+                f"{_model_seconds(strategy):>8.3f} "
+                f"{action.round_trips:>6d} {action.statements:>6d} "
+                f"{action.plan_cache_hits:>6d} {action.result_nodes:>6d}"
+            )
+        return "\n".join(lines)
+
+    text = benchmark(build_report)
+    with capsys.disabled():
+        print()
+        print(text)
+    assert "batched" in text
+
+
+def test_batched_round_trips_equal_depth(benchmark, measured):
+    """The headline property: O(δ) round trips, one batch per level."""
+    action = benchmark.pedantic(
+        lambda: measured[Strategy.BATCHED], rounds=1, iterations=1
+    )
+    assert action.round_trips == TREE.depth
+    # One frontier statement per node type per level rode those batches.
+    assert action.statements == 2 * TREE.depth
+    # The padded IN-list shapes made the server's plan cache hit.
+    assert action.plan_cache_hits > 0
+
+
+def test_batched_sits_between_early_and_recursive(benchmark, measured):
+    def orderings():
+        simulated = {s: measured[s].seconds for s in STRATEGIES}
+        model = {s: _model_seconds(s) for s in STRATEGIES}
+        return simulated, model
+
+    simulated, model = benchmark(orderings)
+    for times in (simulated, model):
+        assert times[Strategy.RECURSIVE] < times[Strategy.BATCHED]
+        assert times[Strategy.BATCHED] < times[Strategy.EARLY]
+    # Latency collapses from O(visible nodes) to O(depth): an order of
+    # magnitude on this tree, even before the recursive endgame.
+    assert simulated[Strategy.BATCHED] < simulated[Strategy.EARLY] / 10.0
+
+
+def test_batched_model_matches_simulation(benchmark, measured):
+    action = measured[Strategy.BATCHED]
+
+    def relative_error():
+        model = _model_seconds(Strategy.BATCHED)
+        return abs(action.seconds - model) / model
+
+    assert benchmark(relative_error) < 0.15
+
+
+def test_all_strategies_return_the_same_tree_size(benchmark, measured):
+    sizes = benchmark(
+        lambda: {s: measured[s].result_nodes for s in STRATEGIES}
+    )
+    assert len(set(sizes.values())) == 1

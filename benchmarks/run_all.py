@@ -1,0 +1,158 @@
+"""Perf smoke runner: every expand strategy over one WAN cell.
+
+Runs the four multi-level-expand strategies end to end on the batching
+ablation scenario and prints (and optionally JSON-dumps) the simulated
+response time, round trips, wire traffic and plan-cache behaviour per
+strategy — a machine-readable heartbeat for CI:
+
+    python benchmarks/run_all.py --scale small --json BENCH_batching.json
+
+Exits non-zero if the headline invariants regress (batched expand must
+do exactly one round trip per level and sit between the navigational
+and recursive strategies).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.bench.measure import measure_action  # noqa: E402
+from repro.bench.workload import build_scenario  # noqa: E402
+from repro.model.parameters import (  # noqa: E402
+    NetworkParameters,
+    TreeParameters,
+)
+from repro.model.response_time import Action, Strategy, predict  # noqa: E402
+from repro.network.profiles import WAN_512  # noqa: E402
+
+SEED = 42
+
+#: One frontier statement per node type rides each level's batch.
+BATCH_QUERY_PACKETS = 2
+
+STRATEGIES = (
+    Strategy.LATE,
+    Strategy.EARLY,
+    Strategy.BATCHED,
+    Strategy.RECURSIVE,
+)
+
+
+def run(scale: str) -> dict:
+    if scale == "small":
+        # Deep enough that the padded IN-list shapes repeat and the
+        # plan-cache invariant stays checkable.
+        tree = TreeParameters(depth=4, branching=3, visibility=0.6)
+    else:
+        tree = TreeParameters(depth=5, branching=4, visibility=0.5)
+    network = NetworkParameters(
+        latency_s=WAN_512.latency_s, dtr_kbit_s=WAN_512.dtr_kbit_s
+    )
+    scenario = build_scenario(tree, WAN_512, seed=SEED)
+    results = {}
+    for strategy in STRATEGIES:
+        measured = measure_action(scenario, Action.MLE, strategy)
+        packets = BATCH_QUERY_PACKETS if strategy is Strategy.BATCHED else 1
+        model = predict(
+            Action.MLE, strategy, tree, network, query_packets=packets
+        )
+        results[strategy.value] = {
+            "simulated_ms": round(measured.seconds * 1000.0, 3),
+            "model_ms": round(model.total_seconds * 1000.0, 3),
+            "round_trips": measured.round_trips,
+            "statements": measured.statements,
+            "plan_cache_hits": measured.plan_cache_hits,
+            "payload_bytes": measured.payload_bytes,
+            "wire_bytes": measured.wire_bytes,
+            "result_nodes": measured.result_nodes,
+        }
+    opcode_traffic = dict(scenario.link.stats.opcode_messages)
+    return {
+        "scale": scale,
+        "tree": {
+            "depth": tree.depth,
+            "branching": tree.branching,
+            "visibility": tree.visibility,
+        },
+        "network": {
+            "latency_s": network.latency_s,
+            "dtr_kbit_s": network.dtr_kbit_s,
+        },
+        "strategies": results,
+        "opcode_messages": opcode_traffic,
+    }
+
+
+def check(report: dict) -> list:
+    """The smoke invariants; returns a list of failure descriptions."""
+    failures = []
+    strategies = report["strategies"]
+    batched = strategies[Strategy.BATCHED.value]
+    early = strategies[Strategy.EARLY.value]
+    recursive = strategies[Strategy.RECURSIVE.value]
+    if batched["round_trips"] != report["tree"]["depth"]:
+        failures.append(
+            f"batched expand took {batched['round_trips']} round trips, "
+            f"expected depth={report['tree']['depth']}"
+        )
+    if not (
+        recursive["simulated_ms"]
+        < batched["simulated_ms"]
+        < early["simulated_ms"]
+    ):
+        failures.append("batched is not between recursive and early")
+    if batched["plan_cache_hits"] <= 0:
+        failures.append("batched expand produced no plan-cache hits")
+    sizes = {entry["result_nodes"] for entry in strategies.values()}
+    if len(sizes) != 1:
+        failures.append(f"strategies disagree on tree size: {sizes}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="paper",
+        help="small shrinks the tree for quick CI smoke runs",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the machine-readable report to PATH",
+    )
+    args = parser.parse_args(argv)
+    report = run(args.scale)
+    header = (
+        f"{'strategy':<12s} {'sim ms':>10s} {'model ms':>10s} "
+        f"{'trips':>6s} {'stmts':>6s} {'cache':>6s} {'wire B':>10s}"
+    )
+    print(header)
+    for name, entry in report["strategies"].items():
+        print(
+            f"{name:<12s} {entry['simulated_ms']:>10.1f} "
+            f"{entry['model_ms']:>10.1f} {entry['round_trips']:>6d} "
+            f"{entry['statements']:>6d} {entry['plan_cache_hits']:>6d} "
+            f"{entry['wire_bytes']:>10.0f}"
+        )
+    failures = check(report)
+    report["ok"] = not failures
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ _STRATEGY_MAP = {
     Strategy.LATE: ExpandStrategy.NAVIGATIONAL_LATE,
     Strategy.EARLY: ExpandStrategy.NAVIGATIONAL_EARLY,
     Strategy.RECURSIVE: ExpandStrategy.RECURSIVE_EARLY,
+    Strategy.BATCHED: ExpandStrategy.EXPAND_BATCHED,
 }
 
 
@@ -43,6 +44,10 @@ class MeasuredAction:
     seconds: float
     round_trips: int
     result_nodes: int
+    #: Server-side SQL statements the action executed (batch entries count
+    #: individually) and how many of them hit the server's plan cache.
+    statements: int = 0
+    plan_cache_hits: int = 0
 
     @property
     def payload_bytes(self) -> int:
@@ -61,6 +66,7 @@ def measure_action(
     root = scenario.product.root_obid
     root_attrs = scenario.product.root_attributes()
     expand_strategy = _STRATEGY_MAP[strategy]
+    db_before = dict(scenario.database.statistics)
     if action is Action.QUERY:
         # Query and expand use navigational SQL in every strategy; the
         # recursive strategy's behaviour equals early evaluation for them.
@@ -76,6 +82,7 @@ def measure_action(
         nodes = result.tree.node_count() - 1 if result.tree else 0
     else:
         raise ReproError(f"unknown action {action!r}")
+    db_after = scenario.database.statistics
     return MeasuredAction(
         action=action,
         strategy=strategy,
@@ -83,6 +90,9 @@ def measure_action(
         seconds=result.seconds,
         round_trips=result.round_trips,
         result_nodes=nodes,
+        statements=db_after["statements"] - db_before["statements"],
+        plan_cache_hits=db_after["plan_cache_hits"]
+        - db_before["plan_cache_hits"],
     )
 
 

@@ -170,7 +170,7 @@ def compare_strategies(
     seed: int = 0,
     mix: Optional[Dict[str, float]] = None,
 ) -> Dict[ExpandStrategy, SessionResult]:
-    """Replay the *same* generated session under all three strategies."""
+    """Replay the *same* generated session under every expand strategy."""
     steps = generate_session(scenario, length=length, seed=seed, mix=mix)
     return {
         strategy: replay_session(scenario, steps, strategy)

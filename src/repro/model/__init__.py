@@ -26,6 +26,7 @@ from repro.model.response_time import (
     ResponseTimePrediction,
     predict,
     saving_percent,
+    t_batched,
 )
 from repro.model.trees import (
     expected_visible_nodes,
@@ -45,6 +46,7 @@ __all__ = [
     "ResponseTimePrediction",
     "predict",
     "saving_percent",
+    "t_batched",
     "full_node_count",
     "visible_node_count",
     "expected_visible_nodes",

@@ -14,6 +14,14 @@ Recursive strategy (eqns (5)-(6))::
 
 where q_r is the number of *packets* needed to ship the (single, large)
 recursive query; the paper's tables assume q_r = 1.
+
+Batched (level-at-a-time) strategy — one pipelined batch per level, so
+the query count of the navigational model collapses to δ while the
+transmitted volume keeps the recursive strategy's early semantics::
+
+    c_b   = 2 * delta
+    vol_b = delta*q_b*size_p + n_v*size_node + delta*q_b*size_p/2
+    T_b   = c_b*T_Lat + vol_b/dtr
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ class Strategy(Enum):
     LATE = "late"  # navigational queries, rules evaluated at the client
     EARLY = "early"  # navigational queries, rules folded into WHERE clauses
     RECURSIVE = "recursive"  # one WITH RECURSIVE query + early evaluation
+    BATCHED = "batched"  # one pipelined batch per level + early evaluation
 
 
 @dataclass(frozen=True)
@@ -79,10 +88,13 @@ def predict(
     """
     if strategy is Strategy.RECURSIVE and action is Action.MLE:
         return _predict_recursive_mle(tree, network, query_packets)
+    if strategy is Strategy.BATCHED and action is Action.MLE:
+        return t_batched(tree, network, query_packets)
     # Query and single-level expand are single SELECTs in every strategy;
-    # with Strategy.RECURSIVE they behave exactly as with EARLY (the
-    # figures' "recursion" bars equal the "early eval" bars for them).
-    early = strategy in (Strategy.EARLY, Strategy.RECURSIVE)
+    # with Strategy.RECURSIVE or Strategy.BATCHED they behave exactly as
+    # with EARLY (the figures' "recursion" bars equal the "early eval"
+    # bars for them — there is nothing to batch or recurse over).
+    early = strategy in (Strategy.EARLY, Strategy.RECURSIVE, Strategy.BATCHED)
     queries = navigational_query_count(tree, action.value)
     communications = 2.0 * queries
     nodes = transmitted_nodes(tree, action.value, early=early)
@@ -122,6 +134,40 @@ def _predict_recursive_mle(
         transmitted_nodes=nodes,
         volume_bytes=volume,
         latency_seconds=2.0 * network.latency_s,
+        transfer_seconds=network.transfer_seconds(volume),
+    )
+
+
+def t_batched(
+    tree: TreeParameters,
+    network: NetworkParameters,
+    query_packets: int = 1,
+) -> ResponseTimePrediction:
+    """Predicted multi-level expand cost of the level-at-a-time batch.
+
+    One round trip per level: δ queries, 2δ communications.  Every level's
+    batch ships ``query_packets`` request packets (the frontier fetches for
+    both node types travel together) and the responses carry exactly the
+    early-visible node set, so the volume term matches the recursive
+    strategy apart from the per-level query packets.
+    """
+    if query_packets < 1:
+        raise ModelError("a batch occupies at least one packet per level")
+    levels = float(tree.depth)
+    nodes = visible_node_count(tree)
+    volume = (
+        levels * query_packets * network.packet_bytes
+        + nodes * network.node_bytes
+        + levels * query_packets * network.packet_bytes / 2.0
+    )
+    return ResponseTimePrediction(
+        action=Action.MLE,
+        strategy=Strategy.BATCHED,
+        queries=levels,
+        communications=2.0 * levels,
+        transmitted_nodes=nodes,
+        volume_bytes=volume,
+        latency_seconds=2.0 * levels * network.latency_s,
         transfer_seconds=network.transfer_seconds(volume),
     )
 

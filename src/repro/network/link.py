@@ -87,8 +87,14 @@ class NetworkLink:
         """Pure transfer time of *wire_bytes* at the link's data rate."""
         return wire_bytes * 8.0 / self.bits_per_second
 
-    def transmit(self, payload_bytes: int, is_request: bool) -> float:
-        """Send one message; advance the clock; return the delay incurred."""
+    def transmit(
+        self, payload_bytes: int, is_request: bool, opcode: Optional[str] = None
+    ) -> float:
+        """Send one message; advance the clock; return the delay incurred.
+
+        ``opcode`` optionally labels the message with its protocol opcode
+        name so per-opcode traffic attribution accumulates in the stats.
+        """
         if payload_bytes < 0:
             raise LinkConfigurationError("payload size must be non-negative")
         wire = self.wire_bytes_for(payload_bytes, is_request)
@@ -96,6 +102,8 @@ class NetworkLink:
         self.clock.advance(self.latency_s + transfer)
         stats = self.stats
         stats.messages += 1
+        if opcode is not None:
+            stats.record_opcode(opcode, payload_bytes)
         stats.packets += self.packets_for(payload_bytes)
         stats.payload_bytes += payload_bytes
         stats.wire_bytes += wire

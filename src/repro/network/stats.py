@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict
 
 
 @dataclass
@@ -14,6 +15,11 @@ class TrafficStats:
     link-layer packets after segmentation; byte counters track payload and
     on-wire (padded) volume separately so both the paper's average-case
     model and the exact simulation can be reported.
+
+    ``opcode_messages`` / ``opcode_payload_bytes`` break the totals down
+    by protocol opcode (QUERY, BATCH, RESULT, ...) when the transmitter
+    labels its messages, so batch vs single-query traffic can be
+    attributed in a re-pricing pass without re-running the simulation.
     """
 
     messages: int = 0
@@ -27,6 +33,15 @@ class TrafficStats:
     server_seconds: float = 0.0
     requests: int = 0
     responses: int = 0
+    opcode_messages: Dict[str, int] = field(default_factory=dict)
+    opcode_payload_bytes: Dict[str, int] = field(default_factory=dict)
+
+    def record_opcode(self, opcode: str, payload_bytes: int) -> None:
+        """Attribute one message's payload to a protocol opcode."""
+        self.opcode_messages[opcode] = self.opcode_messages.get(opcode, 0) + 1
+        self.opcode_payload_bytes[opcode] = (
+            self.opcode_payload_bytes.get(opcode, 0) + payload_bytes
+        )
 
     @property
     def total_seconds(self) -> float:
@@ -48,6 +63,14 @@ class TrafficStats:
         self.server_seconds += other.server_seconds
         self.requests += other.requests
         self.responses += other.responses
+        for opcode, count in other.opcode_messages.items():
+            self.opcode_messages[opcode] = (
+                self.opcode_messages.get(opcode, 0) + count
+            )
+        for opcode, volume in other.opcode_payload_bytes.items():
+            self.opcode_payload_bytes[opcode] = (
+                self.opcode_payload_bytes.get(opcode, 0) + volume
+            )
 
     def snapshot(self) -> "TrafficStats":
         """Return an independent copy (used for per-action deltas)."""
@@ -61,6 +84,8 @@ class TrafficStats:
             server_seconds=self.server_seconds,
             requests=self.requests,
             responses=self.responses,
+            opcode_messages=dict(self.opcode_messages),
+            opcode_payload_bytes=dict(self.opcode_payload_bytes),
         )
 
     def delta_since(self, earlier: "TrafficStats") -> "TrafficStats":
@@ -75,4 +100,14 @@ class TrafficStats:
             server_seconds=self.server_seconds - earlier.server_seconds,
             requests=self.requests - earlier.requests,
             responses=self.responses - earlier.responses,
+            opcode_messages={
+                opcode: count - earlier.opcode_messages.get(opcode, 0)
+                for opcode, count in self.opcode_messages.items()
+                if count != earlier.opcode_messages.get(opcode, 0)
+            },
+            opcode_payload_bytes={
+                opcode: volume - earlier.opcode_payload_bytes.get(opcode, 0)
+                for opcode, volume in self.opcode_payload_bytes.items()
+                if volume != earlier.opcode_payload_bytes.get(opcode, 0)
+            },
         )

@@ -2,8 +2,10 @@
 
 :class:`PDMClient` executes the three analysed actions — query,
 single-level expand, multi-level expand — under the three strategies of
-Tables 2-4, plus check-out/check-in under the two deployment modes of the
-Section 6 discussion.  Every action returns an :class:`ActionResult`
+Tables 2-4 (plus the pipelined EXPAND_BATCHED strategy, which fetches a
+whole frontier level per round trip over the batch protocol), and
+check-out/check-in under the two deployment modes of the Section 6
+discussion.  Every action returns an :class:`ActionResult`
 carrying the reassembled data *and* the measured simulated response time
 and traffic (delta of the link's clock and stats).
 
@@ -27,7 +29,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import CheckOutError, UnknownObjectError
+from repro.errors import CheckOutError, ReproError, UnknownObjectError
 from repro.network.stats import TrafficStats
 from repro.pdm import queries
 from repro.pdm.schema import CLIENT_FUNCTIONS
@@ -53,6 +55,18 @@ class ExpandStrategy(Enum):
     NAVIGATIONAL_LATE = "navigational-late"  # Table 2 baseline
     NAVIGATIONAL_EARLY = "navigational-early"  # Table 3 (approach 1)
     RECURSIVE_EARLY = "recursive-early"  # Table 4 (approach 2)
+    EXPAND_BATCHED = "expand-batched"  # level-at-a-time pipelined batches
+
+
+#: IN-list sizes the batched expand pads its frontier chunks to.  A fixed
+#: set of shapes bounds the number of distinct SQL texts, so the server's
+#: plan cache starts hitting after the first few levels; the multi-key
+#: index probe deduplicates keys, which makes the padding free.
+BATCH_KEY_BUCKETS = (1, 4, 16, 64, 256)
+
+#: Upper bound on keys per statement; wider frontiers are split into
+#: several statements (still one round trip — they ride the same batch).
+BATCH_CHUNK_KEYS = BATCH_KEY_BUCKETS[-1]
 
 
 class CheckOutMode(Enum):
@@ -217,6 +231,20 @@ class PDMClient:
         self._sql_cache[key] = sql
         return sql
 
+    def _batched_sql(self, node_type: str, key_count: int, action: str) -> str:
+        """Rendered (and rule-injected) frontier fetch for one node type
+        and one IN-list shape; cached so repeated shapes re-send the same
+        SQL text and the server's plan cache can hit."""
+        key = (f"batched_children_{node_type}_{key_count}", True, action)
+        cached = self._sql_cache.get(key)
+        if cached is not None:
+            return cached
+        spec = queries.batched_children_spec(node_type, key_count)
+        spec = self.modificator.modify_navigational(spec, action)
+        sql = render_select(spec.to_statement())
+        self._sql_cache[key] = sql
+        return sql
+
     def _recursive_sql(self, action: str, depth_bounded: bool = False) -> str:
         key = (
             "recursive_mle_bounded" if depth_bounded else "recursive_mle",
@@ -304,6 +332,11 @@ class PDMClient:
         begin = self._begin()
         if strategy is ExpandStrategy.RECURSIVE_EARLY:
             tree = self._expand_recursive(root_obid, root_attrs, max_depth)
+        elif strategy is ExpandStrategy.EXPAND_BATCHED:
+            tree = self._expand_batched(root_obid, root_attrs, max_depth)
+            tree = self._apply_tree_conditions_late(
+                tree, Actions.MULTI_LEVEL_EXPAND
+            )
         else:
             early = strategy is ExpandStrategy.NAVIGATIONAL_EARLY
             tree = self._expand_navigational(
@@ -322,20 +355,8 @@ class PDMClient:
         sql = self._navigational_sql("child_fetch", early, action)
         result = self.connection.execute(sql, [parent_obid, parent_obid])
         children: List[Tuple[Attrs, Attrs]] = []
-        link_keys = ("link_obid", "left", "right", "eff_from", "eff_to", "link_opt")
         for row in result.as_dicts():
-            link_attrs = {
-                "type": "link",
-                "obid": row["link_obid"],
-                "left": row["left"],
-                "right": row["right"],
-                "eff_from": row["eff_from"],
-                "eff_to": row["eff_to"],
-                "strc_opt": row["link_opt"],
-            }
-            node_attrs = {
-                key: value for key, value in row.items() if key not in link_keys
-            }
+            link_attrs, node_attrs = self._split_child_row(row)
             if not early:
                 if not self._permitted(link_attrs, action):
                     continue
@@ -343,6 +364,37 @@ class PDMClient:
                     continue
             children.append((link_attrs, node_attrs))
         return children
+
+    @staticmethod
+    def _split_child_row(row: Attrs) -> Tuple[Attrs, Attrs]:
+        """Split one homogenised child-fetch row into (link, node) attrs."""
+        link_keys = ("link_obid", "left", "right", "eff_from", "eff_to", "link_opt")
+        link_attrs = {
+            "type": "link",
+            "obid": row["link_obid"],
+            "left": row["left"],
+            "right": row["right"],
+            "eff_from": row["eff_from"],
+            "eff_to": row["eff_to"],
+            "strc_opt": row["link_opt"],
+        }
+        node_attrs = {
+            key: value for key, value in row.items() if key not in link_keys
+        }
+        return link_attrs, node_attrs
+
+    @staticmethod
+    def _padded_chunks(keys: List[Any]) -> List[List[Any]]:
+        """Split a frontier into ≤BATCH_CHUNK_KEYS chunks, each padded (by
+        repeating its first key) up to the next BATCH_KEY_BUCKETS size."""
+        chunks: List[List[Any]] = []
+        for start in range(0, len(keys), BATCH_CHUNK_KEYS):
+            chunk = keys[start : start + BATCH_CHUNK_KEYS]
+            bucket = next(
+                size for size in BATCH_KEY_BUCKETS if size >= len(chunk)
+            )
+            chunks.append(chunk + [chunk[0]] * (bucket - len(chunk)))
+        return chunks
 
     def _expand_navigational(
         self,
@@ -366,6 +418,66 @@ class PDMClient:
                 child = StructureNode(attrs=child_attrs, link=link_attrs)
                 node.children.append(child)
                 queue.append((child, depth + 1))
+        return root
+
+    def _expand_batched(
+        self,
+        root_obid: int,
+        root_attrs: Attrs,
+        max_depth: Optional[int] = None,
+    ) -> StructureNode:
+        """Level-at-a-time BFS over the pipelined batch protocol.
+
+        Each level ships ONE :meth:`RemoteConnection.execute_batch` call
+        carrying a frontier fetch per child type (chunked and padded to
+        the bucket shapes), so the whole expand costs one round trip per
+        level — O(depth) instead of the navigational O(node count).
+        Components are leaves by construction, so only assemblies enter
+        the next frontier; the deepest (all-component) level therefore
+        triggers no query, and a depth-δ tree costs exactly δ trips.
+
+        Row rules are injected server-side (Approach 1); tree conditions
+        are applied late by the caller, as for the navigational paths.
+        """
+        root = StructureNode(attrs=dict(root_attrs))
+        frontier = [root] if str(root.object_type) != "comp" else []
+        depth = 0
+        while frontier and (max_depth is None or depth < max_depth):
+            keys: List[Any] = []
+            seen = set()
+            for node in frontier:
+                if node.obid not in seen:
+                    seen.add(node.obid)
+                    keys.append(node.obid)
+            statements: List[Tuple[str, List[Any]]] = []
+            for node_type in ("assy", "comp"):
+                for chunk in self._padded_chunks(keys):
+                    sql = self._batched_sql(
+                        node_type, len(chunk), Actions.MULTI_LEVEL_EXPAND
+                    )
+                    statements.append((sql, chunk))
+            children_by_parent: Dict[Any, List[Tuple[Attrs, Attrs]]] = {}
+            for result in self.connection.execute_batch(statements):
+                if isinstance(result, ReproError):
+                    raise result
+                for row in result.as_dicts():
+                    link_attrs, node_attrs = self._split_child_row(row)
+                    children_by_parent.setdefault(
+                        link_attrs["left"], []
+                    ).append((link_attrs, node_attrs))
+            next_frontier: List[StructureNode] = []
+            for node in frontier:
+                for link_attrs, child_attrs in children_by_parent.get(
+                    node.obid, ()
+                ):
+                    child = StructureNode(
+                        attrs=dict(child_attrs), link=dict(link_attrs)
+                    )
+                    node.children.append(child)
+                    if str(child.object_type) != "comp":
+                        next_frontier.append(child)
+            frontier = next_frontier
+            depth += 1
         return root
 
     def _expand_recursive(

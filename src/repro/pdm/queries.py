@@ -114,6 +114,41 @@ def child_fetch_spec() -> NavigationalQuerySpec:
     return NavigationalQuerySpec(blocks=blocks)
 
 
+def batched_children_spec(node_type: str, key_count: int) -> NavigationalQuerySpec:
+    """Level-at-a-time frontier fetch for one child type.
+
+    ``WHERE link.left IN (?, ..., ?)`` retrieves the children of an
+    entire frontier of parents in ONE indexed statement (the planner
+    compiles the IN-list on the indexed ``link.left`` into a multi-key
+    index probe).  One spec per node type keeps each statement small and
+    individually cacheable; the batch protocol ships both per level in a
+    single round trip.  Parameters: the frontier obids, once.
+    """
+    if key_count < 1:
+        raise ValueError("a batched child fetch needs at least one key")
+    join = ast.Join(
+        left=ast.TableRef(name="link"),
+        right=ast.TableRef(name=node_type),
+        kind="INNER",
+        condition=_eq(_col("right", "link"), _col("obid", node_type)),
+    )
+    core = ast.SelectCore(
+        items=_link_items() + _node_items(node_type, node_type),
+        from_items=[join],
+        where=ast.InList(
+            operand=_col("left", "link"),
+            items=[ast.Parameter(index=position) for position in range(key_count)],
+        ),
+    )
+    block = SelectBlock(
+        core=core,
+        role=BlockRole.RECURSIVE,
+        object_type=node_type,
+        tables={"link": "link", node_type: node_type},
+    )
+    return NavigationalQuerySpec(blocks=[block])
+
+
 def set_query_spec() -> NavigationalQuerySpec:
     """The 'Query' action: all nodes of a product, without structure info
     (paper Section 2: "a query is assumed to retrieve all nodes of a tree

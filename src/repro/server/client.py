@@ -14,7 +14,7 @@ local query evaluation costs were ignored" (Section 6).
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+from typing import Any, Dict, List, Sequence, Tuple, Union
 
 from repro.errors import (
     CheckOutError,
@@ -59,10 +59,19 @@ class RemoteConnection:
 
     # -- core round trip ------------------------------------------------------
 
+    @staticmethod
+    def _opcode_label(frame: bytes) -> str:
+        try:
+            return Opcode(frame[0]).name
+        except (IndexError, ValueError):
+            return "UNKNOWN"
+
     def _round_trip(self, request: bytes) -> bytes:
         if self.closed:
             raise ProtocolError("connection is closed")
-        self.link.transmit(len(request), is_request=True)
+        self.link.transmit(
+            len(request), is_request=True, opcode=self._opcode_label(request)
+        )
         response = self.server.handle(request)
         cpu_seconds = getattr(self.server, "last_cpu_seconds", 0.0)
         if cpu_seconds:
@@ -70,7 +79,9 @@ class RemoteConnection:
             # configured, matching the paper's Section 6 convention).
             self.link.clock.advance(cpu_seconds)
             self.link.stats.server_seconds += cpu_seconds
-        self.link.transmit(len(response), is_request=False)
+        self.link.transmit(
+            len(response), is_request=False, opcode=self._opcode_label(response)
+        )
         self.statistics["round_trips"] += 1
         return response
 
@@ -88,6 +99,60 @@ class RemoteConnection:
         if opcode is not Opcode.RESULT:
             raise ProtocolError(f"unexpected response opcode {opcode.name}")
         return wire.decode_result(body)
+
+    def execute_batch(
+        self, statements: Sequence[Tuple[str, Sequence[Any]]]
+    ) -> List[Union[ResultSet, ReproError]]:
+        """Execute N statements in ONE round trip (the pipelined batch).
+
+        Returns one entry per statement, in order: a :class:`ResultSet`
+        for successes and an *exception instance* (not raised) for
+        statement-level failures, so one bad statement never poisons the
+        batch.  Callers decide whether a per-statement error is fatal.
+
+        An empty batch is answered locally — shipping zero statements
+        across a WAN would pay a round trip for nothing.
+        """
+        if not statements:
+            return []
+        request = protocol.encode_envelope(
+            Opcode.BATCH, protocol.encode_batch(statements)
+        )
+        response = self._round_trip(request)
+        opcode, body = protocol.decode_envelope(response)
+        if opcode is Opcode.ERROR:
+            self._raise_remote(body)
+        if opcode is not Opcode.BATCH_RESULT:
+            raise ProtocolError(f"unexpected response opcode {opcode.name}")
+        entries = protocol.decode_batch_result(body)
+        if len(entries) != len(statements):
+            raise ProtocolError(
+                f"batch of {len(statements)} statements answered with "
+                f"{len(entries)} entries"
+            )
+        results: List[Union[ResultSet, ReproError]] = []
+        for kind, payload in entries:
+            if kind == protocol.BATCH_ENTRY_ERROR:
+                results.append(self._remote_error(payload))
+            else:
+                results.append(wire.decode_result(payload))
+        return results
+
+    def server_stats(self) -> Dict[str, Any]:
+        """Fetch the server's counter dictionary (one round trip).
+
+        Includes the database-level counters prefixed ``db_`` —
+        ``db_statements``, ``db_plan_cache_hits``, ``db_rows_returned`` —
+        so plan-cache efficacy is observable per experiment.
+        """
+        request = protocol.encode_envelope(Opcode.STATS)
+        response = self._round_trip(request)
+        opcode, body = protocol.decode_envelope(response)
+        if opcode is Opcode.ERROR:
+            self._raise_remote(body)
+        if opcode is not Opcode.STATS_RESULT:
+            raise ProtocolError(f"unexpected response opcode {opcode.name}")
+        return protocol.decode_stats(body)
 
     def call_procedure(self, name: str, args: Sequence[Any] = ()) -> List[Any]:
         """Invoke a server procedure (one round trip, function shipping)."""
@@ -121,10 +186,14 @@ class RemoteConnection:
         self.close()
 
     def _raise_remote(self, body: bytes) -> None:
+        raise self._remote_error(body)
+
+    def _remote_error(self, body: bytes) -> ReproError:
+        """Reconstruct (without raising) the exception an ERROR frame carries."""
         kind, message = protocol.decode_error(body)
         error_type = _ERROR_TYPES.get(kind)
         if error_type is not None:
-            raise error_type(message)
+            return error_type(message)
         if kind.endswith("Error") and kind in (
             "ParseError",
             "LexerError",
@@ -132,5 +201,5 @@ class RemoteConnection:
             "TypeMismatchError",
             "IntegrityError",
         ):
-            raise SQLError(f"{kind}: {message}")
-        raise RemoteError(kind, message)
+            return SQLError(f"{kind}: {message}")
+        return RemoteError(kind, message)

@@ -4,6 +4,12 @@ An envelope is ``opcode (1 byte) + body``.  Query bodies are encoded by
 :mod:`repro.sqldb.wire`; procedure calls encode the procedure name and a
 value list with the same primitives.  Error responses carry the error
 class name and message so the client can re-raise a faithful exception.
+
+The BATCH opcode ships N statements in one request and N per-statement
+entries in one response — the pipelined middle ground between "one query
+per node" and "one query per tree".  Each response entry is individually
+either a result set or an error, so a failing statement costs only its
+own slot, never the whole batch.
 """
 
 from __future__ import annotations
@@ -22,10 +28,19 @@ class Opcode(IntEnum):
     QUERY = 1
     CALL_PROCEDURE = 2
     PING = 3
+    BATCH = 4
+    STATS = 5
     RESULT = 16
     PROCEDURE_RESULT = 17
     PONG = 18
+    BATCH_RESULT = 19
+    STATS_RESULT = 20
     ERROR = 32
+
+
+#: Entry kinds inside a BATCH_RESULT body.
+BATCH_ENTRY_RESULT = 0
+BATCH_ENTRY_ERROR = 1
 
 
 def encode_envelope(opcode: Opcode, body: bytes = b"") -> bytes:
@@ -71,6 +86,109 @@ def decode_procedure_call(body: bytes) -> Tuple[str, List[Any]]:
     if offset != len(body):
         raise ProtocolError("trailing bytes after procedure-call frame")
     return name, args
+
+
+def encode_batch(statements: Sequence[Tuple[str, Sequence[Any]]]) -> bytes:
+    """Body of a BATCH request: ``u16 count`` + one query body per statement."""
+    if len(statements) > 0xFFFF:
+        raise ProtocolError("too many statements in batch")
+    parts = [struct.pack(">H", len(statements))]
+    for sql, params in statements:
+        parts.append(wire.encode_query(sql, params))
+    return b"".join(parts)
+
+
+def decode_batch(body: bytes) -> List[Tuple[str, List[Any]]]:
+    if len(body) < 2:
+        raise ProtocolError("truncated batch frame")
+    count = struct.unpack_from(">H", body, 0)[0]
+    offset = 2
+    statements: List[Tuple[str, List[Any]]] = []
+    for __ in range(count):
+        if offset + 4 > len(body):
+            raise ProtocolError("truncated batch frame")
+        length = struct.unpack_from(">I", body, offset)[0]
+        offset += 4
+        if offset + length + 2 > len(body):
+            raise ProtocolError("truncated batch frame")
+        try:
+            sql = body[offset : offset + length].decode("utf-8")
+        except UnicodeDecodeError:
+            raise ProtocolError("invalid UTF-8 in batch statement") from None
+        offset += length
+        param_count = struct.unpack_from(">H", body, offset)[0]
+        offset += 2
+        params: List[Any] = []
+        for __param in range(param_count):
+            value, offset = wire.decode_value(body, offset)
+            params.append(value)
+        statements.append((sql, params))
+    if offset != len(body):
+        raise ProtocolError("trailing bytes after batch frame")
+    return statements
+
+
+def encode_batch_result(entries: Sequence[Tuple[int, bytes]]) -> bytes:
+    """Body of a BATCH_RESULT response.
+
+    Each entry is ``(kind, payload)`` where kind is BATCH_ENTRY_RESULT
+    (payload = an encoded result set) or BATCH_ENTRY_ERROR (payload = an
+    encoded error frame).  Entries are length-prefixed so the decoder can
+    hand each payload to the matching sub-decoder.
+    """
+    if len(entries) > 0xFFFF:
+        raise ProtocolError("too many entries in batch result")
+    parts = [struct.pack(">H", len(entries))]
+    for kind, payload in entries:
+        if kind not in (BATCH_ENTRY_RESULT, BATCH_ENTRY_ERROR):
+            raise ProtocolError(f"invalid batch entry kind {kind}")
+        parts.append(struct.pack(">BI", kind, len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def decode_batch_result(body: bytes) -> List[Tuple[int, bytes]]:
+    if len(body) < 2:
+        raise ProtocolError("truncated batch-result frame")
+    count = struct.unpack_from(">H", body, 0)[0]
+    offset = 2
+    entries: List[Tuple[int, bytes]] = []
+    for __ in range(count):
+        if offset + 5 > len(body):
+            raise ProtocolError("truncated batch-result frame")
+        kind, length = struct.unpack_from(">BI", body, offset)
+        offset += 5
+        if kind not in (BATCH_ENTRY_RESULT, BATCH_ENTRY_ERROR):
+            raise ProtocolError(f"invalid batch entry kind {kind}")
+        if offset + length > len(body):
+            raise ProtocolError("truncated batch-result frame")
+        entries.append((kind, body[offset : offset + length]))
+        offset += length
+    if offset != len(body):
+        raise ProtocolError("trailing bytes after batch-result frame")
+    return entries
+
+
+def encode_stats(counters: dict) -> bytes:
+    """Body of a STATS_RESULT response: a flat (name, value) list."""
+    values: List[Any] = []
+    for name in sorted(counters):
+        values.append(str(name))
+        values.append(counters[name])
+    return encode_values(values)
+
+
+def decode_stats(body: bytes) -> dict:
+    values = decode_values(body)
+    if len(values) % 2 != 0:
+        raise ProtocolError("stats frame holds an odd number of values")
+    counters = {}
+    for position in range(0, len(values), 2):
+        name = values[position]
+        if not isinstance(name, str):
+            raise ProtocolError("stats counter name is not a string")
+        counters[name] = values[position + 1]
+    return counters
 
 
 def encode_error(error: Exception) -> bytes:

@@ -68,6 +68,8 @@ class DatabaseServer:
         self.statistics = {
             "queries": 0,
             "procedure_calls": 0,
+            "batches": 0,
+            "batch_statements": 0,
             "errors": 0,
             "cpu_seconds": 0.0,
         }
@@ -94,6 +96,10 @@ class DatabaseServer:
                 response = self._handle_query(body)
             elif opcode is Opcode.CALL_PROCEDURE:
                 response = self._handle_procedure(body)
+            elif opcode is Opcode.BATCH:
+                response = self._handle_batch(body)
+            elif opcode is Opcode.STATS:
+                response = self._handle_stats(body)
             elif opcode is Opcode.PING:
                 response = protocol.encode_envelope(Opcode.PONG)
             else:
@@ -117,6 +123,50 @@ class DatabaseServer:
         self.statistics["queries"] += 1
         result = self.database.execute(sql, params)
         return protocol.encode_envelope(Opcode.RESULT, wire.encode_result(result))
+
+    def _handle_batch(self, body: bytes) -> bytes:
+        """Execute a pipelined batch: one entry per statement.
+
+        Statement-level failures become BATCH_ENTRY_ERROR entries in the
+        response, so a bad statement never poisons its batch — only a
+        malformed frame (caught in :meth:`handle`) fails the whole request.
+        """
+        statements = protocol.decode_batch(body)
+        self.statistics["batches"] += 1
+        entries: List[tuple] = []
+        for sql, params in statements:
+            self.statistics["batch_statements"] += 1
+            try:
+                result = self.database.execute(sql, params)
+            except ReproError as error:
+                self.statistics["errors"] += 1
+                entries.append(
+                    (protocol.BATCH_ENTRY_ERROR, protocol.encode_error(error))
+                )
+            else:
+                entries.append(
+                    (protocol.BATCH_ENTRY_RESULT, wire.encode_result(result))
+                )
+        return protocol.encode_envelope(
+            Opcode.BATCH_RESULT, protocol.encode_batch_result(entries)
+        )
+
+    def _handle_stats(self, body: bytes) -> bytes:
+        """Report server- and database-level counters in one round trip.
+
+        The database counters (statements, plan-cache hits, rows returned)
+        are the ones the plan cache's efficacy shows up in; exposing them
+        over the wire lets a bench harness read them without reaching into
+        the server process.
+        """
+        if body:
+            raise ProtocolError("STATS request carries no body")
+        counters = dict(self.statistics)
+        for name, value in self.database.statistics.items():
+            counters[f"db_{name}"] = value
+        return protocol.encode_envelope(
+            Opcode.STATS_RESULT, protocol.encode_stats(counters)
+        )
 
     def _handle_procedure(self, body: bytes) -> bytes:
         name, args = protocol.decode_procedure_call(body)

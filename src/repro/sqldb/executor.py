@@ -132,6 +132,39 @@ class IndexLookup(Operator):
             yield self.storage.fetch(row_id)
 
 
+class MultiKeyIndexLookup(Operator):
+    """One equality probe per key of an IN-list (``col IN (?, ?, ?)``).
+
+    The access path behind the level-at-a-time frontier fetch: all
+    children of N parents in one indexed statement instead of N scans.
+    Keys are deduplicated before probing — IN is a predicate, so a row
+    must appear once even when the list names its key twice — and NULL
+    keys are skipped (equality with NULL can never match; the residual
+    filter above this operator owns the three-valued semantics).
+    """
+
+    def __init__(self, storage: TableStorage, index, key_fns: List[ExprFn]) -> None:
+        self.storage = storage
+        self.index = index
+        self.key_fns = key_fns
+        self.output_names = list(storage.schema.column_names)
+
+    def rows(self, env: ExecutionEnv) -> Iterator[Row]:
+        seen = set()
+        for fn in self.key_fns:
+            value = fn((), env)
+            if is_null(value):
+                continue
+            key = (value,)
+            if key in seen:
+                continue
+            seen.add(key)
+            env.counters["index_probes"] += 1
+            for row_id in self.index.probe(key):
+                env.counters["rows_scanned"] += 1
+                yield self.storage.fetch(row_id)
+
+
 class CTEScan(Operator):
     """Scan of a materialised CTE frame looked up by name at runtime.
 

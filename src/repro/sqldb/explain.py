@@ -18,6 +18,7 @@ from repro.sqldb.executor import (
     IndexLookup,
     IndexNestedLoopJoin,
     Limit,
+    MultiKeyIndexLookup,
     NestedLoopJoin,
     Operator,
     Project,
@@ -60,6 +61,11 @@ def _label(operator: Operator) -> str:
         return (
             f"IndexLookup({operator.storage.schema.name} "
             f"via {operator.index.name})"
+        )
+    if isinstance(operator, MultiKeyIndexLookup):
+        return (
+            f"MultiKeyIndexLookup({operator.storage.schema.name} "
+            f"via {operator.index.name}, {len(operator.key_fns)} keys)"
         )
     if isinstance(operator, IndexNestedLoopJoin):
         return (

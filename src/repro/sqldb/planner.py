@@ -33,6 +33,7 @@ from repro.sqldb.executor import (
     IndexLookup,
     IndexNestedLoopJoin,
     Limit,
+    MultiKeyIndexLookup,
     NestedLoopJoin,
     Offset,
     Operator,
@@ -510,8 +511,15 @@ class Planner:
         self, entry, binding: str, conjuncts: List[ast.Expression], frames: List[Frame]
     ) -> Optional[Operator]:
         """Turn a leftmost base-table scan into an index probe when a WHERE
-        conjunct pins an indexed column to a scope-independent value."""
+        conjunct pins an indexed column to a scope-independent value, or to
+        a list of them (``col IN (?, ?, ?)`` becomes a multi-key probe)."""
         for conjunct in conjuncts:
+            if isinstance(conjunct, ast.InList):
+                multi = self._try_multikey_lookup(
+                    entry, binding, conjunct, frames
+                )
+                if multi is not None:
+                    return multi
             if not (
                 isinstance(conjunct, ast.BinaryOp) and conjunct.operator == "="
             ):
@@ -537,6 +545,42 @@ class Planner:
                     continue
                 return IndexLookup(entry.storage, index, [key_fn])
         return None
+
+    def _try_multikey_lookup(
+        self,
+        entry,
+        binding: str,
+        conjunct: ast.InList,
+        frames: List[Frame],
+    ) -> Optional[Operator]:
+        """``col IN (v1, ..., vN)`` on an indexed column → N-key probe.
+
+        Only non-negated lists qualify (NOT IN must see every row), and
+        every list item must compile independently of the scanned table.
+        The full WHERE clause stays as the residual filter above, so NULL
+        items and three-valued logic are handled there; the probe only has
+        to produce every row the predicate could accept.
+        """
+        if conjunct.negated or not conjunct.items:
+            return None
+        operand = conjunct.operand
+        if not isinstance(operand, ast.ColumnRef):
+            return None
+        if operand.qualifier is not None:
+            if operand.qualifier.lower() != binding.lower():
+                return None
+        if not entry.schema.has_column(operand.name):
+            return None
+        index = entry.storage.find_index([operand.name])
+        if index is None:
+            return None
+        key_fns = []
+        for item in conjunct.items:
+            key_fn = self._compile_independent(item, frames, entry.schema)
+            if key_fn is None:
+                return None
+            key_fns.append(key_fn)
+        return MultiKeyIndexLookup(entry.storage, index, key_fns)
 
     def _plan_join(
         self,

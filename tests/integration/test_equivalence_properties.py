@@ -48,9 +48,41 @@ class TestStrategyEquivalence:
         recursive = scenario.client.multi_level_expand(
             root, ExpandStrategy.RECURSIVE_EARLY, root_attrs=root_attrs
         ).tree
+        batched = scenario.client.multi_level_expand(
+            root, ExpandStrategy.EXPAND_BATCHED, root_attrs=root_attrs
+        ).tree
         assert trees_equal(late, early)
         assert trees_equal(late, recursive)
+        assert trees_equal(late, batched)
         assert late.obids() == scenario.product.visible_obids
+
+    @given(scenarios(), st.sampled_from([None, 0, 1, 2]))
+    @settings(max_examples=15, deadline=None)
+    def test_batched_expand_matches_navigational_at_any_depth(
+        self, scenario, max_depth
+    ):
+        """Node-for-node property: the level-at-a-time batched expand is
+        the navigational-late traversal, just pipelined — including under
+        a partial-expand depth bound."""
+        root = scenario.product.root_obid
+        root_attrs = scenario.product.root_attributes()
+        late = scenario.client.multi_level_expand(
+            root,
+            ExpandStrategy.NAVIGATIONAL_LATE,
+            root_attrs=root_attrs,
+            max_depth=max_depth,
+        )
+        batched = scenario.client.multi_level_expand(
+            root,
+            ExpandStrategy.EXPAND_BATCHED,
+            root_attrs=root_attrs,
+            max_depth=max_depth,
+        )
+        assert trees_equal(late.tree, batched.tree)
+        # One batch per expanded level, never more than the tree is deep.
+        bound = scenario.tree.depth if max_depth is None else max_depth
+        assert batched.round_trips <= bound
+        assert batched.round_trips <= late.round_trips
 
     @given(scenarios())
     @settings(max_examples=15, deadline=None)

@@ -15,7 +15,13 @@ from repro.model.parameters import (
     PAPER_TREES,
     TreeParameters,
 )
-from repro.model.response_time import Action, Strategy, predict, saving_percent
+from repro.model.response_time import (
+    Action,
+    Strategy,
+    predict,
+    saving_percent,
+    t_batched,
+)
 
 
 def tree_for(key):
@@ -165,3 +171,57 @@ class TestModelStructure:
             + prediction.queries * network.packet_bytes / 2
         )
         assert prediction.volume_bytes == pytest.approx(expected)
+
+
+class TestBatchedStrategy:
+    def test_latency_is_two_communications_per_level(self):
+        tree, network = PAPER_TREES[1], PAPER_NETWORKS[1]
+        prediction = t_batched(tree, network)
+        assert prediction.queries == tree.depth
+        assert prediction.communications == 2 * tree.depth
+        assert prediction.latency_seconds == pytest.approx(
+            2 * tree.depth * network.latency_s
+        )
+
+    def test_sits_between_early_and_recursive(self):
+        for tree in PAPER_TREES:
+            for network in PAPER_NETWORKS:
+                early = predict(Action.MLE, Strategy.EARLY, tree, network)
+                batched = predict(Action.MLE, Strategy.BATCHED, tree, network)
+                recursive = predict(
+                    Action.MLE, Strategy.RECURSIVE, tree, network
+                )
+                assert (
+                    recursive.total_seconds
+                    < batched.total_seconds
+                    < early.total_seconds
+                )
+
+    def test_ships_the_early_visible_node_set(self):
+        tree, network = PAPER_TREES[0], PAPER_NETWORKS[0]
+        batched = predict(Action.MLE, Strategy.BATCHED, tree, network)
+        recursive = predict(Action.MLE, Strategy.RECURSIVE, tree, network)
+        assert batched.transmitted_nodes == recursive.transmitted_nodes
+
+    def test_volume_decomposition(self):
+        """vol_b = delta*q_b*size_p + n_v*size_node + delta*q_b*size_p/2."""
+        tree, network = PAPER_TREES[2], PAPER_NETWORKS[0]
+        prediction = t_batched(tree, network, query_packets=2)
+        expected = (
+            tree.depth * 2 * network.packet_bytes
+            + prediction.transmitted_nodes * network.node_bytes
+            + tree.depth * 2 * network.packet_bytes / 2
+        )
+        assert prediction.volume_bytes == pytest.approx(expected)
+
+    def test_equals_early_for_query_and_expand(self):
+        for action in (Action.QUERY, Action.EXPAND):
+            early = predict(action, Strategy.EARLY, PAPER_TREES[1], PAPER_NETWORKS[1])
+            batched = predict(
+                action, Strategy.BATCHED, PAPER_TREES[1], PAPER_NETWORKS[1]
+            )
+            assert batched.total_seconds == pytest.approx(early.total_seconds)
+
+    def test_query_packets_must_be_positive(self):
+        with pytest.raises(ModelError):
+            t_batched(PAPER_TREES[0], PAPER_NETWORKS[0], query_packets=0)

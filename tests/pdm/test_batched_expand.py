@@ -1,0 +1,97 @@
+"""EXPAND_BATCHED: level-at-a-time expansion over the batch protocol."""
+
+import pytest
+
+from repro.bench.workload import build_scenario
+from repro.model.parameters import TreeParameters
+from repro.network.profiles import WAN_1024
+from repro.pdm.operations import BATCH_KEY_BUCKETS, ExpandStrategy, PDMClient
+from repro.pdm.structure import trees_equal
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(
+        TreeParameters(depth=5, branching=4, visibility=0.5),
+        WAN_1024,
+        seed=7,
+    )
+
+
+def expand(scenario, strategy, **kwargs):
+    root = scenario.product.root_obid
+    root_attrs = scenario.product.root_attributes()
+    return scenario.client.multi_level_expand(
+        root, strategy, root_attrs=root_attrs, **kwargs
+    )
+
+
+class TestRoundTrips:
+    def test_one_round_trip_per_level(self, scenario):
+        result = expand(scenario, ExpandStrategy.EXPAND_BATCHED)
+        assert result.round_trips == scenario.tree.depth
+
+    def test_depth_bound_caps_the_round_trips(self, scenario):
+        result = expand(
+            scenario, ExpandStrategy.EXPAND_BATCHED, max_depth=2
+        )
+        assert result.round_trips == 2
+
+    def test_depth_zero_is_free(self, scenario):
+        result = expand(
+            scenario, ExpandStrategy.EXPAND_BATCHED, max_depth=0
+        )
+        assert result.round_trips == 0
+        assert result.tree.node_count() == 1
+
+
+class TestEquivalence:
+    def test_matches_every_other_strategy(self, scenario):
+        batched = expand(scenario, ExpandStrategy.EXPAND_BATCHED)
+        for other in (
+            ExpandStrategy.NAVIGATIONAL_LATE,
+            ExpandStrategy.NAVIGATIONAL_EARLY,
+            ExpandStrategy.RECURSIVE_EARLY,
+        ):
+            assert trees_equal(batched.tree, expand(scenario, other).tree)
+
+    def test_component_root_needs_no_query(self, scenario):
+        comp = scenario.product.components[0]
+        attrs = {"type": "comp", "obid": comp.obid, "name": comp.name}
+        result = scenario.client.multi_level_expand(
+            comp.obid, ExpandStrategy.EXPAND_BATCHED, root_attrs=attrs
+        )
+        assert result.round_trips == 0
+        assert result.tree.node_count() == 1
+
+
+class TestPlanCache:
+    def test_padded_shapes_hit_the_plan_cache(self, scenario):
+        before = scenario.database.statistics["plan_cache_hits"]
+        expand(scenario, ExpandStrategy.EXPAND_BATCHED)
+        after = scenario.database.statistics["plan_cache_hits"]
+        assert after - before > 0
+
+    def test_stats_round_trip_reports_the_hits(self, scenario):
+        expand(scenario, ExpandStrategy.EXPAND_BATCHED)
+        stats = scenario.connection.server_stats()
+        assert stats["db_plan_cache_hits"] > 0
+        assert stats["batches"] >= scenario.tree.depth
+
+
+class TestChunkPadding:
+    def test_chunks_padded_to_bucket_sizes(self):
+        chunks = PDMClient._padded_chunks(list(range(7)))
+        assert len(chunks) == 1
+        assert len(chunks[0]) in BATCH_KEY_BUCKETS
+        assert set(chunks[0]) == set(range(7))
+
+    def test_wide_frontiers_split_into_bucket_chunks(self):
+        chunks = PDMClient._padded_chunks(list(range(600)))
+        assert [len(chunk) for chunk in chunks] == [256, 256, 256]
+        recovered = {key for chunk in chunks for key in chunk}
+        assert recovered == set(range(600))
+
+    def test_exact_bucket_needs_no_padding(self):
+        (chunk,) = PDMClient._padded_chunks(list(range(16)))
+        assert chunk == list(range(16))

@@ -1,0 +1,150 @@
+"""The pipelined batch protocol and the STATS counter surface.
+
+One BATCH frame ships N statements and returns N per-statement entries;
+a statement-level error becomes an exception *object* in the result list
+instead of poisoning its batch siblings.  STATS exposes the server's and
+database's counters (plan-cache hits included) in one round trip.
+"""
+
+import pytest
+
+from repro.errors import ProtocolError, SQLError
+from repro.network.profiles import WAN_256
+from repro.server import protocol
+from repro.server.client import RemoteConnection
+from repro.server.protocol import Opcode
+from repro.server.server import DatabaseServer
+from repro.sqldb import Database
+from repro.sqldb.result import ResultSet
+
+
+@pytest.fixture
+def stack():
+    db = Database()
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(10))")
+    db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')")
+    server = DatabaseServer(db)
+    connection = RemoteConnection(server, WAN_256.create_link())
+    return db, server, connection
+
+
+class TestExecuteBatch:
+    def test_batch_is_one_round_trip(self, stack):
+        __, __, connection = stack
+        results = connection.execute_batch(
+            [
+                ("SELECT name FROM t WHERE id = ?", [1]),
+                ("SELECT name FROM t WHERE id = ?", [2]),
+                ("SELECT COUNT(*) FROM t", []),
+            ]
+        )
+        assert connection.statistics["round_trips"] == 1
+        assert [r.rows for r in results[:2]] == [[("one",)], [("two",)]]
+        assert results[2].scalar() == 3
+
+    def test_empty_batch_costs_nothing(self, stack):
+        __, __, connection = stack
+        assert connection.execute_batch([]) == []
+        assert connection.statistics["round_trips"] == 0
+
+    def test_mid_batch_error_does_not_poison_siblings(self, stack):
+        __, __, connection = stack
+        results = connection.execute_batch(
+            [
+                ("SELECT id FROM t WHERE id = ?", [1]),
+                ("SELECT nope FROM missing", []),
+                ("SELECT id FROM t WHERE id = ?", [3]),
+            ]
+        )
+        assert isinstance(results[0], ResultSet)
+        assert isinstance(results[1], Exception)
+        assert isinstance(results[2], ResultSet)
+        assert results[0].rows == [(1,)]
+        assert results[2].rows == [(3,)]
+
+    def test_statement_errors_keep_their_class(self, stack):
+        __, __, connection = stack
+        (error,) = connection.execute_batch([("SELECT FROM FROM", [])])
+        assert isinstance(error, SQLError)
+
+    def test_server_counts_batches_and_statements(self, stack):
+        __, server, connection = stack
+        connection.execute_batch(
+            [("SELECT 1", []), ("SELECT 2", []), ("SELECT 3", [])]
+        )
+        connection.execute_batch([("SELECT 4", [])])
+        assert server.statistics["batches"] == 2
+        assert server.statistics["batch_statements"] == 4
+
+    def test_short_batch_response_rejected(self, stack):
+        __, server, connection = stack
+        original = server.handle
+
+        def drop_one_entry(request):
+            response = original(request)
+            opcode, body = protocol.decode_envelope(response)
+            entries = protocol.decode_batch_result(body)
+            return protocol.encode_envelope(
+                Opcode.BATCH_RESULT, protocol.encode_batch_result(entries[:-1])
+            )
+
+        server.handle = drop_one_entry
+        with pytest.raises(ProtocolError):
+            connection.execute_batch([("SELECT 1", []), ("SELECT 2", [])])
+
+
+class TestServerStats:
+    def test_stats_surface_database_counters(self, stack):
+        db, __, connection = stack
+        connection.execute("SELECT * FROM t")
+        connection.execute("SELECT * FROM t")
+        stats = connection.server_stats()
+        assert stats["db_statements"] == db.statistics["statements"]
+        assert stats["db_plan_cache_hits"] >= 1
+        assert stats["queries"] == 2
+
+    def test_stats_include_batch_counters(self, stack):
+        __, __, connection = stack
+        connection.execute_batch([("SELECT 1", []), ("SELECT 2", [])])
+        stats = connection.server_stats()
+        assert stats["batches"] == 1
+        assert stats["batch_statements"] == 2
+
+    def test_stats_request_with_body_is_an_error(self, stack):
+        __, server, __ = stack
+        response = server.handle(
+            protocol.encode_envelope(Opcode.STATS, b"junk")
+        )
+        opcode, __body = protocol.decode_envelope(response)
+        assert opcode is Opcode.ERROR
+
+
+class TestPerOpcodeTraffic:
+    def test_link_counts_messages_and_bytes_per_opcode(self, stack):
+        __, __, connection = stack
+        connection.execute("SELECT * FROM t")
+        connection.execute_batch([("SELECT 1", []), ("SELECT 2", [])])
+        stats = connection.link.stats
+        assert stats.opcode_messages["QUERY"] == 1
+        assert stats.opcode_messages["RESULT"] == 1
+        assert stats.opcode_messages["BATCH"] == 1
+        assert stats.opcode_messages["BATCH_RESULT"] == 1
+        for opcode in ("QUERY", "RESULT", "BATCH", "BATCH_RESULT"):
+            assert stats.opcode_payload_bytes[opcode] > 0
+
+    def test_snapshot_delta_isolates_one_action(self, stack):
+        __, __, connection = stack
+        connection.execute("SELECT * FROM t")
+        before = connection.link.stats.snapshot()
+        connection.execute_batch([("SELECT 1", [])])
+        delta = connection.link.stats.delta_since(before)
+        assert delta.opcode_messages == {"BATCH": 1, "BATCH_RESULT": 1}
+        assert "QUERY" not in delta.opcode_messages
+
+    def test_merge_accumulates_opcode_counters(self, stack):
+        __, __, connection = stack
+        connection.execute("SELECT * FROM t")
+        first = connection.link.stats.snapshot()
+        second = connection.link.stats.snapshot()
+        first.merge(second)
+        assert first.opcode_messages["QUERY"] == 2

@@ -43,6 +43,56 @@ class TestDecoderFuzz:
     def test_decode_envelope(self, payload):
         must_fail_cleanly(protocol.decode_envelope, payload)
 
+    @given(arbitrary_bytes)
+    @settings(max_examples=200, deadline=None)
+    def test_decode_batch(self, payload):
+        must_fail_cleanly(protocol.decode_batch, payload)
+
+    @given(arbitrary_bytes)
+    @settings(max_examples=200, deadline=None)
+    def test_decode_batch_result(self, payload):
+        must_fail_cleanly(protocol.decode_batch_result, payload)
+
+    @given(arbitrary_bytes)
+    @settings(max_examples=100, deadline=None)
+    def test_decode_stats(self, payload):
+        must_fail_cleanly(protocol.decode_stats, payload)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(max_size=40),
+                st.lists(
+                    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+                    max_size=4,
+                ),
+            ),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_batch_round_trips_through_codec(self, statements):
+        decoded = protocol.decode_batch(protocol.encode_batch(statements))
+        assert [(sql, list(params)) for sql, params in decoded] == [
+            (sql, list(params)) for sql, params in statements
+        ]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    [protocol.BATCH_ENTRY_RESULT, protocol.BATCH_ENTRY_ERROR]
+                ),
+                st.binary(max_size=60),
+            ),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_batch_result_round_trips_through_codec(self, entries):
+        encoded = protocol.encode_batch_result(entries)
+        assert protocol.decode_batch_result(encoded) == entries
+
 
 class TestServerSurvivesGarbage:
     @given(arbitrary_bytes)
@@ -62,5 +112,26 @@ class TestServerSurvivesGarbage:
             protocol.Opcode.RESULT,
             protocol.Opcode.PROCEDURE_RESULT,
             protocol.Opcode.PONG,
+            protocol.Opcode.ERROR,
+            protocol.Opcode.BATCH_RESULT,
+            protocol.Opcode.STATS_RESULT,
+        )
+
+    @given(arbitrary_bytes)
+    @settings(max_examples=100, deadline=None)
+    def test_server_survives_garbage_batch_bodies(self, payload):
+        """A BATCH envelope around arbitrary bytes must come back as an
+        ERROR (malformed body) or a BATCH_RESULT (parseable body) — the
+        batch path may not crash the server either."""
+        from repro.server.server import DatabaseServer
+        from repro.sqldb import Database
+
+        db = Database()
+        db.execute("CREATE TABLE t (v INTEGER)")
+        server = DatabaseServer(db)
+        response = server.handle(bytes([protocol.Opcode.BATCH.value]) + payload)
+        opcode, __ = protocol.decode_envelope(response)
+        assert opcode in (
+            protocol.Opcode.BATCH_RESULT,
             protocol.Opcode.ERROR,
         )
