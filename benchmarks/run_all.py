@@ -30,7 +30,14 @@ from repro.model.parameters import (  # noqa: E402
     TreeParameters,
 )
 from repro.model.response_time import Action, Strategy, predict  # noqa: E402
+from repro.network.faults import (  # noqa: E402
+    CHAOS_PRESETS,
+    JUMBO_TRUNCATING_WAN,
+    PERFECT,
+    RetryPolicy,
+)
 from repro.network.profiles import WAN_512  # noqa: E402
+from repro.pdm.operations import ExpandStrategy  # noqa: E402
 
 SEED = 42
 
@@ -44,8 +51,78 @@ STRATEGIES = (
     Strategy.RECURSIVE,
 )
 
+EXPAND_STRATEGIES = {
+    Strategy.LATE: ExpandStrategy.NAVIGATIONAL_LATE,
+    Strategy.EARLY: ExpandStrategy.NAVIGATIONAL_EARLY,
+    Strategy.BATCHED: ExpandStrategy.EXPAND_BATCHED,
+    Strategy.RECURSIVE: ExpandStrategy.RECURSIVE_EARLY,
+}
 
-def run(scale: str) -> dict:
+FAULT_PROFILES = {
+    profile.name: profile
+    for profile in (PERFECT, JUMBO_TRUNCATING_WAN) + CHAOS_PRESETS
+}
+
+
+def run_chaos(tree, scenario, profile, fault_seed: int) -> dict:
+    """Re-run every strategy resiliently under *profile* and check each
+    converges to a tree byte-identical to its own zero-fault run."""
+    root = scenario.product.root_obid
+    root_attrs = scenario.product.root_attributes()
+    reference = {
+        strategy: scenario.client.multi_level_expand(
+            root, EXPAND_STRATEGIES[strategy], root_attrs=root_attrs
+        ).tree.canonical_bytes()
+        for strategy in STRATEGIES
+    }
+    results = {}
+    for strategy in STRATEGIES:
+        chaos_scenario = build_scenario(
+            tree,
+            WAN_512,
+            seed=SEED,
+            product=scenario.product,
+            fault_profile=profile,
+            fault_seed=fault_seed,
+            retry_policy=RetryPolicy(),
+        )
+        result = chaos_scenario.client.resilient_multi_level_expand(
+            root, EXPAND_STRATEGIES[strategy], root_attrs=root_attrs
+        )
+        stats = chaos_scenario.link.stats
+        client_stats = chaos_scenario.client.statistics
+        converged = (
+            result.tree is not None
+            and result.tree.canonical_bytes() == reference[strategy]
+        )
+        # The recursive fallback legitimately returns the batched tree
+        # shape (same visible nodes through the other pipeline).
+        if not converged and strategy is Strategy.RECURSIVE:
+            converged = (
+                client_stats["recursive_fallbacks"] > 0
+                and result.tree is not None
+                and result.tree.canonical_bytes()
+                == reference[Strategy.BATCHED]
+            )
+        results[strategy.value] = {
+            "simulated_ms": round(result.seconds * 1000.0, 3),
+            "converged": converged,
+            "drops": stats.drops,
+            "corrupt_frames": stats.corrupt_frames,
+            "timeouts": stats.timeouts,
+            "retries": stats.retries,
+            "backoff_ms": round(stats.backoff_seconds * 1000.0, 3),
+            "expand_resumes": client_stats["expand_resumes"],
+            "recursive_fallbacks": client_stats["recursive_fallbacks"],
+        }
+    return {
+        "profile": profile.name,
+        "fault_seed": fault_seed,
+        "strategies": results,
+    }
+
+
+def run(scale: str, fault_profile=None, fault_seed: int = 1) -> dict:
     if scale == "small":
         # Deep enough that the padded IN-list shapes repeat and the
         # plan-cache invariant stays checkable.
@@ -74,7 +151,7 @@ def run(scale: str) -> dict:
             "result_nodes": measured.result_nodes,
         }
     opcode_traffic = dict(scenario.link.stats.opcode_messages)
-    return {
+    report = {
         "scale": scale,
         "tree": {
             "depth": tree.depth,
@@ -88,6 +165,9 @@ def run(scale: str) -> dict:
         "strategies": results,
         "opcode_messages": opcode_traffic,
     }
+    if fault_profile is not None and not fault_profile.perfect:
+        report["faults"] = run_chaos(tree, scenario, fault_profile, fault_seed)
+    return report
 
 
 def check(report: dict) -> list:
@@ -113,6 +193,23 @@ def check(report: dict) -> list:
     sizes = {entry["result_nodes"] for entry in strategies.values()}
     if len(sizes) != 1:
         failures.append(f"strategies disagree on tree size: {sizes}")
+    faults = report.get("faults")
+    if faults:
+        for name, entry in faults["strategies"].items():
+            if not entry["converged"]:
+                failures.append(
+                    f"{name} under {faults['profile']} did not converge to "
+                    f"its zero-fault tree"
+                )
+        injected = sum(
+            entry["drops"] + entry["corrupt_frames"]
+            for entry in faults["strategies"].values()
+        )
+        if injected == 0:
+            failures.append(
+                f"{faults['profile']} (seed {faults['fault_seed']}) "
+                f"injected no faults — chaos smoke proved nothing"
+            )
     return failures
 
 
@@ -129,8 +226,26 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="write the machine-readable report to PATH",
     )
+    parser.add_argument(
+        "--fault-profile",
+        choices=sorted(FAULT_PROFILES),
+        help="additionally re-run every strategy resiliently under this "
+        "chaos preset and require byte-identical convergence",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=1,
+        help="seed for the deterministic fault plan (default: 1)",
+    )
     args = parser.parse_args(argv)
-    report = run(args.scale)
+    report = run(
+        args.scale,
+        fault_profile=(
+            FAULT_PROFILES[args.fault_profile] if args.fault_profile else None
+        ),
+        fault_seed=args.fault_seed,
+    )
     header = (
         f"{'strategy':<12s} {'sim ms':>10s} {'model ms':>10s} "
         f"{'trips':>6s} {'stmts':>6s} {'cache':>6s} {'wire B':>10s}"
@@ -143,6 +258,23 @@ def main(argv=None) -> int:
             f"{entry['statements']:>6d} {entry['plan_cache_hits']:>6d} "
             f"{entry['wire_bytes']:>10.0f}"
         )
+    faults = report.get("faults")
+    if faults:
+        print(
+            f"\nchaos: {faults['profile']} "
+            f"(fault seed {faults['fault_seed']})"
+        )
+        print(
+            f"{'strategy':<12s} {'sim ms':>10s} {'drops':>6s} "
+            f"{'retry':>6s} {'t/o':>5s} {'resume':>7s} {'conv':>5s}"
+        )
+        for name, entry in faults["strategies"].items():
+            print(
+                f"{name:<12s} {entry['simulated_ms']:>10.1f} "
+                f"{entry['drops']:>6d} {entry['retries']:>6d} "
+                f"{entry['timeouts']:>5d} {entry['expand_resumes']:>7d} "
+                f"{'yes' if entry['converged'] else 'NO':>5s}"
+            )
     failures = check(report)
     report["ok"] = not failures
     if args.json:

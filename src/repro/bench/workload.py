@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.model.parameters import TreeParameters
+from repro.network.faults import FaultProfile, FaultyLink, RetryPolicy
 from repro.network.link import NetworkLink, PacketAccounting
 from repro.network.profiles import LinkProfile, WAN_256
 from repro.pdm.generator import GeneratedProduct, generate_product
@@ -93,11 +94,20 @@ def build_scenario(
     node_bytes: int = 512,
     user: str = "scott",
     product: Optional[GeneratedProduct] = None,
+    fault_profile: Optional[FaultProfile] = None,
+    fault_seed: int = 0,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> Scenario:
     """Generate (or reuse) a product, load it, and wire up the stack.
 
     Passing a pre-generated ``product`` lets the harness share one big
     database across several network profiles (only the link changes).
+
+    ``fault_profile`` swaps the perfect link for a fault-injecting one
+    (deterministic under ``fault_seed``); ``retry_policy`` arms the
+    connection's resilient driver — with faults but no policy, injected
+    losses propagate to the caller, which is occasionally what an
+    experiment wants to observe.
     """
     if product is None:
         product = generate_product(
@@ -113,7 +123,9 @@ def build_scenario(
     server = DatabaseServer(database)
     install_checkout_procedures(server)
     link = profile.create_link(accounting=accounting)
-    connection = RemoteConnection(server, link)
+    if fault_profile is not None:
+        link = FaultyLink.wrap(link, fault_profile, seed=fault_seed)
+    connection = RemoteConnection(server, link, retry_policy=retry_policy)
     table = rule_table if rule_table is not None else scenario_rules()
     user_env = {USER_OPTIONS_VAR: OPTION_STANDARD}
     client = PDMClient(

@@ -54,6 +54,40 @@ class LinkConfigurationError(NetworkError):
     """A network link was configured with non-physical parameters."""
 
 
+class FaultConfigurationError(NetworkError):
+    """A fault profile was configured with impossible parameters
+    (probabilities outside [0, 1], inverted outage windows, ...)."""
+
+
+class NetworkFault(NetworkError):
+    """Base class for injected transmission faults.  Raised by a
+    :class:`~repro.network.faults.FaultyLink` when a message does not make
+    it to the other side intact; a resilient client turns these into
+    retries, a bare connection lets them propagate."""
+
+
+class MessageDropped(NetworkFault):
+    """A message was lost in transit (random loss or a server outage
+    window); the sender will only notice through a timeout."""
+
+
+class FrameCorrupted(NetworkFault):
+    """A frame arrived but failed its integrity check (bit flip or
+    truncation detected via the sequenced-frame CRC)."""
+
+
+class TimeoutError(NetworkError):  # noqa: A001 - deliberate, namespaced
+    """A request exhausted its retry budget without receiving an intact
+    response.  Shadows the builtin only under the ``repro.errors``
+    namespace; import it qualified."""
+
+
+class CircuitOpenError(NetworkError):
+    """The client's circuit breaker is open: recent consecutive failures
+    crossed the threshold and the cool-down has not elapsed yet, so the
+    call was rejected locally without touching the WAN."""
+
+
 class ProtocolError(ReproError):
     """The client/server protocol was violated (unknown request type,
     response for a different request, use of a closed connection)."""
@@ -70,6 +104,16 @@ class UnknownObjectError(PDMError):
 class CheckOutError(PDMError):
     """A check-out/check-in operation could not be performed (e.g. a node
     in the requested subtree is already checked out)."""
+
+
+class ExpandInterrupted(PDMError):
+    """A multi-level expand lost a frontier batch for good (retry budget
+    exhausted or circuit open).  Carries the checkpoint of the last
+    completed level so the caller can resume without re-fetching."""
+
+    def __init__(self, message: str, checkpoint=None) -> None:
+        super().__init__(message)
+        self.checkpoint = checkpoint
 
 
 class RuleError(ReproError):

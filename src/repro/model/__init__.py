@@ -23,8 +23,10 @@ from repro.model.crossover import (
 from repro.model.response_time import (
     Action,
     Strategy,
+    FaultyResponseTimePrediction,
     ResponseTimePrediction,
     predict,
+    predict_with_faults,
     saving_percent,
     t_batched,
 )
@@ -44,7 +46,9 @@ __all__ = [
     "Action",
     "Strategy",
     "ResponseTimePrediction",
+    "FaultyResponseTimePrediction",
     "predict",
+    "predict_with_faults",
     "saving_percent",
     "t_batched",
     "full_node_count",

@@ -172,6 +172,130 @@ def t_batched(
     )
 
 
+@dataclass(frozen=True)
+class FaultyResponseTimePrediction:
+    """Retry-aware expected response time under a lossy link.
+
+    Wraps the fault-free :class:`ResponseTimePrediction` and adds the
+    expected cost of geometric retransmission: lost attempts waited out
+    to the timeout, corrupted attempts detected and retried immediately,
+    exponential backoff between attempts, and latency spikes on every
+    transmitted message.
+    """
+
+    base: ResponseTimePrediction
+    drop_probability: float
+    corrupt_probability: float
+    expected_attempts_per_round_trip: float
+    retry_seconds: float
+    backoff_seconds: float
+    spike_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.base.total_seconds
+            + self.retry_seconds
+            + self.backoff_seconds
+            + self.spike_seconds
+        )
+
+    @property
+    def expected_retries(self) -> float:
+        """Expected number of re-sent requests over the whole action."""
+        round_trips = self.base.communications / 2.0
+        return round_trips * (self.expected_attempts_per_round_trip - 1.0)
+
+
+def predict_with_faults(
+    action: Action,
+    strategy: Strategy,
+    tree: TreeParameters,
+    network: NetworkParameters,
+    faults,
+    retry,
+    query_packets: int = 1,
+) -> FaultyResponseTimePrediction:
+    """Expected response time of *action* under per-message loss.
+
+    ``faults`` provides the per-message fault distribution (duck-typed to
+    :class:`repro.network.faults.FaultProfile`: ``drop_probability``,
+    ``corrupt_probability``, ``truncate_probability``,
+    ``spike_probability``, ``spike_seconds``); ``retry`` the client's
+    policy (:class:`repro.network.faults.RetryPolicy`: ``timeout_s``,
+    ``max_attempts``, ``expected_backoff``).  Scheduled outage windows are
+    deliberately out of scope — they are deterministic events, not a
+    distribution, and are evaluated by simulation only.
+
+    The derivation, per round trip: a request survives with probability
+    ``1-p``; a round trip delivers intact with
+    ``q = (1-p)^2 (1-c)^2`` where ``c`` is the per-message corruption
+    probability (bit flips and random truncation both fail the frame
+    CRC).  Failures are geometric: a *dropped* attempt costs
+    ``max(timeout, elapsed)`` because the client waits the timeout out,
+    a *corrupted* attempt costs the full round-trip time (the damage is
+    only detectable once the frame arrived), and retry *k* additionally
+    sleeps the capped exponential backoff.
+    """
+    probabilities = [
+        faults.drop_probability,
+        faults.corrupt_probability,
+        getattr(faults, "truncate_probability", 0.0),
+    ]
+    for value in probabilities:
+        if not 0.0 <= value < 1.0:
+            raise ModelError(
+                f"fault probabilities must be within [0, 1), got {value!r}"
+            )
+    base = predict(action, strategy, tree, network, query_packets=query_packets)
+    round_trips = base.communications / 2.0
+    p = faults.drop_probability
+    # Bit flips and random truncation are indistinguishable to the CRC.
+    c = 1.0 - (1.0 - faults.corrupt_probability) * (
+        1.0 - getattr(faults, "truncate_probability", 0.0)
+    )
+    survive_drop = (1.0 - p) ** 2
+    success = survive_drop * (1.0 - c) ** 2
+    if success <= 0.0:
+        raise ModelError("no attempt can ever succeed under these faults")
+    # Per-round-trip request/response times from the base volume split.
+    request_volume = query_packets * network.packet_bytes
+    response_volume = base.volume_bytes / round_trips - request_volume
+    t_request = network.latency_s + network.transfer_seconds(request_volume)
+    t_response = network.latency_s + network.transfer_seconds(response_volume)
+    t_round_trip = t_request + t_response
+    # Failure modes of one attempt and what each costs the client.
+    p_request_dropped = p
+    p_response_dropped = (1.0 - p) * p
+    p_corrupted = survive_drop * (1.0 - (1.0 - c) ** 2)
+    cost_request_dropped = max(retry.timeout_s, t_request)
+    cost_response_dropped = max(retry.timeout_s, t_round_trip)
+    cost_corrupted = t_round_trip
+    # Geometric retransmission: expected failures of each kind per success.
+    retry_seconds_per_rt = (
+        p_request_dropped * cost_request_dropped
+        + p_response_dropped * cost_response_dropped
+        + p_corrupted * cost_corrupted
+    ) / success
+    failure = 1.0 - success
+    backoff_per_rt = sum(
+        failure**k * retry.expected_backoff(k)
+        for k in range(1, retry.max_attempts)
+    )
+    # Every transmitted message (retries included) may catch a spike.
+    spike_per_message = faults.spike_probability * faults.spike_seconds
+    spike_per_rt = (2.0 / success) * spike_per_message
+    return FaultyResponseTimePrediction(
+        base=base,
+        drop_probability=p,
+        corrupt_probability=c,
+        expected_attempts_per_round_trip=1.0 / success,
+        retry_seconds=round_trips * retry_seconds_per_rt,
+        backoff_seconds=round_trips * backoff_per_rt,
+        spike_seconds=round_trips * spike_per_rt,
+    )
+
+
 def saving_percent(baseline_seconds: float, improved_seconds: float) -> float:
     """Relative saving in percent, as printed in Tables 3 and 4."""
     if baseline_seconds <= 0:

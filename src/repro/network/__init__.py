@@ -10,6 +10,20 @@ in a :class:`~repro.network.stats.TrafficStats`.
 """
 
 from repro.network.clock import SimulatedClock
+from repro.network.faults import (
+    CHAOS_PRESETS,
+    DROP_5,
+    FLAKY_WAN,
+    JUMBO_TRUNCATING_WAN,
+    NOISY_WAN,
+    OUTAGE_WAN,
+    STOCHASTIC_PRESETS,
+    CircuitBreaker,
+    FaultPlan,
+    FaultProfile,
+    FaultyLink,
+    RetryPolicy,
+)
 from repro.network.link import NetworkLink, PacketAccounting
 from repro.network.profiles import (
     LAN,
@@ -32,4 +46,16 @@ __all__ = [
     "WAN_1024",
     "PAPER_PROFILES",
     "TrafficStats",
+    "FaultProfile",
+    "FaultPlan",
+    "FaultyLink",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CHAOS_PRESETS",
+    "STOCHASTIC_PRESETS",
+    "DROP_5",
+    "FLAKY_WAN",
+    "NOISY_WAN",
+    "OUTAGE_WAN",
+    "JUMBO_TRUNCATING_WAN",
 ]

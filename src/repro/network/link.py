@@ -115,10 +115,35 @@ class NetworkLink:
             stats.responses += 1
         return self.latency_s + transfer
 
-    def round_trip(self, request_bytes: int, response_bytes: int) -> float:
-        """Send a request and receive its response; return the total delay."""
-        delay = self.transmit(request_bytes, is_request=True)
-        delay += self.transmit(response_bytes, is_request=False)
+    def deliver(
+        self, frame: bytes, is_request: bool, opcode: Optional[str] = None
+    ) -> bytes:
+        """Transmit an actual frame and return what arrives on the far side.
+
+        On a perfect link that is the frame itself; fault-injecting
+        subclasses may drop it (raising
+        :class:`~repro.errors.MessageDropped`) or return a mutated copy.
+        """
+        self.transmit(len(frame), is_request, opcode)
+        return frame
+
+    def round_trip(
+        self,
+        request_bytes: int,
+        response_bytes: int,
+        request_opcode: Optional[str] = None,
+        response_opcode: Optional[str] = None,
+    ) -> float:
+        """Send a request and receive its response; return the total delay.
+
+        The optional opcode labels feed the per-opcode traffic attribution
+        exactly as on :meth:`transmit` — without them the two messages
+        stay invisible to ``TrafficStats.opcode_messages``.
+        """
+        delay = self.transmit(request_bytes, is_request=True, opcode=request_opcode)
+        delay += self.transmit(
+            response_bytes, is_request=False, opcode=response_opcode
+        )
         return delay
 
     def reset(self) -> None:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -20,6 +20,13 @@ class TrafficStats:
     by protocol opcode (QUERY, BATCH, RESULT, ...) when the transmitter
     labels its messages, so batch vs single-query traffic can be
     attributed in a re-pricing pass without re-running the simulation.
+
+    The resilience counters split by who observes the event: the link
+    records injected faults (``drops``, ``corrupt_frames``,
+    ``spike_seconds``) while the client driver records its reaction
+    (``timeouts``/``timeout_seconds`` for waited-out attempts,
+    ``retries`` for re-sent requests, ``backoff_seconds`` for the
+    simulated backoff sleeps between them).
     """
 
     messages: int = 0
@@ -33,6 +40,15 @@ class TrafficStats:
     server_seconds: float = 0.0
     requests: int = 0
     responses: int = 0
+    #: Injected by a fault plan (link side).
+    drops: int = 0
+    corrupt_frames: int = 0
+    spike_seconds: float = 0.0
+    #: Observed by the resilient client driver.
+    timeouts: int = 0
+    timeout_seconds: float = 0.0
+    retries: int = 0
+    backoff_seconds: float = 0.0
     opcode_messages: Dict[str, int] = field(default_factory=dict)
     opcode_payload_bytes: Dict[str, int] = field(default_factory=dict)
 
@@ -45,8 +61,17 @@ class TrafficStats:
 
     @property
     def total_seconds(self) -> float:
-        """Accumulated delay (latency + transfer + server CPU)."""
-        return self.latency_seconds + self.transfer_seconds + self.server_seconds
+        """Accumulated delay: transmission (latency + transfer + spikes),
+        server CPU, and the resilient client's waits (timed-out attempts
+        and backoff sleeps)."""
+        return (
+            self.latency_seconds
+            + self.transfer_seconds
+            + self.server_seconds
+            + self.spike_seconds
+            + self.timeout_seconds
+            + self.backoff_seconds
+        )
 
     @property
     def round_trips(self) -> float:
@@ -54,60 +79,35 @@ class TrafficStats:
 
     def merge(self, other: "TrafficStats") -> None:
         """Accumulate *other* into this stats object."""
-        self.messages += other.messages
-        self.packets += other.packets
-        self.payload_bytes += other.payload_bytes
-        self.wire_bytes += other.wire_bytes
-        self.latency_seconds += other.latency_seconds
-        self.transfer_seconds += other.transfer_seconds
-        self.server_seconds += other.server_seconds
-        self.requests += other.requests
-        self.responses += other.responses
-        for opcode, count in other.opcode_messages.items():
-            self.opcode_messages[opcode] = (
-                self.opcode_messages.get(opcode, 0) + count
-            )
-        for opcode, volume in other.opcode_payload_bytes.items():
-            self.opcode_payload_bytes[opcode] = (
-                self.opcode_payload_bytes.get(opcode, 0) + volume
-            )
+        for spec in fields(self):
+            mine = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if isinstance(mine, dict):
+                for key, value in theirs.items():
+                    mine[key] = mine.get(key, 0) + value
+            else:
+                setattr(self, spec.name, mine + theirs)
 
     def snapshot(self) -> "TrafficStats":
         """Return an independent copy (used for per-action deltas)."""
-        return TrafficStats(
-            messages=self.messages,
-            packets=self.packets,
-            payload_bytes=self.payload_bytes,
-            wire_bytes=self.wire_bytes,
-            latency_seconds=self.latency_seconds,
-            transfer_seconds=self.transfer_seconds,
-            server_seconds=self.server_seconds,
-            requests=self.requests,
-            responses=self.responses,
-            opcode_messages=dict(self.opcode_messages),
-            opcode_payload_bytes=dict(self.opcode_payload_bytes),
-        )
+        values = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            values[spec.name] = dict(value) if isinstance(value, dict) else value
+        return TrafficStats(**values)
 
     def delta_since(self, earlier: "TrafficStats") -> "TrafficStats":
         """Stats accumulated since *earlier* (a snapshot of this object)."""
-        return TrafficStats(
-            messages=self.messages - earlier.messages,
-            packets=self.packets - earlier.packets,
-            payload_bytes=self.payload_bytes - earlier.payload_bytes,
-            wire_bytes=self.wire_bytes - earlier.wire_bytes,
-            latency_seconds=self.latency_seconds - earlier.latency_seconds,
-            transfer_seconds=self.transfer_seconds - earlier.transfer_seconds,
-            server_seconds=self.server_seconds - earlier.server_seconds,
-            requests=self.requests - earlier.requests,
-            responses=self.responses - earlier.responses,
-            opcode_messages={
-                opcode: count - earlier.opcode_messages.get(opcode, 0)
-                for opcode, count in self.opcode_messages.items()
-                if count != earlier.opcode_messages.get(opcode, 0)
-            },
-            opcode_payload_bytes={
-                opcode: volume - earlier.opcode_payload_bytes.get(opcode, 0)
-                for opcode, volume in self.opcode_payload_bytes.items()
-                if volume != earlier.opcode_payload_bytes.get(opcode, 0)
-            },
-        )
+        values = {}
+        for spec in fields(self):
+            now = getattr(self, spec.name)
+            then = getattr(earlier, spec.name)
+            if isinstance(now, dict):
+                values[spec.name] = {
+                    key: value - then.get(key, 0)
+                    for key, value in now.items()
+                    if value != then.get(key, 0)
+                }
+            else:
+                values[spec.name] = now - then
+        return TrafficStats(**values)

@@ -29,7 +29,14 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import CheckOutError, ReproError, UnknownObjectError
+from repro.errors import (
+    CheckOutError,
+    CircuitOpenError,
+    ExpandInterrupted,
+    ReproError,
+    TimeoutError,
+    UnknownObjectError,
+)
 from repro.network.stats import TrafficStats
 from repro.pdm import queries
 from repro.pdm.schema import CLIENT_FUNCTIONS
@@ -74,6 +81,27 @@ class CheckOutMode(Enum):
 
     TWO_PHASE = "two-phase"  # fetch tree, then UPDATEs: extra round trips
     SERVER_PROCEDURE = "server-procedure"  # function shipping: one round trip
+
+
+@dataclass
+class ExpandCheckpoint:
+    """Resumption state of an interrupted level-at-a-time expand.
+
+    ``root`` is the tree built so far (all completed levels attached),
+    ``frontier`` the nodes whose children the lost batch was fetching and
+    ``depth`` that level's index.  Passing the checkpoint back into
+    :meth:`PDMClient.resume_multi_level_expand` retries only the lost
+    level and continues — completed levels are never re-fetched.
+    """
+
+    root: StructureNode
+    frontier: List[StructureNode]
+    depth: int
+    max_depth: Optional[int]
+
+    @property
+    def levels_completed(self) -> int:
+        return self.depth
 
 
 @dataclass
@@ -132,6 +160,13 @@ class PDMClient:
         )
         #: Rendered SQL cache: (builder, early, action) -> sql text.
         self._sql_cache: Dict[Tuple[str, bool, str], str] = {}
+        #: Resilience counters: how often expands lost a level, resumed
+        #: from a checkpoint, or degraded from recursive to batched.
+        self.statistics = {
+            "expand_interruptions": 0,
+            "expand_resumes": 0,
+            "recursive_fallbacks": 0,
+        }
 
     # -- measurement plumbing ---------------------------------------------------
 
@@ -347,6 +382,102 @@ class PDMClient:
             )
         return self._finish(begin, tree=tree)
 
+    def resume_multi_level_expand(
+        self, checkpoint: ExpandCheckpoint
+    ) -> ActionResult:
+        """Continue an interrupted batched expand from its checkpoint.
+
+        Only the lost level (and the levels below it) are fetched; the
+        completed levels stay as already built in the checkpoint's tree.
+        The returned :class:`ActionResult` measures the resumed portion.
+        """
+        begin = self._begin()
+        self.statistics["expand_resumes"] += 1
+        tree = self._expand_batched(
+            checkpoint.root.obid, None, checkpoint=checkpoint
+        )
+        tree = self._apply_tree_conditions_late(tree, Actions.MULTI_LEVEL_EXPAND)
+        return self._finish(begin, tree=tree)
+
+    def resilient_multi_level_expand(
+        self,
+        root_obid: int,
+        strategy: ExpandStrategy = ExpandStrategy.EXPAND_BATCHED,
+        root_attrs: Optional[Attrs] = None,
+        max_depth: Optional[int] = None,
+        max_resumes: int = 16,
+    ) -> ActionResult:
+        """Multi-level expand that degrades instead of failing.
+
+        * ``RECURSIVE_EARLY``: if the single recursive round trip cannot
+          be completed (retry budget exhausted or circuit open), fall back
+          to the level-checkpointed batched strategy — same visible tree,
+          but the unit of loss shrinks from the whole response to one
+          frontier batch.
+        * ``EXPAND_BATCHED`` (and the fallback path): every interruption
+          resumes from the last completed level, up to ``max_resumes``
+          times.  While the circuit breaker is open, the client waits out
+          the cool-down on the simulated clock before resuming.
+        * Navigational strategies retry per child fetch at the connection
+          layer already (their unit of loss is one small query), so they
+          simply delegate to :meth:`multi_level_expand`.
+
+        The returned measurement covers everything: timeouts, backoff,
+        breaker cool-downs, the fallback's extra round trips.
+        """
+        if strategy in (
+            ExpandStrategy.NAVIGATIONAL_LATE,
+            ExpandStrategy.NAVIGATIONAL_EARLY,
+        ):
+            return self.multi_level_expand(
+                root_obid, strategy, root_attrs=root_attrs, max_depth=max_depth
+            )
+        if root_attrs is None:
+            root_attrs = self.fetch_object(root_obid)
+        begin = self._begin()
+        if strategy is ExpandStrategy.RECURSIVE_EARLY:
+            try:
+                tree = self._expand_recursive(root_obid, root_attrs, max_depth)
+                return self._finish(begin, tree=tree)
+            except (TimeoutError, CircuitOpenError):
+                self.statistics["recursive_fallbacks"] += 1
+                self._wait_for_circuit()
+        clock = self.connection.link.clock
+        checkpoint: Optional[ExpandCheckpoint] = None
+        interrupted: Optional[ExpandInterrupted] = None
+        for __ in range(max_resumes + 1):
+            try:
+                if checkpoint is None:
+                    tree = self._expand_batched(root_obid, root_attrs, max_depth)
+                else:
+                    self.statistics["expand_resumes"] += 1
+                    tree = self._expand_batched(
+                        root_obid, None, checkpoint=checkpoint
+                    )
+            except ExpandInterrupted as error:
+                checkpoint = error.checkpoint
+                interrupted = error
+                # Timeouts and backoff already advanced the clock; if the
+                # breaker opened, sleep (simulated) until it half-opens.
+                self._wait_for_circuit()
+                continue
+            tree = self._apply_tree_conditions_late(
+                tree, Actions.MULTI_LEVEL_EXPAND
+            )
+            return self._finish(begin, tree=tree)
+        raise ExpandInterrupted(
+            f"expand of {root_obid} still failing after {max_resumes} "
+            f"resumes (simulated t={clock.now:.1f}s)",
+            checkpoint=checkpoint,
+        ) from interrupted
+
+    def _wait_for_circuit(self) -> None:
+        """Advance the simulated clock until the breaker allows a trial."""
+        breaker = self.connection.circuit_breaker
+        clock = self.connection.link.clock
+        if breaker is not None and not breaker.allow(clock.now):
+            clock.advance(breaker.seconds_until_trial(clock.now))
+
     def _fetch_children(
         self, parent_obid: int, early: bool, action: str
     ) -> List[Tuple[Attrs, Attrs]]:
@@ -423,8 +554,9 @@ class PDMClient:
     def _expand_batched(
         self,
         root_obid: int,
-        root_attrs: Attrs,
+        root_attrs: Optional[Attrs],
         max_depth: Optional[int] = None,
+        checkpoint: Optional[ExpandCheckpoint] = None,
     ) -> StructureNode:
         """Level-at-a-time BFS over the pipelined batch protocol.
 
@@ -438,10 +570,22 @@ class PDMClient:
 
         Row rules are injected server-side (Approach 1); tree conditions
         are applied late by the caller, as for the navigational paths.
+
+        The loop is checkpointed: if a level's batch is lost for good
+        (retry budget exhausted or circuit open), the completed levels
+        survive in an :class:`ExpandCheckpoint` carried by the raised
+        :class:`~repro.errors.ExpandInterrupted` — resuming re-fetches
+        only the lost level, never the finished ones.
         """
-        root = StructureNode(attrs=dict(root_attrs))
-        frontier = [root] if str(root.object_type) != "comp" else []
-        depth = 0
+        if checkpoint is not None:
+            root = checkpoint.root
+            frontier = checkpoint.frontier
+            depth = checkpoint.depth
+            max_depth = checkpoint.max_depth
+        else:
+            root = StructureNode(attrs=dict(root_attrs))
+            frontier = [root] if str(root.object_type) != "comp" else []
+            depth = 0
         while frontier and (max_depth is None or depth < max_depth):
             keys: List[Any] = []
             seen = set()
@@ -456,8 +600,22 @@ class PDMClient:
                         node_type, len(chunk), Actions.MULTI_LEVEL_EXPAND
                     )
                     statements.append((sql, chunk))
+            try:
+                batch_results = self.connection.execute_batch(statements)
+            except (TimeoutError, CircuitOpenError) as error:
+                self.statistics["expand_interruptions"] += 1
+                raise ExpandInterrupted(
+                    f"lost the level-{depth} frontier batch "
+                    f"({len(frontier)} parents): {error}",
+                    checkpoint=ExpandCheckpoint(
+                        root=root,
+                        frontier=frontier,
+                        depth=depth,
+                        max_depth=max_depth,
+                    ),
+                ) from error
             children_by_parent: Dict[Any, List[Tuple[Attrs, Attrs]]] = {}
-            for result in self.connection.execute_batch(statements):
+            for result in batch_results:
                 if isinstance(result, ReproError):
                     raise result
                 for row in result.as_dicts():

@@ -71,6 +71,28 @@ class StructureNode:
             return 0
         return 1 + max(child.depth() for child in self.children)
 
+    def canonical_bytes(self) -> bytes:
+        """A canonical byte serialisation of the visible tree.
+
+        Attribute order is normalised and children are sorted by link and
+        node obid, so two trees compare byte-identical iff they carry the
+        same nodes, links, attribute values and shape — regardless of how
+        (or how often) the WAN delivered the rows that built them.
+        """
+
+        def encode(node: "StructureNode"):
+            link = sorted((node.link or {}).items())
+            return (
+                sorted(node.attrs.items()),
+                link,
+                sorted(
+                    (encode(child) for child in node.children),
+                    key=repr,
+                ),
+            )
+
+        return repr(encode(self)).encode("utf-8")
+
     def prune(self, keep) -> None:
         """Drop children (and their subtrees) for which ``keep(node)`` is
         false; applied recursively to the surviving nodes."""

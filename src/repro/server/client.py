@@ -14,15 +14,20 @@ local query evaluation costs were ignored" (Section 6).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple, Union
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import (
     CheckOutError,
+    CircuitOpenError,
     ExecutionError,
+    MessageDropped,
     ProtocolError,
     ReproError,
     SQLError,
+    TimeoutError,
 )
+from repro.network.faults import CircuitBreaker, RetryPolicy
 from repro.network.link import NetworkLink
 from repro.server import protocol
 from repro.server.protocol import Opcode
@@ -49,13 +54,42 @@ class RemoteError(ReproError):
 
 
 class RemoteConnection:
-    """A connection from a (possibly intercontinental) client to a server."""
+    """A connection from a (possibly intercontinental) client to a server.
 
-    def __init__(self, server: DatabaseServer, link: NetworkLink) -> None:
+    Without a :class:`~repro.network.faults.RetryPolicy` the connection is
+    the paper's idealised driver: one message out, one message back, no
+    failure handling (an injected fault propagates to the caller).  With a
+    policy, every request is wrapped in a SEQUENCED frame (client id +
+    sequence number + CRC) and driven through a retry loop: lost messages
+    are waited out for ``timeout_s`` simulated seconds, corrupted frames
+    are detected via the CRC, retries back off exponentially with seeded
+    jitter, and the server's replay cache makes retransmissions of
+    non-idempotent statements safe.  A circuit breaker rejects calls
+    locally once consecutive failures cross its threshold.
+    """
+
+    #: Distinct client ids so several connections to one server never
+    #: collide in its replay cache.
+    _next_client_id = itertools.count(1)
+
+    def __init__(
+        self,
+        server: DatabaseServer,
+        link: NetworkLink,
+        retry_policy: Optional[RetryPolicy] = None,
+        circuit_breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
         self.server = server
         self.link = link
         self.closed = False
-        self.statistics = {"round_trips": 0}
+        self.retry_policy = retry_policy
+        if circuit_breaker is None and retry_policy is not None:
+            circuit_breaker = CircuitBreaker()
+        self.circuit_breaker = circuit_breaker
+        self.client_id = next(self._next_client_id) & 0xFFFFFFFF
+        self._seq = itertools.count(1)
+        self._backoff_rng = retry_policy.rng() if retry_policy else None
+        self.statistics = {"round_trips": 0, "attempts": 0}
 
     # -- core round trip ------------------------------------------------------
 
@@ -66,29 +100,115 @@ class RemoteConnection:
         except (IndexError, ValueError):
             return "UNKNOWN"
 
-    def _round_trip(self, request: bytes) -> bytes:
+    def _ensure_open(self) -> None:
         if self.closed:
             raise ProtocolError("connection is closed")
-        self.link.transmit(
-            len(request), is_request=True, opcode=self._opcode_label(request)
+
+    def _round_trip(self, request: bytes) -> bytes:
+        self._ensure_open()
+        if self.retry_policy is None:
+            return self._attempt(request)
+        return self._resilient_round_trip(request)
+
+    def _attempt(self, request: bytes) -> bytes:
+        """One bare request/response exchange (no failure handling)."""
+        self.statistics["attempts"] += 1
+        delivered = self.link.deliver(
+            request, is_request=True, opcode=self._opcode_label(request)
         )
-        response = self.server.handle(request)
+        response = self.server.handle(delivered)
         cpu_seconds = getattr(self.server, "last_cpu_seconds", 0.0)
         if cpu_seconds:
             # Server-side evaluation time (zero unless a CPU cost model is
             # configured, matching the paper's Section 6 convention).
             self.link.clock.advance(cpu_seconds)
             self.link.stats.server_seconds += cpu_seconds
-        self.link.transmit(
-            len(response), is_request=False, opcode=self._opcode_label(response)
+        response = self.link.deliver(
+            response, is_request=False, opcode=self._opcode_label(response)
         )
         self.statistics["round_trips"] += 1
         return response
+
+    def _resilient_round_trip(self, request: bytes) -> bytes:
+        policy = self.retry_policy
+        breaker = self.circuit_breaker
+        clock = self.link.clock
+        stats = self.link.stats
+        seq = next(self._seq) & 0xFFFFFFFF
+        wrapped = protocol.encode_envelope(
+            Opcode.SEQUENCED,
+            protocol.encode_sequenced(self.client_id, seq, request),
+        )
+        failure: Optional[ReproError] = None
+        for attempt in range(policy.max_attempts):
+            if breaker is not None and not breaker.allow(clock.now):
+                raise CircuitOpenError(
+                    f"circuit open for another "
+                    f"{breaker.seconds_until_trial(clock.now):.1f}s "
+                    f"(simulated) after repeated failures"
+                ) from failure
+            if attempt:
+                stats.retries += 1
+                pause = policy.backoff_seconds(attempt, self._backoff_rng)
+                stats.backoff_seconds += pause
+                clock.advance(pause)
+            deadline = clock.now + policy.timeout_s
+            try:
+                raw = self._attempt(wrapped)
+            except MessageDropped as dropped:
+                # Nobody will answer: wait out the rest of the timeout.
+                stats.timeouts += 1
+                if clock.now < deadline:
+                    stats.timeout_seconds += deadline - clock.now
+                    clock.advance(deadline - clock.now)
+                failure = TimeoutError(
+                    f"no response within {policy.timeout_s}s "
+                    f"(attempt {attempt + 1}: {dropped})"
+                )
+            else:
+                inner = self._unwrap_sequenced(raw, seq)
+                if inner is not None:
+                    if breaker is not None:
+                        breaker.record_success()
+                    return inner
+                failure = ProtocolError(
+                    f"response to sequence {seq} failed its integrity check"
+                )
+            if breaker is not None:
+                breaker.record_failure(clock.now)
+        raise TimeoutError(
+            f"request abandoned after {policy.max_attempts} attempts"
+        ) from failure
+
+    def _unwrap_sequenced(self, raw: bytes, seq: int) -> Optional[bytes]:
+        """Extract the inner response, or None for any transport damage.
+
+        In resilient mode a healthy server always answers with a
+        CRC-valid, sequence-matching SEQUENCED_RESULT (server-side errors
+        arrive as ERROR frames *inside* that wrapper).  Everything else —
+        undecodable envelope, CRC mismatch, wrong sequence number, or the
+        server's own ``FrameCorrupted`` rejection of a mangled request —
+        means the exchange was damaged in transit and should be retried.
+        """
+        try:
+            opcode, body = protocol.decode_envelope(raw)
+        except ProtocolError:
+            return None
+        if opcode is not Opcode.SEQUENCED_RESULT:
+            return None
+        try:
+            client_id, response_seq, inner = protocol.decode_sequenced(body)
+        except ProtocolError:
+            return None
+        if client_id != self.client_id or response_seq != seq:
+            return None
+        return inner
 
     # -- public API -------------------------------------------------------------
 
     def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
         """Execute one SQL statement on the server (one round trip)."""
+        self._ensure_open()
         request = protocol.encode_envelope(
             Opcode.QUERY, wire.encode_query(sql, params)
         )
@@ -113,6 +233,7 @@ class RemoteConnection:
         An empty batch is answered locally — shipping zero statements
         across a WAN would pay a round trip for nothing.
         """
+        self._ensure_open()
         if not statements:
             return []
         request = protocol.encode_envelope(
@@ -145,6 +266,7 @@ class RemoteConnection:
         ``db_statements``, ``db_plan_cache_hits``, ``db_rows_returned`` —
         so plan-cache efficacy is observable per experiment.
         """
+        self._ensure_open()
         request = protocol.encode_envelope(Opcode.STATS)
         response = self._round_trip(request)
         opcode, body = protocol.decode_envelope(response)
@@ -156,6 +278,7 @@ class RemoteConnection:
 
     def call_procedure(self, name: str, args: Sequence[Any] = ()) -> List[Any]:
         """Invoke a server procedure (one round trip, function shipping)."""
+        self._ensure_open()
         request = protocol.encode_envelope(
             Opcode.CALL_PROCEDURE, protocol.encode_procedure_call(name, args)
         )
@@ -169,6 +292,7 @@ class RemoteConnection:
 
     def ping(self) -> float:
         """Measure one empty round trip; returns the delay in seconds."""
+        self._ensure_open()
         before = self.link.clock.now
         response = self._round_trip(protocol.encode_envelope(Opcode.PING))
         opcode, __ = protocol.decode_envelope(response)
@@ -177,6 +301,7 @@ class RemoteConnection:
         return self.link.clock.now - before
 
     def close(self) -> None:
+        """Close the connection; closing an already-closed one is a no-op."""
         self.closed = True
 
     def __enter__(self) -> "RemoteConnection":

@@ -15,6 +15,7 @@ own slot, never the whole batch.
 from __future__ import annotations
 
 import struct
+import zlib
 from enum import IntEnum
 from typing import Any, List, Sequence, Tuple
 
@@ -30,11 +31,13 @@ class Opcode(IntEnum):
     PING = 3
     BATCH = 4
     STATS = 5
+    SEQUENCED = 6
     RESULT = 16
     PROCEDURE_RESULT = 17
     PONG = 18
     BATCH_RESULT = 19
     STATS_RESULT = 20
+    SEQUENCED_RESULT = 21
     ERROR = 32
 
 
@@ -55,6 +58,37 @@ def decode_envelope(frame: bytes) -> Tuple[Opcode, bytes]:
     except ValueError:
         raise ProtocolError(f"unknown opcode {frame[0]}") from None
     return opcode, frame[1:]
+
+
+def encode_sequenced(client_id: int, seq: int, inner: bytes) -> bytes:
+    """Body of a SEQUENCED request / SEQUENCED_RESULT response.
+
+    ``client id (u32) + sequence number (u32) + CRC-32 of inner (u32) +
+    inner envelope``.  The (client, seq) pair keys the server's replay
+    cache — a retransmitted request is answered from cache instead of
+    being re-executed, which makes retrying any statement (UPDATEs
+    included) safe.  The CRC lets both sides detect bit flips and
+    truncation injected by a lossy link.
+    """
+    if not 0 <= client_id <= 0xFFFFFFFF or not 0 <= seq <= 0xFFFFFFFF:
+        raise ProtocolError("client id and sequence number must fit in u32")
+    return struct.pack(">III", client_id, seq, zlib.crc32(inner)) + inner
+
+
+def decode_sequenced(body: bytes) -> Tuple[int, int, bytes]:
+    """Decode and integrity-check a sequenced body.
+
+    Raises :class:`ProtocolError` on truncation or CRC mismatch — the
+    caller decides whether that means "answer with a retriable error
+    frame" (server) or "treat as loss and retry" (client).
+    """
+    if len(body) < 12:
+        raise ProtocolError("truncated sequenced frame")
+    client_id, seq, checksum = struct.unpack_from(">III", body, 0)
+    inner = body[12:]
+    if zlib.crc32(inner) != checksum:
+        raise ProtocolError("sequenced frame failed its CRC check")
+    return client_id, seq, inner
 
 
 def encode_procedure_call(name: str, args: Sequence[Any]) -> bytes:

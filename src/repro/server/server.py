@@ -10,9 +10,10 @@ and only one round trip crosses the WAN.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ProtocolError, ReproError
+from repro.errors import FrameCorrupted, ProtocolError, ReproError
 from repro.server import protocol
 from repro.server.protocol import Opcode
 from repro.sqldb import wire
@@ -65,6 +66,11 @@ class DatabaseServer:
         #: the client driver to advance the simulated clock).
         self.last_cpu_seconds = 0.0
         self._procedures: Dict[str, ServerProcedure] = {}
+        #: (client id, sequence number) -> wrapped response.  Answering a
+        #: retransmission from here (instead of re-executing) is what
+        #: makes retried EXECUTE/BATCH requests idempotent.
+        self._replay_cache: "OrderedDict[Tuple[int, int], bytes]" = OrderedDict()
+        self.replay_cache_size = 512
         self.statistics = {
             "queries": 0,
             "procedure_calls": 0,
@@ -72,6 +78,9 @@ class DatabaseServer:
             "batch_statements": 0,
             "errors": 0,
             "cpu_seconds": 0.0,
+            "sequenced_requests": 0,
+            "duplicates_suppressed": 0,
+            "crc_rejects": 0,
         }
 
     def register_procedure(self, name: str, procedure: ServerProcedure) -> None:
@@ -88,6 +97,8 @@ class DatabaseServer:
         a malformed query costs a round trip but never kills the server —
         matching real client/server DBMS behaviour.
         """
+        if frame[:1] == bytes([int(Opcode.SEQUENCED)]):
+            return self._handle_sequenced(frame[1:])
         self.last_cpu_seconds = 0.0
         statements_before = self.database.statistics["statements"]
         try:
@@ -117,6 +128,52 @@ class DatabaseServer:
             self.last_cpu_seconds = self.cpu_cost.cost(statements, rows_scanned)
             self.statistics["cpu_seconds"] += self.last_cpu_seconds
         return response
+
+    def _handle_sequenced(self, body: bytes) -> bytes:
+        """At-most-once execution for sequenced requests.
+
+        A CRC-failed body (bit flip or truncation in transit) is answered
+        with a retriable ``FrameCorrupted`` error frame; a (client, seq)
+        pair seen before is answered from the replay cache *without*
+        touching the database, so a retransmitted UPDATE never applies
+        twice; anything else is handled normally and the wrapped response
+        cached.
+        """
+        try:
+            client_id, seq, inner = protocol.decode_sequenced(body)
+        except ProtocolError as error:
+            self.statistics["crc_rejects"] += 1
+            self.statistics["errors"] += 1
+            self.last_cpu_seconds = 0.0
+            return protocol.encode_envelope(
+                Opcode.ERROR,
+                protocol.encode_error(FrameCorrupted(str(error))),
+            )
+        if inner[:1] == bytes([int(Opcode.SEQUENCED)]):
+            self.statistics["errors"] += 1
+            self.last_cpu_seconds = 0.0
+            return protocol.encode_envelope(
+                Opcode.ERROR,
+                protocol.encode_error(
+                    ProtocolError("nested sequenced frames are not allowed")
+                ),
+            )
+        self.statistics["sequenced_requests"] += 1
+        key = (client_id, seq)
+        cached = self._replay_cache.get(key)
+        if cached is not None:
+            self.statistics["duplicates_suppressed"] += 1
+            self.last_cpu_seconds = 0.0
+            return cached
+        response = self.handle(inner)
+        wrapped = protocol.encode_envelope(
+            Opcode.SEQUENCED_RESULT,
+            protocol.encode_sequenced(client_id, seq, response),
+        )
+        self._replay_cache[key] = wrapped
+        while len(self._replay_cache) > self.replay_cache_size:
+            self._replay_cache.popitem(last=False)
+        return wrapped
 
     def _handle_query(self, body: bytes) -> bytes:
         sql, params = wire.decode_query(body)

@@ -225,3 +225,105 @@ class TestBatchedStrategy:
     def test_query_packets_must_be_positive(self):
         with pytest.raises(ModelError):
             t_batched(PAPER_TREES[0], PAPER_NETWORKS[0], query_packets=0)
+
+
+class TestFaultyPrediction:
+    def faults(self, **kwargs):
+        from repro.network.faults import FaultProfile
+
+        kwargs.setdefault("name", "test")
+        return FaultProfile(**kwargs)
+
+    def policy(self, **kwargs):
+        from repro.network.faults import RetryPolicy
+
+        return RetryPolicy(**kwargs)
+
+    def predict_faulty(self, faults, policy, strategy=Strategy.BATCHED):
+        from repro.model.response_time import predict_with_faults
+
+        return predict_with_faults(
+            Action.MLE,
+            strategy,
+            PAPER_TREES[0],
+            PAPER_NETWORKS[0],
+            faults,
+            policy,
+        )
+
+    def test_zero_faults_reduce_to_base(self):
+        prediction = self.predict_faulty(self.faults(), self.policy())
+        base = predict(
+            Action.MLE, Strategy.BATCHED, PAPER_TREES[0], PAPER_NETWORKS[0]
+        )
+        assert prediction.total_seconds == pytest.approx(base.total_seconds)
+        assert prediction.retry_seconds == 0.0
+        assert prediction.backoff_seconds == 0.0
+        assert prediction.expected_retries == 0.0
+        assert prediction.expected_attempts_per_round_trip == 1.0
+
+    def test_monotonic_in_drop_probability(self):
+        policy = self.policy()
+        totals = [
+            self.predict_faulty(
+                self.faults(drop_probability=p), policy
+            ).total_seconds
+            for p in (0.0, 0.02, 0.05, 0.10, 0.20)
+        ]
+        assert totals == sorted(totals)
+        assert totals[0] < totals[-1]
+
+    def test_expected_attempts_is_reciprocal_success(self):
+        prediction = self.predict_faulty(
+            self.faults(drop_probability=0.1), self.policy()
+        )
+        assert prediction.expected_attempts_per_round_trip == pytest.approx(
+            1.0 / ((1.0 - 0.1) ** 2)
+        )
+
+    def test_corruption_and_truncation_fold_together(self):
+        policy = self.policy()
+        both = self.predict_faulty(
+            self.faults(corrupt_probability=0.1, truncate_probability=0.1),
+            policy,
+        )
+        assert both.corrupt_probability == pytest.approx(1 - 0.9 * 0.9)
+
+    def test_strategy_exposure_scales_with_round_trips(self):
+        """Every round trip is a chance to lose a message: under the same
+        loss rate the many-trip navigational strategy expects many more
+        retries than the single-trip recursive one."""
+        faults = self.faults(drop_probability=0.05)
+        policy = self.policy()
+        late = self.predict_faulty(faults, policy, Strategy.LATE)
+        recursive = self.predict_faulty(faults, policy, Strategy.RECURSIVE)
+        assert late.expected_retries > recursive.expected_retries * 10
+
+    def test_spike_term(self):
+        prediction = self.predict_faulty(
+            self.faults(spike_probability=0.5, spike_seconds=1.0),
+            self.policy(),
+            Strategy.RECURSIVE,
+        )
+        # One round trip, two messages, half of them spiking 1 s each.
+        assert prediction.spike_seconds == pytest.approx(1.0)
+
+    def test_certain_loss_rejected(self):
+        with pytest.raises(ModelError):
+            from repro.model.response_time import predict_with_faults
+
+            class Certain:
+                drop_probability = 1.0
+                corrupt_probability = 0.0
+                truncate_probability = 0.0
+                spike_probability = 0.0
+                spike_seconds = 0.0
+
+            predict_with_faults(
+                Action.MLE,
+                Strategy.BATCHED,
+                PAPER_TREES[0],
+                PAPER_NETWORKS[0],
+                Certain(),
+                self.policy(),
+            )

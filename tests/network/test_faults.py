@@ -1,0 +1,276 @@
+"""Fault injection: profiles, plans, the faulty link, chaos presets."""
+
+import pytest
+
+from repro.errors import FaultConfigurationError, MessageDropped
+from repro.network.clock import SimulatedClock
+from repro.network.faults import (
+    CHAOS_PRESETS,
+    DROP_5,
+    FLAKY_WAN,
+    JUMBO_TRUNCATING_WAN,
+    NOISY_WAN,
+    OUTAGE_WAN,
+    PERFECT,
+    STOCHASTIC_PRESETS,
+    CircuitBreaker,
+    FaultPlan,
+    FaultProfile,
+    FaultyLink,
+    RetryPolicy,
+)
+from repro.network.link import NetworkLink
+from repro.network.profiles import WAN_256
+
+
+def make_link(profile=PERFECT, seed=0):
+    return FaultyLink.wrap(WAN_256.create_link(), profile, seed=seed)
+
+
+class TestFaultProfile:
+    def test_probabilities_validated(self):
+        with pytest.raises(FaultConfigurationError):
+            FaultProfile(name="bad", drop_probability=1.5)
+        with pytest.raises(FaultConfigurationError):
+            FaultProfile(name="bad", corrupt_probability=-0.1)
+
+    def test_backward_outage_rejected(self):
+        with pytest.raises(FaultConfigurationError):
+            FaultProfile(name="bad", outages=((10.0, 5.0),))
+
+    def test_zero_truncate_threshold_rejected(self):
+        with pytest.raises(FaultConfigurationError):
+            FaultProfile(name="bad", truncate_over_bytes=0)
+
+    def test_perfect_flag(self):
+        assert PERFECT.perfect
+        assert not DROP_5.perfect
+        assert not JUMBO_TRUNCATING_WAN.perfect
+
+    def test_presets_are_lossy_but_survivable(self):
+        for preset in CHAOS_PRESETS:
+            assert not preset.perfect
+            assert preset.drop_probability < 0.5
+        for preset in STOCHASTIC_PRESETS:
+            assert not preset.outages
+
+
+class TestFaultPlan:
+    def test_same_seed_same_decisions(self):
+        first = FaultPlan(FLAKY_WAN, seed=7)
+        second = FaultPlan(FLAKY_WAN, seed=7)
+        for __ in range(200):
+            assert first.decide(0.0, 100) == second.decide(0.0, 100)
+
+    def test_different_seed_diverges(self):
+        first = FaultPlan(DROP_5, seed=1)
+        second = FaultPlan(DROP_5, seed=2)
+        fates = [
+            (first.decide(0.0, 100).drop, second.decide(0.0, 100).drop)
+            for __ in range(400)
+        ]
+        assert any(a != b for a, b in fates)
+
+    def test_decision_stream_independent_of_outcomes(self):
+        """Every message consumes the same number of uniforms whether or
+        not a fault fires, so two same-seed plans stay aligned: whenever
+        the rarer profile drops a message, the more lossy one must too
+        (same underlying draw, lower threshold)."""
+        rare = FaultPlan(
+            FaultProfile(name="rare", drop_probability=0.05), seed=3
+        )
+        often = FaultPlan(
+            FaultProfile(name="often", drop_probability=0.5), seed=3
+        )
+        rare_drops = [rare.decide(0.0, 100).drop for __ in range(300)]
+        often_drops = [often.decide(0.0, 100).drop for __ in range(300)]
+        assert any(rare_drops)
+        for rare_drop, often_drop in zip(rare_drops, often_drops):
+            if rare_drop:
+                assert often_drop
+
+    def test_outage_window_half_open(self):
+        plan = FaultPlan(OUTAGE_WAN, seed=0)
+        start, end = OUTAGE_WAN.outages[0]
+        assert plan.in_outage(start)
+        assert plan.in_outage((start + end) / 2)
+        assert not plan.in_outage(end)
+        assert plan.next_outage_end(start) == end
+        assert plan.next_outage_end(end) is None
+
+    def test_outage_drops_every_message(self):
+        plan = FaultPlan(OUTAGE_WAN, seed=0)
+        start, __ = OUTAGE_WAN.outages[0]
+        for __ in range(20):
+            decision = plan.decide(start, 100)
+            assert decision.drop and decision.outage
+
+    def test_middlebox_truncates_only_jumbo_frames(self):
+        plan = FaultPlan(JUMBO_TRUNCATING_WAN, seed=0)
+        threshold = JUMBO_TRUNCATING_WAN.truncate_over_bytes
+        assert plan.decide(0.0, threshold).truncate_to is None
+        assert plan.decide(0.0, threshold + 1).truncate_to == threshold
+
+    def test_probabilistic_truncation_halves(self):
+        plan = FaultPlan(
+            FaultProfile(name="cut", truncate_probability=1.0), seed=0
+        )
+        assert plan.decide(0.0, 100).truncate_to == 50
+
+    def test_flip_bit_changes_exactly_one_bit(self):
+        plan = FaultPlan(NOISY_WAN, seed=9)
+        frame = bytes(range(64))
+        mutated = plan.flip_bit(frame)
+        assert len(mutated) == len(frame)
+        differing = [
+            bin(a ^ b).count("1") for a, b in zip(frame, mutated)
+        ]
+        assert sum(differing) == 1
+
+    def test_flip_bit_empty_frame_untouched(self):
+        assert FaultPlan(NOISY_WAN, seed=0).flip_bit(b"") == b""
+
+
+class TestFaultyLink:
+    def test_wrap_shares_clock_and_parameters(self):
+        base = WAN_256.create_link()
+        faulty = FaultyLink.wrap(base, DROP_5, seed=1)
+        assert faulty.clock is base.clock
+        assert faulty.latency_s == base.latency_s
+        assert faulty.dtr_kbit_s == base.dtr_kbit_s
+
+    def test_perfect_profile_is_identity(self):
+        link = make_link(PERFECT)
+        frame = b"\x01hello"
+        assert link.deliver(frame, is_request=True, opcode="QUERY") == frame
+        assert link.stats.drops == 0
+        assert link.stats.corrupt_frames == 0
+
+    def test_drop_raises_and_counts_after_charging_wire_time(self):
+        link = make_link(FaultProfile(name="dead", drop_probability=1.0))
+        before = link.clock.now
+        with pytest.raises(MessageDropped):
+            link.deliver(b"\x01payload", is_request=True)
+        assert link.stats.drops == 1
+        assert link.clock.now > before  # the bytes still went out
+
+    def test_truncation_counts_as_corrupt_frame(self):
+        link = make_link(FaultProfile(name="cut", truncate_probability=1.0))
+        out = link.deliver(b"\x01" * 100, is_request=False)
+        assert len(out) == 50
+        assert link.stats.corrupt_frames == 1
+
+    def test_spike_advances_clock_and_stats(self):
+        profile = FaultProfile(
+            name="spiky", spike_probability=1.0, spike_seconds=0.75
+        )
+        link = make_link(profile)
+        link.deliver(b"\x01", is_request=True)
+        assert link.stats.spike_seconds == pytest.approx(0.75)
+
+    def test_reset_rewinds_the_plan(self):
+        link = make_link(DROP_5, seed=5)
+        fates = []
+        for __ in range(40):
+            try:
+                link.deliver(b"\x01" * 10, is_request=True)
+                fates.append(True)
+            except MessageDropped:
+                fates.append(False)
+        link.reset()
+        replay = []
+        for __ in range(40):
+            try:
+                link.deliver(b"\x01" * 10, is_request=True)
+                replay.append(True)
+            except MessageDropped:
+                replay.append(False)
+        assert fates == replay
+        assert not all(fates)  # the seed does inject something in 40 tries
+
+
+class TestRoundTripOpcodeAttribution:
+    def test_round_trip_labels_both_directions(self):
+        link = WAN_256.create_link()
+        link.round_trip(
+            100, 200, request_opcode="QUERY", response_opcode="RESULT"
+        )
+        assert link.stats.opcode_messages["QUERY"] == 1
+        assert link.stats.opcode_messages["RESULT"] == 1
+        assert link.stats.opcode_payload_bytes["QUERY"] == 100
+        assert link.stats.opcode_payload_bytes["RESULT"] == 200
+
+    def test_round_trip_without_labels_stays_unattributed(self):
+        link = WAN_256.create_link()
+        link.round_trip(100, 200)
+        assert not link.stats.opcode_messages
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(FaultConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(FaultConfigurationError):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(FaultConfigurationError):
+            RetryPolicy(backoff_multiplier=0.5)
+
+    def test_expected_backoff_doubles_then_caps(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.1,
+            backoff_multiplier=2.0,
+            backoff_cap_s=0.5,
+            jitter_fraction=0.0,
+        )
+        assert [policy.expected_backoff(k) for k in (1, 2, 3, 4, 5)] == [
+            pytest.approx(v) for v in (0.1, 0.2, 0.4, 0.5, 0.5)
+        ]
+
+    def test_schedule_deterministic_given_seed(self):
+        policy = RetryPolicy(seed=11)
+        assert policy.schedule() == policy.schedule()
+        assert policy.schedule() != RetryPolicy(seed=12).schedule()
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(
+            backoff_base_s=1.0,
+            backoff_multiplier=1.0,
+            backoff_cap_s=1.0,
+            jitter_fraction=0.25,
+            max_attempts=50,
+        )
+        for pause in policy.schedule():
+            assert 0.75 <= pause <= 1.25
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=10.0)
+        for __ in range(2):
+            breaker.record_failure(0.0)
+        assert not breaker.is_open
+        breaker.record_failure(0.0)
+        assert breaker.is_open and breaker.opens == 1
+        assert not breaker.allow(5.0)
+        assert breaker.seconds_until_trial(5.0) == pytest.approx(5.0)
+
+    def test_half_open_trial_after_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)  # half-open
+        breaker.record_failure(10.0)  # trial failed: fresh cool-down
+        assert not breaker.allow(15.0)
+        assert breaker.allow(20.0)
+
+    def test_success_closes_and_resets_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=1.0)
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        breaker.record_failure(0.0)
+        assert not breaker.is_open  # count was reset in between
+
+    def test_validation(self):
+        with pytest.raises(FaultConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(FaultConfigurationError):
+            CircuitBreaker(cooldown_s=-1.0)

@@ -1,0 +1,230 @@
+"""Resilient multi-level expand: checkpoints, resume, graceful fallback."""
+
+import pytest
+
+from repro.bench.workload import build_scenario
+from repro.errors import ExpandInterrupted
+from repro.model.parameters import TreeParameters
+from repro.network.faults import DROP_5, FaultProfile, RetryPolicy
+from repro.network.profiles import WAN_512
+from repro.pdm.operations import ExpandStrategy
+
+TREE = TreeParameters(depth=4, branching=3, visibility=0.6)
+
+ALL_STRATEGIES = (
+    ExpandStrategy.NAVIGATIONAL_LATE,
+    ExpandStrategy.NAVIGATIONAL_EARLY,
+    ExpandStrategy.RECURSIVE_EARLY,
+    ExpandStrategy.EXPAND_BATCHED,
+)
+
+#: Truncates the recursive strategy's jumbo response at this tree scale
+#: while every per-level batch squeezes through (largest batch ~6.5 KiB,
+#: recursive response ~15 KiB).
+MIDDLEBOX_8K = FaultProfile(name="middlebox-8k", truncate_over_bytes=8192)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """One zero-fault scenario plus the reference tree per strategy."""
+    scenario = build_scenario(TREE, WAN_512, seed=42)
+    root = scenario.product.root_obid
+    root_attrs = scenario.product.root_attributes()
+    trees = {
+        strategy: scenario.client.multi_level_expand(
+            root, strategy, root_attrs=root_attrs
+        ).tree.canonical_bytes()
+        for strategy in ALL_STRATEGIES
+    }
+    return scenario, trees
+
+
+def faulty_scenario(baseline, profile, fault_seed, **policy_kwargs):
+    scenario, __ = baseline
+    policy_kwargs.setdefault("seed", fault_seed)
+    return build_scenario(
+        TREE,
+        WAN_512,
+        seed=42,
+        product=scenario.product,
+        fault_profile=profile,
+        fault_seed=fault_seed,
+        retry_policy=RetryPolicy(**policy_kwargs),
+    )
+
+
+def expand_args(scenario):
+    return scenario.product.root_obid, scenario.product.root_attributes()
+
+
+class TestConvergenceUnderLoss:
+    @pytest.mark.parametrize(
+        "strategy", ALL_STRATEGIES, ids=lambda s: s.name.lower()
+    )
+    def test_drop5_tree_byte_identical_to_own_zero_fault_run(
+        self, baseline, strategy
+    ):
+        """5% loss with retries must be invisible in the result: the
+        visible tree is byte-for-byte the zero-fault tree of the same
+        strategy, only the counters show the WAN misbehaved."""
+        __, reference = baseline
+        injected = 0
+        # Seeds chosen so even the 2-message recursive exchange sees at
+        # least one drop across the set (6 drops a response, 31 a request).
+        for fault_seed in (6, 9, 31):
+            scenario = faulty_scenario(baseline, DROP_5, fault_seed)
+            root, root_attrs = expand_args(scenario)
+            result = scenario.client.resilient_multi_level_expand(
+                root, strategy, root_attrs=root_attrs
+            )
+            assert result.tree.canonical_bytes() == reference[strategy]
+            injected += scenario.link.stats.drops
+            assert scenario.link.stats.retries >= scenario.link.stats.drops
+        assert injected > 0  # at least one seed actually dropped something
+
+    def test_retry_counters_surface_in_traffic_stats(self, baseline):
+        scenario = faulty_scenario(baseline, DROP_5, fault_seed=6)
+        root, root_attrs = expand_args(scenario)
+        result = scenario.client.resilient_multi_level_expand(
+            root, ExpandStrategy.EXPAND_BATCHED, root_attrs=root_attrs
+        )
+        assert scenario.link.stats.drops > 0
+        stats = result.traffic
+        assert stats.timeouts > 0
+        assert stats.retries > 0
+        assert stats.backoff_seconds > 0
+        assert stats.total_seconds > 0
+
+
+class TestCheckpointResume:
+    def outage_scenario(self, baseline):
+        profile = FaultProfile(name="hard-outage", outages=((1.2, 120.0),))
+        return faulty_scenario(
+            baseline, profile, fault_seed=5, max_attempts=2, timeout_s=1.0
+        )
+
+    def test_interrupted_expand_carries_a_checkpoint(self, baseline):
+        scenario = self.outage_scenario(baseline)
+        root, root_attrs = expand_args(scenario)
+        with pytest.raises(ExpandInterrupted) as exc_info:
+            scenario.client.multi_level_expand(
+                root, ExpandStrategy.EXPAND_BATCHED, root_attrs=root_attrs
+            )
+        checkpoint = exc_info.value.checkpoint
+        assert checkpoint is not None
+        assert checkpoint.levels_completed > 0
+        assert checkpoint.root.obid == root
+        assert scenario.client.statistics["expand_interruptions"] == 1
+
+    def test_resume_refetches_only_the_lost_level(self, baseline):
+        """Levels completed before the outage must not travel again: the
+        resumed expand issues exactly the remaining per-level batches."""
+        __, reference = baseline
+        scenario = self.outage_scenario(baseline)
+        root, root_attrs = expand_args(scenario)
+        with pytest.raises(ExpandInterrupted) as exc_info:
+            scenario.client.multi_level_expand(
+                root, ExpandStrategy.EXPAND_BATCHED, root_attrs=root_attrs
+            )
+        checkpoint = exc_info.value.checkpoint
+        batches_before = scenario.server.statistics["batches"]
+        scenario.link.clock.advance(130.0)  # outage over
+        result = scenario.client.resume_multi_level_expand(checkpoint)
+        resumed_batches = (
+            scenario.server.statistics["batches"] - batches_before
+        )
+        assert resumed_batches == TREE.depth - checkpoint.levels_completed
+        assert result.tree.canonical_bytes() == reference[
+            ExpandStrategy.EXPAND_BATCHED
+        ]
+        assert scenario.client.statistics["expand_resumes"] == 1
+
+    def test_resilient_expand_rides_out_the_outage_by_itself(self, baseline):
+        """With a breaker, resilient_multi_level_expand waits out the
+        cool-downs on the simulated clock and converges unaided."""
+        __, reference = baseline
+        scenario = self.outage_scenario(baseline)
+        root, root_attrs = expand_args(scenario)
+        result = scenario.client.resilient_multi_level_expand(
+            root, ExpandStrategy.EXPAND_BATCHED, root_attrs=root_attrs
+        )
+        assert result.tree.canonical_bytes() == reference[
+            ExpandStrategy.EXPAND_BATCHED
+        ]
+        assert scenario.client.statistics["expand_resumes"] > 0
+        assert scenario.link.clock.now > 120.0  # it did live through it
+
+
+class TestRecursiveFallback:
+    def test_truncating_middlebox_forces_batched_fallback(self, baseline):
+        """The recursive mega-response can never arrive intact, so the
+        client degrades to the per-level batches — same visible tree (in
+        the batched strategy's shape), smaller unit of loss."""
+        __, reference = baseline
+        scenario = faulty_scenario(
+            baseline, MIDDLEBOX_8K, fault_seed=3, max_attempts=3
+        )
+        root, root_attrs = expand_args(scenario)
+        result = scenario.client.resilient_multi_level_expand(
+            root, ExpandStrategy.RECURSIVE_EARLY, root_attrs=root_attrs
+        )
+        assert scenario.client.statistics["recursive_fallbacks"] == 1
+        assert result.tree.canonical_bytes() == reference[
+            ExpandStrategy.EXPAND_BATCHED
+        ]
+
+    def test_healthy_link_never_falls_back(self, baseline):
+        __, reference = baseline
+        scenario = faulty_scenario(
+            baseline, FaultProfile(name="clean"), fault_seed=0
+        )
+        root, root_attrs = expand_args(scenario)
+        result = scenario.client.resilient_multi_level_expand(
+            root, ExpandStrategy.RECURSIVE_EARLY, root_attrs=root_attrs
+        )
+        assert scenario.client.statistics["recursive_fallbacks"] == 0
+        assert result.tree.canonical_bytes() == reference[
+            ExpandStrategy.RECURSIVE_EARLY
+        ]
+
+    def test_navigational_strategies_delegate(self, baseline):
+        __, reference = baseline
+        scenario = faulty_scenario(baseline, DROP_5, fault_seed=2)
+        root, root_attrs = expand_args(scenario)
+        for strategy in (
+            ExpandStrategy.NAVIGATIONAL_LATE,
+            ExpandStrategy.NAVIGATIONAL_EARLY,
+        ):
+            result = scenario.client.resilient_multi_level_expand(
+                root, strategy, root_attrs=root_attrs
+            )
+            assert result.tree.canonical_bytes() == reference[strategy]
+
+
+class TestCanonicalBytes:
+    def test_same_tree_same_bytes(self, baseline):
+        scenario, __ = baseline
+        root, root_attrs = (
+            scenario.product.root_obid,
+            scenario.product.root_attributes(),
+        )
+        first = scenario.client.multi_level_expand(
+            root, ExpandStrategy.EXPAND_BATCHED, root_attrs=root_attrs
+        )
+        second = scenario.client.multi_level_expand(
+            root, ExpandStrategy.EXPAND_BATCHED, root_attrs=root_attrs
+        )
+        assert first.tree.canonical_bytes() == second.tree.canonical_bytes()
+
+    def test_attribute_change_changes_bytes(self, baseline):
+        scenario, __ = baseline
+        root, root_attrs = (
+            scenario.product.root_obid,
+            scenario.product.root_attributes(),
+        )
+        result = scenario.client.multi_level_expand(
+            root, ExpandStrategy.EXPAND_BATCHED, root_attrs=root_attrs
+        )
+        reference = result.tree.canonical_bytes()
+        result.tree.children[0].attrs["name"] = "tampered"
+        assert result.tree.canonical_bytes() != reference

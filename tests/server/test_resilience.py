@@ -1,0 +1,324 @@
+"""Resilient protocol driver: retries, timeouts, idempotency, breaker.
+
+Everything runs on the simulated clock — a wall-clock sleep anywhere in
+the retry path is a bug, and one test pins that down by poisoning
+``time.sleep``.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ProtocolError,
+    TimeoutError,
+)
+from repro.network.faults import (
+    DROP_5,
+    CircuitBreaker,
+    FaultProfile,
+    FaultyLink,
+    RetryPolicy,
+)
+from repro.network.link import NetworkLink
+from repro.network.profiles import WAN_256
+from repro.server.client import RemoteConnection
+from repro.server.protocol import (
+    Opcode,
+    decode_envelope,
+    decode_sequenced,
+    encode_envelope,
+    encode_sequenced,
+)
+from repro.server.server import DatabaseServer
+from repro.sqldb import Database
+
+
+class ScriptedLink(NetworkLink):
+    """A link whose per-message fates are spelled out by the test.
+
+    ``fates`` is consumed one entry per delivered message: ``"ok"``,
+    ``"drop"`` (raise after charging wire time), ``"truncate"`` or
+    ``"flip"`` (damage the frame).  Once the script runs out every
+    message is delivered intact.
+    """
+
+    def __init__(self, fates, **kwargs):
+        kwargs.setdefault("latency_s", WAN_256.latency_s)
+        kwargs.setdefault("dtr_kbit_s", WAN_256.dtr_kbit_s)
+        super().__init__(**kwargs)
+        self.fates = list(fates)
+
+    def deliver(self, frame, is_request, opcode=None):
+        fate = self.fates.pop(0) if self.fates else "ok"
+        self.transmit(len(frame), is_request, opcode)
+        if fate == "drop":
+            self.stats.drops += 1
+            from repro.errors import MessageDropped
+
+            raise MessageDropped("scripted drop")
+        if fate == "truncate":
+            self.stats.corrupt_frames += 1
+            return frame[: max(1, len(frame) // 2)]
+        if fate == "flip":
+            self.stats.corrupt_frames += 1
+            mutated = bytearray(frame)
+            mutated[len(mutated) // 2] ^= 0x10
+            return bytes(mutated)
+        return frame
+
+
+def make_stack(fates=(), policy=None, breaker=None):
+    db = Database()
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, n INTEGER)")
+    db.execute("INSERT INTO t VALUES (1, 0)")
+    server = DatabaseServer(db)
+    link = ScriptedLink(fates)
+    if policy is None:
+        policy = RetryPolicy(timeout_s=1.0, jitter_fraction=0.0)
+    connection = RemoteConnection(
+        server, link, retry_policy=policy, circuit_breaker=breaker
+    )
+    return db, server, link, connection
+
+
+@pytest.fixture(autouse=True)
+def no_wall_clock_sleeps(monkeypatch):
+    """The whole retry/backoff machinery must never sleep for real."""
+
+    def poisoned(seconds):
+        raise AssertionError(f"wall-clock sleep({seconds}) in simulated code")
+
+    monkeypatch.setattr(time, "sleep", poisoned)
+
+
+class TestSequencedFrames:
+    def test_roundtrip(self):
+        body = encode_sequenced(7, 42, b"\x01inner")
+        client_id, seq, inner = decode_sequenced(body)
+        assert (client_id, seq, inner) == (7, 42, b"\x01inner")
+
+    def test_crc_detects_bit_flip(self):
+        body = bytearray(encode_sequenced(7, 42, b"\x01inner"))
+        body[-1] ^= 0x01
+        with pytest.raises(ProtocolError):
+            decode_sequenced(bytes(body))
+
+    def test_crc_detects_truncation(self):
+        body = encode_sequenced(7, 42, b"\x01" + b"x" * 100)
+        with pytest.raises(ProtocolError):
+            decode_sequenced(body[:40])
+
+    def test_header_too_short_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_sequenced(b"\x00\x01")
+
+    def test_ids_out_of_range_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_sequenced(2**32, 1, b"x")
+        with pytest.raises(ProtocolError):
+            encode_sequenced(1, -1, b"x")
+
+
+class TestRetrySchedule:
+    def test_clock_advances_exactly_by_modeled_schedule(self):
+        """Drop the first two requests: the elapsed simulated time is two
+        full timeouts, the two scripted backoffs, plus one clean round
+        trip — nothing more."""
+        policy = RetryPolicy(
+            timeout_s=1.0,
+            backoff_base_s=0.5,
+            backoff_multiplier=2.0,
+            backoff_cap_s=10.0,
+            jitter_fraction=0.0,
+        )
+        db, server, link, connection = make_stack(
+            fates=["drop", "drop"], policy=policy
+        )
+        result = connection.execute("SELECT n FROM t WHERE id = 1")
+        assert result.rows == [(0,)]
+        clean = ScriptedLink([])
+        RemoteConnection(
+            server, clean, retry_policy=policy
+        ).execute("SELECT n FROM t WHERE id = 1")
+        expected = 2 * 1.0 + (0.5 + 1.0) + clean.clock.now
+        assert link.clock.now == pytest.approx(expected)
+        assert link.stats.timeouts == 2
+        assert link.stats.retries == 2
+        assert link.stats.backoff_seconds == pytest.approx(1.5)
+
+    def test_backoff_deterministic_given_seed(self):
+        times = []
+        for __ in range(2):
+            policy = RetryPolicy(timeout_s=1.0, seed=21)
+            __, __, link, connection = make_stack(
+                fates=["drop", "drop", "drop"], policy=policy
+            )
+            connection.execute("SELECT 1")
+            times.append(link.clock.now)
+        assert times[0] == times[1]
+
+    def test_gives_up_after_max_attempts(self):
+        policy = RetryPolicy(max_attempts=3, timeout_s=1.0)
+        __, __, link, connection = make_stack(
+            fates=["drop"] * 10, policy=policy
+        )
+        with pytest.raises(TimeoutError):
+            connection.execute("SELECT 1")
+        # 3 attempts = 3 requests on the wire, no more.
+        assert link.stats.drops == 3
+
+    def test_corrupted_response_retried_without_timeout_wait(self):
+        """A damaged frame is detected on arrival — the client retries
+        immediately (plus backoff), it does not wait out the timeout."""
+        policy = RetryPolicy(
+            timeout_s=50.0, backoff_base_s=0.1, jitter_fraction=0.0
+        )
+        __, __, link, connection = make_stack(
+            fates=["ok", "flip"], policy=policy
+        )
+        result = connection.execute("SELECT n FROM t WHERE id = 1")
+        assert result.rows == [(0,)]
+        assert link.stats.timeouts == 0
+        assert link.stats.retries == 1
+        assert link.clock.now < 50.0
+
+
+class TestIdempotency:
+    def test_update_not_reapplied_when_response_lost(self):
+        """The server executed the UPDATE but its response was dropped;
+        the retransmission must be answered from the replay cache, not
+        re-executed."""
+        db, server, __, connection = make_stack(fates=["ok", "drop"])
+        connection.execute("UPDATE t SET n = n + 1 WHERE id = 1")
+        assert db.execute("SELECT n FROM t WHERE id = 1").rows == [(1,)]
+        assert server.statistics["duplicates_suppressed"] == 1
+
+    def test_batch_not_reapplied_when_response_lost(self):
+        db, server, __, connection = make_stack(fates=["ok", "drop"])
+        connection.execute_batch(
+            [("UPDATE t SET n = n + 10 WHERE id = 1", [])]
+        )
+        assert db.execute("SELECT n FROM t WHERE id = 1").rows == [(10,)]
+        assert server.statistics["duplicates_suppressed"] == 1
+        assert server.statistics["batches"] == 1
+
+    def test_corrupted_request_rejected_then_executed_once(self):
+        db, server, __, connection = make_stack(fates=["flip"])
+        connection.execute("UPDATE t SET n = n + 1 WHERE id = 1")
+        assert db.execute("SELECT n FROM t WHERE id = 1").rows == [(1,)]
+        assert server.statistics["crc_rejects"] == 1
+        assert server.statistics["duplicates_suppressed"] == 0
+
+    def test_distinct_connections_use_distinct_client_ids(self):
+        __, server, link, connection = make_stack()
+        other = RemoteConnection(
+            server, ScriptedLink([]), retry_policy=RetryPolicy()
+        )
+        assert connection.client_id != other.client_id
+
+    def test_replay_cache_bounded(self):
+        __, server, __, connection = make_stack()
+        server.replay_cache_size = 4
+        for __ in range(10):
+            connection.execute("SELECT 1")
+        assert len(server._replay_cache) == 4
+
+    def test_nested_sequenced_frame_rejected(self):
+        __, server, __, __ = make_stack()
+        inner = encode_envelope(
+            Opcode.SEQUENCED, encode_sequenced(1, 1, b"\x01x")
+        )
+        response = server.handle(
+            encode_envelope(Opcode.SEQUENCED, encode_sequenced(1, 2, inner))
+        )
+        opcode, __ = decode_envelope(response)
+        assert opcode is Opcode.ERROR
+
+
+class TestCircuitBreaker:
+    def test_opens_and_rejects_locally(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=60.0)
+        policy = RetryPolicy(max_attempts=2, timeout_s=1.0)
+        __, __, link, connection = make_stack(
+            fates=["drop"] * 20, policy=policy, breaker=breaker
+        )
+        with pytest.raises(TimeoutError):
+            connection.execute("SELECT 1")
+        assert breaker.is_open
+        wire_messages = link.stats.messages
+        with pytest.raises(CircuitOpenError):
+            connection.execute("SELECT 1")
+        assert link.stats.messages == wire_messages  # rejected locally
+
+    def test_half_open_trial_recovers(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=5.0)
+        policy = RetryPolicy(max_attempts=2, timeout_s=1.0)
+        __, __, link, connection = make_stack(
+            fates=["drop", "drop"], policy=policy, breaker=breaker
+        )
+        with pytest.raises(TimeoutError):
+            connection.execute("SELECT 1")
+        link.clock.advance(breaker.seconds_until_trial(link.clock.now))
+        result = connection.execute("SELECT n FROM t WHERE id = 1")
+        assert result.rows == [(0,)]
+        assert not breaker.is_open
+
+
+class TestClosedConnection:
+    def test_close_is_idempotent(self):
+        __, __, __, connection = make_stack()
+        connection.close()
+        connection.close()  # must not raise
+        assert connection.closed
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda c: c.execute("SELECT 1"),
+            lambda c: c.execute_batch([("SELECT 1", [])]),
+            lambda c: c.server_stats(),
+            lambda c: c.call_procedure("p", []),
+            lambda c: c.ping(),
+        ],
+        ids=["execute", "execute_batch", "server_stats", "call", "ping"],
+    )
+    def test_public_methods_raise_when_closed(self, call):
+        __, __, __, connection = make_stack()
+        connection.close()
+        with pytest.raises(ProtocolError):
+            call(connection)
+
+
+class TestEndToEndUnderChaos:
+    def test_lossy_wan_converges_to_clean_result(self):
+        """Under DROP_5 with retries the visible result is exactly the
+        zero-fault result, only slower."""
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, n INTEGER)")
+        db.execute("INSERT INTO t VALUES (1, 7)")
+        server = DatabaseServer(db)
+        link = FaultyLink.wrap(WAN_256.create_link(), DROP_5, seed=2)
+        connection = RemoteConnection(
+            server, link, retry_policy=RetryPolicy()
+        )
+        rows = [
+            connection.execute("SELECT n FROM t WHERE id = 1").rows
+            for __ in range(40)
+        ]
+        assert rows == [[(7,)]] * 40
+        assert link.stats.drops > 0  # the chaos did fire
+        assert link.stats.retries >= link.stats.drops > 0
+
+    def test_total_outage_times_out(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER)")
+        server = DatabaseServer(db)
+        profile = FaultProfile(name="dead", outages=((0.0, 1e9),))
+        link = FaultyLink.wrap(WAN_256.create_link(), profile, seed=0)
+        connection = RemoteConnection(
+            server, link, retry_policy=RetryPolicy(max_attempts=2)
+        )
+        with pytest.raises(TimeoutError):
+            connection.execute("SELECT 1")

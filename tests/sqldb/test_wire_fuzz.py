@@ -115,6 +115,9 @@ class TestServerSurvivesGarbage:
             protocol.Opcode.ERROR,
             protocol.Opcode.BATCH_RESULT,
             protocol.Opcode.STATS_RESULT,
+            # Garbage that happens to be a CRC-valid SEQUENCED frame (e.g.
+            # 13 zero bytes: crc32(b"") == 0) is answered in kind.
+            protocol.Opcode.SEQUENCED_RESULT,
         )
 
     @given(arbitrary_bytes)
@@ -135,3 +138,119 @@ class TestServerSurvivesGarbage:
             protocol.Opcode.BATCH_RESULT,
             protocol.Opcode.ERROR,
         )
+
+
+def make_server():
+    from repro.server.server import DatabaseServer
+    from repro.sqldb import Database
+
+    db = Database()
+    db.execute("CREATE TABLE t (v INTEGER)")
+    db.execute("INSERT INTO t VALUES (1)")
+    return DatabaseServer(db)
+
+
+def valid_batch_frame():
+    return protocol.encode_envelope(
+        protocol.Opcode.BATCH,
+        protocol.encode_batch(
+            [("SELECT v FROM t WHERE v = ?", [1]), ("SELECT 1", [])]
+        ),
+    )
+
+
+def valid_stats_frame():
+    return protocol.encode_envelope(protocol.Opcode.STATS, b"")
+
+
+class TestDamagedFrames:
+    """Truncated / bit-flipped frames of every request kind must be
+    answered with an ERROR frame — ``handle()`` never raises."""
+
+    @given(st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_truncated_batch_frame(self, data):
+        frame = valid_batch_frame()
+        cut = data.draw(st.integers(min_value=1, max_value=len(frame) - 1))
+        response = make_server().handle(frame[:cut])
+        opcode, __ = protocol.decode_envelope(response)
+        # A cut exactly at an entry boundary can still parse; anything
+        # else must come back as a clean ERROR frame.
+        assert opcode in (protocol.Opcode.BATCH_RESULT, protocol.Opcode.ERROR)
+
+    @given(st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_bit_flipped_batch_frame(self, data):
+        frame = bytearray(valid_batch_frame())
+        position = data.draw(
+            st.integers(min_value=0, max_value=len(frame) * 8 - 1)
+        )
+        frame[position // 8] ^= 1 << (position % 8)
+        response = make_server().handle(bytes(frame))
+        protocol.decode_envelope(response)  # well-formed, whatever it is
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_damaged_stats_frame(self, data):
+        frame = bytearray(valid_stats_frame() + b"garbage-tail")
+        position = data.draw(
+            st.integers(min_value=0, max_value=len(frame) * 8 - 1)
+        )
+        frame[position // 8] ^= 1 << (position % 8)
+        response = make_server().handle(bytes(frame))
+        protocol.decode_envelope(response)  # never raises through handle()
+
+    def test_stats_request_with_trailing_garbage_still_answers(self):
+        response = make_server().handle(valid_stats_frame())
+        opcode, __ = protocol.decode_envelope(response)
+        assert opcode is protocol.Opcode.STATS_RESULT
+
+
+class TestSequencedFuzz:
+    @given(arbitrary_bytes)
+    @settings(max_examples=200, deadline=None)
+    def test_decode_sequenced(self, payload):
+        must_fail_cleanly(protocol.decode_sequenced, payload)
+
+    @given(arbitrary_bytes)
+    @settings(max_examples=100, deadline=None)
+    def test_server_answers_garbage_sequenced_bodies(self, payload):
+        """Arbitrary bytes behind a SEQUENCED opcode are a CRC reject:
+        the server answers a plain ERROR frame (retriable) unless the
+        bytes happen to form a CRC-valid frame."""
+        server = make_server()
+        response = server.handle(
+            bytes([protocol.Opcode.SEQUENCED.value]) + payload
+        )
+        opcode, __ = protocol.decode_envelope(response)
+        assert opcode in (
+            protocol.Opcode.ERROR,
+            protocol.Opcode.SEQUENCED_RESULT,
+        )
+
+    @given(st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_damaged_sequenced_batch_answered_with_error(self, data):
+        """A sequenced BATCH with any bit flipped fails its CRC: the
+        server must reject it without executing anything."""
+        server = make_server()
+        inner = valid_batch_frame()
+        frame = bytearray(
+            protocol.encode_envelope(
+                protocol.Opcode.SEQUENCED,
+                protocol.encode_sequenced(1, 1, inner),
+            )
+        )
+        # Flip a bit in the CRC field or the payload (the CRC does not
+        # cover the client id / sequence number: a flip there yields a
+        # valid frame for a different client, which the real client
+        # rejects on unwrap instead).
+        position = data.draw(
+            st.integers(min_value=9 * 8, max_value=len(frame) * 8 - 1)
+        )
+        frame[position // 8] ^= 1 << (position % 8)
+        response = server.handle(bytes(frame))
+        opcode, __ = protocol.decode_envelope(response)
+        assert opcode is protocol.Opcode.ERROR
+        assert server.statistics["crc_rejects"] == 1
+        assert server.statistics["batches"] == 0
