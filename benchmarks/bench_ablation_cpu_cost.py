@@ -10,8 +10,6 @@ multi-level expand over WAN-256 and over the LAN: the same CPU seconds
 that vanish in the WAN noise become the dominant share locally.
 """
 
-import pytest
-
 from repro.bench.workload import build_scenario
 from repro.model.parameters import TreeParameters
 from repro.network.profiles import LAN, WAN_256

@@ -122,7 +122,50 @@ def run_chaos(tree, scenario, profile, fault_seed: int) -> dict:
     }
 
 
-def run(scale: str, fault_profile=None, fault_seed: int = 1) -> dict:
+def run_trace(tree, scenario, profile, fault_seed: int) -> dict:
+    """One fully traced resilient batched expand under *profile*.
+
+    Returns the :func:`repro.bench.report.trace_summary` dict extended
+    with a ``decomposition`` entry proving the observability invariant:
+    the component seconds summed over the root span's subtree equal the
+    action's measured response time exactly.
+    """
+    from repro.bench.report import trace_summary
+    from repro.obs import TraceRecorder
+
+    recorder = TraceRecorder()
+    traced = build_scenario(
+        tree,
+        WAN_512,
+        seed=SEED,
+        product=scenario.product,
+        fault_profile=None if profile.perfect else profile,
+        fault_seed=fault_seed,
+        retry_policy=None if profile.perfect else RetryPolicy(),
+        recorder=recorder,
+    )
+    result = traced.client.resilient_multi_level_expand(
+        scenario.product.root_obid,
+        ExpandStrategy.EXPAND_BATCHED,
+        root_attrs=scenario.product.root_attributes(),
+    )
+    summary = trace_summary(recorder)
+    root = recorder.find_root("pdm.resilient_multi_level_expand")
+    components = root.total_components()
+    component_sum = sum(components.values())
+    summary["profile"] = profile.name
+    summary["fault_seed"] = fault_seed
+    summary["decomposition"] = {
+        "action_seconds": result.seconds,
+        "root_seconds": root.duration,
+        "component_sum": component_sum,
+        "exact": abs(component_sum - root.duration)
+        <= 1e-9 * max(1.0, abs(root.duration)),
+    }
+    return summary
+
+
+def run(scale: str, fault_profile=None, fault_seed: int = 1, trace_profile=None) -> dict:
     if scale == "small":
         # Deep enough that the padded IN-list shapes repeat and the
         # plan-cache invariant stays checkable.
@@ -167,6 +210,8 @@ def run(scale: str, fault_profile=None, fault_seed: int = 1) -> dict:
     }
     if fault_profile is not None and not fault_profile.perfect:
         report["faults"] = run_chaos(tree, scenario, fault_profile, fault_seed)
+    if trace_profile is not None:
+        report["trace"] = run_trace(tree, scenario, trace_profile, fault_seed)
     return report
 
 
@@ -210,6 +255,15 @@ def check(report: dict) -> list:
                 f"{faults['profile']} (seed {faults['fault_seed']}) "
                 f"injected no faults — chaos smoke proved nothing"
             )
+    trace = report.get("trace")
+    if trace:
+        decomposition = trace["decomposition"]
+        if not decomposition["exact"]:
+            failures.append(
+                f"trace decomposition leaks simulated time: components sum "
+                f"to {decomposition['component_sum']!r} but the root span "
+                f"lasted {decomposition['root_seconds']!r}"
+            )
     return failures
 
 
@@ -238,6 +292,13 @@ def main(argv=None) -> int:
         default=1,
         help="seed for the deterministic fault plan (default: 1)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="run one fully traced resilient batched expand (under "
+        "--fault-profile, default flaky-wan), write the span-tree JSON "
+        "export to PATH and print the time decomposition",
+    )
     args = parser.parse_args(argv)
     report = run(
         args.scale,
@@ -245,6 +306,11 @@ def main(argv=None) -> int:
             FAULT_PROFILES[args.fault_profile] if args.fault_profile else None
         ),
         fault_seed=args.fault_seed,
+        trace_profile=(
+            FAULT_PROFILES[args.fault_profile or "flaky-wan"]
+            if args.trace
+            else None
+        ),
     )
     header = (
         f"{'strategy':<12s} {'sim ms':>10s} {'model ms':>10s} "
@@ -275,6 +341,18 @@ def main(argv=None) -> int:
                 f"{entry['timeouts']:>5d} {entry['expand_resumes']:>7d} "
                 f"{'yes' if entry['converged'] else 'NO':>5s}"
             )
+    trace = report.get("trace")
+    if trace:
+        from repro.bench.report import format_trace_summary
+
+        print(
+            f"\ntraced expand under {trace['profile']} "
+            f"(fault seed {trace['fault_seed']}):"
+        )
+        print(format_trace_summary(trace, max_depth=2))
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.trace}")
     failures = check(report)
     report["ok"] = not failures
     if args.json:

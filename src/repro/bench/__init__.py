@@ -8,6 +8,7 @@ same entry points.
 
 from repro.bench.workload import Scenario, build_scenario, scenario_rules
 from repro.bench.measure import MeasuredAction, measure_action, price_traffic
+from repro.bench.report import format_trace_summary, trace_summary
 from repro.bench.session import (
     SessionResult,
     SessionStep,
@@ -23,6 +24,8 @@ __all__ = [
     "MeasuredAction",
     "measure_action",
     "price_traffic",
+    "trace_summary",
+    "format_trace_summary",
     "SessionStep",
     "SessionResult",
     "generate_session",

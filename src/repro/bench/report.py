@@ -94,6 +94,90 @@ class ExperimentReport:
         return max((row.model_error for row in self.rows), default=0.0)
 
 
+def trace_summary(recorder) -> dict:
+    """JSON-exportable summary of a :class:`repro.obs.TraceRecorder`.
+
+    Bundles the full span forest, the component decomposition aggregated
+    over every root's subtree (which, by construction of the clock
+    observer, sums to the roots' total duration exactly) and the metrics
+    registry snapshot.
+    """
+    roots = list(recorder.roots)
+    components: Dict[str, float] = {}
+    for root in roots:
+        for name, seconds in root.total_components().items():
+            components[name] = components.get(name, 0.0) + seconds
+    fault_events = [
+        {"at": at, "message": message, "span": span.name, **data}
+        for span in recorder.iter_spans()
+        for at, message, data in span.events
+        if message.startswith("fault.")
+    ]
+    return {
+        "span_count": sum(1 for __ in recorder.iter_spans()),
+        "root_seconds": sum(root.duration for root in roots),
+        "components": dict(sorted(components.items())),
+        "fault_events": fault_events,
+        "metrics": recorder.metrics.to_dict(),
+        "spans": [root.to_dict() for root in roots],
+    }
+
+
+def format_trace_summary(summary: dict, max_depth: Optional[int] = None) -> str:
+    """Human-readable rendering of a :func:`trace_summary` dict.
+
+    ``max_depth`` truncates the span tree (None renders it fully); the
+    component totals and metrics always print in full.
+    """
+    lines = [
+        f"trace: {summary['span_count']} span(s), "
+        f"{summary['root_seconds']:.3f}s across "
+        f"{len(summary['spans'])} root(s)"
+    ]
+    components = summary["components"]
+    if components:
+        lines.append("  time decomposition:")
+        for name, seconds in components.items():
+            share = (
+                seconds / summary["root_seconds"] * 100.0
+                if summary["root_seconds"]
+                else 0.0
+            )
+            lines.append(f"    {name:<14}{seconds:>10.3f}s  {share:5.1f}%")
+    if summary["fault_events"]:
+        lines.append(f"  fault events: {len(summary['fault_events'])}")
+    counters = summary["metrics"]["counters"]
+    if counters:
+        lines.append("  counters:")
+        for name, value in counters.items():
+            lines.append(f"    {name} = {value:g}")
+    histograms = summary["metrics"]["histograms"]
+    if histograms:
+        lines.append("  histograms:")
+        for name, data in histograms.items():
+            lines.append(
+                f"    {name}: n={data['count']} mean={data['mean']:.4g} "
+                f"min={data['min']} max={data['max']}"
+            )
+    lines.append("  span tree:")
+
+    def render(span: dict, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        meta = span.get("meta", {})
+        label = " ".join(f"{k}={v}" for k, v in meta.items())
+        lines.append(
+            "    " + "  " * depth + f"{span['name']} "
+            f"{span['duration']:.3f}s" + (f"  [{label}]" if label else "")
+        )
+        for child in span.get("children", ()):
+            render(child, depth + 1)
+
+    for root in summary["spans"]:
+        render(root, 0)
+    return "\n".join(lines)
+
+
 def format_figure_comparison(
     experiment_id: str,
     title: str,

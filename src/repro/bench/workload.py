@@ -72,6 +72,8 @@ class Scenario:
     client: PDMClient
     rule_table: RuleTable
     user_env: Dict[str, object]
+    #: The attached :class:`repro.obs.TraceRecorder`, or None (untraced).
+    recorder: Optional[object] = None
 
     def fresh_client(self, **overrides) -> PDMClient:
         """A new client on the same connection (e.g. different user)."""
@@ -97,6 +99,7 @@ def build_scenario(
     fault_profile: Optional[FaultProfile] = None,
     fault_seed: int = 0,
     retry_policy: Optional[RetryPolicy] = None,
+    recorder=None,
 ) -> Scenario:
     """Generate (or reuse) a product, load it, and wire up the stack.
 
@@ -108,6 +111,11 @@ def build_scenario(
     connection's resilient driver — with faults but no policy, injected
     losses propagate to the caller, which is occasionally what an
     experiment wants to observe.
+
+    ``recorder`` (a :class:`repro.obs.TraceRecorder`) attaches the
+    tracing layer to the whole stack via
+    :func:`repro.obs.instrument_stack`; None leaves every layer
+    untraced, which is guaranteed not to change any measurement.
     """
     if product is None:
         product = generate_product(
@@ -126,6 +134,16 @@ def build_scenario(
     if fault_profile is not None:
         link = FaultyLink.wrap(link, fault_profile, seed=fault_seed)
     connection = RemoteConnection(server, link, retry_policy=retry_policy)
+    if recorder is not None:
+        from repro.obs import instrument_stack
+
+        instrument_stack(
+            recorder,
+            link=link,
+            connection=connection,
+            server=server,
+            database=database,
+        )
     table = rule_table if rule_table is not None else scenario_rules()
     user_env = {USER_OPTIONS_VAR: OPTION_STANDARD}
     client = PDMClient(
@@ -145,4 +163,5 @@ def build_scenario(
         client=client,
         rule_table=table,
         user_env=user_env,
+        recorder=recorder,
     )

@@ -15,17 +15,31 @@ class SimulatedClock:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
+        #: Optional tracing hook (duck-typed to
+        #: :class:`repro.obs.TraceRecorder`): every advance is reported
+        #: with its component attribution so a trace can decompose a
+        #: response time exactly.  None (the default) costs nothing.
+        self.observer = None
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
 
-    def advance(self, seconds: float) -> float:
-        """Advance the clock by *seconds* (must be non-negative)."""
+    def advance(self, seconds: float, component=None) -> float:
+        """Advance the clock by *seconds* (must be non-negative).
+
+        ``component`` optionally attributes the advance for tracing: a
+        component name such as ``"latency"`` or ``"backoff"``, or a
+        ``{name: seconds}`` dict splitting one advance across several
+        components (must sum to *seconds*).  It is ignored unless an
+        observer is attached.
+        """
         if seconds < 0:
             raise NetworkError(f"cannot advance clock by {seconds!r} seconds")
         self._now += seconds
+        if self.observer is not None and seconds:
+            self.observer.on_clock_advance(seconds, component)
         return self._now
 
     def reset(self, start: float = 0.0) -> None:

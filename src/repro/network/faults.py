@@ -238,21 +238,37 @@ class FaultyLink(NetworkLink):
     def deliver(
         self, frame: bytes, is_request: bool, opcode: Optional[str] = None
     ) -> bytes:
+        recorder = self.recorder
         decision = self.plan.decide(self.clock.now, len(frame))
         if decision.spike_seconds:
-            self.clock.advance(decision.spike_seconds)
+            self.clock.advance(decision.spike_seconds, "spike")
             self.stats.spike_seconds += decision.spike_seconds
+            if recorder is not None:
+                recorder.event(
+                    "fault.spike", seconds=decision.spike_seconds
+                )
         self.transmit(len(frame), is_request, opcode)
+        kind = "request" if is_request else "response"
         if decision.drop:
             self.stats.drops += 1
             where = "outage window" if decision.outage else "transit"
-            kind = "request" if is_request else "response"
+            if recorder is not None:
+                recorder.event("fault.drop", kind=kind, where=where)
             raise MessageDropped(f"{kind} lost in {where}")
         if decision.truncate_to is not None:
             self.stats.corrupt_frames += 1
+            if recorder is not None:
+                recorder.event(
+                    "fault.truncate",
+                    kind=kind,
+                    frame_bytes=len(frame),
+                    truncated_to=decision.truncate_to,
+                )
             frame = frame[: decision.truncate_to]
         if decision.corrupt:
             self.stats.corrupt_frames += 1
+            if recorder is not None:
+                recorder.event("fault.corrupt", kind=kind)
             frame = self.plan.flip_bit(frame)
         return frame
 

@@ -63,6 +63,10 @@ class NetworkLink:
         self.clock = clock if clock is not None else SimulatedClock()
         self.accounting = accounting
         self.stats = TrafficStats()
+        #: Optional :class:`repro.obs.TraceRecorder`; when set, fault
+        #: subclasses annotate the current span with injected events.
+        #: Transmission time attribution rides the clock observer.
+        self.recorder = None
 
     @property
     def bits_per_second(self) -> float:
@@ -99,7 +103,12 @@ class NetworkLink:
             raise LinkConfigurationError("payload size must be non-negative")
         wire = self.wire_bytes_for(payload_bytes, is_request)
         transfer = self.transfer_seconds_for(wire)
-        self.clock.advance(self.latency_s + transfer)
+        # One advance (bit-identical to the untraced clock), attributed
+        # to the paper's two transmission components for tracing.
+        self.clock.advance(
+            self.latency_s + transfer,
+            {"latency": self.latency_s, "transfer": transfer},
+        )
         stats = self.stats
         stats.messages += 1
         if opcode is not None:

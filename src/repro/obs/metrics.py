@@ -1,0 +1,152 @@
+"""Monotonic counters and fixed-bucket histograms.
+
+The registry is deliberately tiny — it is simulation instrumentation,
+not a telemetry client.  Counters only go up; histograms have a fixed
+set of upper bucket bounds chosen at creation (plus an implicit overflow
+bucket), so recording an observation is O(buckets) with no allocation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Default bucket bounds for simulated-seconds histograms (round-trip
+#: times span ~1 ms LAN pings to minutes of outage-ridden WAN expands).
+SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+)
+
+#: Default bucket bounds for frame-size histograms (bytes on the wire).
+BYTES_BUCKETS: Tuple[float, ...] = (
+    64,
+    256,
+    1024,
+    4096,
+    16384,
+    65536,
+    262144,
+)
+
+#: Default bucket bounds for result-cardinality histograms.
+ROWS_BUCKETS: Tuple[float, ...] = (0, 1, 4, 16, 64, 256, 1024, 4096)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ReproError(
+                f"counter {self.name!r} cannot decrease (inc by {amount!r})"
+            )
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A fixed-bucket histogram with running count/sum/min/max.
+
+    ``bounds`` are inclusive upper bounds in ascending order; an
+    observation larger than the last bound lands in the overflow bucket.
+    """
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ReproError(
+                f"histogram {name!r} needs ascending bucket bounds, "
+                f"got {bounds!r}"
+            )
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        #: One slot per bound plus the overflow bucket.
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                **{
+                    f"le_{bound:g}": count
+                    for bound, count in zip(self.bounds, self.counts)
+                },
+                "overflow": self.counts[-1],
+            },
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.4g})"
+
+
+class MetricsRegistry:
+    """Create-or-get registry of counters and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = SECONDS_BUCKETS
+    ) -> Histogram:
+        """Get-or-create; the bounds of an existing histogram win."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    def to_dict(self) -> dict:
+        """JSON-exportable snapshot of every metric."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self.counters.items())
+            },
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }

@@ -38,6 +38,7 @@ from repro.errors import (
     UnknownObjectError,
 )
 from repro.network.stats import TrafficStats
+from repro.obs import maybe_span
 from repro.pdm import queries
 from repro.pdm.schema import CLIENT_FUNCTIONS
 from repro.pdm.structure import Attrs, StructureNode, build_tree
@@ -169,6 +170,20 @@ class PDMClient:
         }
 
     # -- measurement plumbing ---------------------------------------------------
+
+    @property
+    def recorder(self):
+        """The stack's :class:`repro.obs.TraceRecorder` (None when off)."""
+        return getattr(self.connection, "recorder", None)
+
+    def _action_span(self, name: str, **meta: Any):
+        """Root span for one user action.
+
+        Opened at the same simulated instant as :meth:`_begin` and closed
+        after :meth:`_finish` reads the clock, so the root span's duration
+        equals the returned ``ActionResult.seconds`` exactly.
+        """
+        return maybe_span(self.recorder, name, kind="pdm", **meta)
 
     def _begin(self) -> Tuple[TrafficStats, float, int]:
         link = self.connection.link
@@ -323,15 +338,20 @@ class PDMClient:
     ) -> ActionResult:
         """The 'Query' action: all nodes of a product, no structure info."""
         early = strategy is not ExpandStrategy.NAVIGATIONAL_LATE
-        begin = self._begin()
-        sql = self._navigational_sql("set_query", early, Actions.QUERY)
-        result = self.connection.execute(sql, [product_id, product_id])
-        objects = result.as_dicts()
-        if not early:
-            objects = [
-                attrs for attrs in objects if self._permitted(attrs, Actions.QUERY)
-            ]
-        return self._finish(begin, objects=objects)
+        with self._action_span(
+            "pdm.query", strategy=strategy.value, product_id=product_id
+        ):
+            begin = self._begin()
+            sql = self._navigational_sql("set_query", early, Actions.QUERY)
+            result = self.connection.execute(sql, [product_id, product_id])
+            objects = result.as_dicts()
+            if not early:
+                objects = [
+                    attrs
+                    for attrs in objects
+                    if self._permitted(attrs, Actions.QUERY)
+                ]
+            return self._finish(begin, objects=objects)
 
     def single_level_expand(
         self,
@@ -340,12 +360,17 @@ class PDMClient:
     ) -> ActionResult:
         """Expand one level below *parent_obid* (one round trip)."""
         early = strategy is not ExpandStrategy.NAVIGATIONAL_LATE
-        begin = self._begin()
-        children = self._fetch_children(parent_obid, early, Actions.EXPAND)
-        return self._finish(
-            begin,
-            objects=[child for __, child in children],
-        )
+        with self._action_span(
+            "pdm.single_level_expand",
+            strategy=strategy.value,
+            parent_obid=parent_obid,
+        ):
+            begin = self._begin()
+            children = self._fetch_children(parent_obid, early, Actions.EXPAND)
+            return self._finish(
+                begin,
+                objects=[child for __, child in children],
+            )
 
     def multi_level_expand(
         self,
@@ -364,23 +389,29 @@ class PDMClient:
         """
         if root_attrs is None:
             root_attrs = self.fetch_object(root_obid)
-        begin = self._begin()
-        if strategy is ExpandStrategy.RECURSIVE_EARLY:
-            tree = self._expand_recursive(root_obid, root_attrs, max_depth)
-        elif strategy is ExpandStrategy.EXPAND_BATCHED:
-            tree = self._expand_batched(root_obid, root_attrs, max_depth)
-            tree = self._apply_tree_conditions_late(
-                tree, Actions.MULTI_LEVEL_EXPAND
-            )
-        else:
-            early = strategy is ExpandStrategy.NAVIGATIONAL_EARLY
-            tree = self._expand_navigational(
-                root_obid, root_attrs, early, max_depth
-            )
-            tree = self._apply_tree_conditions_late(
-                tree, Actions.MULTI_LEVEL_EXPAND
-            )
-        return self._finish(begin, tree=tree)
+        with self._action_span(
+            "pdm.multi_level_expand",
+            strategy=strategy.value,
+            root_obid=root_obid,
+            max_depth=max_depth,
+        ):
+            begin = self._begin()
+            if strategy is ExpandStrategy.RECURSIVE_EARLY:
+                tree = self._expand_recursive(root_obid, root_attrs, max_depth)
+            elif strategy is ExpandStrategy.EXPAND_BATCHED:
+                tree = self._expand_batched(root_obid, root_attrs, max_depth)
+                tree = self._apply_tree_conditions_late(
+                    tree, Actions.MULTI_LEVEL_EXPAND
+                )
+            else:
+                early = strategy is ExpandStrategy.NAVIGATIONAL_EARLY
+                tree = self._expand_navigational(
+                    root_obid, root_attrs, early, max_depth
+                )
+                tree = self._apply_tree_conditions_late(
+                    tree, Actions.MULTI_LEVEL_EXPAND
+                )
+            return self._finish(begin, tree=tree)
 
     def resume_multi_level_expand(
         self, checkpoint: ExpandCheckpoint
@@ -391,13 +422,20 @@ class PDMClient:
         completed levels stay as already built in the checkpoint's tree.
         The returned :class:`ActionResult` measures the resumed portion.
         """
-        begin = self._begin()
-        self.statistics["expand_resumes"] += 1
-        tree = self._expand_batched(
-            checkpoint.root.obid, None, checkpoint=checkpoint
-        )
-        tree = self._apply_tree_conditions_late(tree, Actions.MULTI_LEVEL_EXPAND)
-        return self._finish(begin, tree=tree)
+        with self._action_span(
+            "pdm.resume_multi_level_expand",
+            root_obid=checkpoint.root.obid,
+            resume_depth=checkpoint.depth,
+        ):
+            begin = self._begin()
+            self.statistics["expand_resumes"] += 1
+            tree = self._expand_batched(
+                checkpoint.root.obid, None, checkpoint=checkpoint
+            )
+            tree = self._apply_tree_conditions_late(
+                tree, Actions.MULTI_LEVEL_EXPAND
+            )
+            return self._finish(begin, tree=tree)
 
     def resilient_multi_level_expand(
         self,
@@ -434,49 +472,64 @@ class PDMClient:
             )
         if root_attrs is None:
             root_attrs = self.fetch_object(root_obid)
-        begin = self._begin()
-        if strategy is ExpandStrategy.RECURSIVE_EARLY:
-            try:
-                tree = self._expand_recursive(root_obid, root_attrs, max_depth)
-                return self._finish(begin, tree=tree)
-            except (TimeoutError, CircuitOpenError):
-                self.statistics["recursive_fallbacks"] += 1
-                self._wait_for_circuit()
-        clock = self.connection.link.clock
-        checkpoint: Optional[ExpandCheckpoint] = None
-        interrupted: Optional[ExpandInterrupted] = None
-        for __ in range(max_resumes + 1):
-            try:
-                if checkpoint is None:
-                    tree = self._expand_batched(root_obid, root_attrs, max_depth)
-                else:
-                    self.statistics["expand_resumes"] += 1
-                    tree = self._expand_batched(
-                        root_obid, None, checkpoint=checkpoint
+        with self._action_span(
+            "pdm.resilient_multi_level_expand",
+            strategy=strategy.value,
+            root_obid=root_obid,
+            max_depth=max_depth,
+        ):
+            begin = self._begin()
+            if strategy is ExpandStrategy.RECURSIVE_EARLY:
+                try:
+                    tree = self._expand_recursive(
+                        root_obid, root_attrs, max_depth
                     )
-            except ExpandInterrupted as error:
-                checkpoint = error.checkpoint
-                interrupted = error
-                # Timeouts and backoff already advanced the clock; if the
-                # breaker opened, sleep (simulated) until it half-opens.
-                self._wait_for_circuit()
-                continue
-            tree = self._apply_tree_conditions_late(
-                tree, Actions.MULTI_LEVEL_EXPAND
-            )
-            return self._finish(begin, tree=tree)
-        raise ExpandInterrupted(
-            f"expand of {root_obid} still failing after {max_resumes} "
-            f"resumes (simulated t={clock.now:.1f}s)",
-            checkpoint=checkpoint,
-        ) from interrupted
+                    return self._finish(begin, tree=tree)
+                except (TimeoutError, CircuitOpenError):
+                    self.statistics["recursive_fallbacks"] += 1
+                    if self.recorder is not None:
+                        self.recorder.event("pdm.recursive_fallback")
+                    self._wait_for_circuit()
+            clock = self.connection.link.clock
+            checkpoint: Optional[ExpandCheckpoint] = None
+            interrupted: Optional[ExpandInterrupted] = None
+            for __ in range(max_resumes + 1):
+                try:
+                    if checkpoint is None:
+                        tree = self._expand_batched(
+                            root_obid, root_attrs, max_depth
+                        )
+                    else:
+                        self.statistics["expand_resumes"] += 1
+                        tree = self._expand_batched(
+                            root_obid, None, checkpoint=checkpoint
+                        )
+                except ExpandInterrupted as error:
+                    checkpoint = error.checkpoint
+                    interrupted = error
+                    # Timeouts and backoff already advanced the clock; if
+                    # the breaker opened, sleep (simulated) until it
+                    # half-opens.
+                    self._wait_for_circuit()
+                    continue
+                tree = self._apply_tree_conditions_late(
+                    tree, Actions.MULTI_LEVEL_EXPAND
+                )
+                return self._finish(begin, tree=tree)
+            raise ExpandInterrupted(
+                f"expand of {root_obid} still failing after {max_resumes} "
+                f"resumes (simulated t={clock.now:.1f}s)",
+                checkpoint=checkpoint,
+            ) from interrupted
 
     def _wait_for_circuit(self) -> None:
         """Advance the simulated clock until the breaker allows a trial."""
         breaker = self.connection.circuit_breaker
         clock = self.connection.link.clock
         if breaker is not None and not breaker.allow(clock.now):
-            clock.advance(breaker.seconds_until_trial(clock.now))
+            clock.advance(
+                breaker.seconds_until_trial(clock.now), "circuit_wait"
+            )
 
     def _fetch_children(
         self, parent_obid: int, early: bool, action: str
@@ -587,53 +640,64 @@ class PDMClient:
             frontier = [root] if str(root.object_type) != "comp" else []
             depth = 0
         while frontier and (max_depth is None or depth < max_depth):
-            keys: List[Any] = []
-            seen = set()
-            for node in frontier:
-                if node.obid not in seen:
-                    seen.add(node.obid)
-                    keys.append(node.obid)
-            statements: List[Tuple[str, List[Any]]] = []
-            for node_type in ("assy", "comp"):
-                for chunk in self._padded_chunks(keys):
-                    sql = self._batched_sql(
-                        node_type, len(chunk), Actions.MULTI_LEVEL_EXPAND
+            with maybe_span(
+                self.recorder,
+                "pdm.expand_level",
+                kind="pdm",
+                depth=depth,
+                parents=len(frontier),
+            ) as span:
+                keys: List[Any] = []
+                seen = set()
+                for node in frontier:
+                    if node.obid not in seen:
+                        seen.add(node.obid)
+                        keys.append(node.obid)
+                statements: List[Tuple[str, List[Any]]] = []
+                for node_type in ("assy", "comp"):
+                    for chunk in self._padded_chunks(keys):
+                        sql = self._batched_sql(
+                            node_type, len(chunk), Actions.MULTI_LEVEL_EXPAND
+                        )
+                        statements.append((sql, chunk))
+                try:
+                    batch_results = self.connection.execute_batch(statements)
+                except (TimeoutError, CircuitOpenError) as error:
+                    self.statistics["expand_interruptions"] += 1
+                    raise ExpandInterrupted(
+                        f"lost the level-{depth} frontier batch "
+                        f"({len(frontier)} parents): {error}",
+                        checkpoint=ExpandCheckpoint(
+                            root=root,
+                            frontier=frontier,
+                            depth=depth,
+                            max_depth=max_depth,
+                        ),
+                    ) from error
+                children_by_parent: Dict[Any, List[Tuple[Attrs, Attrs]]] = {}
+                for result in batch_results:
+                    if isinstance(result, ReproError):
+                        raise result
+                    for row in result.as_dicts():
+                        link_attrs, node_attrs = self._split_child_row(row)
+                        children_by_parent.setdefault(
+                            link_attrs["left"], []
+                        ).append((link_attrs, node_attrs))
+                next_frontier: List[StructureNode] = []
+                for node in frontier:
+                    for link_attrs, child_attrs in children_by_parent.get(
+                        node.obid, ()
+                    ):
+                        child = StructureNode(
+                            attrs=dict(child_attrs), link=dict(link_attrs)
+                        )
+                        node.children.append(child)
+                        if str(child.object_type) != "comp":
+                            next_frontier.append(child)
+                if span is not None:
+                    span.meta["children"] = sum(
+                        len(found) for found in children_by_parent.values()
                     )
-                    statements.append((sql, chunk))
-            try:
-                batch_results = self.connection.execute_batch(statements)
-            except (TimeoutError, CircuitOpenError) as error:
-                self.statistics["expand_interruptions"] += 1
-                raise ExpandInterrupted(
-                    f"lost the level-{depth} frontier batch "
-                    f"({len(frontier)} parents): {error}",
-                    checkpoint=ExpandCheckpoint(
-                        root=root,
-                        frontier=frontier,
-                        depth=depth,
-                        max_depth=max_depth,
-                    ),
-                ) from error
-            children_by_parent: Dict[Any, List[Tuple[Attrs, Attrs]]] = {}
-            for result in batch_results:
-                if isinstance(result, ReproError):
-                    raise result
-                for row in result.as_dicts():
-                    link_attrs, node_attrs = self._split_child_row(row)
-                    children_by_parent.setdefault(
-                        link_attrs["left"], []
-                    ).append((link_attrs, node_attrs))
-            next_frontier: List[StructureNode] = []
-            for node in frontier:
-                for link_attrs, child_attrs in children_by_parent.get(
-                    node.obid, ()
-                ):
-                    child = StructureNode(
-                        attrs=dict(child_attrs), link=dict(link_attrs)
-                    )
-                    node.children.append(child)
-                    if str(child.object_type) != "comp":
-                        next_frontier.append(child)
             frontier = next_frontier
             depth += 1
         return root
@@ -671,17 +735,22 @@ class PDMClient:
         ``via_link`` and ``distance``), nearest first; *obid* itself is
         not included.
         """
-        begin = self._begin()
-        if strategy is ExpandStrategy.RECURSIVE_EARLY:
-            result = self.connection.execute(
-                queries.where_used_recursive_sql(), [obid]
-            )
-            ancestors = [
-                attrs for attrs in result.as_dicts() if attrs["distance"] > 0
-            ]
-        else:
-            ancestors = self._where_used_navigational(obid)
-        return self._finish(begin, objects=ancestors)
+        with self._action_span(
+            "pdm.where_used", strategy=strategy.value, obid=obid
+        ):
+            begin = self._begin()
+            if strategy is ExpandStrategy.RECURSIVE_EARLY:
+                result = self.connection.execute(
+                    queries.where_used_recursive_sql(), [obid]
+                )
+                ancestors = [
+                    attrs
+                    for attrs in result.as_dicts()
+                    if attrs["distance"] > 0
+                ]
+            else:
+                ancestors = self._where_used_navigational(obid)
+            return self._finish(begin, objects=ancestors)
 
     def _where_used_navigational(self, obid: int) -> List[Attrs]:
         sql = queries.where_used_parents_sql()
@@ -724,60 +793,75 @@ class PDMClient:
         SERVER_PROCEDURE ships the whole operation to the server: 1.
         """
         if mode is CheckOutMode.SERVER_PROCEDURE:
-            begin = self._begin()
-            obids = self.connection.call_procedure(
-                "check_out_tree", [root_obid, self.user]
-            )
-            return self._finish(begin, checked_out=[int(o) for o in obids])
+            with self._action_span(
+                "pdm.check_out", mode=mode.value, root_obid=root_obid
+            ):
+                begin = self._begin()
+                obids = self.connection.call_procedure(
+                    "check_out_tree", [root_obid, self.user]
+                )
+                return self._finish(
+                    begin, checked_out=[int(o) for o in obids]
+                )
         if root_attrs is None:
             root_attrs = self.fetch_object(root_obid)
-        begin = self._begin()
-        sql = self._recursive_sql(Actions.CHECK_OUT)
-        result = self.connection.execute(sql, [root_obid])
-        tree = build_tree(result.columns, result.rows, root_obid, root_attrs)
-        if tree is None:
-            raise CheckOutError(
-                f"check-out of {root_obid} denied: the rule conditions "
-                f"rejected the subtree (e.g. a node is already checked out)"
+        with self._action_span(
+            "pdm.check_out", mode=mode.value, root_obid=root_obid
+        ):
+            begin = self._begin()
+            sql = self._recursive_sql(Actions.CHECK_OUT)
+            result = self.connection.execute(sql, [root_obid])
+            tree = build_tree(
+                result.columns, result.rows, root_obid, root_attrs
             )
-        grouped = tree.obids_by_type()
-        checked: List[int] = []
-        for table in ("assy", "comp"):
-            obids = grouped.get(table, [])
-            if not obids:
-                continue
-            self.connection.execute(
-                queries.update_checkout_sql(table, len(obids), "TRUE"),
-                [self.user] + obids,
-            )
-            checked.extend(obids)
-        return self._finish(begin, checked_out=checked, tree=tree)
+            if tree is None:
+                raise CheckOutError(
+                    f"check-out of {root_obid} denied: the rule conditions "
+                    f"rejected the subtree (e.g. a node is already checked "
+                    f"out)"
+                )
+            grouped = tree.obids_by_type()
+            checked: List[int] = []
+            for table in ("assy", "comp"):
+                obids = grouped.get(table, [])
+                if not obids:
+                    continue
+                self.connection.execute(
+                    queries.update_checkout_sql(table, len(obids), "TRUE"),
+                    [self.user] + obids,
+                )
+                checked.extend(obids)
+            return self._finish(begin, checked_out=checked, tree=tree)
 
     def check_in(
         self, root_obid: int, mode: CheckOutMode = CheckOutMode.TWO_PHASE
     ) -> ActionResult:
         """Release a previously checked-out subtree."""
-        if mode is CheckOutMode.SERVER_PROCEDURE:
+        with self._action_span(
+            "pdm.check_in", mode=mode.value, root_obid=root_obid
+        ):
             begin = self._begin()
-            obids = self.connection.call_procedure(
-                "check_in_tree", [root_obid, self.user]
+            if mode is CheckOutMode.SERVER_PROCEDURE:
+                obids = self.connection.call_procedure(
+                    "check_in_tree", [root_obid, self.user]
+                )
+                return self._finish(
+                    begin, checked_out=[int(o) for o in obids]
+                )
+            result = self.connection.execute(
+                "SELECT obid FROM assy WHERE checkedout_by = ? "
+                "UNION ALL SELECT obid FROM comp WHERE checkedout_by = ?",
+                [self.user, self.user],
             )
-            return self._finish(begin, checked_out=[int(o) for o in obids])
-        begin = self._begin()
-        result = self.connection.execute(
-            "SELECT obid FROM assy WHERE checkedout_by = ? "
-            "UNION ALL SELECT obid FROM comp WHERE checkedout_by = ?",
-            [self.user, self.user],
-        )
-        obids = [row[0] for row in result.rows]
-        released: List[int] = []
-        for table in ("assy", "comp"):
-            if not obids:
-                break
-            self.connection.execute(
-                f"UPDATE {table} SET checkedout = FALSE, checkedout_by = '' "
-                f"WHERE checkedout_by = ?",
-                [self.user],
-            )
-        released = obids
-        return self._finish(begin, checked_out=released)
+            obids = [row[0] for row in result.rows]
+            released: List[int] = []
+            for table in ("assy", "comp"):
+                if not obids:
+                    break
+                self.connection.execute(
+                    f"UPDATE {table} SET checkedout = FALSE, "
+                    f"checkedout_by = '' WHERE checkedout_by = ?",
+                    [self.user],
+                )
+            released = obids
+            return self._finish(begin, checked_out=released)

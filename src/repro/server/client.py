@@ -29,6 +29,7 @@ from repro.errors import (
 )
 from repro.network.faults import CircuitBreaker, RetryPolicy
 from repro.network.link import NetworkLink
+from repro.obs import BYTES_BUCKETS, maybe_span
 from repro.server import protocol
 from repro.server.protocol import Opcode
 from repro.server.server import DatabaseServer
@@ -90,6 +91,9 @@ class RemoteConnection:
         self._seq = itertools.count(1)
         self._backoff_rng = retry_policy.rng() if retry_policy else None
         self.statistics = {"round_trips": 0, "attempts": 0}
+        #: Optional :class:`repro.obs.TraceRecorder` (see
+        #: :func:`repro.obs.instrument_stack`); None disables tracing.
+        self.recorder = None
 
     # -- core round trip ------------------------------------------------------
 
@@ -106,28 +110,57 @@ class RemoteConnection:
 
     def _round_trip(self, request: bytes) -> bytes:
         self._ensure_open()
-        if self.retry_policy is None:
-            return self._attempt(request)
-        return self._resilient_round_trip(request)
+        recorder = self.recorder
+        with maybe_span(
+            recorder,
+            "rpc.round_trip",
+            kind="client",
+            opcode=self._opcode_label(request),
+        ):
+            start = self.link.clock.now
+            if self.retry_policy is None:
+                response = self._attempt(request)
+            else:
+                response = self._resilient_round_trip(request)
+            if recorder is not None:
+                metrics = recorder.metrics
+                metrics.histogram("client.round_trip_seconds").observe(
+                    self.link.clock.now - start
+                )
+                metrics.histogram(
+                    "client.request_bytes", BYTES_BUCKETS
+                ).observe(len(request))
+                metrics.histogram(
+                    "client.response_bytes", BYTES_BUCKETS
+                ).observe(len(response))
+            return response
 
     def _attempt(self, request: bytes) -> bytes:
         """One bare request/response exchange (no failure handling)."""
         self.statistics["attempts"] += 1
-        delivered = self.link.deliver(
-            request, is_request=True, opcode=self._opcode_label(request)
-        )
-        response = self.server.handle(delivered)
-        cpu_seconds = getattr(self.server, "last_cpu_seconds", 0.0)
-        if cpu_seconds:
-            # Server-side evaluation time (zero unless a CPU cost model is
-            # configured, matching the paper's Section 6 convention).
-            self.link.clock.advance(cpu_seconds)
-            self.link.stats.server_seconds += cpu_seconds
-        response = self.link.deliver(
-            response, is_request=False, opcode=self._opcode_label(response)
-        )
-        self.statistics["round_trips"] += 1
-        return response
+        with maybe_span(
+            self.recorder,
+            "rpc.attempt",
+            kind="client",
+            request_bytes=len(request),
+        ) as span:
+            delivered = self.link.deliver(
+                request, is_request=True, opcode=self._opcode_label(request)
+            )
+            response = self.server.handle(delivered)
+            cpu_seconds = getattr(self.server, "last_cpu_seconds", 0.0)
+            if cpu_seconds:
+                # Server-side evaluation time (zero unless a CPU cost model
+                # is configured, matching the paper's Section 6 convention).
+                self.link.clock.advance(cpu_seconds, "server_cpu")
+                self.link.stats.server_seconds += cpu_seconds
+            response = self.link.deliver(
+                response, is_request=False, opcode=self._opcode_label(response)
+            )
+            if span is not None:
+                span.meta["response_bytes"] = len(response)
+            self.statistics["round_trips"] += 1
+            return response
 
     def _resilient_round_trip(self, request: bytes) -> bytes:
         policy = self.retry_policy
@@ -151,16 +184,26 @@ class RemoteConnection:
                 stats.retries += 1
                 pause = policy.backoff_seconds(attempt, self._backoff_rng)
                 stats.backoff_seconds += pause
-                clock.advance(pause)
+                if self.recorder is not None:
+                    self.recorder.event(
+                        "rpc.retry", attempt=attempt + 1, backoff_s=pause
+                    )
+                    self.recorder.metrics.counter("client.retries").inc()
+                clock.advance(pause, "backoff")
             deadline = clock.now + policy.timeout_s
             try:
                 raw = self._attempt(wrapped)
             except MessageDropped as dropped:
                 # Nobody will answer: wait out the rest of the timeout.
                 stats.timeouts += 1
+                if self.recorder is not None:
+                    self.recorder.event(
+                        "rpc.timeout", attempt=attempt + 1, reason=str(dropped)
+                    )
+                    self.recorder.metrics.counter("client.timeouts").inc()
                 if clock.now < deadline:
                     stats.timeout_seconds += deadline - clock.now
-                    clock.advance(deadline - clock.now)
+                    clock.advance(deadline - clock.now, "timeout")
                 failure = TimeoutError(
                     f"no response within {policy.timeout_s}s "
                     f"(attempt {attempt + 1}: {dropped})"

@@ -14,6 +14,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FrameCorrupted, ProtocolError, ReproError
+from repro.obs import ROWS_BUCKETS, maybe_span
 from repro.server import protocol
 from repro.server.protocol import Opcode
 from repro.sqldb import wire
@@ -65,6 +66,14 @@ class DatabaseServer:
         #: CPU seconds charged for the most recent request (consumed by
         #: the client driver to advance the simulated clock).
         self.last_cpu_seconds = 0.0
+        #: Rows the executor scanned for the current request, accumulated
+        #: per statement so a BATCH of N statements is charged for all N
+        #: scans, not just the last one.
+        self._request_rows_scanned = 0
+        #: Optional :class:`repro.obs.TraceRecorder` (see
+        #: :func:`repro.obs.instrument_stack`); None keeps handling
+        #: untraced and free.
+        self.recorder = None
         self._procedures: Dict[str, ServerProcedure] = {}
         #: (client id, sequence number) -> wrapped response.  Answering a
         #: retransmission from here (instead of re-executing) is what
@@ -100,34 +109,61 @@ class DatabaseServer:
         if frame[:1] == bytes([int(Opcode.SEQUENCED)]):
             return self._handle_sequenced(frame[1:])
         self.last_cpu_seconds = 0.0
+        self._request_rows_scanned = 0
         statements_before = self.database.statistics["statements"]
-        try:
-            opcode, body = protocol.decode_envelope(frame)
-            if opcode is Opcode.QUERY:
-                response = self._handle_query(body)
-            elif opcode is Opcode.CALL_PROCEDURE:
-                response = self._handle_procedure(body)
-            elif opcode is Opcode.BATCH:
-                response = self._handle_batch(body)
-            elif opcode is Opcode.STATS:
-                response = self._handle_stats(body)
-            elif opcode is Opcode.PING:
-                response = protocol.encode_envelope(Opcode.PONG)
-            else:
-                raise ProtocolError(f"unexpected request opcode {opcode.name}")
-        except ReproError as error:
-            self.statistics["errors"] += 1
-            return protocol.encode_envelope(
-                Opcode.ERROR, protocol.encode_error(error)
-            )
-        if self.cpu_cost.enabled:
-            statements = (
-                self.database.statistics["statements"] - statements_before
-            )
-            rows_scanned = self.database.last_counters.get("rows_scanned", 0)
-            self.last_cpu_seconds = self.cpu_cost.cost(statements, rows_scanned)
-            self.statistics["cpu_seconds"] += self.last_cpu_seconds
-        return response
+        recorder = self.recorder
+        with maybe_span(
+            recorder, "server.handle", kind="server", frame_bytes=len(frame)
+        ) as span:
+            try:
+                opcode, body = protocol.decode_envelope(frame)
+                if span is not None:
+                    span.meta["opcode"] = opcode.name
+                if opcode is Opcode.QUERY:
+                    response = self._handle_query(body)
+                elif opcode is Opcode.CALL_PROCEDURE:
+                    response = self._handle_procedure(body)
+                elif opcode is Opcode.BATCH:
+                    response = self._handle_batch(body)
+                elif opcode is Opcode.STATS:
+                    response = self._handle_stats(body)
+                elif opcode is Opcode.PING:
+                    response = protocol.encode_envelope(Opcode.PONG)
+                else:
+                    raise ProtocolError(
+                        f"unexpected request opcode {opcode.name}"
+                    )
+            except ReproError as error:
+                self.statistics["errors"] += 1
+                if span is not None:
+                    span.meta["error"] = type(error).__name__
+                return protocol.encode_envelope(
+                    Opcode.ERROR, protocol.encode_error(error)
+                )
+            except Exception as error:  # noqa: BLE001 — last-resort guard
+                # A bug below the wire layer (or a misbehaving server
+                # procedure) must cost the client an error round trip,
+                # never kill the server loop.
+                self.statistics["errors"] += 1
+                if span is not None:
+                    span.meta["error"] = type(error).__name__
+                    span.meta["unexpected"] = True
+                wrapped = ProtocolError(
+                    f"internal server error: "
+                    f"{type(error).__name__}: {error}"
+                )
+                return protocol.encode_envelope(
+                    Opcode.ERROR, protocol.encode_error(wrapped)
+                )
+            if self.cpu_cost.enabled:
+                statements = (
+                    self.database.statistics["statements"] - statements_before
+                )
+                self.last_cpu_seconds = self.cpu_cost.cost(
+                    statements, self._request_rows_scanned
+                )
+                self.statistics["cpu_seconds"] += self.last_cpu_seconds
+            return response
 
     def _handle_sequenced(self, body: bytes) -> bytes:
         """At-most-once execution for sequenced requests.
@@ -161,11 +197,31 @@ class DatabaseServer:
         self.statistics["sequenced_requests"] += 1
         key = (client_id, seq)
         cached = self._replay_cache.get(key)
+        recorder = self.recorder
         if cached is not None:
             self.statistics["duplicates_suppressed"] += 1
             self.last_cpu_seconds = 0.0
+            with maybe_span(
+                recorder,
+                "server.handle",
+                kind="server",
+                sequenced=True,
+                client_id=client_id,
+                seq=seq,
+                replay_hit=True,
+            ):
+                pass
+            if recorder is not None:
+                recorder.metrics.counter("server.replay_hits").inc()
             return cached
-        response = self.handle(inner)
+        with maybe_span(
+            recorder,
+            "server.sequenced",
+            kind="server",
+            client_id=client_id,
+            seq=seq,
+        ):
+            response = self.handle(inner)
         wrapped = protocol.encode_envelope(
             Opcode.SEQUENCED_RESULT,
             protocol.encode_sequenced(client_id, seq, response),
@@ -175,10 +231,21 @@ class DatabaseServer:
             self._replay_cache.popitem(last=False)
         return wrapped
 
+    def _statement_done(self, result) -> None:
+        """Account one successfully executed statement's scan and rows."""
+        self._request_rows_scanned += self.database.last_counters.get(
+            "rows_scanned", 0
+        )
+        if self.recorder is not None:
+            self.recorder.metrics.histogram(
+                "server.rows_per_result", ROWS_BUCKETS
+            ).observe(len(result.rows))
+
     def _handle_query(self, body: bytes) -> bytes:
         sql, params = wire.decode_query(body)
         self.statistics["queries"] += 1
         result = self.database.execute(sql, params)
+        self._statement_done(result)
         return protocol.encode_envelope(Opcode.RESULT, wire.encode_result(result))
 
     def _handle_batch(self, body: bytes) -> bytes:
@@ -200,10 +267,19 @@ class DatabaseServer:
                 entries.append(
                     (protocol.BATCH_ENTRY_ERROR, protocol.encode_error(error))
                 )
-            else:
+                continue
+            self._statement_done(result)
+            try:
+                payload = wire.encode_result(result)
+            except ReproError as error:
+                # An unencodable result (e.g. an int64-overflowing value)
+                # poisons only its own entry, not the whole batch.
+                self.statistics["errors"] += 1
                 entries.append(
-                    (protocol.BATCH_ENTRY_RESULT, wire.encode_result(result))
+                    (protocol.BATCH_ENTRY_ERROR, protocol.encode_error(error))
                 )
+            else:
+                entries.append((protocol.BATCH_ENTRY_RESULT, payload))
         return protocol.encode_envelope(
             Opcode.BATCH_RESULT, protocol.encode_batch_result(entries)
         )

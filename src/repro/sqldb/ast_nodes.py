@@ -378,9 +378,14 @@ class RollbackTransaction:
 
 @dataclass
 class Explain:
-    """``EXPLAIN <select>`` — returns the physical plan as text rows."""
+    """``EXPLAIN [ANALYZE] <select>`` — the physical plan as text rows.
+
+    With ``ANALYZE`` the statement is actually executed and each plan
+    operator is annotated with its invocation and produced-row counts.
+    """
 
     statement: "SelectStatement"
+    analyze: bool = False
 
 
 Statement = Union[

@@ -69,18 +69,43 @@ class Database:
         #: Tables whose storage is enlisted in the active transaction;
         #: None when no transaction is active.
         self._transaction_tables: Optional[list] = None
+        #: Optional :class:`repro.obs.TraceRecorder`; when set, every
+        #: :meth:`execute` opens a ``db.execute`` span and the executor
+        #: environment carries the recorder down to the fixpoint loop.
+        self.recorder = None
 
     # -- public API -----------------------------------------------------------
 
     def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
         """Parse, plan and execute a single statement."""
+        recorder = self.recorder
+        if recorder is None:
+            return self._execute(sql, params)
+        with recorder.span(
+            "db.execute",
+            kind="database",
+            sql=sql if isinstance(sql, str) else type(sql).__name__,
+        ) as span:
+            result = self._execute(sql, params, span)
+            span.meta["rows"] = len(result.rows)
+            return result
+
+    def _execute(
+        self, sql: str, params: Sequence[Any], span=None
+    ) -> ResultSet:
         self.statistics["statements"] += 1
+        #: A DML statement scans nothing through the executor counters, so
+        #: reset here — a server CPU model must never be charged for a
+        #: previous statement's stale scan counts.
+        self.last_counters = {}
         statement = None
         if isinstance(sql, str):
             cached = self._plan_cache.get(sql)
             if cached is not None:
                 self.statistics["plan_cache_hits"] += 1
                 self._plan_cache.move_to_end(sql)
+                if span is not None:
+                    span.meta["plan_cache_hit"] = True
                 return self._run_select(cached, params)
             statement = parse_statement(sql)
         else:
@@ -200,6 +225,7 @@ class Database:
         )
         env.enable_subquery_cache = self.enable_subquery_cache
         env.enable_seminaive = self.enable_seminaive
+        env.recorder = self.recorder
         return env
 
     def _run_select(self, plan: Plan, params: Sequence[Any]) -> ResultSet:
@@ -260,10 +286,16 @@ class Database:
             self.rollback()
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, ast.Explain):
-            from repro.sqldb.explain import explain_plan
+            from repro.sqldb.explain import explain_analyze_plan, explain_plan
 
             plan = self._plan(statement.statement)
-            lines = explain_plan(plan)
+            if statement.analyze:
+                # EXPLAIN ANALYZE plans are never cached, so the operator
+                # instances are fresh and safe to instrument in place.
+                env = self._environment(params)
+                lines = explain_analyze_plan(plan, env)
+            else:
+                lines = explain_plan(plan)
             return ResultSet(["plan"], [(line,) for line in lines])
         raise ExecutionError(
             f"unsupported statement type {type(statement).__name__}"

@@ -63,6 +63,10 @@ class ExecutionEnv:
         #: (the whole accumulated set re-joined each round) instead of the
         #: semi-naive delta algorithm — an engine ablation.
         self.enable_seminaive = True
+        #: Optional :class:`repro.obs.TraceRecorder` threaded down from
+        #: the owning :class:`~repro.sqldb.database.Database` (None keeps
+        #: execution untraced).
+        self.recorder = None
 
     def bind_cte(self, name: str, frame: CTEFrame) -> None:
         """(Re)bind a CTE name; invalidates the uncorrelated-subquery cache

@@ -41,16 +41,82 @@ def explain_plan(plan: Plan) -> List[str]:
     return lines
 
 
-def _explain_cte(cte: PlannedCTE) -> List[str]:
+def explain_analyze_plan(plan: Plan, env) -> List[str]:
+    """Execute *plan* in *env* and render it with runtime statistics.
+
+    Every operator's ``rows`` generator is wrapped with a per-instance
+    counting shim before execution, so each rendered line carries the
+    operator's invocation count (``loops``) and the total rows it
+    produced; an operator the execution never pulled from is marked
+    ``(never executed)``.  The plan must be freshly built — EXPLAIN
+    ANALYZE statements bypass the plan cache, so the instrumented
+    operator instances are discarded with the plan.
+    """
+    from repro.sqldb.recursive import execute_plan
+
+    stats = {}
+    for operator in _all_operators(plan):
+        if id(operator) in stats:
+            continue
+        record = stats[id(operator)] = {"loops": 0, "rows": 0}
+        original = operator.rows
+
+        def counting_rows(env, _original=original, _record=record):
+            _record["loops"] += 1
+            for row in _original(env):
+                _record["rows"] += 1
+                yield row
+
+        operator.rows = counting_rows
+
+    rows = execute_plan(plan, env)
+
+    def annotate(operator: Operator) -> str:
+        record = stats.get(id(operator))
+        if record is None or record["loops"] == 0:
+            return " (never executed)"
+        return f" (loops={record['loops']} rows={record['rows']})"
+
+    lines: List[str] = []
+    for cte in plan.ctes:
+        lines.extend(_explain_cte(cte, annotate))
+    lines.extend(_explain_operator(plan.root, 0, annotate))
+    lines.append(f"Execution: {len(rows)} row(s) returned")
+    for name in ("rows_scanned", "index_probes", "subquery_executions"):
+        lines.append(f"  {name}: {env.counters.get(name, 0)}")
+    return lines
+
+
+def _all_operators(plan: Plan) -> List[Operator]:
+    """Every operator instance in the plan, CTE branches included."""
+    operators: List[Operator] = []
+
+    def walk(operator: Operator) -> None:
+        operators.append(operator)
+        for child in _children(operator):
+            walk(child)
+
+    for cte in plan.ctes:
+        for branch in list(cte.seed_plans) + list(cte.recursive_plans):
+            walk(branch)
+    walk(plan.root)
+    return operators
+
+
+def _no_annotation(operator: Operator) -> str:
+    return ""
+
+
+def _explain_cte(cte: PlannedCTE, annotate=_no_annotation) -> List[str]:
     kind = "recursive cte" if cte.recursive else "cte"
     dedup = "UNION" if cte.distinct else "UNION ALL"
     lines = [f"materialize {kind} {cte.name} ({dedup})"]
     for branch in cte.seed_plans:
         lines.append("  seed branch:")
-        lines.extend(_explain_operator(branch, 2))
+        lines.extend(_explain_operator(branch, 2, annotate))
     for branch in cte.recursive_plans:
         lines.append("  recursive branch (joins the delta):")
-        lines.extend(_explain_operator(branch, 2))
+        lines.extend(_explain_operator(branch, 2, annotate))
     return lines
 
 
@@ -120,8 +186,10 @@ def _children(operator: Operator) -> List[Operator]:
     return children
 
 
-def _explain_operator(operator: Operator, depth: int) -> List[str]:
-    lines = ["  " * depth + "-> " + _label(operator)]
+def _explain_operator(
+    operator: Operator, depth: int, annotate=_no_annotation
+) -> List[str]:
+    lines = ["  " * depth + "-> " + _label(operator) + annotate(operator)]
     for child in _children(operator):
-        lines.extend(_explain_operator(child, depth + 1))
+        lines.extend(_explain_operator(child, depth + 1, annotate))
     return lines

@@ -163,7 +163,17 @@ class _Parser:
             return ast.RollbackTransaction()
         if token.matches_keyword("EXPLAIN"):
             self.advance()
-            return ast.Explain(statement=self.parse_select_statement())
+            # ANALYZE is deliberately not a reserved word; it only has
+            # meaning directly after EXPLAIN.
+            nxt = self.peek()
+            analyze = (
+                nxt.kind is TokenKind.IDENT and nxt.value.upper() == "ANALYZE"
+            )
+            if analyze:
+                self.advance()
+            return ast.Explain(
+                statement=self.parse_select_statement(), analyze=analyze
+            )
         raise ParseError(f"expected a statement, found {token}")
 
     def _parse_create(self) -> ast.Statement:

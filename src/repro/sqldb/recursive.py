@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.errors import ExecutionError
+from repro.obs import maybe_span
 from repro.sqldb.executor import CTEFrame, ExecutionEnv
 from repro.sqldb.planner import Plan, PlannedCTE
 
@@ -26,8 +27,22 @@ from repro.sqldb.planner import Plan, PlannedCTE
 MAX_ITERATIONS = 10_000
 
 
+def _limit_error(planned: PlannedCTE, limit: int) -> ExecutionError:
+    return ExecutionError(
+        f"recursive CTE {planned.name!r} produced more than "
+        f"{limit} rows; aborting (cyclic data with "
+        f"UNION ALL?)"
+    )
+
+
 def materialize_cte(planned: PlannedCTE, env: ExecutionEnv) -> CTEFrame:
-    """Materialise *planned* into *env* and return the final frame."""
+    """Materialise *planned* into *env* and return the final frame.
+
+    The recursion limit is enforced *inside* the row-append loops (and
+    the branches are iterated lazily), so a runaway round over cyclic
+    data aborts as soon as the accumulated result crosses the limit —
+    it never first materialises an unboundedly large round in memory.
+    """
     if not planned.recursive:
         rows = _run_plan(planned.seed_plans[0], env)
         frame = CTEFrame(columns=list(planned.columns), rows=rows)
@@ -38,16 +53,20 @@ def materialize_cte(planned: PlannedCTE, env: ExecutionEnv) -> CTEFrame:
         raise ExecutionError(
             "naive fixpoint evaluation requires UNION (distinct) semantics"
         )
+    recorder = getattr(env, "recorder", None)
+    limit = env.recursion_limit
     seen = set()
     accumulated: List[tuple] = []
     delta: List[tuple] = []
     for plan in planned.seed_plans:
-        for row in _run_plan(plan, env):
+        for row in plan.rows(env):
             if planned.distinct:
                 if row in seen:
                     continue
                 seen.add(row)
             accumulated.append(row)
+            if len(accumulated) > limit:
+                raise _limit_error(planned, limit)
             delta.append(row)
     iterations = 0
     while delta:
@@ -66,20 +85,26 @@ def materialize_cte(planned: PlannedCTE, env: ExecutionEnv) -> CTEFrame:
             CTEFrame(columns=list(planned.columns), rows=list(working)),
         )
         next_delta: List[tuple] = []
-        for plan in planned.recursive_plans:
-            for row in _run_plan(plan, env):
-                if planned.distinct:
-                    if row in seen:
-                        continue
-                    seen.add(row)
-                accumulated.append(row)
-                next_delta.append(row)
-        if len(accumulated) > env.recursion_limit:
-            raise ExecutionError(
-                f"recursive CTE {planned.name!r} produced more than "
-                f"{env.recursion_limit} rows; aborting (cyclic data with "
-                f"UNION ALL?)"
-            )
+        with maybe_span(
+            recorder,
+            "cte.fixpoint_round",
+            kind="executor",
+            cte=planned.name,
+            round=iterations,
+            delta_in=len(working),
+        ) as span:
+            for plan in planned.recursive_plans:
+                for row in plan.rows(env):
+                    if planned.distinct:
+                        if row in seen:
+                            continue
+                        seen.add(row)
+                    accumulated.append(row)
+                    if len(accumulated) > limit:
+                        raise _limit_error(planned, limit)
+                    next_delta.append(row)
+            if span is not None:
+                span.meta["delta_out"] = len(next_delta)
         delta = next_delta
     frame = CTEFrame(columns=list(planned.columns), rows=accumulated)
     env.bind_cte(planned.name, frame)

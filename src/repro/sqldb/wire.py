@@ -32,6 +32,12 @@ _TAG_FLOAT = b"D"
 _TAG_BOOL = b"B"
 _TAG_STR = b"S"
 
+#: The wire integer type is a signed 64-bit big-endian word; Python ints
+#: outside this range must fail as a protocol error (an ERROR envelope),
+#: never as a bare ``struct.error`` that would kill the server.
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+
 
 def encode_value(value: Any) -> bytes:
     """Encode one SQL value."""
@@ -40,6 +46,10 @@ def encode_value(value: Any) -> bytes:
     if isinstance(value, bool):
         return _TAG_BOOL + (b"\x01" if value else b"\x00")
     if isinstance(value, int):
+        if not INT64_MIN <= value <= INT64_MAX:
+            raise ProtocolError(
+                f"integer {value} is outside the int64 wire range"
+            )
         return _TAG_INT + struct.pack(">q", value)
     if isinstance(value, float):
         return _TAG_FLOAT + struct.pack(">d", value)

@@ -4,10 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.workload import build_scenario, scenario_rules
+from repro.bench.workload import build_scenario
 from repro.model.parameters import TreeParameters
 from repro.network.profiles import WAN_256
-from repro.pdm.generator import figure2_dataset, generate_product
+from repro.pdm.generator import figure2_dataset
 from repro.pdm.schema import create_pdm_schema, load_product
 from repro.sqldb.database import Database
 

@@ -13,7 +13,6 @@ from repro.model.parameters import (
     NetworkParameters,
     PAPER_NETWORKS,
     PAPER_TREES,
-    TreeParameters,
 )
 from repro.model.response_time import (
     Action,

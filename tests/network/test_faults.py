@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import FaultConfigurationError, MessageDropped
-from repro.network.clock import SimulatedClock
 from repro.network.faults import (
     CHAOS_PRESETS,
     DROP_5,
@@ -19,7 +18,6 @@ from repro.network.faults import (
     FaultyLink,
     RetryPolicy,
 )
-from repro.network.link import NetworkLink
 from repro.network.profiles import WAN_256
 
 

@@ -1,7 +1,5 @@
 """Network link: timing arithmetic, packetisation, accounting modes."""
 
-import math
-
 import pytest
 
 from repro.errors import LinkConfigurationError, NetworkError

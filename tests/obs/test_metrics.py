@@ -1,0 +1,81 @@
+"""The metrics registry: monotonic counters and fixed-bucket histograms."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    BYTES_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    ROWS_BUCKETS,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("c")
+        with pytest.raises(ReproError):
+            counter.inc(-1)
+        assert counter.value == 0
+
+
+class TestHistogram:
+    def test_bucketing_is_inclusive_upper_bound(self):
+        histogram = Histogram("h", (1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            histogram.observe(value)
+        assert histogram.counts == [2, 2, 1]  # le_1, le_10, overflow
+        assert histogram.count == 5
+        assert histogram.min == 0.5
+        assert histogram.max == 11.0
+        assert histogram.mean == pytest.approx(27.5 / 5)
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ReproError):
+            Histogram("h", (10.0, 1.0))
+        with pytest.raises(ReproError):
+            Histogram("h", ())
+
+    def test_to_dict_shape(self):
+        histogram = Histogram("h", (1.0,))
+        histogram.observe(0.5)
+        data = histogram.to_dict()
+        assert data["count"] == 1
+        assert data["buckets"] == {"le_1": 1, "overflow": 0}
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("h", (1.0,)).mean == 0.0
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc()
+        assert registry.counter("a").value == 2
+
+    def test_histogram_existing_bounds_win(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("h", BYTES_BUCKETS)
+        again = registry.histogram("h", ROWS_BUCKETS)
+        assert again is first
+        assert again.bounds == tuple(float(b) for b in BYTES_BUCKETS)
+
+    def test_to_dict_sorted_and_json_friendly(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.histogram("h", (1.0,)).observe(0.5)
+        data = registry.to_dict()
+        assert list(data["counters"]) == ["a", "b"]
+        json.dumps(data)  # must be serialisable as exported

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import CheckOutError
-from repro.pdm.operations import CheckOutMode, ExpandStrategy
+from repro.pdm.operations import CheckOutMode
 from repro.rules.conditions import Attribute, Comparison, Const, ForAllRows
 from repro.rules.model import Actions, Rule
 

@@ -5,8 +5,6 @@ exactly the Figure 3 result table.  Sections 5.3.1-5.3.3: the three tree
 condition examples must behave as the paper describes.
 """
 
-import pytest
-
 RECURSIVE_CTE = """
 WITH RECURSIVE rtbl (type, obid, name, dec) AS
 (SELECT type, obid, name, dec FROM assy WHERE assy.obid = 1

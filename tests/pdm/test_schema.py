@@ -1,8 +1,6 @@
 """PDM schema: DDL, loading, stored functions, server/client parity."""
 
-import pytest
-
-from repro.pdm.generator import figure2_dataset, generate_product
+from repro.pdm.generator import generate_product
 from repro.pdm.schema import (
     CLIENT_FUNCTIONS,
     HOMOGENISED_COLUMNS,

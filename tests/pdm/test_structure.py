@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import PDMError
-from repro.pdm.structure import StructureNode, build_tree, trees_equal
+from repro.pdm.structure import build_tree, trees_equal
 
 COLUMNS = ["type", "obid", "name", "left", "right"]
 

@@ -23,7 +23,6 @@ from repro.rules.translate import (
     translate_exists_structure,
     translate_forall,
     translate_row_condition,
-    translate_term,
     translate_tree_aggregate,
 )
 from repro.sqldb.parser import parse_expression

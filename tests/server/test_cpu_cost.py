@@ -74,6 +74,67 @@ class TestCharging:
         assert server.last_cpu_seconds == 0.0
 
 
+class TestBatchAccounting:
+    """Regression: a BATCH of N statements used to be charged for only
+    the *last* statement's scan (the server read ``last_counters`` once
+    per request); the per-request accumulator must charge all N."""
+
+    def test_batch_charges_every_statement_scan(self):
+        server, connection = make_stack(
+            LAN, CpuCostModel(seconds_per_row_scanned=0.0001)
+        )
+        results = connection.execute_batch(
+            [
+                ("SELECT COUNT(*) FROM t", []),
+                ("SELECT COUNT(*) FROM t WHERE v >= 0", []),
+            ]
+        )
+        assert all(not isinstance(r, Exception) for r in results)
+        # Two full scans of 500 rows, not one.
+        assert server.last_cpu_seconds == pytest.approx(2 * 500 * 0.0001)
+
+    def test_batch_matches_equivalent_single_statements(self):
+        cost = CpuCostModel(
+            seconds_per_statement=0.01, seconds_per_row_scanned=0.0001
+        )
+        statements = [
+            ("SELECT COUNT(*) FROM t", []),
+            ("SELECT COUNT(*) FROM t WHERE v >= 0", []),
+        ]
+        server_single, connection_single = make_stack(LAN, cost)
+        single_total = 0.0
+        for sql, params in statements:
+            connection_single.execute(sql, params)
+            single_total += server_single.last_cpu_seconds
+        server_batch, connection_batch = make_stack(LAN, cost)
+        connection_batch.execute_batch(statements)
+        assert server_batch.last_cpu_seconds == pytest.approx(single_total)
+
+    def test_failed_batch_entries_not_charged(self):
+        server, connection = make_stack(
+            LAN, CpuCostModel(seconds_per_row_scanned=0.0001)
+        )
+        results = connection.execute_batch(
+            [
+                ("SELECT COUNT(*) FROM t", []),
+                ("SELECT * FROM missing", []),
+            ]
+        )
+        assert isinstance(results[1], Exception)
+        assert server.last_cpu_seconds == pytest.approx(500 * 0.0001)
+
+    def test_dml_after_select_not_charged_stale_scan(self):
+        """Regression: ``last_counters`` was left stale by DML, so an
+        UPDATE following a big SELECT got billed for the SELECT's scan."""
+        server, connection = make_stack(
+            LAN, CpuCostModel(seconds_per_row_scanned=0.0001)
+        )
+        connection.execute("SELECT COUNT(*) FROM t")
+        assert server.last_cpu_seconds == pytest.approx(0.05)
+        connection.execute("INSERT INTO t VALUES (999)")
+        assert server.last_cpu_seconds == 0.0
+
+
 class TestSection6Caveat:
     def test_cpu_negligible_on_wan_visible_on_lan(self):
         """'In higher bandwidth environments ... it may be reasonable to

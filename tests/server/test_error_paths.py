@@ -1,0 +1,103 @@
+"""Hardened server error paths: a request may fail, the server may not.
+
+Regression tests for two crash modes:
+
+* an int64-overflowing value in a result set used to escape ``handle``
+  as a bare ``struct.error`` (only ``ReproError`` was caught), killing
+  the simulated server mid-request;
+* any unexpected exception below the wire layer (e.g. a buggy server
+  procedure) did the same.
+
+Both must now cost the client one error round trip and leave the server
+answering the next request normally.
+"""
+
+import pytest
+
+from repro.errors import ProtocolError, ReproError
+from repro.network.profiles import LAN
+from repro.server import protocol
+from repro.server.client import RemoteConnection
+from repro.server.protocol import Opcode
+from repro.server.server import DatabaseServer
+from repro.sqldb import Database
+from repro.sqldb.wire import INT64_MAX
+
+
+@pytest.fixture
+def stack():
+    db = Database()
+    db.execute("CREATE TABLE t (v INTEGER)")
+    db.execute("INSERT INTO t VALUES (1)")
+    server = DatabaseServer(db)
+    return server, RemoteConnection(server, LAN.create_link())
+
+
+class TestOversizedIntegers:
+    def test_overflowing_result_becomes_error_frame(self, stack):
+        server, connection = stack
+        with pytest.raises(ProtocolError):
+            connection.execute(f"SELECT {INT64_MAX} + 1")
+        assert server.statistics["errors"] == 1
+
+    def test_server_survives_and_answers_next_request(self, stack):
+        server, connection = stack
+        with pytest.raises(ProtocolError):
+            connection.execute(f"SELECT {INT64_MAX} + 1")
+        assert connection.execute("SELECT v FROM t").rows == [(1,)]
+
+    def test_overflow_in_batch_poisons_only_its_entry(self, stack):
+        server, connection = stack
+        results = connection.execute_batch(
+            [
+                ("SELECT v FROM t", []),
+                (f"SELECT {INT64_MAX} + 1", []),
+                ("SELECT v + 1 FROM t", []),
+            ]
+        )
+        assert results[0].rows == [(1,)]
+        assert isinstance(results[1], ReproError)
+        assert results[2].rows == [(2,)]
+
+
+class TestUnexpectedExceptions:
+    def test_buggy_procedure_becomes_error_frame(self, stack):
+        server, connection = stack
+
+        def buggy(database, *args):
+            raise ValueError("procedure bug")
+
+        server.register_procedure("buggy", buggy)
+        with pytest.raises(ProtocolError) as excinfo:
+            connection.call_procedure("buggy")
+        assert "internal server error" in str(excinfo.value)
+        assert "ValueError" in str(excinfo.value)
+        assert server.statistics["errors"] == 1
+
+    def test_server_survives_buggy_procedure(self, stack):
+        server, connection = stack
+        server.register_procedure(
+            "buggy", lambda database: (_ for _ in ()).throw(RuntimeError("x"))
+        )
+        with pytest.raises(ProtocolError):
+            connection.call_procedure("buggy")
+        assert connection.execute("SELECT v FROM t").rows == [(1,)]
+        assert connection.ping() > 0
+
+    def test_raw_handle_returns_error_envelope(self, stack):
+        """At the frame level: the response is a decodable ERROR frame,
+        not an exception escaping ``handle``."""
+        server, __ = stack
+        server.register_procedure(
+            "buggy", lambda database: (_ for _ in ()).throw(KeyError("k"))
+        )
+        request = protocol.encode_envelope(
+            Opcode.CALL_PROCEDURE,
+            protocol.encode_procedure_call("buggy", []),
+        )
+        response = server.handle(request)
+        opcode, body = protocol.decode_envelope(response)
+        assert opcode is Opcode.ERROR
+        kind, message = protocol.decode_error(body)
+        assert kind == "ProtocolError"
+        assert "KeyError" in message

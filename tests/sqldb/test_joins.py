@@ -156,7 +156,7 @@ class TestIndexEquivalence:
         # Sanity: the indexed point query actually uses the index.
         from repro.sqldb.parser import parse_statement
         from repro.sqldb.planner import Planner
-        from repro.sqldb.executor import ExecutionEnv, IndexLookup
+        from repro.sqldb.executor import IndexLookup
 
         plan = Planner(db.catalog, db.functions).plan_select(
             parse_statement("SELECT * FROM emp WHERE dept_id = ?")

@@ -59,7 +59,9 @@ class TestJoinsAgainstReference:
                 expected.extend((lk, rv) for rv in matches)
             else:
                 expected.append((lk, None))
-        key = lambda row: (row[0], -(10**9) if row[1] is None else row[1])
+        def key(row):
+            return (row[0], -(10**9) if row[1] is None else row[1])
+
         assert sorted(result.rows, key=key) == sorted(expected, key=key)
 
     @given(rows_left, rows_right)

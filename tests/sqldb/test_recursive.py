@@ -225,3 +225,62 @@ class TestNaiveFixpointAblation:
                 "SELECT COUNT(*) FROM s"
             )
         graph_db.enable_seminaive = True
+
+
+class TestRecursionLimitMidRound:
+    """Regression: the guard used to run only *between* rounds, so a
+    single explosive round materialised every row (doing all its work —
+    function calls, scans) before the limit fired. It must now abort
+    inside the row-append loop."""
+
+    WIDE = 38  # one parent with this many children: one huge round
+
+    @pytest.fixture
+    def wide_db(self):
+        db = Database()
+        db.execute("CREATE TABLE e (p INTEGER, c INTEGER)")
+        db.executemany(
+            "INSERT INTO e VALUES (?, ?)",
+            [(1, 100 + i) for i in range(self.WIDE)],
+        )
+        return db
+
+    def test_limit_enforced_inside_a_round(self, wide_db):
+        calls = []
+
+        def tick(value):
+            calls.append(value)
+            return value
+
+        wide_db.register_function("tick", tick)
+        wide_db.recursion_limit = 10
+        with pytest.raises(ExecutionError, match="produced more than"):
+            wide_db.execute(
+                "WITH RECURSIVE r (n) AS "
+                "(SELECT 1 UNION ALL "
+                " SELECT tick(e.c) FROM r JOIN e ON e.p = r.n) "
+                "SELECT * FROM r"
+            )
+        # Lazy enforcement: the round stops as soon as the accumulator
+        # crosses the limit, instead of evaluating all WIDE rows first.
+        assert 0 < len(calls) <= wide_db.recursion_limit + 1
+        assert len(calls) < self.WIDE
+
+    def test_limit_enforced_on_explosive_seed(self, wide_db):
+        wide_db.recursion_limit = 5
+        with pytest.raises(ExecutionError, match="produced more than"):
+            wide_db.execute(
+                "WITH RECURSIVE r (n) AS "
+                "(SELECT c FROM e UNION ALL "
+                " SELECT n FROM r WHERE n < 0) "
+                "SELECT * FROM r"
+            )
+
+    def test_queries_under_the_limit_unaffected(self, wide_db):
+        wide_db.recursion_limit = 50
+        result = wide_db.execute(
+            "WITH RECURSIVE r (n) AS "
+            "(SELECT 1 UNION ALL SELECT e.c FROM r JOIN e ON e.p = r.n) "
+            "SELECT COUNT(*) FROM r"
+        )
+        assert result.scalar() == 1 + self.WIDE

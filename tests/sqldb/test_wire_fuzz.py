@@ -8,7 +8,7 @@ into the server loop) and must never hang.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ProtocolError, ReproError
+from repro.errors import ProtocolError
 from repro.server import protocol
 from repro.sqldb import wire
 

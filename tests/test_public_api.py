@@ -4,8 +4,6 @@ A downstream user should be able to drive the whole reproduction through
 ``import repro`` — this suite is the contract.
 """
 
-import pytest
-
 import repro
 
 
