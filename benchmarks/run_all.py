@@ -165,6 +165,33 @@ def run_trace(tree, scenario, profile, fault_seed: int) -> dict:
     return summary
 
 
+def lint_summary() -> dict:
+    """Static-analyzer counters for the report: the bench queries must
+    stay lint-clean, and a regression shows up here before it shows up
+    as a slow number."""
+    from collections import Counter
+
+    from repro.analysis import Severity, analyze_sql
+    from repro.analysis.templates import template_queries
+
+    by_severity = Counter()
+    clean = 0
+    templates = template_queries()
+    for _name, sql in templates:
+        findings = analyze_sql(sql)
+        if not findings:
+            clean += 1
+        for finding in findings:
+            by_severity[finding.severity.name] += 1
+    return {
+        "templates": len(templates),
+        "clean_templates": clean,
+        "findings": {name: by_severity[name] for name in sorted(by_severity)},
+        "gate_ok": by_severity[Severity.WARNING.name] == 0
+        and by_severity[Severity.ERROR.name] == 0,
+    }
+
+
 def run(scale: str, fault_profile=None, fault_seed: int = 1, trace_profile=None) -> dict:
     if scale == "small":
         # Deep enough that the padded IN-list shapes repeat and the
@@ -194,6 +221,7 @@ def run(scale: str, fault_profile=None, fault_seed: int = 1, trace_profile=None)
             "result_nodes": measured.result_nodes,
         }
     opcode_traffic = dict(scenario.link.stats.opcode_messages)
+    lint = lint_summary()
     report = {
         "scale": scale,
         "tree": {
@@ -207,6 +235,7 @@ def run(scale: str, fault_profile=None, fault_seed: int = 1, trace_profile=None)
         },
         "strategies": results,
         "opcode_messages": opcode_traffic,
+        "lint": lint,
     }
     if fault_profile is not None and not fault_profile.perfect:
         report["faults"] = run_chaos(tree, scenario, fault_profile, fault_seed)
@@ -255,6 +284,11 @@ def check(report: dict) -> list:
                 f"{faults['profile']} (seed {faults['fault_seed']}) "
                 f"injected no faults — chaos smoke proved nothing"
             )
+    lint = report.get("lint")
+    if lint and not lint["gate_ok"]:
+        failures.append(
+            f"bench query templates are not lint-clean: {lint['findings']}"
+        )
     trace = report.get("trace")
     if trace:
         decomposition = trace["decomposition"]

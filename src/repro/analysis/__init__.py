@@ -1,0 +1,55 @@
+"""Static query/plan analyzer for the PDM reproduction.
+
+Three rule families over the :mod:`repro.sqldb` AST (and, when a database
+is available, its plans):
+
+* **Recursion safety** (R001-R003): linearity, monotonicity, termination
+  of recursive CTEs.
+* **Pushdown safety** (P001-P003): Section 5.5 placement of rule
+  predicates, sargability, plan-cache-friendly IN-list shapes.
+* **WAN anti-patterns** (W001-W003): navigational point-SELECTs,
+  index-ignoring full scans, cartesian products.
+
+Entry points: :func:`analyze_sql` / :func:`analyze_statement` for one
+statement, :func:`analyze_workload` for a statement sequence,
+``Database.lint(sql)`` and the ``LINT <query>`` statement for the engine
+surface, ``DatabaseServer(strict_lint=True)`` for the server gate, and
+``python -m repro.analysis`` for the CLI.
+
+This package deliberately imports only :mod:`repro.errors` and
+:mod:`repro.sqldb` — the server imports it for strict mode and the PDM
+layer re-exports its bucket constant, so anything higher would cycle.
+"""
+
+from repro.analysis.analyzer import analyze_sql, analyze_statement
+from repro.analysis.findings import (
+    PLAN_CACHE_KEY_BUCKETS,
+    RULE_CATALOG,
+    Finding,
+    RuleInfo,
+    Severity,
+    errors_only,
+    is_lint_clean,
+    max_severity,
+)
+from repro.analysis.workload import (
+    REPEAT_THRESHOLD,
+    WorkloadReport,
+    analyze_workload,
+)
+
+__all__ = [
+    "PLAN_CACHE_KEY_BUCKETS",
+    "REPEAT_THRESHOLD",
+    "RULE_CATALOG",
+    "Finding",
+    "RuleInfo",
+    "Severity",
+    "WorkloadReport",
+    "analyze_sql",
+    "analyze_statement",
+    "analyze_workload",
+    "errors_only",
+    "is_lint_clean",
+    "max_severity",
+]

@@ -1,0 +1,149 @@
+"""Finding and rule-catalog data types of the static analyzer.
+
+Severity semantics:
+
+* ``ERROR``   — the statement is semantically unsafe (non-linear or
+  non-monotonic recursion, a tree condition pushed into the recursive
+  part).  Server strict mode refuses to execute these.
+* ``WARNING`` — the statement will execute correctly but with a cost
+  profile the paper warns about (unguarded UNION ALL recursion, plan-
+  cache-defeating IN-lists, full scans, cartesian products).
+* ``INFO``    — a shape worth knowing about in context (a single
+  navigational point-SELECT is fine; ten thousand of them are Table 2).
+
+"Lint-clean" means: no finding at WARNING or above.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels; comparisons follow the integer order."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding, anchored to a location in the statement."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    node_path: str
+
+    def as_row(self) -> Tuple[str, str, str, str]:
+        """The finding as a result-set row (``LINT <query>`` output)."""
+        return (self.rule_id, self.severity.name, self.message, self.node_path)
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Catalog entry: what a rule checks and where the paper motivates it."""
+
+    rule_id: str
+    title: str
+    default_severity: Severity
+    paper_section: str
+
+
+#: rule_id -> catalog entry.  The paper-section mapping is documented in
+#: ARCHITECTURE.md section 8.
+RULE_CATALOG: Dict[str, RuleInfo] = {
+    rule.rule_id: rule
+    for rule in (
+        RuleInfo(
+            "R001",
+            "non-linear recursion (recursive relation referenced more than "
+            "once in one recursive branch)",
+            Severity.ERROR,
+            "5.2 (SQL:1999 linear recursion)",
+        ),
+        RuleInfo(
+            "R002",
+            "non-monotonic recursion (EXCEPT/INTERSECT, aggregation, or "
+            "negated membership over the recursive member)",
+            Severity.ERROR,
+            "5.2 (fixpoint monotonicity)",
+        ),
+        RuleInfo(
+            "R003",
+            "unguarded recursion (UNION ALL with neither cycle protection "
+            "nor a depth guard)",
+            Severity.WARNING,
+            "5.2 / 5.6 (termination on cyclic data, partial expand)",
+        ),
+        RuleInfo(
+            "P001",
+            "tree condition pushed into the recursive part (∀rows / "
+            "tree-aggregate predicates belong in the outer SELECT)",
+            Severity.ERROR,
+            "5.5 steps A-B",
+        ),
+        RuleInfo(
+            "P002",
+            "non-sargable predicate (indexed column wrapped in an "
+            "expression, or LIKE with a leading wildcard)",
+            Severity.WARNING,
+            "5.4 (access-path tuning)",
+        ),
+        RuleInfo(
+            "P003",
+            "unpadded parameter IN-list (defeats the plan cache's "
+            "fixed-shape bucketing)",
+            Severity.WARNING,
+            "6 (prepared statements; PR-1 bucketed IN-lists)",
+        ),
+        RuleInfo(
+            "W001",
+            "navigational point-SELECT (per-node fetch shape that should "
+            "be batched or recursive over a WAN)",
+            Severity.INFO,
+            "2 / 4.2 (Table 2 response times)",
+        ),
+        RuleInfo(
+            "W002",
+            "full scan on an indexed column (the plan ignores a usable "
+            "index)",
+            Severity.WARNING,
+            "5.4 (index usage)",
+        ),
+        RuleInfo(
+            "W003",
+            "cartesian product (FROM relations not connected by any join "
+            "predicate)",
+            Severity.WARNING,
+            "6 (transfer volume dominates)",
+        ),
+    )
+}
+
+
+#: IN-list sizes the batched expand pads its frontier chunks to.  A fixed
+#: set of shapes bounds the number of distinct SQL texts, so the server's
+#: plan cache starts hitting after the first few levels.  This is the
+#: canonical definition; :mod:`repro.pdm.operations` re-exports it.
+PLAN_CACHE_KEY_BUCKETS: Tuple[int, ...] = (1, 4, 16, 64, 256)
+
+
+def max_severity(findings: Sequence[Finding]) -> Severity:
+    """Highest severity among *findings* (INFO when empty)."""
+    return max(
+        (finding.severity for finding in findings), default=Severity.INFO
+    )
+
+
+def is_lint_clean(findings: Sequence[Finding]) -> bool:
+    """True when nothing at WARNING or above was found."""
+    return all(finding.severity < Severity.WARNING for finding in findings)
+
+
+def errors_only(findings: Sequence[Finding]) -> List[Finding]:
+    """The subset of findings at ERROR severity."""
+    return [f for f in findings if f.severity >= Severity.ERROR]

@@ -21,6 +21,7 @@ from repro.errors import (
     CheckOutError,
     CircuitOpenError,
     ExecutionError,
+    LintViolation,
     MessageDropped,
     ProtocolError,
     ReproError,
@@ -40,6 +41,7 @@ from repro.sqldb.result import ResultSet
 _ERROR_TYPES = {
     "CheckOutError": CheckOutError,
     "ExecutionError": ExecutionError,
+    "LintViolation": LintViolation,
     "ProtocolError": ProtocolError,
 }
 

@@ -13,7 +13,14 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import FrameCorrupted, ProtocolError, ReproError
+from repro.analysis import errors_only
+from repro.errors import (
+    FrameCorrupted,
+    LintViolation,
+    ProtocolError,
+    ReproError,
+    SQLError,
+)
 from repro.obs import ROWS_BUCKETS, maybe_span
 from repro.server import protocol
 from repro.server.protocol import Opcode
@@ -59,10 +66,25 @@ class DatabaseServer:
     """Request handler bound to one :class:`Database` instance."""
 
     def __init__(
-        self, database: Database, cpu_cost: Optional[CpuCostModel] = None
+        self,
+        database: Database,
+        cpu_cost: Optional[CpuCostModel] = None,
+        strict_lint: bool = False,
     ) -> None:
         self.database = database
         self.cpu_cost = cpu_cost if cpu_cost is not None else CpuCostModel()
+        #: With strict lint on, statements with ERROR-severity analyzer
+        #: findings (non-linear / non-monotonic recursion, misplaced tree
+        #: conditions) are rejected with a :class:`LintViolation` ERROR
+        #: frame *before* execution — the statement never runs.
+        self.strict_lint = strict_lint
+        #: sql text -> LintViolation (or None for clean/unlintable text);
+        #: a navigational client repeats identical statement text, so the
+        #: gate is an LRU on exactly that text.
+        self._lint_cache: "OrderedDict[str, Optional[LintViolation]]" = (
+            OrderedDict()
+        )
+        self.lint_cache_size = 256
         #: CPU seconds charged for the most recent request (consumed by
         #: the client driver to advance the simulated clock).
         self.last_cpu_seconds = 0.0
@@ -90,7 +112,44 @@ class DatabaseServer:
             "sequenced_requests": 0,
             "duplicates_suppressed": 0,
             "crc_rejects": 0,
+            "lint_checks": 0,
+            "lint_rejections": 0,
         }
+
+    def _lint_gate(self, sql: str) -> None:
+        """Raise :class:`LintViolation` for ERROR-severity findings.
+
+        Purely static: the analyzer parses and plans but never executes,
+        so a gated statement has no effect on the database whatsoever.
+        Lint failures of the analyzer itself (unparseable text, unknown
+        tables) are swallowed — execution will report the real error.
+        """
+        if not self.strict_lint:
+            return
+        self.statistics["lint_checks"] += 1
+        if sql in self._lint_cache:
+            self._lint_cache.move_to_end(sql)
+            violation = self._lint_cache[sql]
+        else:
+            violation = None
+            try:
+                findings = self.database.lint(sql)
+            except SQLError:
+                findings = []
+            errors = errors_only(findings)
+            if errors:
+                details = "; ".join(
+                    f"{f.rule_id} [{f.node_path}] {f.message}" for f in errors
+                )
+                violation = LintViolation(
+                    f"statement rejected by strict lint: {details}"
+                )
+            self._lint_cache[sql] = violation
+            while len(self._lint_cache) > self.lint_cache_size:
+                self._lint_cache.popitem(last=False)
+        if violation is not None:
+            self.statistics["lint_rejections"] += 1
+            raise violation
 
     def register_procedure(self, name: str, procedure: ServerProcedure) -> None:
         """Install a server procedure callable via CALL_PROCEDURE requests."""
@@ -244,6 +303,7 @@ class DatabaseServer:
     def _handle_query(self, body: bytes) -> bytes:
         sql, params = wire.decode_query(body)
         self.statistics["queries"] += 1
+        self._lint_gate(sql)
         result = self.database.execute(sql, params)
         self._statement_done(result)
         return protocol.encode_envelope(Opcode.RESULT, wire.encode_result(result))
@@ -261,6 +321,7 @@ class DatabaseServer:
         for sql, params in statements:
             self.statistics["batch_statements"] += 1
             try:
+                self._lint_gate(sql)
                 result = self.database.execute(sql, params)
             except ReproError as error:
                 self.statistics["errors"] += 1

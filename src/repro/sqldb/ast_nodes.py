@@ -388,6 +388,17 @@ class Explain:
     analyze: bool = False
 
 
+@dataclass
+class Lint:
+    """``LINT <select>`` — static-analysis findings as result rows.
+
+    The wrapped statement is parsed and analyzed but never executed; the
+    result set carries one row per :class:`repro.analysis.Finding`.
+    """
+
+    statement: "SelectStatement"
+
+
 Statement = Union[
     SelectStatement, CreateTable, CreateIndex, DropTable, Insert, Update, Delete
 ]

@@ -159,6 +159,26 @@ class Database:
         """Return the physical plan of a SELECT statement as text rows."""
         return self.execute(f"EXPLAIN {sql}")
 
+    def plan_statement(self, statement: ast.SelectStatement) -> Plan:
+        """Plan a SELECT without executing or caching it.
+
+        Public for the static analyzer (:mod:`repro.analysis`), whose
+        plan-level rules inspect access paths; planning touches only the
+        catalog, never table data.
+        """
+        return self._plan(statement)
+
+    def lint(self, sql: str) -> list:
+        """Statically analyze *sql* and return the list of
+        :class:`repro.analysis.Finding` — without executing anything.
+
+        Imported lazily: the engine layer stays importable without the
+        analysis package and vice versa.
+        """
+        from repro.analysis import analyze_sql
+
+        return analyze_sql(sql, database=self)
+
     # -- transactions ------------------------------------------------------------
 
     @property
@@ -297,6 +317,14 @@ class Database:
             else:
                 lines = explain_plan(plan)
             return ResultSet(["plan"], [(line,) for line in lines])
+        if isinstance(statement, ast.Lint):
+            from repro.analysis import analyze_statement
+
+            findings = analyze_statement(statement.statement, database=self)
+            return ResultSet(
+                ["rule_id", "severity", "message", "node_path"],
+                [finding.as_row() for finding in findings],
+            )
         raise ExecutionError(
             f"unsupported statement type {type(statement).__name__}"
         )

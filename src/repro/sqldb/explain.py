@@ -87,6 +87,13 @@ def explain_analyze_plan(plan: Plan, env) -> List[str]:
     return lines
 
 
+def plan_operators(plan: Plan) -> List[Operator]:
+    """Every operator instance in *plan*, CTE branches included.  Public
+    so the static analyzer (:mod:`repro.analysis`) can inspect access
+    paths without executing anything."""
+    return _all_operators(plan)
+
+
 def _all_operators(plan: Plan) -> List[Operator]:
     """Every operator instance in the plan, CTE branches included."""
     operators: List[Operator] = []

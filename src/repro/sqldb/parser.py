@@ -174,6 +174,14 @@ class _Parser:
             return ast.Explain(
                 statement=self.parse_select_statement(), analyze=analyze
             )
+        # LINT is a soft keyword, like ANALYZE: it only has meaning at the
+        # start of a statement, so a column or table named "lint" keeps
+        # working everywhere else.
+        if token.kind is TokenKind.IDENT and token.value.upper() == "LINT":
+            nxt = self.peek(1)
+            if nxt.matches_keyword("SELECT", "WITH"):
+                self.advance()
+                return ast.Lint(statement=self.parse_select_statement())
         raise ParseError(f"expected a statement, found {token}")
 
     def _parse_create(self) -> ast.Statement:
@@ -359,15 +367,14 @@ class _Parser:
             right = self._parse_select_core()
             left = ast.SetOperation(operator=operator, left=left, right=right)
 
-    def _parse_select_core(self) -> ast.SelectCore:
+    def _parse_select_core(self) -> Union[ast.SelectCore, ast.SetOperation]:
         if self.accept_punct("("):
-            # Parenthesised query body used as a set-operation operand.
+            # Parenthesised query body used as a set-operation operand.  A
+            # parenthesised set operation keeps its grouping in the AST
+            # (``a UNION (b EXCEPT c)`` stays right-nested), which is what
+            # the renderer emits for non-left-associated trees.
             inner = self._parse_query_body()
             self.expect_punct(")")
-            if isinstance(inner, ast.SetOperation):
-                raise ParseError(
-                    "nested parenthesised set operations are not supported"
-                )
             return inner
         self.expect_keyword("SELECT")
         distinct = bool(self.accept_keyword("DISTINCT"))

@@ -45,6 +45,11 @@ from repro.sqldb.executor import (
     Sort,
     UnionAll,
 )
+from repro.sqldb.ast_walk import (
+    core_references as _core_references,
+    flatten_set_operations as _flatten_set_operations,
+    split_conjuncts as _split_conjuncts,
+)
 from repro.sqldb.expressions import (
     CompileContext,
     Frame,
@@ -1058,15 +1063,6 @@ class Planner:
         return CompiledSubquery(plan, sub_frame.correlated)
 
 
-def _split_conjuncts(expression: Optional[ast.Expression]) -> List[ast.Expression]:
-    """Split a predicate on top-level ANDs."""
-    if expression is None:
-        return []
-    if isinstance(expression, ast.BinaryOp) and expression.operator == "AND":
-        return _split_conjuncts(expression.left) + _split_conjuncts(expression.right)
-    return [expression]
-
-
 def _strip_prefix(left_bindings, right_binds):
     """Bindings contributed by a join node = right side only (the caller
     already owns the left bindings)."""
@@ -1161,66 +1157,3 @@ def _rebuild(expression: ast.Expression, transform) -> ast.Expression:
     return expression
 
 
-def _flatten_set_operations(body) -> Tuple[List[ast.SelectCore], List[str]]:
-    """Flatten a left-associated set-operation tree into branch/operator
-    lists: ``a UNION b UNION ALL c`` -> ([a, b, c], ["UNION", "UNION ALL"])."""
-    if isinstance(body, ast.SelectCore):
-        return [body], []
-    left_branches, left_ops = _flatten_set_operations(body.left)
-    right_branches, right_ops = _flatten_set_operations(body.right)
-    return (
-        left_branches + right_branches,
-        left_ops + [body.operator] + right_ops,
-    )
-
-
-def _core_references(core: ast.SelectCore, table_name: str) -> bool:
-    """True if *core* references *table_name* anywhere (FROM items, join
-    trees, subqueries in any clause)."""
-    wanted = table_name.lower()
-
-    def from_item_references(item: ast.FromItem) -> bool:
-        if isinstance(item, ast.TableRef):
-            return item.name.lower() == wanted
-        if isinstance(item, ast.SubqueryRef):
-            return _statement_references(item.subquery, wanted)
-        if isinstance(item, ast.Join):
-            if from_item_references(item.left) or from_item_references(item.right):
-                return True
-            if item.condition is not None and _expression_references(
-                item.condition, wanted
-            ):
-                return True
-            return False
-        return False
-
-    for item in core.from_items:
-        if from_item_references(item):
-            return True
-    for clause in (core.where, core.having):
-        if clause is not None and _expression_references(clause, wanted):
-            return True
-    for select_item in core.items:
-        if isinstance(select_item, ast.SelectItem) and _expression_references(
-            select_item.expression, wanted
-        ):
-            return True
-    return False
-
-
-def _expression_references(expression: ast.Expression, wanted: str) -> bool:
-    for node in ast.walk_expression(expression):
-        if isinstance(node, (ast.ExistsTest, ast.InSubquery, ast.ScalarSubquery)):
-            if _statement_references(node.subquery, wanted):
-                return True
-    return False
-
-
-def _statement_references(statement: ast.SelectStatement, wanted: str) -> bool:
-    branches, __ = _flatten_set_operations(statement.body)
-    if statement.with_clause is not None:
-        for cte in statement.with_clause.ctes:
-            cte_branches, __ = _flatten_set_operations(cte.body)
-            if any(_core_references(branch, wanted) for branch in cte_branches):
-                return True
-    return any(_core_references(branch, wanted) for branch in branches)

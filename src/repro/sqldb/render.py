@@ -62,6 +62,8 @@ def render_statement(statement: ast.Statement) -> str:
         return "ROLLBACK"
     if isinstance(statement, ast.Explain):
         return f"EXPLAIN {render_select(statement.statement)}"
+    if isinstance(statement, ast.Lint):
+        return f"LINT {render_select(statement.statement)}"
     raise TypeError(f"cannot render {type(statement).__name__}")
 
 
@@ -112,9 +114,14 @@ def render_select(statement: ast.SelectStatement) -> str:
 
 def render_body(body: Union[ast.SelectCore, ast.SetOperation]) -> str:
     if isinstance(body, ast.SetOperation):
-        return (
-            f"{render_body(body.left)} {body.operator} {render_body(body.right)}"
-        )
+        # Set operators associate left in this dialect, so a right-nested
+        # operand must keep its parentheses: rendering
+        # ``a UNION (b EXCEPT c)`` without them would re-parse as
+        # ``(a UNION b) EXCEPT c`` — a different query.
+        right = render_body(body.right)
+        if isinstance(body.right, ast.SetOperation):
+            right = f"({right})"
+        return f"{render_body(body.left)} {body.operator} {right}"
     return _render_core(body)
 
 

@@ -1,0 +1,144 @@
+"""The analyzer's user-facing surfaces: Database.lint, the LINT
+statement, workload analysis, the template self-check, and the CLI."""
+
+import json
+
+from repro.analysis import (
+    PLAN_CACHE_KEY_BUCKETS,
+    REPEAT_THRESHOLD,
+    Severity,
+    analyze_sql,
+    analyze_workload,
+    is_lint_clean,
+)
+from repro.analysis.__main__ import main as cli_main
+from repro.analysis.templates import (
+    recursive_early_workload,
+    table2_late_workload,
+    template_queries,
+)
+from repro.sqldb import Database
+
+POINT_SELECT = "SELECT name FROM part WHERE obid = ?"
+
+
+class TestDatabaseSurfaces:
+    def test_lint_statement_returns_findings_as_rows(self):
+        db = Database()
+        result = db.execute("LINT SELECT name FROM part WHERE obid IN (?, ?, ?)")
+        assert result.columns == ["rule_id", "severity", "message", "node_path"]
+        assert [row[0] for row in result.rows] == ["P003"]
+
+    def test_lint_statement_clean_query_returns_no_rows(self):
+        db = Database()
+        result = db.execute(
+            "LINT SELECT name FROM part WHERE obid IN (?, ?, ?, ?)"
+        )
+        assert result.rows == []
+
+    def test_lint_statement_renders_and_reparses(self):
+        from repro.sqldb.parser import parse_statement
+        from repro.sqldb.render import render_statement
+
+        statement = parse_statement("LINT SELECT a FROM t")
+        assert parse_statement(render_statement(statement)) == statement
+
+    def test_database_lint_matches_analyze_sql(self):
+        db = Database()
+        db.execute("CREATE TABLE part (obid INTEGER PRIMARY KEY, name VARCHAR(10))")
+        assert db.lint(POINT_SELECT) == analyze_sql(POINT_SELECT, database=db)
+
+
+class TestWorkloadAnalysis:
+    def test_repeated_point_select_escalates(self):
+        report = analyze_workload([POINT_SELECT] * REPEAT_THRESHOLD)
+        w001 = [f for f in report.findings if f.rule_id == "W001"]
+        assert w001 and all(f.severity is Severity.WARNING for f in w001)
+        assert report.statement_count == REPEAT_THRESHOLD
+        assert report.distinct_shapes == 1
+
+    def test_below_threshold_stays_info(self):
+        report = analyze_workload([POINT_SELECT] * (REPEAT_THRESHOLD - 1))
+        w001 = [f for f in report.findings if f.rule_id == "W001"]
+        assert w001 and all(f.severity is Severity.INFO for f in w001)
+
+    def test_whitespace_variants_count_as_one_shape(self):
+        report = analyze_workload(
+            [POINT_SELECT, "SELECT name\n  FROM part WHERE obid = ?"] * 5
+        )
+        assert report.distinct_shapes == 1
+
+    def test_table2_late_workload_is_flagged(self):
+        report = analyze_workload(table2_late_workload(nodes=100))
+        assert report.max_severity is Severity.WARNING
+
+    def test_recursive_early_workload_is_clean(self):
+        report = analyze_workload(recursive_early_workload())
+        assert report.max_severity < Severity.WARNING
+
+
+class TestTemplateSelfCheck:
+    def test_every_template_is_lint_clean(self):
+        """Every query the PDM layer or the rule rewriter can emit must
+        have no findings at WARNING or above."""
+        dirty = {}
+        for name, sql in template_queries():
+            findings = analyze_sql(sql)
+            if not is_lint_clean(findings):
+                dirty[name] = [f.as_row() for f in findings]
+        assert not dirty, f"templates with warnings/errors: {dirty}"
+
+    def test_corpus_covers_builders_and_rewrites(self):
+        names = {name for name, __ in template_queries()}
+        assert "mle-recursive" in names
+        assert "rewrite-mle-early-inside" in names
+        assert any(name.startswith("batched-children") for name in names)
+
+    def test_bucket_constant_shared_with_pdm_client(self):
+        from repro.pdm import operations
+
+        assert operations.BATCH_KEY_BUCKETS is PLAN_CACHE_KEY_BUCKETS
+
+
+class TestCli:
+    def test_templates_mode_passes_warning_gate(self, capsys):
+        assert cli_main(["--templates", "--fail-on", "warning"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_late_workload_fails_warning_gate(self, capsys):
+        exit_code = cli_main(
+            ["--workload", "table2-late", "--nodes", "20", "--fail-on", "warning"]
+        )
+        assert exit_code == 1
+        assert "W001" in capsys.readouterr().out
+
+    def test_late_workload_passes_error_gate(self, capsys):
+        assert cli_main(["--workload", "table2-late", "--nodes", "20"]) == 0
+        capsys.readouterr()
+
+    def test_json_output(self, capsys):
+        assert cli_main(["--workload", "recursive-early", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["worst"] == "INFO"
+        assert payload["results"][0]["source"] == "workload:recursive-early"
+
+    def test_lints_sql_file(self, tmp_path, capsys):
+        workload = tmp_path / "workload.sql"
+        workload.write_text(
+            "SELECT name FROM part WHERE obid IN (?, ?, ?);\n"
+            "SELECT p.name, l.qty FROM part p, link l;\n"
+        )
+        exit_code = cli_main([str(workload), "--fail-on", "warning"])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "P003" in out and "W003" in out
+
+    def test_unparseable_file_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sql"
+        bad.write_text("SELEKT nonsense;")
+        assert cli_main([str(bad)]) == 1
+        capsys.readouterr()
+
+    def test_no_input_is_usage_error(self, capsys):
+        assert cli_main([]) == 2
+        capsys.readouterr()

@@ -1,0 +1,157 @@
+"""Strict lint mode: ERROR frames before execution, and proof that the
+lint gate is purely static (identical bytes with and without it)."""
+
+import pytest
+
+from repro.errors import LintViolation
+from repro.network.profiles import WAN_256
+from repro.server import protocol
+from repro.server.client import RemoteConnection
+from repro.server.protocol import Opcode
+from repro.server.server import DatabaseServer
+from repro.sqldb import Database, wire
+
+#: Non-linear recursion: the CTE is referenced twice in one branch.
+NON_LINEAR = (
+    "WITH RECURSIVE r(obid) AS ("
+    "  SELECT obid FROM part WHERE obid = ?"
+    "  UNION SELECT l.right FROM r JOIN link l ON l.left = r.obid"
+    "  JOIN r r2 ON r2.obid = l.right"
+    ") SELECT obid FROM r"
+)
+
+#: Non-monotonic recursion: EXCEPT between the branches.
+NON_MONOTONIC = (
+    "WITH RECURSIVE r(obid) AS ("
+    "  SELECT obid FROM part WHERE obid = ?"
+    "  EXCEPT SELECT obid FROM r"
+    ") SELECT obid FROM r"
+)
+
+SCHEMA = [
+    "CREATE TABLE part (obid INTEGER PRIMARY KEY, name VARCHAR(10))",
+    "CREATE TABLE link (left INTEGER, right INTEGER)",
+    "INSERT INTO part VALUES (1, 'root'), (2, 'child')",
+    "INSERT INTO link VALUES (1, 2)",
+]
+
+
+def build_server(strict_lint: bool) -> DatabaseServer:
+    db = Database()
+    for statement in SCHEMA:
+        db.execute(statement)
+    return DatabaseServer(db, strict_lint=strict_lint)
+
+
+def query_frame(sql: str, params=()) -> bytes:
+    return protocol.encode_envelope(
+        Opcode.QUERY, wire.encode_query(sql, list(params))
+    )
+
+
+class TestStrictModeRejects:
+    @pytest.mark.parametrize("sql", [NON_LINEAR, NON_MONOTONIC])
+    def test_error_frame_before_execution(self, sql):
+        server = build_server(strict_lint=True)
+        statements_before = server.database.statistics["statements"]
+        opcode, body = protocol.decode_envelope(
+            server.handle(query_frame(sql, [1]))
+        )
+        assert opcode is Opcode.ERROR
+        kind, message = protocol.decode_error(body)
+        assert kind == "LintViolation"
+        assert "R00" in message
+        # The statement never reached the engine.
+        assert server.database.statistics["statements"] == statements_before
+        assert server.statistics["lint_rejections"] == 1
+
+    def test_client_raises_typed_lint_violation(self):
+        server = build_server(strict_lint=True)
+        connection = RemoteConnection(server, WAN_256.create_link())
+        with pytest.raises(LintViolation, match="strict lint"):
+            connection.execute(NON_LINEAR, [1])
+
+    def test_batch_entry_is_poisoned_not_the_batch(self):
+        server = build_server(strict_lint=True)
+        frame = protocol.encode_envelope(
+            Opcode.BATCH,
+            protocol.encode_batch(
+                [
+                    ("SELECT name FROM part WHERE obid = ?", [1]),
+                    (NON_LINEAR, [1]),
+                    ("SELECT name FROM part WHERE obid = ?", [2]),
+                ]
+            ),
+        )
+        opcode, body = protocol.decode_envelope(server.handle(frame))
+        assert opcode is Opcode.BATCH_RESULT
+        entries = protocol.decode_batch_result(body)
+        kinds = [kind for kind, __ in entries]
+        assert kinds == [
+            protocol.BATCH_ENTRY_RESULT,
+            protocol.BATCH_ENTRY_ERROR,
+            protocol.BATCH_ENTRY_RESULT,
+        ]
+
+    def test_rejection_cache_repeats_verdict(self):
+        server = build_server(strict_lint=True)
+        for __ in range(3):
+            opcode, __body = protocol.decode_envelope(
+                server.handle(query_frame(NON_LINEAR, [1]))
+            )
+            assert opcode is Opcode.ERROR
+        assert server.statistics["lint_rejections"] == 3
+
+    def test_warnings_do_not_reject(self):
+        # WARNING findings (e.g. an unpadded IN-list) pass through.
+        server = build_server(strict_lint=True)
+        opcode, __ = protocol.decode_envelope(
+            server.handle(
+                query_frame("SELECT name FROM part WHERE obid IN (?, ?, ?)", [1, 2, 3])
+            )
+        )
+        assert opcode is Opcode.RESULT
+
+    def test_unparseable_sql_reports_parse_error_not_lint(self):
+        server = build_server(strict_lint=True)
+        opcode, body = protocol.decode_envelope(
+            server.handle(query_frame("SELEKT nonsense"))
+        )
+        assert opcode is Opcode.ERROR
+        kind, __ = protocol.decode_error(body)
+        assert kind != "LintViolation"
+
+
+class TestStaticness:
+    def test_identical_bytes_with_and_without_gate(self):
+        """The analyzer never executes anything: a lint-clean workload
+        produces byte-identical responses under strict mode."""
+        workload = [
+            ("SELECT name FROM part WHERE obid = ?", [1]),
+            ("INSERT INTO part VALUES (3, 'extra')", []),
+            ("SELECT COUNT(*) FROM part", []),
+            (
+                "WITH RECURSIVE r(obid) AS ("
+                "  SELECT obid FROM part WHERE obid = ?"
+                "  UNION SELECT l.right FROM r JOIN link l ON l.left = r.obid"
+                ") SELECT obid FROM r",
+                [1],
+            ),
+            ("SELECT name FROM part WHERE obid IN (?, ?, ?, ?)", [1, 2, 3, 3]),
+        ]
+        plain = build_server(strict_lint=False)
+        strict = build_server(strict_lint=True)
+        for sql, params in workload:
+            frame = query_frame(sql, params)
+            assert plain.handle(frame) == strict.handle(frame)
+        assert strict.statistics["lint_checks"] == len(workload)
+        assert strict.statistics["lint_rejections"] == 0
+
+    def test_default_server_has_no_lint_overhead(self):
+        server = build_server(strict_lint=False)
+        opcode, __ = protocol.decode_envelope(
+            server.handle(query_frame(NON_LINEAR, [1]))
+        )
+        # Without strict mode the engine itself reports the recursion
+        # error (or executes, if it can) — either way no lint counters.
+        assert server.statistics["lint_checks"] == 0
