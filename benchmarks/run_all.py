@@ -192,6 +192,31 @@ def lint_summary() -> dict:
     }
 
 
+def run_contention_smoke() -> dict:
+    """Fixed-seed contention smoke: two identical runs of the mixed
+    expand/check-out workload must agree byte for byte and lose no
+    update."""
+    from repro.concurrency import ContentionConfig, ContentionSim, report_json
+
+    config = ContentionConfig(
+        clients=4, ops_per_client=8, conflict_rate=0.7, seed=SEED
+    )
+    first = ContentionSim(config).run()
+    second = ContentionSim(config).run()
+    return {
+        "schedule_hash": first["schedule"]["hash"],
+        "steps": first["schedule"]["steps"],
+        "deterministic": report_json(first) == report_json(second),
+        "lost_updates": first["lost_updates"],
+        "committed_increments": first["committed_increments"],
+        "deadlock_aborts": first["totals"]["deadlock_aborts"],
+        "txn_restarts": first["totals"]["txn_restarts"],
+        "lock_waits": first["totals"]["write_retries"]
+        + first["totals"]["read_retries"],
+        "throughput_ops_per_s": first["throughput_ops_per_s"],
+    }
+
+
 def run(scale: str, fault_profile=None, fault_seed: int = 1, trace_profile=None) -> dict:
     if scale == "small":
         # Deep enough that the padded IN-list shapes repeat and the
@@ -236,6 +261,7 @@ def run(scale: str, fault_profile=None, fault_seed: int = 1, trace_profile=None)
         "strategies": results,
         "opcode_messages": opcode_traffic,
         "lint": lint,
+        "contention": run_contention_smoke(),
     }
     if fault_profile is not None and not fault_profile.perfect:
         report["faults"] = run_chaos(tree, scenario, fault_profile, fault_seed)
@@ -289,6 +315,20 @@ def check(report: dict) -> list:
         failures.append(
             f"bench query templates are not lint-clean: {lint['findings']}"
         )
+    contention = report.get("contention")
+    if contention:
+        if not contention["deterministic"]:
+            failures.append(
+                "contention smoke: same-seed runs are not byte-identical"
+            )
+        if contention["lost_updates"] != 0:
+            failures.append(
+                f"contention smoke lost {contention['lost_updates']} updates"
+            )
+        if contention["lock_waits"] + contention["deadlock_aborts"] == 0:
+            failures.append(
+                "contention smoke saw no lock conflicts — proved nothing"
+            )
     trace = report.get("trace")
     if trace:
         decomposition = trace["decomposition"]
@@ -375,6 +415,16 @@ def main(argv=None) -> int:
                 f"{entry['timeouts']:>5d} {entry['expand_resumes']:>7d} "
                 f"{'yes' if entry['converged'] else 'NO':>5s}"
             )
+    contention = report.get("contention")
+    if contention:
+        print(
+            f"\ncontention smoke: hash={contention['schedule_hash'][:16]} "
+            f"steps={contention['steps']} "
+            f"deadlocks={contention['deadlock_aborts']} "
+            f"restarts={contention['txn_restarts']} "
+            f"lost={contention['lost_updates']} "
+            f"deterministic={'yes' if contention['deterministic'] else 'NO'}"
+        )
     trace = report.get("trace")
     if trace:
         from repro.bench.report import format_trace_summary

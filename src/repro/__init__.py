@@ -27,6 +27,13 @@ Quickstart::
 """
 
 from repro.bench.workload import Scenario, build_scenario
+from repro.concurrency import (
+    ContentionConfig,
+    ContentionSim,
+    LockManager,
+    LockMode,
+    SessionManager,
+)
 from repro.model import (
     Action,
     NetworkParameters,
@@ -82,5 +89,10 @@ __all__ = [
     "ReplicatedDatabase",
     "build_replicated_deployment",
     "make_site",
+    "LockManager",
+    "LockMode",
+    "SessionManager",
+    "ContentionConfig",
+    "ContentionSim",
     "__version__",
 ]

@@ -155,10 +155,16 @@ def format_trace_summary(summary: dict, max_depth: Optional[int] = None) -> str:
     if histograms:
         lines.append("  histograms:")
         for name, data in histograms.items():
-            lines.append(
+            line = (
                 f"    {name}: n={data['count']} mean={data['mean']:.4g} "
                 f"min={data['min']} max={data['max']}"
             )
+            if data.get("p50") is not None:
+                line += (
+                    f" p50={data['p50']:.4g} p95={data['p95']:.4g} "
+                    f"p99={data['p99']:.4g}"
+                )
+            lines.append(line)
     lines.append("  span tree:")
 
     def render(span: dict, depth: int) -> None:

@@ -1,0 +1,32 @@
+"""Concurrent sessions: 2PL locking, per-client transactions, contention.
+
+The paper's measurements are single-user, but its setting — hundreds of
+engineers against one PDM server — is not.  This package supplies the
+concurrency substrate: a strict two-phase :class:`LockManager` with
+parked FIFO waiters and wait-for-graph deadlock detection, a
+:class:`SessionManager` mapping wire clients onto independent database
+transactions, and a deterministic :class:`ContentionSim` that interleaves
+N cooperative clients over one simulated clock.
+"""
+
+from repro.concurrency.locks import LockManager, LockMode
+from repro.concurrency.sessions import Session, SessionManager
+from repro.concurrency.sim import (
+    ContentionConfig,
+    ContentionSim,
+    exact_percentile,
+    report_json,
+    run_contention,
+)
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "Session",
+    "SessionManager",
+    "ContentionConfig",
+    "ContentionSim",
+    "run_contention",
+    "report_json",
+    "exact_percentile",
+]

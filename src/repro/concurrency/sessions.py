@@ -1,0 +1,130 @@
+"""Per-client server sessions mapping wire clients onto transactions.
+
+A session is keyed by the ``client_id`` every SEQUENCED frame already
+carries (and which the OPEN_SESSION handshake states explicitly).  Each
+session owns at most one open transaction inside the shared
+:class:`~repro.sqldb.database.Database`; the session token handed to the
+database *is* the client id, so two clients hold independent undo logs
+and lock sets while the local default session (token ``None``) keeps
+working for server procedures and embedded use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import SessionError
+from repro.sqldb.database import Database
+
+
+class Session:
+    """State of one wire client's session."""
+
+    __slots__ = ("client_id", "transactions", "commits", "rollbacks")
+
+    def __init__(self, client_id: int) -> None:
+        self.client_id = client_id
+        self.transactions = 0
+        self.commits = 0
+        self.rollbacks = 0
+
+    @property
+    def token(self) -> int:
+        """The database session token (the client id itself)."""
+        return self.client_id
+
+
+class SessionManager:
+    """Session registry for one :class:`DatabaseServer`.
+
+    Constructing it with a lock manager attaches that manager to the
+    database, turning on strict 2PL for every session (the local default
+    session included).
+    """
+
+    def __init__(self, database: Database, lock_manager=None) -> None:
+        self.database = database
+        self.lock_manager = lock_manager
+        if lock_manager is not None:
+            database.attach_lock_manager(lock_manager)
+        self._sessions: Dict[int, Session] = {}
+        self.statistics = {
+            "opened": 0,
+            "closed": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def open(self, client_id: int) -> Session:
+        """Open (or return the already-open) session for *client_id*.
+
+        Idempotent: a retransmitted OPEN_SESSION must not fail, and the
+        replay cache cannot cover the unsequenced first handshake.
+        """
+        session = self._sessions.get(client_id)
+        if session is None:
+            session = self._sessions[client_id] = Session(client_id)
+            self.statistics["opened"] += 1
+        return session
+
+    def close(self, client_id: int) -> None:
+        """Close the session, rolling back any transaction it left open."""
+        session = self._sessions.pop(client_id, None)
+        if session is None:
+            raise SessionError(f"no open session for client {client_id}")
+        self.statistics["closed"] += 1
+        if self.database.session_in_transaction(session.token):
+            self.database.rollback(session.token)
+        else:
+            # Consume a pending force-abort flag, if any: the session is
+            # going away, nobody is left to observe the DeadlockError.
+            self.database._aborted.pop(session.token, None)
+
+    def get(self, client_id: Optional[int]) -> Optional[Session]:
+        if client_id is None:
+            return None
+        return self._sessions.get(client_id)
+
+    def require(self, client_id: int) -> Session:
+        session = self._sessions.get(client_id)
+        if session is None:
+            raise SessionError(
+                f"client {client_id} has no open session "
+                f"(send OPEN_SESSION first)"
+            )
+        return session
+
+    @property
+    def open_count(self) -> int:
+        return len(self._sessions)
+
+    # -- transactions --------------------------------------------------------
+
+    def begin(self, client_id: int) -> int:
+        session = self.require(client_id)
+        txn_id = self.database.begin(session.token)
+        session.transactions += 1
+        return txn_id
+
+    def commit(self, client_id: int) -> None:
+        session = self.require(client_id)
+        self.database.commit(session.token)
+        session.commits += 1
+
+    def rollback(self, client_id: int) -> None:
+        """Roll back the session's transaction.
+
+        No-op success when no transaction is open: the common caller is a
+        retry harness acknowledging a force-aborted (deadlock victim)
+        transaction, and a rollback must never fail for already being
+        done.
+        """
+        session = self.require(client_id)
+        token = session.token
+        if self.database._aborted.pop(token, None) is not None:
+            session.rollbacks += 1
+            return
+        if not self.database.session_in_transaction(token):
+            return
+        self.database.rollback(token)
+        session.rollbacks += 1

@@ -99,6 +99,37 @@ class ProtocolError(ReproError):
     response for a different request, use of a closed connection)."""
 
 
+class ConcurrencyError(ReproError):
+    """Base class for errors raised by the :mod:`repro.concurrency`
+    subsystem (lock manager, session manager)."""
+
+
+class LockUnavailable(ConcurrencyError):
+    """A lock request conflicts with locks held by another transaction.
+
+    For a transaction the request is *parked* in the FIFO wait queue
+    before this is raised, so retrying the same statement later either
+    claims the since-granted lock or keeps the queue position — the
+    single-threaded server never blocks inside a request."""
+
+
+class LockTimeout(ConcurrencyError):
+    """A parked lock request outlived its timeout on the simulated clock.
+    The waiting transaction has been aborted; restart it."""
+
+
+class DeadlockError(ConcurrencyError):
+    """The wait-for graph contained a cycle and this transaction was
+    chosen as the victim (youngest-transaction policy) and aborted.
+    Distinguishable on the wire so a client retry policy can restart
+    the whole transaction."""
+
+
+class SessionError(ConcurrencyError):
+    """A wire session operation was invalid (unknown session, double
+    open, transaction frame without an open session)."""
+
+
 class PDMError(ReproError):
     """Base class for errors raised by the :mod:`repro.pdm` layer."""
 

@@ -49,6 +49,14 @@ class TrafficStats:
     timeout_seconds: float = 0.0
     retries: int = 0
     backoff_seconds: float = 0.0
+    #: Session/transaction activity observed by the client driver.
+    #: ``sessions_open`` is a gauge (+1 on OPEN_SESSION, -1 on
+    #: CLOSE_SESSION); the rest are event counters fed by ERROR frames
+    #: the server answered with.
+    sessions_open: int = 0
+    lock_waits: int = 0
+    deadlocks: int = 0
+    txn_aborts: int = 0
     opcode_messages: Dict[str, int] = field(default_factory=dict)
     opcode_payload_bytes: Dict[str, int] = field(default_factory=dict)
 

@@ -96,6 +96,47 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the *q*-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation across the bucket that holds the target
+        rank, clamped to the observed ``min``/``max`` so a wide bucket
+        cannot report a value outside the data.  Returns None when the
+        histogram is empty.  The estimate's resolution is the bucket
+        width — good enough for p50/p95/p99 reporting, not for exact
+        order statistics.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(
+                f"quantile for histogram {self.name!r} must be in [0, 1], "
+                f"got {q!r}"
+            )
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative < rank:
+                continue
+            lower = self.bounds[index - 1] if index > 0 else self.min or 0.0
+            upper = (
+                self.bounds[index]
+                if index < len(self.bounds)
+                else (self.max if self.max is not None else lower)
+            )
+            fraction = (rank - previous) / bucket_count
+            estimate = lower + (upper - lower) * fraction
+            if self.min is not None:
+                estimate = max(estimate, self.min)
+            if self.max is not None:
+                estimate = min(estimate, self.max)
+            return estimate
+        return self.max
+
     def to_dict(self) -> dict:
         return {
             "count": self.count,
@@ -103,6 +144,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": {
                 **{
                     f"le_{bound:g}": count

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.errors import CheckOutError
+from repro.errors import CheckOutError, LockUnavailable
 from repro.sqldb.database import Database
 
 #: Columns shared by assemblies and components in the homogenised result
@@ -195,31 +195,65 @@ def _checkout_conflicts(db: Database, obids: List[int]) -> int:
     return conflicts
 
 
+def _checkout_lock_owner(db: Database, user: str):
+    """The persistent lock owner holding *user*'s check-out locks, or
+    None when the database runs without a lock manager."""
+    if db.locks is None:
+        return None
+    return db.locks.persistent_owner(("checkout", user))
+
+
 def _check_out_tree(db: Database, root_obid: int, user: str) -> List[int]:
     """Server procedure: atomically check out an entire subtree.
 
     Returns the checked-out object ids (root first).  Raises
     :class:`CheckOutError` if any node of the subtree is already checked
     out — the all-or-nothing semantics of paper example 2.
+
+    When the database has a lock manager attached, the check-out also
+    acquires *persistent* exclusive locks on the subtree in a dedicated
+    ``@checkout`` namespace: they outlive any transaction (released only
+    by check-in), conflict exactly with other users' check-out attempts,
+    and — living in their own namespace — never block ordinary reads of
+    the ``assy``/``comp`` tables.
     """
     obids = _collect_subtree_obids(db, root_obid)
     if not obids:
         raise CheckOutError(f"object {root_obid} does not exist")
-    placeholders = ", ".join("?" for __ in obids)
-    # The conflict test and the flag updates form one atomic unit — the
-    # transactional substrate extension motivated by the paper's Section 6
-    # discussion of check-out processing.
-    with db.transaction():
-        if _checkout_conflicts(db, obids) > 0:
+    owner = _checkout_lock_owner(db, user)
+    fresh: List = []
+    if owner is not None:
+        resources = [("@checkout", obid) for obid in obids]
+        held_before = {resource for resource, __ in db.locks.locks_held(owner)}
+        fresh = [resource for resource in resources if resource not in held_before]
+        try:
+            db.locks.acquire_all_or_nothing(owner, resources)
+        except LockUnavailable as error:
             raise CheckOutError(
-                f"subtree of {root_obid} contains checked-out objects"
-            )
-        for table in ("assy", "comp"):
-            db.execute(
-                f"UPDATE {table} SET checkedout = TRUE, checkedout_by = ? "
-                f"WHERE obid IN ({placeholders})",
-                [user] + obids,
-            )
+                f"subtree of {root_obid} is locked by another check-out"
+            ) from error
+    placeholders = ", ".join("?" for __ in obids)
+    try:
+        # The conflict test and the flag updates form one atomic unit — the
+        # transactional substrate extension motivated by the paper's
+        # Section 6 discussion of check-out processing.
+        with db.transaction():
+            if _checkout_conflicts(db, obids) > 0:
+                raise CheckOutError(
+                    f"subtree of {root_obid} contains checked-out objects"
+                )
+            for table in ("assy", "comp"):
+                db.execute(
+                    f"UPDATE {table} SET checkedout = TRUE, checkedout_by = ? "
+                    f"WHERE obid IN ({placeholders})",
+                    [user] + obids,
+                )
+    except BaseException:
+        # Undo only locks this call acquired — a re-check-out attempt must
+        # not drop the user's locks from an earlier successful check-out.
+        if owner is not None and fresh:
+            db.locks.release(owner, fresh)
+        raise
     return obids
 
 
@@ -246,6 +280,9 @@ def _check_in_tree(db: Database, root_obid: int, user: str) -> List[int]:
                 ids,
             )
         released.extend(ids)
+    owner = _checkout_lock_owner(db, user)
+    if owner is not None and released:
+        db.locks.release(owner, [("@checkout", obid) for obid in released])
     return released
 
 

@@ -20,11 +20,15 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.errors import (
     CheckOutError,
     CircuitOpenError,
+    DeadlockError,
     ExecutionError,
     LintViolation,
+    LockTimeout,
+    LockUnavailable,
     MessageDropped,
     ProtocolError,
     ReproError,
+    SessionError,
     SQLError,
     TimeoutError,
 )
@@ -40,10 +44,17 @@ from repro.sqldb.result import ResultSet
 #: Error classes the client can reconstruct from ERROR frames.
 _ERROR_TYPES = {
     "CheckOutError": CheckOutError,
+    "DeadlockError": DeadlockError,
     "ExecutionError": ExecutionError,
     "LintViolation": LintViolation,
+    "LockTimeout": LockTimeout,
+    "LockUnavailable": LockUnavailable,
     "ProtocolError": ProtocolError,
+    "SessionError": SessionError,
 }
+
+#: Server errors that mean "restart the whole transaction and try again".
+RETRIABLE_TXN_ERRORS = (DeadlockError, LockTimeout, LockUnavailable)
 
 
 class RemoteError(ReproError):
@@ -93,6 +104,12 @@ class RemoteConnection:
         self._seq = itertools.count(1)
         self._backoff_rng = retry_policy.rng() if retry_policy else None
         self.statistics = {"round_trips": 0, "attempts": 0}
+        #: Whether OPEN_SESSION succeeded.  With a session open, even a
+        #: policy-less connection wraps requests in SEQUENCED frames (one
+        #: attempt, no retries) so the server can route statements to this
+        #: client's transaction.
+        self._session_open = False
+        self._txn_open = False
         #: Optional :class:`repro.obs.TraceRecorder` (see
         #: :func:`repro.obs.instrument_stack`); None disables tracing.
         self.recorder = None
@@ -120,10 +137,12 @@ class RemoteConnection:
             opcode=self._opcode_label(request),
         ):
             start = self.link.clock.now
-            if self.retry_policy is None:
-                response = self._attempt(request)
-            else:
+            if self.retry_policy is not None:
                 response = self._resilient_round_trip(request)
+            elif self._session_open:
+                response = self._sequenced_attempt(request)
+            else:
+                response = self._attempt(request)
             if recorder is not None:
                 metrics = recorder.metrics
                 metrics.histogram("client.round_trip_seconds").observe(
@@ -163,6 +182,23 @@ class RemoteConnection:
                 span.meta["response_bytes"] = len(response)
             self.statistics["round_trips"] += 1
             return response
+
+    def _sequenced_attempt(self, request: bytes) -> bytes:
+        """One sequenced exchange without retries (session mode on a
+        policy-less connection): the SEQUENCED wrapper carries the client
+        id that routes the statement to this client's session."""
+        seq = next(self._seq) & 0xFFFFFFFF
+        wrapped = protocol.encode_envelope(
+            Opcode.SEQUENCED,
+            protocol.encode_sequenced(self.client_id, seq, request),
+        )
+        raw = self._attempt(wrapped)
+        inner = self._unwrap_sequenced(raw, seq)
+        if inner is None:
+            raise ProtocolError(
+                f"response to sequence {seq} failed its integrity check"
+            )
+        return inner
 
     def _resilient_round_trip(self, request: bytes) -> bytes:
         policy = self.retry_policy
@@ -335,6 +371,114 @@ class RemoteConnection:
             raise ProtocolError(f"unexpected response opcode {opcode.name}")
         return protocol.decode_values(body)
 
+    # -- sessions / transactions -------------------------------------------------
+
+    def _session_op(self, opcode: Opcode, expect: Opcode) -> List[Any]:
+        request = protocol.encode_envelope(
+            opcode, protocol.encode_session_op(self.client_id)
+        )
+        response = self._round_trip(request)
+        answer, body = protocol.decode_envelope(response)
+        if answer is Opcode.ERROR:
+            self._raise_remote(body)
+        if answer is not expect:
+            raise ProtocolError(f"unexpected response opcode {answer.name}")
+        return protocol.decode_values(body)
+
+    def open_session(self) -> None:
+        """Open a server session keyed on this connection's client id.
+
+        Required before :meth:`begin`; idempotent on the server side so a
+        retransmitted handshake cannot fail.
+        """
+        self._ensure_open()
+        self._session_op(Opcode.OPEN_SESSION, Opcode.SESSION_RESULT)
+        self._session_open = True
+        self.link.stats.sessions_open += 1
+
+    def close_session(self) -> None:
+        """Close the server session (rolls back any open transaction)."""
+        self._ensure_open()
+        self._session_op(Opcode.CLOSE_SESSION, Opcode.SESSION_RESULT)
+        self._session_open = False
+        self._txn_open = False
+        self.link.stats.sessions_open -= 1
+
+    def begin(self) -> int:
+        """Start a server-side transaction; returns its id.
+
+        Opens the session implicitly on first use.
+        """
+        self._ensure_open()
+        if not self._session_open:
+            self.open_session()
+        values = self._session_op(Opcode.TXN_BEGIN, Opcode.TXN_RESULT)
+        self._txn_open = True
+        return int(values[1])
+
+    def commit(self) -> None:
+        """Commit this session's transaction."""
+        self._ensure_open()
+        self._session_op(Opcode.TXN_COMMIT, Opcode.TXN_RESULT)
+        self._txn_open = False
+
+    def rollback(self) -> None:
+        """Roll back this session's transaction.
+
+        A no-op success when the transaction is already gone (force-
+        aborted as a deadlock victim) — rolling back must be safe to call
+        from any failure path.
+        """
+        self._ensure_open()
+        self._session_op(Opcode.TXN_ROLLBACK, Opcode.TXN_RESULT)
+        self._txn_open = False
+        self.link.stats.txn_aborts += 1
+
+    def transaction(self) -> "_RemoteTransaction":
+        """Context manager mirroring :meth:`Database.transaction`:
+        commit on success, roll back on exception."""
+        return _RemoteTransaction(self)
+
+    def run_transaction(
+        self,
+        fn,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
+        """Run ``fn(connection)`` inside a transaction, restarting on
+        concurrency conflicts.
+
+        Any :class:`DeadlockError`, :class:`LockTimeout` or
+        :class:`LockUnavailable` rolls the transaction back (a no-op if
+        the server already aborted it), waits out the policy's backoff on
+        the simulated clock and re-runs *fn* from scratch — so *fn* must
+        be safe to re-execute, which 2PL guarantees as long as all its
+        effects go through this transaction.  Raises
+        :class:`repro.errors.TimeoutError` after ``max_attempts``
+        restarts.
+        """
+        policy = retry_policy or self.retry_policy or RetryPolicy()
+        rng = policy.rng()
+        last: Optional[ReproError] = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                pause = policy.backoff_seconds(attempt, rng)
+                self.link.stats.backoff_seconds += pause
+                self.link.clock.advance(pause, "backoff")
+            self.begin()
+            try:
+                result = fn(self)
+                self.commit()
+                return result
+            except RETRIABLE_TXN_ERRORS as error:
+                last = error
+                try:
+                    self.rollback()
+                except ReproError:
+                    pass
+        raise TimeoutError(
+            f"transaction abandoned after {policy.max_attempts} attempts"
+        ) from last
+
     def ping(self) -> float:
         """Measure one empty round trip; returns the delay in seconds."""
         self._ensure_open()
@@ -363,6 +507,10 @@ class RemoteConnection:
         kind, message = protocol.decode_error(body)
         error_type = _ERROR_TYPES.get(kind)
         if error_type is not None:
+            if error_type is LockUnavailable:
+                self.link.stats.lock_waits += 1
+            elif error_type is DeadlockError:
+                self.link.stats.deadlocks += 1
             return error_type(message)
         if kind.endswith("Error") and kind in (
             "ParseError",
@@ -373,3 +521,25 @@ class RemoteConnection:
         ):
             return SQLError(f"{kind}: {message}")
         return RemoteError(kind, message)
+
+
+class _RemoteTransaction:
+    """``with connection.transaction():`` — commit on success, roll back on
+    any exception (tolerating an already-aborted deadlock victim)."""
+
+    def __init__(self, connection: RemoteConnection) -> None:
+        self.connection = connection
+        self.txn_id: Optional[int] = None
+
+    def __enter__(self) -> "_RemoteTransaction":
+        self.txn_id = self.connection.begin()
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        if exc_type is None:
+            self.connection.commit()
+        else:
+            try:
+                self.connection.rollback()
+            except ReproError:
+                pass

@@ -86,7 +86,11 @@ class ReplicatedDatabase:
             "reads": 0,
             "writes": 0,
             "replicated_statements": 0,
+            "stale_reads": 0,
         }
+        #: Whether the most recent :meth:`execute_read` hit a lagging
+        #: replica (pending asynchronous writes it had not applied yet).
+        self.last_read_stale = False
 
     # -- routing ------------------------------------------------------------
 
@@ -111,12 +115,17 @@ class ReplicatedDatabase:
         """Run a query on the nearest site; return (result, seconds, site).
 
         A replica read may observe stale data if asynchronous writes are
-        pending — check :meth:`lag` or call :meth:`flush` first.
+        pending — such reads are flagged in :attr:`last_read_stale` and
+        counted in ``statistics["stale_reads"]``; call :meth:`flush`
+        first to avoid them.
         """
         site = self.nearest_site()
         before = site.link.clock.now
         result = site.connection.execute(sql, params)
         self.statistics["reads"] += 1
+        self.last_read_stale = self.lag(site.name) > 0
+        if self.last_read_stale:
+            self.statistics["stale_reads"] += 1
         return result, site.link.clock.now - before, site
 
     # -- writes --------------------------------------------------------------
@@ -206,13 +215,18 @@ class ReplicatedDatabase:
         for name in names:
             replica = self.site(name)
             pending = self._backlog[name]
-            self._backlog[name] = []
             before = replica.link.clock.now
-            for statement, params in pending:
+            # Pop each statement only once it has been applied: a failure
+            # mid-flush (replica outage) must leave the unapplied tail —
+            # the failed statement included — queued for the next flush,
+            # not silently dropped.
+            while pending:
+                statement, params = pending[0]
                 if isinstance(statement, tuple) and statement[0] == "procedure":
                     replica.connection.call_procedure(statement[1], params)
                 else:
                     replica.connection.execute(statement, params)
+                pending.pop(0)
                 self.statistics["replicated_statements"] += 1
             slowest = max(slowest, replica.link.clock.now - before)
         return slowest

@@ -32,13 +32,32 @@ class Opcode(IntEnum):
     BATCH = 4
     STATS = 5
     SEQUENCED = 6
+    OPEN_SESSION = 7
+    CLOSE_SESSION = 8
+    TXN_BEGIN = 9
+    TXN_COMMIT = 10
+    TXN_ROLLBACK = 11
     RESULT = 16
     PROCEDURE_RESULT = 17
     PONG = 18
     BATCH_RESULT = 19
     STATS_RESULT = 20
     SEQUENCED_RESULT = 21
+    SESSION_RESULT = 22
+    TXN_RESULT = 23
     ERROR = 32
+
+
+#: Opcodes whose request body is a bare session operand (u32 client id).
+SESSION_OPCODES = frozenset(
+    {
+        Opcode.OPEN_SESSION,
+        Opcode.CLOSE_SESSION,
+        Opcode.TXN_BEGIN,
+        Opcode.TXN_COMMIT,
+        Opcode.TXN_ROLLBACK,
+    }
+)
 
 
 #: Entry kinds inside a BATCH_RESULT body.
@@ -89,6 +108,24 @@ def decode_sequenced(body: bytes) -> Tuple[int, int, bytes]:
     if zlib.crc32(inner) != checksum:
         raise ProtocolError("sequenced frame failed its CRC check")
     return client_id, seq, inner
+
+
+def encode_session_op(client_id: int) -> bytes:
+    """Body of the five session/transaction opcodes: ``client id (u32)``.
+
+    The client id is stated explicitly (rather than inferred from a
+    SEQUENCED wrapper) so session frames stay valid on bare, non-resilient
+    connections too.
+    """
+    if not 0 <= client_id <= 0xFFFFFFFF:
+        raise ProtocolError("client id must fit in u32")
+    return struct.pack(">I", client_id)
+
+
+def decode_session_op(body: bytes) -> int:
+    if len(body) != 4:
+        raise ProtocolError("session frame body must be exactly 4 bytes")
+    return struct.unpack(">I", body)[0]
 
 
 def encode_procedure_call(name: str, args: Sequence[Any]) -> bytes:

@@ -15,8 +15,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import errors_only
 from repro.errors import (
+    DeadlockError,
     FrameCorrupted,
     LintViolation,
+    LockTimeout,
+    LockUnavailable,
     ProtocolError,
     ReproError,
     SQLError,
@@ -70,9 +73,17 @@ class DatabaseServer:
         database: Database,
         cpu_cost: Optional[CpuCostModel] = None,
         strict_lint: bool = False,
+        sessions=None,
     ) -> None:
         self.database = database
         self.cpu_cost = cpu_cost if cpu_cost is not None else CpuCostModel()
+        #: Optional :class:`repro.concurrency.SessionManager`; without one
+        #: the session/transaction opcodes are rejected and every wire
+        #: statement runs on the database's default session, as before.
+        self.sessions = sessions
+        #: Client id of the SEQUENCED frame being handled (routes QUERY /
+        #: BATCH statements to that client's session transaction).
+        self._active_client: Optional[int] = None
         #: With strict lint on, statements with ERROR-severity analyzer
         #: findings (non-linear / non-monotonic recursion, misplaced tree
         #: conditions) are rejected with a :class:`LintViolation` ERROR
@@ -114,6 +125,10 @@ class DatabaseServer:
             "crc_rejects": 0,
             "lint_checks": 0,
             "lint_rejections": 0,
+            "sessions_open": 0,
+            "lock_waits": 0,
+            "deadlocks": 0,
+            "txn_aborts": 0,
         }
 
     def _lint_gate(self, sql: str) -> None:
@@ -188,11 +203,14 @@ class DatabaseServer:
                     response = self._handle_stats(body)
                 elif opcode is Opcode.PING:
                     response = protocol.encode_envelope(Opcode.PONG)
+                elif opcode in protocol.SESSION_OPCODES:
+                    response = self._handle_session_op(opcode, body)
                 else:
                     raise ProtocolError(
                         f"unexpected request opcode {opcode.name}"
                     )
             except ReproError as error:
+                self._note_concurrency_error(error)
                 self.statistics["errors"] += 1
                 if span is not None:
                     span.meta["error"] = type(error).__name__
@@ -280,7 +298,12 @@ class DatabaseServer:
             client_id=client_id,
             seq=seq,
         ):
-            response = self.handle(inner)
+            previous = self._active_client
+            self._active_client = client_id
+            try:
+                response = self.handle(inner)
+            finally:
+                self._active_client = previous
         wrapped = protocol.encode_envelope(
             Opcode.SEQUENCED_RESULT,
             protocol.encode_sequenced(client_id, seq, response),
@@ -289,6 +312,64 @@ class DatabaseServer:
         while len(self._replay_cache) > self.replay_cache_size:
             self._replay_cache.popitem(last=False)
         return wrapped
+
+    def _note_concurrency_error(self, error: ReproError) -> None:
+        """Attribute concurrency-control outcomes to the STATS counters."""
+        if isinstance(error, LockUnavailable):
+            self.statistics["lock_waits"] += 1
+        elif isinstance(error, DeadlockError):
+            self.statistics["deadlocks"] += 1
+            self.statistics["txn_aborts"] += 1
+        elif isinstance(error, LockTimeout):
+            self.statistics["txn_aborts"] += 1
+
+    def _session_token(self):
+        """Database session token for the statement being handled.
+
+        A client with an open session executes on that session's
+        transaction; everything else (no session manager, unsequenced
+        requests, clients that never opened a session) runs on the
+        default session, preserving the pre-session behaviour.
+        """
+        if self.sessions is None:
+            return None
+        session = self.sessions.get(self._active_client)
+        return None if session is None else session.token
+
+    def _handle_session_op(self, opcode: Opcode, body: bytes) -> bytes:
+        if self.sessions is None:
+            raise ProtocolError(
+                f"{opcode.name} requires a server with session support"
+            )
+        client_id = protocol.decode_session_op(body)
+        if opcode is Opcode.OPEN_SESSION:
+            self.sessions.open(client_id)
+            self.statistics["sessions_open"] = self.sessions.open_count
+            return protocol.encode_envelope(
+                Opcode.SESSION_RESULT, protocol.encode_values(["open", client_id])
+            )
+        if opcode is Opcode.CLOSE_SESSION:
+            self.sessions.close(client_id)
+            self.statistics["sessions_open"] = self.sessions.open_count
+            return protocol.encode_envelope(
+                Opcode.SESSION_RESULT, protocol.encode_values(["closed", client_id])
+            )
+        if opcode is Opcode.TXN_BEGIN:
+            txn_id = self.sessions.begin(client_id)
+            return protocol.encode_envelope(
+                Opcode.TXN_RESULT, protocol.encode_values(["begin", txn_id])
+            )
+        if opcode is Opcode.TXN_COMMIT:
+            self.sessions.commit(client_id)
+            return protocol.encode_envelope(
+                Opcode.TXN_RESULT, protocol.encode_values(["commit", client_id])
+            )
+        # TXN_ROLLBACK
+        self.sessions.rollback(client_id)
+        self.statistics["txn_aborts"] += 1
+        return protocol.encode_envelope(
+            Opcode.TXN_RESULT, protocol.encode_values(["rollback", client_id])
+        )
 
     def _statement_done(self, result) -> None:
         """Account one successfully executed statement's scan and rows."""
@@ -304,7 +385,7 @@ class DatabaseServer:
         sql, params = wire.decode_query(body)
         self.statistics["queries"] += 1
         self._lint_gate(sql)
-        result = self.database.execute(sql, params)
+        result = self.database.execute(sql, params, session=self._session_token())
         self._statement_done(result)
         return protocol.encode_envelope(Opcode.RESULT, wire.encode_result(result))
 
@@ -317,13 +398,15 @@ class DatabaseServer:
         """
         statements = protocol.decode_batch(body)
         self.statistics["batches"] += 1
+        token = self._session_token()
         entries: List[tuple] = []
         for sql, params in statements:
             self.statistics["batch_statements"] += 1
             try:
                 self._lint_gate(sql)
-                result = self.database.execute(sql, params)
+                result = self.database.execute(sql, params, session=token)
             except ReproError as error:
+                self._note_concurrency_error(error)
                 self.statistics["errors"] += 1
                 entries.append(
                     (protocol.BATCH_ENTRY_ERROR, protocol.encode_error(error))

@@ -181,6 +181,46 @@ def count_table_refs(core: ast.SelectCore, table_name: str) -> int:
     return total
 
 
+def referenced_tables(statement: ast.SelectStatement) -> List[str]:
+    """Lowercased names of every base relation *statement* references —
+    FROM leaves through join trees, derived tables, subqueries in any
+    clause, and CTE bodies — with CTE names themselves excluded.
+
+    This is the lock footprint of a SELECT: the tables a table-level
+    shared lock must cover (views are expanded by the database, which
+    owns the view registry).
+    """
+    found: set = set()
+
+    def walk_statement(stmt: ast.SelectStatement, outer_ctes: frozenset) -> None:
+        ctes = set(outer_ctes)
+        if stmt.with_clause is not None:
+            for cte in stmt.with_clause.ctes:
+                # Add before walking the body: recursive CTEs reference
+                # themselves, and that self-reference is not a table.
+                ctes.add(cte.name.lower())
+                for branch in flatten_set_operations(cte.body)[0]:
+                    walk_core(branch, frozenset(ctes))
+        for branch in flatten_set_operations(stmt.body)[0]:
+            walk_core(branch, frozenset(ctes))
+
+    def walk_core(core: ast.SelectCore, ctes: frozenset) -> None:
+        for item in core.from_items:
+            for leaf in iter_from_leaves(item):
+                if isinstance(leaf, ast.TableRef):
+                    name = leaf.name.lower()
+                    if name not in ctes:
+                        found.add(name)
+                elif isinstance(leaf, ast.SubqueryRef):
+                    walk_statement(leaf.subquery, ctes)
+        for expression in core_expressions(core):
+            for __, subquery in iter_subqueries(expression):
+                walk_statement(subquery, ctes)
+
+    walk_statement(statement, frozenset())
+    return sorted(found)
+
+
 def count_statement_refs(statement: ast.SelectStatement, wanted: str) -> int:
     """Total reference count of table *wanted* across every core of
     *statement*, CTE bodies included."""

@@ -10,10 +10,18 @@ production DBMS.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import CatalogError, ExecutionError, IntegrityError
+from repro.errors import (
+    CatalogError,
+    DeadlockError,
+    ExecutionError,
+    IntegrityError,
+    LockTimeout,
+)
 from repro.sqldb import ast_nodes as ast
+from repro.sqldb import ast_walk
 from repro.sqldb.executor import ExecutionEnv
 from repro.sqldb.expressions import (
     CompileContext,
@@ -29,6 +37,28 @@ from repro.sqldb.result import ResultSet
 from repro.sqldb.schema import Catalog, Column, TableSchema
 from repro.sqldb.storage import TableStorage
 from repro.sqldb.types import coerce_value, is_null
+
+
+class _Transaction:
+    """One open transaction: its undo logs, keyed by the session that
+    owns it (``None`` is the local/legacy default session)."""
+
+    __slots__ = ("session", "txn_id", "storages", "logs")
+
+    def __init__(self, session: Hashable, txn_id: int) -> None:
+        self.session = session
+        self.txn_id = txn_id
+        #: Storages in first-enlist order (rollback replays in reverse).
+        self.storages: list = []
+        #: id(storage) -> that storage's undo entries for this transaction.
+        self.logs: Dict[int, list] = {}
+
+    def log_for(self, storage) -> list:
+        log = self.logs.get(id(storage))
+        if log is None:
+            log = self.logs[id(storage)] = []
+            self.storages.append(storage)
+        return log
 
 
 class Database:
@@ -66,9 +96,22 @@ class Database:
         #: probes, subquery executions) — the input to a server-side CPU
         #: cost model.
         self.last_counters: dict = {}
-        #: Tables whose storage is enlisted in the active transaction;
-        #: None when no transaction is active.
-        self._transaction_tables: Optional[list] = None
+        #: session token -> open :class:`_Transaction`.  Token ``None`` is
+        #: the local default session (the legacy single-transaction API);
+        #: a server maps each wire session to its client id.
+        self._transactions: Dict[Hashable, _Transaction] = {}
+        #: Monotonic transaction ids when no lock manager issues them
+        #: (larger id = younger transaction).
+        self._txn_seq = 0
+        #: Session the currently executing statement belongs to.
+        self._current_session: Hashable = None
+        #: Sessions whose transaction was force-aborted (deadlock victim,
+        #: lock timeout) -> reason; surfaced as :class:`DeadlockError` on
+        #: the session's next statement or commit.
+        self._aborted: Dict[Hashable, str] = {}
+        #: Optional :class:`repro.concurrency.LockManager` enforcing
+        #: strict 2PL across sessions (see :meth:`attach_lock_manager`).
+        self.locks = None
         #: Optional :class:`repro.obs.TraceRecorder`; when set, every
         #: :meth:`execute` opens a ``db.execute`` span and the executor
         #: environment carries the recorder down to the fixpoint loop.
@@ -76,19 +119,37 @@ class Database:
 
     # -- public API -----------------------------------------------------------
 
-    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
-        """Parse, plan and execute a single statement."""
-        recorder = self.recorder
-        if recorder is None:
-            return self._execute(sql, params)
-        with recorder.span(
-            "db.execute",
-            kind="database",
-            sql=sql if isinstance(sql, str) else type(sql).__name__,
-        ) as span:
-            result = self._execute(sql, params, span)
-            span.meta["rows"] = len(result.rows)
-            return result
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        session: Hashable = None,
+    ) -> ResultSet:
+        """Parse, plan and execute a single statement.
+
+        *session* selects which open transaction (if any) the statement
+        runs in; ``None`` is the local default session.  A statement on a
+        session whose transaction was force-aborted (deadlock victim)
+        raises :class:`DeadlockError` so the owner learns about the abort
+        and can restart.
+        """
+        previous = self._current_session
+        self._current_session = session
+        try:
+            self._check_aborted(session)
+            recorder = self.recorder
+            if recorder is None:
+                return self._execute(sql, params)
+            with recorder.span(
+                "db.execute",
+                kind="database",
+                sql=sql if isinstance(sql, str) else type(sql).__name__,
+            ) as span:
+                result = self._execute(sql, params, span)
+                span.meta["rows"] = len(result.rows)
+                return result
+        finally:
+            self._current_session = previous
 
     def _execute(
         self, sql: str, params: Sequence[Any], span=None
@@ -183,31 +244,65 @@ class Database:
 
     @property
     def in_transaction(self) -> bool:
-        return self._transaction_tables is not None
+        """Whether the local default session has an open transaction."""
+        return None in self._transactions
 
-    def begin(self) -> None:
-        """Start a transaction (DML becomes undoable until commit)."""
-        if self.in_transaction:
+    def session_in_transaction(self, session: Hashable = None) -> bool:
+        return session in self._transactions
+
+    def attach_lock_manager(self, manager) -> None:
+        """Enforce strict 2PL with *manager* (a
+        :class:`repro.concurrency.LockManager`): SELECTs take table-level
+        shared locks, DML takes row/table exclusive locks, all released
+        at commit/rollback.  The manager's deadlock victims are aborted
+        through :meth:`_abort_txn`."""
+        self.locks = manager
+        manager.abort_callback = self._abort_txn
+
+    def begin(self, session: Hashable = None) -> int:
+        """Start a transaction on *session* (DML becomes undoable until
+        commit); returns the transaction id."""
+        self._check_aborted(session)
+        if session in self._transactions:
             raise ExecutionError("a transaction is already active")
-        self._transaction_tables = []
+        if self.locks is not None:
+            txn_id = self.locks.begin(owner=session)
+        else:
+            self._txn_seq += 1
+            txn_id = self._txn_seq
+        self._transactions[session] = _Transaction(session, txn_id)
+        return txn_id
 
-    def commit(self) -> None:
-        """Make the transaction's changes permanent."""
-        if not self.in_transaction:
+    def commit(self, session: Hashable = None) -> None:
+        """Make the session's transaction permanent."""
+        self._check_aborted(session)
+        txn = self._transactions.pop(session, None)
+        if txn is None:
             raise ExecutionError("no transaction is active")
-        for storage in self._transaction_tables:
-            storage.commit_undo()
-        self._transaction_tables = None
+        for storage in txn.storages:
+            # Detach only if this transaction's log is still the one
+            # attached — another session's statement may have re-pointed
+            # the storage since our last write.
+            if storage._undo is txn.logs[id(storage)]:
+                storage.detach_undo()
+        if self.locks is not None:
+            self.locks.release_all(txn.txn_id)
 
-    def rollback(self) -> None:
-        """Undo every change made since :meth:`begin`."""
-        if not self.in_transaction:
+    def rollback(self, session: Hashable = None) -> None:
+        """Undo every change the session's transaction made.
+
+        Rolling back a session whose transaction was already force-aborted
+        (deadlock victim) is a no-op success — the work is already undone
+        and the client is merely acknowledging the abort.
+        """
+        if self._aborted.pop(session, None) is not None:
+            return
+        txn = self._transactions.pop(session, None)
+        if txn is None:
             raise ExecutionError("no transaction is active")
-        for storage in reversed(self._transaction_tables):
-            storage.rollback_undo()
-        self._transaction_tables = None
+        self._rollback_txn(txn)
 
-    def transaction(self):
+    def transaction(self, session: Hashable = None):
         """Context manager: commit on success, roll back on exception.
 
         >>> db = Database()
@@ -217,20 +312,128 @@ class Database:
         >>> db.table_rowcount("t")
         1
         """
-        return _TransactionContext(self)
+        return _TransactionContext(self, session)
+
+    def _rollback_txn(self, txn: _Transaction) -> None:
+        for storage in reversed(txn.storages):
+            storage.rollback_entries(txn.logs[id(storage)])
+        if self.locks is not None:
+            self.locks.release_all(txn.txn_id)
+
+    def _abort_txn(self, txn_id: int) -> None:
+        """Force-abort the transaction with *txn_id* (deadlock victim).
+
+        Called back by the lock manager while some *other* session's
+        acquire is in progress; the victim's session learns about it via
+        :class:`DeadlockError` on its next statement, commit, or (as a
+        no-op) rollback.
+        """
+        for session, txn in list(self._transactions.items()):
+            if txn.txn_id == txn_id:
+                del self._transactions[session]
+                self._rollback_txn(txn)
+                self._aborted[session] = (
+                    f"transaction {txn_id} was aborted as a deadlock victim; "
+                    f"restart the transaction"
+                )
+                return
+
+    def _check_aborted(self, session: Hashable) -> None:
+        reason = self._aborted.pop(session, None)
+        if reason is not None:
+            raise DeadlockError(reason)
 
     def _enlist(self, storage) -> None:
-        if self._transaction_tables is None:
+        """Point the storage's undo logging at the executing session's
+        transaction log — or detach it for autocommit statements, so an
+        autocommit write is never captured by a stale attached log."""
+        txn = self._transactions.get(self._current_session)
+        if txn is None:
+            if storage.in_transaction:
+                storage.detach_undo()
             return
-        if not storage.in_transaction:
-            storage.begin_undo()
-            self._transaction_tables.append(storage)
+        storage.attach_undo(txn.log_for(storage))
+
+    # -- locking ------------------------------------------------------------------
+
+    @contextmanager
+    def _lock_scope(self):
+        """Lock-owner scope of one statement.
+
+        Inside a transaction, locks attach to it and live until
+        commit/rollback (strict 2PL).  Autocommit statements get an
+        ephemeral owner released at statement end; their conflicts fail
+        fast (``park=False``) because there is no transaction to keep a
+        queue position for.  Yields ``(owner_id, parkable)`` or
+        ``(None, False)`` when no lock manager is attached.
+        """
+        if self.locks is None:
+            yield None, False
+            return
+        txn = self._transactions.get(self._current_session)
+        if txn is not None:
+            yield txn.txn_id, True
+            return
+        owner = self.locks.begin(owner="autocommit")
+        try:
+            yield owner, False
+        finally:
+            self.locks.release_all(owner)
+
+    def _acquire_lock(self, owner, parkable, table, row_id, mode) -> None:
+        if owner is None:
+            return
+        try:
+            self.locks.acquire(owner, table, row_id, mode, park=parkable)
+        except (DeadlockError, LockTimeout):
+            # This session is the victim: its transaction (if any) is
+            # rolled back here so the raised error leaves a clean slate.
+            txn = self._transactions.pop(self._current_session, None)
+            if txn is not None:
+                self._rollback_txn(txn)
+            raise
+
+    def _lock_tables_shared(self, owner, parkable, tables) -> None:
+        from repro.concurrency.locks import LockMode  # local: avoid cycle
+
+        for table in tables:
+            self._acquire_lock(owner, parkable, table, None, LockMode.SHARED)
+
+    def _where_subquery_tables(self, where) -> Tuple[str, ...]:
+        """Base tables referenced by subqueries of a DML WHERE clause —
+        they are read, so they need shared locks too."""
+        if where is None:
+            return ()
+        names: set = set()
+        for __, subquery in ast_walk.iter_subqueries(where):
+            names.update(self._referenced_tables(subquery))
+        return tuple(sorted(names))
 
     # -- planning / environments -----------------------------------------------
 
     def _plan(self, statement: ast.SelectStatement) -> Plan:
         planner = Planner(self.catalog, self.functions, views=self.views)
-        return planner.plan_select(statement)
+        plan = planner.plan_select(statement)
+        plan.tables = self._referenced_tables(statement)
+        return plan
+
+    def _referenced_tables(self, statement: ast.SelectStatement) -> Tuple[str, ...]:
+        """Base tables *statement* reads, with views expanded to their
+        underlying tables (recursively)."""
+        names: set = set()
+        pending = list(ast_walk.referenced_tables(statement))
+        seen: set = set()
+        while pending:
+            name = pending.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            view = self.views.get(name)
+            if view is not None:
+                pending.extend(ast_walk.referenced_tables(view.select))
+            else:
+                names.add(name)
+        return tuple(sorted(names))
 
     def _remember_plan(self, sql: str, plan: Plan) -> None:
         self._plan_cache[sql] = plan
@@ -249,26 +452,35 @@ class Database:
         return env
 
     def _run_select(self, plan: Plan, params: Sequence[Any]) -> ResultSet:
-        env = self._environment(params)
-        rows = execute_plan(plan, env)
+        with self._lock_scope() as (owner, parkable):
+            self._lock_tables_shared(owner, parkable, plan.tables)
+            env = self._environment(params)
+            rows = execute_plan(plan, env)
         self.statistics["rows_returned"] += len(rows)
         self.last_counters = dict(env.counters)
         return ResultSet(plan.output_names, rows)
 
     # -- DML / DDL ----------------------------------------------------------------
 
+    #: Statement types whose effects (catalog mutations, index builds)
+    #: the undo log cannot reverse — rejected inside any transaction.
+    _DDL_STATEMENTS = (
+        ast.CreateTable,
+        ast.CreateIndex,
+        ast.DropTable,
+        ast.CreateView,
+        ast.DropView,
+    )
+
     def _execute_dml(self, statement, params: Sequence[Any]) -> ResultSet:
-        if self.in_transaction and isinstance(
-            statement,
-            (
-                ast.CreateTable,
-                ast.CreateIndex,
-                ast.DropTable,
-                ast.CreateView,
-                ast.DropView,
-            ),
+        if self.session_in_transaction(self._current_session) and isinstance(
+            statement, self._DDL_STATEMENTS
         ):
-            raise ExecutionError("DDL is not allowed inside a transaction")
+            raise ExecutionError(
+                f"DDL ({type(statement).__name__}) is not allowed inside a "
+                f"transaction: catalog changes are not covered by the undo "
+                f"log and could not be rolled back"
+            )
         if isinstance(statement, ast.CreateTable):
             return self._create_table(statement)
         if isinstance(statement, ast.CreateIndex):
@@ -297,13 +509,13 @@ class Database:
             self._plan_cache.clear()
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, ast.BeginTransaction):
-            self.begin()
+            self.begin(self._current_session)
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, ast.CommitTransaction):
-            self.commit()
+            self.commit(self._current_session)
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, ast.RollbackTransaction):
-            self.rollback()
+            self.rollback(self._current_session)
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, ast.Explain):
             from repro.sqldb.explain import explain_analyze_plan, explain_plan
@@ -367,7 +579,24 @@ class Database:
         return ResultSet([], [], rowcount=0)
 
     def _insert(self, statement: ast.Insert, params: Sequence[Any]) -> ResultSet:
+        from repro.concurrency.locks import LockMode  # local: avoid cycle
+
         entry = self.catalog.lookup(statement.table)
+        with self._lock_scope() as (owner, parkable):
+            # Table-level X: serialises inserts against scans holding the
+            # table-level S, which closes the phantom window.
+            self._acquire_lock(
+                owner, parkable, entry.schema.name, None, LockMode.EXCLUSIVE
+            )
+            if statement.rows is None:
+                self._lock_tables_shared(
+                    owner, parkable, self._referenced_tables(statement.select)
+                )
+            return self._insert_locked(statement, params, entry)
+
+    def _insert_locked(
+        self, statement: ast.Insert, params: Sequence[Any], entry
+    ) -> ResultSet:
         self._enlist(entry.storage)
         schema = entry.schema
         if statement.columns is not None:
@@ -430,8 +659,9 @@ class Database:
         return matches
 
     def _update(self, statement: ast.Update, params: Sequence[Any]) -> ResultSet:
+        from repro.concurrency.locks import LockMode  # local: avoid cycle
+
         entry = self.catalog.lookup(statement.table)
-        self._enlist(entry.storage)
         schema = entry.schema
         env = self._environment(params)
         ctx, __ = self._table_context(entry)
@@ -439,43 +669,73 @@ class Database:
             (schema.column_index(column), compile_expression(value, ctx))
             for column, value in statement.assignments
         ]
-        row_ids = self._matching_row_ids(entry, statement.where, params, env)
-        for row_id in row_ids:
-            old_row = entry.storage.fetch(row_id)
-            row = list(old_row)
-            # SQL semantics: every assignment sees the pre-update row.
-            for position, closure in compiled:
-                value = closure(old_row, env)
-                column = schema.columns[position]
-                row[position] = (
-                    None if is_null(value) else coerce_value(value, column.sql_type)
+        with self._lock_scope() as (owner, parkable):
+            self._lock_tables_shared(
+                owner, parkable, self._where_subquery_tables(statement.where)
+            )
+            row_ids = self._matching_row_ids(entry, statement.where, params, env)
+            # Row-level X on every matched row *before* the first mutation:
+            # a conflict aborts the statement with nothing to undo, and the
+            # rows are re-fetched below after the grant, so an assignment
+            # like ``v = v + 1`` always reads the latest committed value.
+            for row_id in row_ids:
+                self._acquire_lock(
+                    owner, parkable, schema.name, row_id, LockMode.EXCLUSIVE
                 )
-            entry.storage.update(row_id, row)
+            self._enlist(entry.storage)
+            for row_id in row_ids:
+                old_row = entry.storage.fetch(row_id)
+                row = list(old_row)
+                # SQL semantics: every assignment sees the pre-update row.
+                for position, closure in compiled:
+                    value = closure(old_row, env)
+                    column = schema.columns[position]
+                    row[position] = (
+                        None if is_null(value) else coerce_value(value, column.sql_type)
+                    )
+                entry.storage.update(row_id, row)
         return ResultSet([], [], rowcount=len(row_ids))
 
     def _delete(self, statement: ast.Delete, params: Sequence[Any]) -> ResultSet:
+        from repro.concurrency.locks import LockMode  # local: avoid cycle
+
         entry = self.catalog.lookup(statement.table)
-        self._enlist(entry.storage)
         env = self._environment(params)
-        row_ids = self._matching_row_ids(entry, statement.where, params, env)
-        for row_id in row_ids:
-            entry.storage.delete(row_id)
+        with self._lock_scope() as (owner, parkable):
+            self._lock_tables_shared(
+                owner, parkable, self._where_subquery_tables(statement.where)
+            )
+            row_ids = self._matching_row_ids(entry, statement.where, params, env)
+            for row_id in row_ids:
+                self._acquire_lock(
+                    owner, parkable, entry.schema.name, row_id, LockMode.EXCLUSIVE
+                )
+            self._enlist(entry.storage)
+            for row_id in row_ids:
+                entry.storage.delete(row_id)
         return ResultSet([], [], rowcount=len(row_ids))
 
 
 class _TransactionContext:
     """Context manager returned by :meth:`Database.transaction`."""
 
-    def __init__(self, database: Database) -> None:
+    def __init__(self, database: Database, session: Hashable = None) -> None:
         self._database = database
+        self._session = session
 
     def __enter__(self) -> Database:
-        self._database.begin()
+        self._database.begin(self._session)
         return self._database
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         if exc_type is None:
-            self._database.commit()
+            self._database.commit(self._session)
         else:
-            self._database.rollback()
+            try:
+                self._database.rollback(self._session)
+            except ExecutionError:
+                # The transaction may already be gone: a deadlock/timeout
+                # victim is rolled back at the point of the conflict, so
+                # there is nothing left to undo here.
+                pass
         return False

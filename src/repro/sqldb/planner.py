@@ -89,6 +89,11 @@ class Plan:
     root: Operator
     output_names: List[str]
     ctes: List[PlannedCTE] = field(default_factory=list)
+    #: Base tables the statement reads (views expanded, CTE names
+    #: excluded) — the footprint a lock manager covers with table-level
+    #: shared locks.  Stored on the plan so the plan-cache fast path can
+    #: lock without re-parsing.
+    tables: Tuple[str, ...] = ()
 
 
 class CompiledSubquery:

@@ -163,6 +163,21 @@ class TableStorage:
     def in_transaction(self) -> bool:
         return self._undo is not None
 
+    def attach_undo(self, log: List[tuple]) -> None:
+        """Point mutation logging at *log* (owned by one transaction).
+
+        The database re-attaches the executing transaction's log before
+        every DML statement, so concurrent sessions each collect their own
+        inverses even when they touch the same table — strict 2PL keeps
+        their row sets disjoint, which is what makes per-transaction
+        replay safe.
+        """
+        self._undo = log
+
+    def detach_undo(self) -> None:
+        """Stop logging mutations (autocommit, or after commit)."""
+        self._undo = None
+
     def begin_undo(self) -> None:
         """Enlist this table in a transaction: start recording inverses."""
         if self._undo is None:
@@ -173,20 +188,32 @@ class TableStorage:
         self._undo = None
 
     def rollback_undo(self) -> None:
-        """Replay the undo log backwards, restoring the pre-transaction
-        state (rows and indexes)."""
+        """Replay the attached undo log backwards, restoring the
+        pre-transaction state (rows and indexes)."""
         entries = self._undo
         self._undo = None  # replay must not log
-        if not entries:
-            return
-        for entry in reversed(entries):
-            kind = entry[0]
-            if kind == "insert":
-                self.delete(entry[1])
-            elif kind == "delete":
-                self._restore(entry[1], entry[2])
-            else:
-                self.update(entry[1], entry[2])
+        self.rollback_entries(entries or [])
+
+    def rollback_entries(self, entries: List[tuple]) -> None:
+        """Replay *entries* backwards with logging detached.
+
+        Used by per-session transactions: the rolled-back transaction's
+        log is replayed without disturbing whichever log happens to be
+        attached (it is re-attached by the next statement anyway).
+        """
+        attached = self._undo
+        self._undo = None  # replay must not log
+        try:
+            for entry in reversed(entries):
+                kind = entry[0]
+                if kind == "insert":
+                    self.delete(entry[1])
+                elif kind == "delete":
+                    self._restore(entry[1], entry[2])
+                else:
+                    self.update(entry[1], entry[2])
+        finally:
+            self._undo = None if attached is entries else attached
 
     def _restore(self, row_id: int, row: Row) -> None:
         """Re-materialise a deleted row in its original slot."""

@@ -1,0 +1,89 @@
+"""PDM check-out mapped onto persistent exclusive subtree locks."""
+
+import pytest
+
+from repro.concurrency import LockManager, SessionManager
+from repro.errors import CheckOutError
+from repro.pdm.generator import figure2_dataset
+from repro.pdm.schema import (
+    _check_in_tree,
+    _check_out_tree,
+    create_pdm_schema,
+    load_product,
+)
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    create_pdm_schema(database)
+    load_product(database, figure2_dataset())
+    locks = LockManager()
+    SessionManager(database, locks)  # attaches the lock manager
+    return database
+
+
+def checkout_locks(db, user):
+    owner = db.locks.persistent_owner(("checkout", user))
+    return db.locks.locks_held(owner)
+
+
+class TestCheckoutLocks:
+    def test_checkout_takes_persistent_subtree_locks(self, db):
+        obids = _check_out_tree(db, 2, "alice")
+        held = {resource for resource, __ in checkout_locks(db, "alice")}
+        assert held == {("@checkout", obid) for obid in obids}
+
+    def test_overlapping_checkout_conflicts(self, db):
+        _check_out_tree(db, 2, "alice")
+        # The root subtree contains assembly 2 — bob must be refused, and
+        # the failed attempt must leave no locks behind.
+        with pytest.raises(CheckOutError):
+            _check_out_tree(db, 1, "bob")
+        assert checkout_locks(db, "bob") == []
+
+    def test_disjoint_checkouts_coexist(self, db):
+        first = _check_out_tree(db, 2, "alice")
+        second = _check_out_tree(db, 3, "bob")
+        assert not (set(first) & set(second))
+
+    def test_checkin_releases_locks(self, db):
+        _check_out_tree(db, 2, "alice")
+        _check_in_tree(db, 2, "alice")
+        assert checkout_locks(db, "alice") == []
+        # The subtree is free again for another user.
+        _check_out_tree(db, 2, "bob")
+
+    def test_checkout_locks_survive_transactions(self, db):
+        _check_out_tree(db, 2, "alice")
+        db.begin()
+        db.execute("UPDATE assy SET weight = 1.0 WHERE obid = 5")
+        db.rollback()
+        assert checkout_locks(db, "alice") != []
+
+    def test_checkout_does_not_block_reads(self, db):
+        """@checkout locks live in their own namespace: expanding the
+        checked-out subtree (a table scan of assy/link) stays possible."""
+        _check_out_tree(db, 2, "alice")
+        result = db.execute("SELECT COUNT(*) FROM assy")
+        assert result.scalar() > 0
+
+    def test_flag_conflict_rolls_back_fresh_locks_only(self, db):
+        obids = _check_out_tree(db, 2, "alice")
+        # Re-checking-out the same subtree fails on the checkedout flags;
+        # alice's original locks must survive the failed attempt.
+        with pytest.raises(CheckOutError):
+            _check_out_tree(db, 2, "alice")
+        held = {resource for resource, __ in checkout_locks(db, "alice")}
+        assert held == {("@checkout", obid) for obid in obids}
+
+    def test_without_lock_manager_checkout_still_works(self):
+        database = Database()
+        create_pdm_schema(database)
+        load_product(database, figure2_dataset())
+        obids = _check_out_tree(database, 2, "alice")
+        assert obids
+        with pytest.raises(CheckOutError):
+            _check_out_tree(database, 1, "bob")
+        _check_in_tree(database, 2, "alice")

@@ -1,0 +1,103 @@
+"""The deterministic contention simulator and its invariants."""
+
+import pytest
+
+from repro.concurrency import (
+    ContentionConfig,
+    ContentionSim,
+    exact_percentile,
+    report_json,
+)
+from repro.errors import ConcurrencyError
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_reports(self):
+        config = ContentionConfig(
+            clients=3, ops_per_client=5, conflict_rate=0.6, seed=7
+        )
+        first = ContentionSim(config).run()
+        second = ContentionSim(config).run()
+        assert report_json(first) == report_json(second)
+        assert first["schedule"]["hash"] == second["schedule"]["hash"]
+
+    def test_different_seeds_differ(self):
+        base = dict(clients=3, ops_per_client=5, conflict_rate=0.6)
+        first = ContentionSim(ContentionConfig(seed=1, **base)).run()
+        second = ContentionSim(ContentionConfig(seed=2, **base)).run()
+        assert first["schedule"]["hash"] != second["schedule"]["hash"]
+
+
+class TestInvariants:
+    @pytest.fixture(scope="class")
+    def contended_report(self):
+        return ContentionSim(
+            ContentionConfig(
+                clients=4, ops_per_client=8, conflict_rate=0.9, seed=42
+            )
+        ).run()
+
+    def test_zero_lost_updates(self, contended_report):
+        assert contended_report["lost_updates"] == 0
+        assert contended_report["committed_increments"] > 0
+
+    def test_conflicts_actually_happened(self, contended_report):
+        totals = contended_report["totals"]
+        assert (
+            totals["write_retries"]
+            + totals["read_retries"]
+            + totals["deadlock_aborts"]
+        ) > 0
+
+    def test_every_abort_was_restarted_to_completion(self, contended_report):
+        totals = contended_report["totals"]
+        # Restarts cover every deadlock/timeout abort (nothing abandoned).
+        assert totals["txn_restarts"] == (
+            totals["deadlock_aborts"] + totals["timeout_aborts"]
+        )
+
+    def test_all_sessions_closed(self, contended_report):
+        assert contended_report["server"]["sessions_open"] == 0
+
+    def test_checkins_match_checkouts(self, contended_report):
+        totals = contended_report["totals"]
+        assert totals["checkins"] == totals["checkouts"]
+
+    def test_latency_distribution_is_ordered(self, contended_report):
+        latency = contended_report["latency_s"]
+        assert latency["p50"] <= latency["p95"] <= latency["p99"]
+        assert latency["p99"] <= latency["max"]
+
+    def test_simulated_time_advanced(self, contended_report):
+        assert contended_report["elapsed_s"] > 0
+        assert contended_report["throughput_ops_per_s"] > 0
+
+
+class TestConfigValidation:
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ConcurrencyError):
+            ContentionConfig(clients=0)
+
+    def test_rejects_single_hot_counter(self):
+        with pytest.raises(ConcurrencyError):
+            ContentionConfig(hot_counters=1)
+
+    def test_rejects_bad_conflict_rate(self):
+        with pytest.raises(ConcurrencyError):
+            ContentionConfig(conflict_rate=1.5)
+
+
+class TestExactPercentile:
+    def test_empty_is_none(self):
+        assert exact_percentile([], 0.5) is None
+
+    def test_single_value(self):
+        assert exact_percentile([3.0], 0.99) == 3.0
+
+    def test_median_interpolates(self):
+        assert exact_percentile([1.0, 2.0], 0.5) == 1.5
+
+    def test_endpoints(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert exact_percentile(data, 0.0) == 1.0
+        assert exact_percentile(data, 1.0) == 4.0

@@ -1,0 +1,241 @@
+"""Unit tests for the strict-2PL lock manager."""
+
+import pytest
+
+from repro.concurrency.locks import LockManager, LockMode
+from repro.errors import (
+    ConcurrencyError,
+    DeadlockError,
+    LockTimeout,
+    LockUnavailable,
+)
+from repro.network.clock import SimulatedClock
+
+S = LockMode.SHARED
+X = LockMode.EXCLUSIVE
+
+
+@pytest.fixture
+def locks():
+    return LockManager()
+
+
+class TestCompatibility:
+    def test_shared_locks_coexist(self, locks):
+        a, b = locks.begin(), locks.begin()
+        locks.acquire(a, "t", 1, S)
+        locks.acquire(b, "t", 1, S)
+        assert set(locks.holders(("t", 1))) == {a, b}
+
+    def test_exclusive_conflicts_with_shared(self, locks):
+        a, b = locks.begin(), locks.begin()
+        locks.acquire(a, "t", 1, S)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(b, "t", 1, X)
+
+    def test_exclusive_conflicts_with_exclusive(self, locks):
+        a, b = locks.begin(), locks.begin()
+        locks.acquire(a, "t", 1, X)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(b, "t", 1, X)
+
+    def test_table_lock_overlaps_every_row(self, locks):
+        a, b = locks.begin(), locks.begin()
+        locks.acquire(a, "t", None, S)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(b, "t", 7, X)
+
+    def test_row_lock_overlaps_table_lock(self, locks):
+        a, b = locks.begin(), locks.begin()
+        locks.acquire(a, "t", 7, X)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(b, "t", None, S)
+
+    def test_different_rows_do_not_conflict(self, locks):
+        a, b = locks.begin(), locks.begin()
+        locks.acquire(a, "t", 1, X)
+        locks.acquire(b, "t", 2, X)
+
+    def test_different_tables_do_not_conflict(self, locks):
+        a, b = locks.begin(), locks.begin()
+        locks.acquire(a, "t", None, X)
+        locks.acquire(b, "u", None, X)
+
+    def test_reacquire_is_idempotent(self, locks):
+        a = locks.begin()
+        locks.acquire(a, "t", 1, X)
+        locks.acquire(a, "t", 1, X)
+        locks.acquire(a, "t", 1, S)  # X already covers S
+        assert locks.locks_held(a) == [(("t", 1), X)]
+
+    def test_upgrade_shared_to_exclusive(self, locks):
+        a = locks.begin()
+        locks.acquire(a, "t", 1, S)
+        locks.acquire(a, "t", 1, X)
+        assert locks.locks_held(a) == [(("t", 1), X)]
+
+    def test_upgrade_blocked_by_other_reader(self, locks):
+        a, b = locks.begin(), locks.begin()
+        locks.acquire(a, "t", 1, S)
+        locks.acquire(b, "t", 1, S)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(a, "t", 1, X)
+
+    def test_unknown_owner_rejected(self, locks):
+        with pytest.raises(ConcurrencyError):
+            locks.acquire(99, "t", 1, S)
+
+
+class TestParkAndGrant:
+    def test_release_grants_parked_waiter(self, locks):
+        a, b = locks.begin(), locks.begin()
+        locks.acquire(a, "t", 1, X)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(b, "t", 1, X)
+        locks.release_all(a)
+        # The grant happened at release time; the retry finds it held.
+        locks.acquire(b, "t", 1, X)
+        assert locks.locks_held(b) == [(("t", 1), X)]
+        assert locks.statistics["grants_after_wait"] == 1
+
+    def test_fifo_no_barge_past_waiting_writer(self, locks):
+        a, b, c = locks.begin(), locks.begin(), locks.begin()
+        locks.acquire(a, "t", 1, S)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(b, "t", 1, X)  # writer parks behind the reader
+        # A later reader may NOT barge past the parked writer.
+        with pytest.raises(LockUnavailable):
+            locks.acquire(c, "t", 1, S)
+        locks.release_all(a)
+        locks.acquire(b, "t", 1, X)  # writer granted first
+
+    def test_park_false_fails_without_queueing(self, locks):
+        a, b = locks.begin(), locks.begin()
+        locks.acquire(a, "t", 1, X)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(b, "t", 1, X, park=False)
+        locks.release_all(a)
+        c = locks.begin()
+        locks.acquire(c, "t", 1, X)  # b never joined the queue
+
+    def test_release_all_clears_holds_and_waiters(self, locks):
+        a, b = locks.begin(), locks.begin()
+        locks.acquire(a, "t", 1, X)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(b, "t", 1, X)
+        locks.release_all(b)  # b gives up while parked
+        locks.release_all(a)
+        assert locks.holders(("t", 1)) == {}
+
+
+class TestDeadlock:
+    def test_cycle_aborts_youngest(self, locks):
+        a = locks.begin()
+        b = locks.begin()  # younger (larger id)
+        locks.acquire(a, "t", 1, X)
+        locks.acquire(b, "t", 2, X)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(a, "t", 2, X)  # a waits on b
+        # b waiting on a closes the cycle; b is youngest -> victim.
+        with pytest.raises(DeadlockError):
+            locks.acquire(b, "t", 1, X)
+        assert locks.statistics["deadlocks"] == 1
+        # The victim's caller rolls back (releasing its locks); a's parked
+        # request is granted by that release.
+        locks.release_all(b)
+        locks.acquire(a, "t", 2, X)
+
+    def test_victim_callback_aborts_other_transaction(self, locks):
+        aborted = []
+
+        def abort(txn_id):
+            aborted.append(txn_id)
+            locks.release_all(txn_id)
+
+        locks.abort_callback = abort
+        a = locks.begin()
+        b = locks.begin()
+        locks.acquire(b, "t", 2, X)
+        locks.acquire(a, "t", 1, X)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(b, "t", 1, X)  # b (younger) waits on a
+        # a closes the cycle; victim is b (youngest), aborted via callback,
+        # and a's request is granted immediately.
+        locks.acquire(a, "t", 2, X)
+        assert aborted == [b]
+
+    def test_persistent_owner_never_victim(self, locks):
+        checkout = locks.begin(owner="user", persistent=True)
+        a = locks.begin()
+        locks.acquire(checkout, "t", 1, X)
+        locks.acquire(a, "t", 2, X)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(a, "t", 1, X)
+        # Only a cycle through {checkout, a} could exist, and the
+        # persistent owner is excluded — no deadlock is declared.
+        with pytest.raises(LockUnavailable):
+            locks.acquire(a, "t", 1, X)
+
+    def test_no_false_positive_on_simple_wait(self, locks):
+        a, b = locks.begin(), locks.begin()
+        locks.acquire(a, "t", 1, X)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(b, "t", 1, X)
+        assert locks.statistics["deadlocks"] == 0
+
+
+class TestTimeouts:
+    def test_waiter_times_out_on_clock(self):
+        clock = SimulatedClock()
+        locks = LockManager(clock=clock, timeout_s=10.0)
+        a, b = locks.begin(), locks.begin()
+        locks.acquire(a, "t", 1, X)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(b, "t", 1, X)
+        clock.advance(10.5)
+        with pytest.raises(LockTimeout):
+            locks.acquire(b, "t", 1, X)
+        assert locks.statistics["timeouts"] == 1
+
+    def test_retry_before_deadline_keeps_waiting(self):
+        clock = SimulatedClock()
+        locks = LockManager(clock=clock, timeout_s=10.0)
+        a, b = locks.begin(), locks.begin()
+        locks.acquire(a, "t", 1, X)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(b, "t", 1, X)
+        clock.advance(5.0)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(b, "t", 1, X)
+
+
+class TestPersistentLocks:
+    def test_all_or_nothing_rolls_back_partial_grant(self, locks):
+        other = locks.begin()
+        locks.acquire(other, "@checkout", 3, X)
+        user = locks.persistent_owner(("checkout", "alice"))
+        with pytest.raises(LockUnavailable):
+            locks.acquire_all_or_nothing(
+                user, [("@checkout", 1), ("@checkout", 2), ("@checkout", 3)]
+            )
+        assert locks.locks_held(user) == []
+
+    def test_persistent_owner_is_stable_per_key(self, locks):
+        first = locks.persistent_owner(("checkout", "alice"))
+        again = locks.persistent_owner(("checkout", "alice"))
+        bob = locks.persistent_owner(("checkout", "bob"))
+        assert first == again
+        assert bob != first
+
+    def test_release_specific_resources(self, locks):
+        user = locks.persistent_owner(("checkout", "alice"))
+        locks.acquire_all_or_nothing(user, [("@checkout", 1), ("@checkout", 2)])
+        locks.release(user, [("@checkout", 1)])
+        assert locks.locks_held(user) == [(("@checkout", 2), X)]
+
+    def test_locks_survive_release_all_of_other_owner(self, locks):
+        user = locks.persistent_owner(("checkout", "alice"))
+        locks.acquire_all_or_nothing(user, [("@checkout", 1)])
+        txn = locks.begin()
+        locks.release_all(txn)
+        assert locks.locks_held(user) == [(("@checkout", 1), X)]

@@ -55,6 +55,59 @@ class TestHistogram:
         assert Histogram("h", (1.0,)).mean == 0.0
 
 
+class TestHistogramQuantiles:
+    def test_empty_histogram_quantile_is_none(self):
+        assert Histogram("h", (1.0,)).quantile(0.5) is None
+
+    def test_out_of_range_q_rejected(self):
+        histogram = Histogram("h", (1.0,))
+        histogram.observe(0.5)
+        with pytest.raises(ReproError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ReproError):
+            histogram.quantile(1.1)
+
+    def test_single_observation_every_quantile(self):
+        histogram = Histogram("h", (1.0, 10.0))
+        histogram.observe(3.0)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert histogram.quantile(q) == 3.0
+
+    def test_interpolates_inside_a_bucket(self):
+        histogram = Histogram("h", (0.0, 100.0))
+        for value in (10.0, 20.0, 30.0, 90.0):
+            histogram.observe(value)
+        # All four fall in (0, 100]; the estimate interpolates linearly
+        # across that bucket and stays inside the observed range.
+        p50 = histogram.quantile(0.5)
+        assert 10.0 <= p50 <= 90.0
+
+    def test_quantiles_clamped_to_observed_extremes(self):
+        histogram = Histogram("h", (0.0, 1000.0))
+        histogram.observe(5.0)
+        histogram.observe(7.0)
+        assert histogram.quantile(0.99) <= 7.0
+        assert histogram.quantile(0.01) >= 5.0
+
+    def test_quantiles_are_monotonic(self):
+        histogram = Histogram("h", (1.0, 10.0, 100.0))
+        for value in (0.5, 2.0, 3.0, 40.0, 90.0, 400.0):
+            histogram.observe(value)
+        p50 = histogram.quantile(0.5)
+        p95 = histogram.quantile(0.95)
+        p99 = histogram.quantile(0.99)
+        assert p50 <= p95 <= p99 <= histogram.max
+
+    def test_to_dict_includes_percentiles(self):
+        histogram = Histogram("h", (1.0, 10.0))
+        data = histogram.to_dict()
+        assert data["p50"] is None  # empty
+        histogram.observe(2.0)
+        data = histogram.to_dict()
+        assert set(("p50", "p95", "p99")) <= set(data)
+        assert data["p50"] == 2.0
+
+
 class TestRegistry:
     def test_counter_get_or_create(self):
         registry = MetricsRegistry()

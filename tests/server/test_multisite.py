@@ -202,3 +202,94 @@ class TestProcedureReplication:
         assert replica.database.execute(
             "SELECT MIN(weight) FROM comp"
         ).scalar() == 0.5
+
+
+class TestStaleReadFlagging:
+    def test_lagging_replica_read_is_flagged(self, deployment):
+        deployment.execute_write(
+            "UPDATE assy SET state = 'released'", synchronous=False
+        )
+        __, __, site = deployment.execute_read("SELECT DISTINCT state FROM assy")
+        assert site.name == "brazil-lan"
+        assert deployment.last_read_stale
+        assert deployment.statistics["stale_reads"] == 1
+
+    def test_read_after_flush_is_not_flagged(self, deployment):
+        deployment.execute_write(
+            "UPDATE assy SET state = 'released'", synchronous=False
+        )
+        deployment.flush("brazil-lan")
+        __, __, __site = deployment.execute_read(
+            "SELECT DISTINCT state FROM assy"
+        )
+        assert not deployment.last_read_stale
+        assert deployment.statistics["stale_reads"] == 0
+
+    def test_synchronous_write_never_flags(self, deployment):
+        deployment.execute_write(
+            "UPDATE assy SET state = 'released'", synchronous=True
+        )
+        deployment.execute_read("SELECT DISTINCT state FROM assy")
+        assert not deployment.last_read_stale
+
+
+class TestFlushDuringOutage:
+    def test_flush_failure_preserves_backlog(self, deployment, monkeypatch):
+        """A replica outage mid-flush must leave the unapplied statements
+        (the failed one included) queued; once the replica is back, the
+        next flush applies them and the write becomes visible."""
+        from repro.errors import MessageDropped
+
+        deployment.execute_write(
+            "UPDATE assy SET state = 'released' WHERE obid = 1",
+            synchronous=False,
+        )
+        replica = deployment.site("brazil-lan")
+
+        def replica_down(*args, **kwargs):
+            raise MessageDropped("replica outage")
+
+        monkeypatch.setattr(replica.connection, "execute", replica_down)
+        with pytest.raises(MessageDropped):
+            deployment.flush("brazil-lan")
+        assert deployment.lag("brazil-lan") == 1  # statement NOT lost
+        monkeypatch.undo()
+        deployment.flush("brazil-lan")
+        assert deployment.lag("brazil-lan") == 0
+        assert replica.database.execute(
+            "SELECT state FROM assy WHERE obid = 1"
+        ).scalar() == "released"
+
+    def test_partial_flush_keeps_unapplied_tail(self, deployment, monkeypatch):
+        deployment.execute_write(
+            "UPDATE assy SET state = 'frozen' WHERE obid = 1",
+            synchronous=False,
+        )
+        deployment.execute_write(
+            "UPDATE assy SET state = 'released' WHERE obid = 1",
+            synchronous=False,
+        )
+        replica = deployment.site("brazil-lan")
+        real_execute = replica.connection.execute
+        calls = []
+
+        def fail_second(sql, params=()):
+            from repro.errors import MessageDropped
+
+            calls.append(sql)
+            if len(calls) == 2:
+                raise MessageDropped("outage mid-flush")
+            return real_execute(sql, params)
+
+        monkeypatch.setattr(replica.connection, "execute", fail_second)
+        from repro.errors import MessageDropped
+
+        with pytest.raises(MessageDropped):
+            deployment.flush("brazil-lan")
+        # The first statement applied; the failed second one is retained.
+        assert deployment.lag("brazil-lan") == 1
+        monkeypatch.undo()
+        deployment.flush("brazil-lan")
+        assert replica.database.execute(
+            "SELECT state FROM assy WHERE obid = 1"
+        ).scalar() == "released"

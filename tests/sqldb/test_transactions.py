@@ -125,6 +125,52 @@ class TestTransactionRules:
             db.execute("DROP TABLE t")
         db.rollback()
 
+    def test_every_ddl_kind_rejected_inside_transaction(self, db):
+        """Catalog changes are not covered by the undo log, so none of
+        them may slip into a transaction (they could not be rolled back)."""
+        db.execute("CREATE VIEW big AS SELECT id FROM t WHERE v > 15")
+        statements = (
+            "CREATE TABLE nope (x INTEGER)",
+            "CREATE INDEX nope_idx ON t (id)",
+            "CREATE VIEW nope_v AS SELECT id FROM t",
+            "DROP TABLE t",
+            "DROP VIEW big",
+        )
+        db.begin()
+        for sql in statements:
+            with pytest.raises(ExecutionError, match="not allowed inside"):
+                db.execute(sql)
+        db.rollback()
+        # Outside a transaction the same statements work (and the failed
+        # attempts left no catalog residue behind).
+        db.execute("CREATE TABLE nope (x INTEGER)")
+        db.execute("CREATE INDEX nope_idx ON t (id)")
+        db.execute("DROP VIEW big")
+
+    def test_ddl_rejection_is_per_session(self, db):
+        """Only the session holding the open transaction is blocked."""
+        db.begin(session="a")
+        with pytest.raises(ExecutionError):
+            db.execute("CREATE TABLE nope (x INTEGER)", session="a")
+        # The default session has no open transaction: DDL is fine.
+        db.execute("CREATE TABLE ok (x INTEGER)")
+        db.rollback(session="a")
+
+    def test_ddl_rejected_over_the_wire(self, db):
+        from repro.concurrency import SessionManager
+        from repro.errors import ExecutionError as ClientExecutionError
+        from repro.network.profiles import WAN_512
+        from repro.server.client import RemoteConnection
+        from repro.server.server import DatabaseServer
+
+        server = DatabaseServer(db, sessions=SessionManager(db))
+        connection = RemoteConnection(server, WAN_512.create_link())
+        connection.begin()
+        with pytest.raises(ClientExecutionError, match="not allowed inside"):
+            connection.execute("CREATE TABLE nope (x INTEGER)")
+        connection.rollback()
+        connection.execute("CREATE TABLE ok2 (x INTEGER)")
+
     def test_after_commit_new_transaction_possible(self, db):
         with db.transaction():
             db.execute("INSERT INTO t VALUES (4, 40)")

@@ -58,6 +58,11 @@ class TestDecoderFuzz:
     def test_decode_stats(self, payload):
         must_fail_cleanly(protocol.decode_stats, payload)
 
+    @given(arbitrary_bytes)
+    @settings(max_examples=100, deadline=None)
+    def test_decode_session_op(self, payload):
+        must_fail_cleanly(protocol.decode_session_op, payload)
+
     @given(
         st.lists(
             st.tuples(
@@ -119,6 +124,32 @@ class TestServerSurvivesGarbage:
             # 13 zero bytes: crc32(b"") == 0) is answered in kind.
             protocol.Opcode.SEQUENCED_RESULT,
         )
+
+    @given(arbitrary_bytes)
+    @settings(max_examples=100, deadline=None)
+    def test_session_server_survives_garbage_session_frames(self, payload):
+        """Each session/transaction opcode over arbitrary bytes must be
+        answered with its result frame (a 4-byte body that parses) or a
+        clean ERROR — on a server with and without session support."""
+        from repro.concurrency import SessionManager
+        from repro.server.server import DatabaseServer
+        from repro.sqldb import Database
+
+        db = Database()
+        db.execute("CREATE TABLE t (v INTEGER)")
+        servers = (
+            DatabaseServer(db),
+            DatabaseServer(db, sessions=SessionManager(db)),
+        )
+        for server in servers:
+            for opcode in protocol.SESSION_OPCODES:
+                response = server.handle(bytes([opcode.value]) + payload)
+                answer, __ = protocol.decode_envelope(response)
+                assert answer in (
+                    protocol.Opcode.SESSION_RESULT,
+                    protocol.Opcode.TXN_RESULT,
+                    protocol.Opcode.ERROR,
+                )
 
     @given(arbitrary_bytes)
     @settings(max_examples=100, deadline=None)
