@@ -1,97 +1,285 @@
 """Engine micro-benchmarks: the substrate operations on the hot paths of
 the PDM workload (parse, point lookup, navigational child fetch,
-recursive fixpoint, bulk insert)."""
+recursive fixpoint, bulk insert) plus the row-vs-columnar executor
+micro-suite behind the perf-trajectory baseline.
 
-import pytest
+Two entry points share the same workload definitions:
 
-from repro.bench.workload import build_scenario
-from repro.model.parameters import TreeParameters
-from repro.network.profiles import WAN_256
-from repro.pdm.queries import recursive_mle_spec
-from repro.rules.modificator import QueryModificator
-from repro.rules.ruletable import RuleTable
+* under pytest (the tier-1 suite), the ``test_bench_*`` functions run
+  through pytest-benchmark as before;
+* as a script — ``python benchmarks/bench_engine_micro.py [--smoke]
+  [--json PATH]`` — :func:`run_micro` times every executor shape at the
+  requested table sizes in both execution modes, verifies the results
+  are identical (the row executor is the oracle), and reports wall time,
+  rows/sec and the columnar speedup.  The CI perf-smoke job uses this
+  mode, so the pytest import is optional here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+if __name__ == "__main__":
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+try:
+    import pytest
+except ImportError:  # CI perf-smoke image has no pytest; script mode only.
+    pytest = None  # type: ignore[assignment]
+
 from repro.sqldb import Database
-from repro.sqldb.parser import parse_statement
-from repro.sqldb.render import render_select
+
+# ---------------------------------------------------------------------------
+# Row-vs-columnar executor micro-suite.
+# ---------------------------------------------------------------------------
+
+#: Shape name -> (sql, params).  ``?`` thresholds are fixed so the
+#: selectivity stays constant across table sizes (``v`` cycles 0..199).
+#: The join probes ``dim.k``, deliberately *not* indexed, so the planner
+#: picks the hash join both executors implement — an indexed right side
+#: would turn it into an IndexNestedLoopJoin and a whole-plan fallback.
+MICRO_SHAPES = {
+    "scan_filter": ("SELECT a, b FROM t WHERE v < ?", (100,)),
+    "narrow_and": ("SELECT id FROM t WHERE v < ? AND b < ?", (100, 500)),
+    "project_arith": ("SELECT a + b, v * 2 FROM t WHERE v >= ?", (0,)),
+    "hash_join": (
+        "SELECT t.id, dim.label FROM t JOIN dim ON t.v = dim.k WHERE dim.k < ?",
+        (100,),
+    ),
+    "aggregate": ("SELECT v, COUNT(*), SUM(a) FROM t GROUP BY v", ()),
+}
+
+MICRO_SIZES = (10_000, 100_000)
+SMOKE_SIZES = (10_000,)
 
 
-@pytest.fixture(scope="module")
-def loaded_db():
-    scenario = build_scenario(
-        TreeParameters(depth=6, branching=3, visibility=0.6), WAN_256, seed=5
+def build_micro_db(size: int) -> Database:
+    """A deterministic fact/dim pair; values are formulaic, not random,
+    so every run (and both executors) sees byte-identical data."""
+    db = Database()
+    db.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER, v INTEGER)"
     )
-    return scenario.database, scenario.product
+    db.execute("CREATE TABLE dim (k INTEGER, label VARCHAR(20))")
+    db.executemany(
+        "INSERT INTO t VALUES (?, ?, ?, ?)",
+        [(i, i * 3, (i * 7) % 1000, i % 200) for i in range(size)],
+    )
+    db.executemany(
+        "INSERT INTO dim VALUES (?, ?)", [(k, f"label-{k}") for k in range(200)]
+    )
+    return db
 
 
-RECURSIVE_SQL = render_select(
-    QueryModificator(RuleTable(), "scott", {})
-    .modify_recursive(recursive_mle_spec(), "multi_level_expand")
-    .to_statement()
-)
+def _best_of(db: Database, sql: str, params, mode: str, repeats: int) -> float:
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        db.execute(sql, params, mode=mode)
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
-def test_bench_parse_recursive_query(benchmark):
-    statement = benchmark(parse_statement, RECURSIVE_SQL)
-    assert statement.with_clause.recursive
+def run_micro(sizes=MICRO_SIZES, repeats: int = 3) -> dict:
+    """Time every shape at every size in both modes.
+
+    Returns ``{"shape@size": {...}}`` with per-mode wall seconds,
+    throughput, and the columnar speedup.  Raises ``AssertionError`` if
+    the two executors ever disagree on a result — a benchmark that
+    returns wrong rows measures nothing.
+    """
+    results = {}
+    for size in sizes:
+        db = build_micro_db(size)
+        for shape, (sql, params) in MICRO_SHAPES.items():
+            row_result = db.execute(sql, params, mode="row")
+            columnar_result = db.execute(sql, params, mode="columnar")
+            assert columnar_result.rows == row_result.rows, (
+                f"{shape}@{size}: executors disagree"
+            )
+            assert db.last_executor == "columnar", (
+                f"{shape}@{size}: unexpected fallback ({db.last_executor})"
+            )
+            row_s = _best_of(db, sql, params, "row", repeats)
+            columnar_s = _best_of(db, sql, params, "columnar", repeats)
+            results[f"{shape}@{size}"] = {
+                "shape": shape,
+                "table_rows": size,
+                "rows_returned": len(row_result.rows),
+                "row_s": row_s,
+                "columnar_s": columnar_s,
+                "row_rows_per_s": size / row_s,
+                "columnar_rows_per_s": size / columnar_s,
+                "speedup": row_s / columnar_s,
+            }
+    return results
 
 
-def test_bench_point_lookup(benchmark, loaded_db):
-    db, product = loaded_db
-    root = product.root_obid
+def format_micro(results: dict) -> str:
+    lines = [
+        f"{'shape':<24s} {'rows':>8s} {'row ms':>9s} {'col ms':>9s} "
+        f"{'col Mrows/s':>12s} {'speedup':>8s}"
+    ]
+    for name, entry in results.items():
+        lines.append(
+            f"{name:<24s} {entry['table_rows']:>8d} "
+            f"{entry['row_s'] * 1000:>9.1f} {entry['columnar_s'] * 1000:>9.1f} "
+            f"{entry['columnar_rows_per_s'] / 1e6:>12.2f} "
+            f"{entry['speedup']:>7.1f}x"
+        )
+    return "\n".join(lines)
 
-    def run():
-        return db.execute("SELECT * FROM assy WHERE obid = ?", [root])
 
-    result = benchmark(run)
-    assert len(result) == 1
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="10k rows only, fewer repeats — for CI",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the per-shape results to PATH"
+    )
+    args = parser.parse_args(argv)
+    results = run_micro(
+        sizes=SMOKE_SIZES if args.smoke else MICRO_SIZES,
+        repeats=2 if args.smoke else 3,
+    )
+    print(format_micro(results))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    # Coarse CI gate: on the scan/filter shapes the vectorized executor
+    # was built for, columnar must at least break even with row mode.
+    failures = [
+        f"{name}: columnar slower than row ({entry['speedup']:.2f}x)"
+        for name, entry in results.items()
+        if entry["shape"] in ("scan_filter", "narrow_and") and entry["speedup"] < 1.0
+    ]
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
-def test_bench_navigational_child_fetch(benchmark, loaded_db):
-    db, product = loaded_db
-    root = product.root_obid
-    sql = (
-        "SELECT link.obid, link.right, assy.name FROM link "
-        "JOIN assy ON link.right = assy.obid WHERE link.left = ?"
+# ---------------------------------------------------------------------------
+# pytest-benchmark section (tier-1 suite).
+# ---------------------------------------------------------------------------
+
+if pytest is not None:
+    from repro.bench.workload import build_scenario
+    from repro.model.parameters import TreeParameters
+    from repro.network.profiles import WAN_256
+    from repro.pdm.queries import recursive_mle_spec
+    from repro.rules.modificator import QueryModificator
+    from repro.rules.ruletable import RuleTable
+    from repro.sqldb.parser import parse_statement
+    from repro.sqldb.render import render_select
+
+    @pytest.fixture(scope="module")
+    def loaded_db():
+        scenario = build_scenario(
+            TreeParameters(depth=6, branching=3, visibility=0.6), WAN_256, seed=5
+        )
+        return scenario.database, scenario.product
+
+    @pytest.fixture(scope="module")
+    def micro_db():
+        return build_micro_db(10_000)
+
+    RECURSIVE_SQL = render_select(
+        QueryModificator(RuleTable(), "scott", {})
+        .modify_recursive(recursive_mle_spec(), "multi_level_expand")
+        .to_statement()
     )
 
-    def run():
-        return db.execute(sql, [root])
+    def test_bench_parse_recursive_query(benchmark):
+        statement = benchmark(parse_statement, RECURSIVE_SQL)
+        assert statement.with_clause.recursive
 
-    result = benchmark(run)
-    assert len(result) == 3
+    def test_bench_point_lookup(benchmark, loaded_db):
+        db, product = loaded_db
+        root = product.root_obid
 
+        def run():
+            return db.execute("SELECT * FROM assy WHERE obid = ?", [root])
 
-def test_bench_recursive_fixpoint(benchmark, loaded_db):
-    db, product = loaded_db
+        result = benchmark(run)
+        assert len(result) == 1
 
-    def run():
-        return db.execute(RECURSIVE_SQL, [product.root_obid])
-
-    result = benchmark(run)
-    # Nodes plus connecting links of the whole product.
-    assert len(result) == 2 * product.node_count - 1
-
-
-def test_bench_bulk_insert(benchmark):
-    def run():
-        db = Database()
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
-        db.executemany(
-            "INSERT INTO t VALUES (?, ?)", [(i, i * 2) for i in range(2000)]
-        )
-        return db
-
-    db = benchmark(run)
-    assert db.table_rowcount("t") == 2000
-
-
-def test_bench_aggregate_scan(benchmark, loaded_db):
-    db, __ = loaded_db
-
-    def run():
-        return db.execute(
-            "SELECT state, COUNT(*), AVG(weight) FROM comp GROUP BY state"
+    def test_bench_navigational_child_fetch(benchmark, loaded_db):
+        db, product = loaded_db
+        root = product.root_obid
+        sql = (
+            "SELECT link.obid, link.right, assy.name FROM link "
+            "JOIN assy ON link.right = assy.obid WHERE link.left = ?"
         )
 
-    result = benchmark(run)
-    assert result.rows
+        def run():
+            return db.execute(sql, [root])
+
+        result = benchmark(run)
+        assert len(result) == 3
+
+    def test_bench_recursive_fixpoint(benchmark, loaded_db):
+        db, product = loaded_db
+
+        def run():
+            return db.execute(RECURSIVE_SQL, [product.root_obid])
+
+        result = benchmark(run)
+        # Nodes plus connecting links of the whole product.
+        assert len(result) == 2 * product.node_count - 1
+
+    def test_bench_bulk_insert(benchmark):
+        def run():
+            db = Database()
+            db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+            db.executemany(
+                "INSERT INTO t VALUES (?, ?)", [(i, i * 2) for i in range(2000)]
+            )
+            return db
+
+        db = benchmark(run)
+        assert db.table_rowcount("t") == 2000
+
+    def test_bench_aggregate_scan(benchmark, loaded_db):
+        db, __ = loaded_db
+
+        def run():
+            return db.execute(
+                "SELECT state, COUNT(*), AVG(weight) FROM comp GROUP BY state"
+            )
+
+        result = benchmark(run)
+        assert result.rows
+
+    @pytest.mark.parametrize("mode", ["row", "columnar"])
+    def test_bench_scan_filter_by_mode(benchmark, micro_db, mode):
+        sql, params = MICRO_SHAPES["scan_filter"]
+
+        def run():
+            return micro_db.execute(sql, params, mode=mode)
+
+        result = benchmark(run)
+        assert len(result) == 5000
+
+    @pytest.mark.parametrize("mode", ["row", "columnar"])
+    def test_bench_hash_join_by_mode(benchmark, micro_db, mode):
+        sql, params = MICRO_SHAPES["hash_join"]
+
+        def run():
+            return micro_db.execute(sql, params, mode=mode)
+
+        result = benchmark(run)
+        assert result.rows
+
+
+if __name__ == "__main__":
+    sys.exit(main())

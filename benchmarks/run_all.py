@@ -22,6 +22,9 @@ import sys
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_engine_micro import SMOKE_SIZES, run_micro  # noqa: E402
 
 from repro.bench.measure import measure_action  # noqa: E402
 from repro.bench.workload import build_scenario  # noqa: E402
@@ -217,6 +220,44 @@ def run_contention_smoke() -> dict:
     }
 
 
+#: Schema tag of the perf-trajectory file; bump when the layout changes.
+TRAJECTORY_SCHEMA = "bench-trajectory/v1"
+
+#: This PR's slot in the trajectory sequence (BENCH_<pr>.json).
+TRAJECTORY_PR = 6
+
+
+def run_engine_micro(scale: str) -> dict:
+    """The row-vs-columnar executor micro-suite (bench_engine_micro)."""
+    if scale == "small":
+        return run_micro(sizes=SMOKE_SIZES, repeats=2)
+    return run_micro()
+
+
+def trajectory_report(report: dict) -> dict:
+    """The perf-trajectory slice written to ``BENCH_6.json``: one entry
+    per micro-bench with timings, throughput, and the executor modes
+    compared — the file later PRs diff against."""
+    benches = {}
+    for name, entry in report["engine_micro"].items():
+        benches[name] = {
+            "modes": ["row", "columnar"],
+            "table_rows": entry["table_rows"],
+            "rows_returned": entry["rows_returned"],
+            "row_s": entry["row_s"],
+            "columnar_s": entry["columnar_s"],
+            "row_rows_per_s": entry["row_rows_per_s"],
+            "columnar_rows_per_s": entry["columnar_rows_per_s"],
+            "speedup": entry["speedup"],
+        }
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "pr": TRAJECTORY_PR,
+        "scale": report["scale"],
+        "benches": benches,
+    }
+
+
 def run(scale: str, fault_profile=None, fault_seed: int = 1, trace_profile=None) -> dict:
     if scale == "small":
         # Deep enough that the padded IN-list shapes repeat and the
@@ -262,6 +303,7 @@ def run(scale: str, fault_profile=None, fault_seed: int = 1, trace_profile=None)
         "opcode_messages": opcode_traffic,
         "lint": lint,
         "contention": run_contention_smoke(),
+        "engine_micro": run_engine_micro(scale),
     }
     if fault_profile is not None and not fault_profile.perfect:
         report["faults"] = run_chaos(tree, scenario, fault_profile, fault_seed)
@@ -329,6 +371,18 @@ def check(report: dict) -> list:
             failures.append(
                 "contention smoke saw no lock conflicts — proved nothing"
             )
+    micro = report.get("engine_micro")
+    if micro:
+        # Coarse gate: the vectorized executor must never be slower than
+        # the row executor on the scan/filter shapes it was built for.
+        # (The ambitious >=5x target is recorded in the trajectory file
+        # and EXPERIMENTS.md, not enforced on noisy CI runners.)
+        for name, entry in micro.items():
+            if entry["shape"] in ("scan_filter", "narrow_and") and entry["speedup"] < 1.0:
+                failures.append(
+                    f"engine micro {name}: columnar slower than row "
+                    f"({entry['speedup']:.2f}x)"
+                )
     trace = report.get("trace")
     if trace:
         decomposition = trace["decomposition"]
@@ -372,6 +426,15 @@ def main(argv=None) -> int:
         help="run one fully traced resilient batched expand (under "
         "--fault-profile, default flaky-wan), write the span-tree JSON "
         "export to PATH and print the time decomposition",
+    )
+    parser.add_argument(
+        "--bench-trajectory",
+        metavar="PATH",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", f"BENCH_{TRAJECTORY_PR}.json"
+        ),
+        help="where to write the perf-trajectory baseline "
+        "(default: BENCH_6.json at the repo root; pass '' to skip)",
     )
     args = parser.parse_args(argv)
     report = run(
@@ -437,8 +500,20 @@ def main(argv=None) -> int:
         with open(args.trace, "w", encoding="utf-8") as handle:
             json.dump(trace, handle, indent=2, sort_keys=True)
         print(f"wrote {args.trace}")
+    micro = report.get("engine_micro")
+    if micro:
+        from bench_engine_micro import format_micro
+
+        print("\nengine micro (row vs columnar):")
+        print(format_micro(micro))
     failures = check(report)
     report["ok"] = not failures
+    trajectory_path = args.bench_trajectory
+    if trajectory_path:
+        with open(trajectory_path, "w", encoding="utf-8") as handle:
+            json.dump(trajectory_report(report), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {trajectory_path}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)

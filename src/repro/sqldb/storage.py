@@ -79,6 +79,10 @@ class TableStorage:
         self._indexes: Dict[str, HashIndex] = {}
         #: Undo log for the enclosing transaction; None when not enlisted.
         self._undo: Optional[List[tuple]] = None
+        #: Mutation counter: bumped by every insert/update/delete/restore.
+        #: Derived caches (the columnar chunk cache) key on it to detect
+        #: staleness without hooking every mutation path individually.
+        self.version = 0
         pk_position = schema.primary_key_index()
         if pk_position is not None:
             self.create_index(f"{schema.name}_pk", [schema.columns[pk_position].name], unique=True)
@@ -107,6 +111,7 @@ class TableStorage:
             index.add(row_id, stored)
         self._rows.append(stored)
         self._live_count += 1
+        self.version += 1
         if self._undo is not None:
             self._undo.append(("insert", row_id))
         return row_id
@@ -119,6 +124,7 @@ class TableStorage:
             index.remove(row_id, row)
         self._rows[row_id] = None
         self._live_count -= 1
+        self.version += 1
         if self._undo is not None:
             self._undo.append(("delete", row_id, row))
 
@@ -137,6 +143,7 @@ class TableStorage:
         for index in self._indexes.values():
             index.add(row_id, stored)
         self._rows[row_id] = stored
+        self.version += 1
         if self._undo is not None:
             self._undo.append(("update", row_id, old_row))
 
@@ -226,6 +233,7 @@ class TableStorage:
             index.add(row_id, row)
         self._rows[row_id] = row
         self._live_count += 1
+        self.version += 1
 
     # -- indexes -------------------------------------------------------------
 

@@ -1,0 +1,420 @@
+"""Vectorized physical operators: batch-at-a-time columnar execution.
+
+The row executor (:mod:`repro.sqldb.executor`) interprets plans one tuple
+at a time; under CPython the per-row cost — a generator resumption plus a
+closure call per expression per row — dominates scan-heavy PDM queries.
+The operators here process :class:`~repro.sqldb.columnar.Batch` chunks
+instead: each exposes ``batches(env)`` yielding column batches, and
+expression work runs through the columnar kernels compiled by
+:mod:`repro.sqldb.expressions` (falling back to the row closure over the
+batch's row view where no kernel exists, which is semantically identical
+by construction).
+
+The row executor remains the *semantics oracle*: a plan is vectorized
+only when every operator in it has a batch implementation
+(:func:`vectorized_root`), otherwise the whole plan runs row-at-a-time
+unchanged — semantics never fork, they are either identical or the
+columnar path is not taken.  Plans with CTEs, index access paths,
+nested-loop joins or derived-table subplans fall back; the differential
+test suite pins result identity for everything that does vectorize.
+
+All operators preserve the row executor's exact output order (scan order,
+left-order hash probe, first-seen group and distinct order), so ordered
+result comparison against the oracle is exact, not set-based.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.sqldb import executor as rowexec
+from repro.sqldb.columnar import BATCH_SIZE, Batch, table_batches
+from repro.sqldb.expressions import ExprFn, as_kernel
+from repro.sqldb.planner import Plan, SubplanOperator
+
+Row = Tuple[Any, ...]
+
+
+class UnsupportedPlanError(Exception):
+    """Internal: the plan contains an operator with no batch implementation."""
+
+
+class VecOperator:
+    """Base class: ``batches(env)`` yields :class:`Batch` chunks in order."""
+
+    output_names: List[str] = []
+
+    def batches(self, env) -> Iterator[Batch]:
+        raise NotImplementedError
+
+    def _emit(self, batch: Batch, env) -> Batch:
+        """Account one outgoing batch in the execution counters."""
+        counters = env.counters
+        counters["vec_batches"] += 1
+        counters["vec_rows"] += batch.length
+        return batch
+
+    def _materialised(self, rows: List[Row], env) -> Iterator[Batch]:
+        """Re-chunk a materialised row list into output batches."""
+        arity = len(self.output_names)
+        for start in range(0, len(rows), BATCH_SIZE):
+            yield self._emit(Batch.from_rows(rows[start : start + BATCH_SIZE], arity), env)
+
+
+class VecSeqScan(VecOperator):
+    """Full scan of a base table over its cached column chunks."""
+
+    def __init__(self, storage) -> None:
+        self.storage = storage
+        self.output_names = list(storage.schema.column_names)
+
+    def batches(self, env) -> Iterator[Batch]:
+        for batch in table_batches(self.storage):
+            env.counters["rows_scanned"] += batch.length
+            yield self._emit(batch, env)
+
+
+class VecRowsSource(VecOperator):
+    """Batches over a pre-materialised row list (VALUES, test fixtures)."""
+
+    def __init__(self, columns: List[str], rows: List[Row]) -> None:
+        self.output_names = list(columns)
+        self._rows = rows
+
+    def batches(self, env) -> Iterator[Batch]:
+        yield from self._materialised(self._rows, env)
+
+
+class VecFilter(VecOperator):
+    """Keep rows whose predicate is TRUE, via the predicate's kernel.
+
+    A batch the predicate fully accepts passes through untouched (the
+    common case for selective scans is all-or-mostly matches per chunk);
+    otherwise matching positions are gathered into a fresh batch.
+    """
+
+    def __init__(self, child: VecOperator, predicate: ExprFn) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.kernel = as_kernel(predicate)
+        self.output_names = list(child.output_names)
+
+    def batches(self, env) -> Iterator[Batch]:
+        kernel = self.kernel
+        for batch in self.child.batches(env):
+            mask = kernel(batch, env)
+            # Strict identity (`is True`), like the row Filter: a predicate
+            # yielding a plain 1 does not keep the row in either executor.
+            selected = [i for i, value in enumerate(mask) if value is True]
+            if len(selected) == batch.length:
+                yield self._emit(batch, env)
+            elif selected:
+                yield self._emit(batch.gather(selected), env)
+
+
+class VecProject(VecOperator):
+    """Compute the select list column-at-a-time — no row materialisation."""
+
+    def __init__(self, child: VecOperator, exprs: List[ExprFn], names: List[str]) -> None:
+        self.child = child
+        self.exprs = exprs
+        self.kernels = [as_kernel(fn) for fn in exprs]
+        self.output_names = list(names)
+
+    def batches(self, env) -> Iterator[Batch]:
+        kernels = self.kernels
+        for batch in self.child.batches(env):
+            columns = [kernel(batch, env) for kernel in kernels]
+            yield self._emit(Batch(columns, batch.length), env)
+
+
+class VecHashJoin(VecOperator):
+    """Equi-join with batched build and probe.
+
+    Build consumes the right child batch-wise, computing the key columns
+    with kernels and inserting right rows in scan order; probe walks the
+    left child in order, so the output row order matches the row
+    executor's :class:`~repro.sqldb.executor.HashJoin` exactly.
+    """
+
+    def __init__(
+        self,
+        left: VecOperator,
+        right: VecOperator,
+        left_keys: List[ExprFn],
+        right_keys: List[ExprFn],
+        residual: Optional[ExprFn] = None,
+        kind: str = "INNER",
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_kernels = [as_kernel(fn) for fn in left_keys]
+        self.right_kernels = [as_kernel(fn) for fn in right_keys]
+        self.residual = residual
+        self.kind = kind
+        self.output_names = list(left.output_names) + list(right.output_names)
+
+    def batches(self, env) -> Iterator[Batch]:
+        table: Dict[Tuple[Any, ...], List[Row]] = {}
+        for batch in self.right.batches(env):
+            key_columns = [kernel(batch, env) for kernel in self.right_kernels]
+            rows = batch.rows()
+            for i, key in enumerate(zip(*key_columns)):
+                if any(part is None for part in key):
+                    continue  # NULL never equi-joins
+                table.setdefault(key, []).append(rows[i])
+        pad = (None,) * len(self.right.output_names)
+        residual = self.residual
+        pad_left = self.kind == "LEFT"
+        for batch in self.left.batches(env):
+            key_columns = [kernel(batch, env) for kernel in self.left_kernels]
+            left_rows = batch.rows()
+            out: List[Row] = []
+            append = out.append
+            for i, key in enumerate(zip(*key_columns)):
+                left_row = left_rows[i]
+                matched = False
+                if not any(part is None for part in key):
+                    for right_row in table.get(key, ()):
+                        combined = left_row + right_row
+                        if residual is None or residual(combined, env) is True:
+                            matched = True
+                            append(combined)
+                if pad_left and not matched:
+                    append(left_row + pad)
+            if out:
+                yield self._emit(Batch.from_rows(out, len(self.output_names)), env)
+
+
+class VecAggregate(VecOperator):
+    """Hash aggregation fed column-at-a-time.
+
+    Group keys and aggregate arguments are computed with kernels per
+    batch; accumulation reuses the row executor's
+    :class:`~repro.sqldb.functions.Aggregator` state machines, so DISTINCT
+    handling, NULL screening and result typing cannot diverge.  Groups are
+    emitted in first-seen order, matching the row operator.
+    """
+
+    def __init__(
+        self,
+        child: VecOperator,
+        group_exprs: List[ExprFn],
+        aggregates: List[rowexec.AggregateSpec],
+        output_names: List[str],
+    ) -> None:
+        self.child = child
+        self.group_kernels = [as_kernel(fn) for fn in group_exprs]
+        self.aggregates = aggregates
+        self.arg_kernels = [
+            None if spec.star else as_kernel(spec.argument) for spec in aggregates
+        ]
+        self.output_names = list(output_names)
+
+    def batches(self, env) -> Iterator[Batch]:
+        groups: Dict[Tuple[Any, ...], list] = {}
+        order: List[Tuple[Any, ...]] = []
+        specs = self.aggregates
+        group_kernels = self.group_kernels
+        for batch in self.child.batches(env):
+            if group_kernels:
+                key_columns = [kernel(batch, env) for kernel in group_kernels]
+                keys = list(zip(*key_columns))
+            else:
+                keys = [()] * batch.length
+            arg_columns = [
+                None if kernel is None else kernel(batch, env)
+                for kernel in self.arg_kernels
+            ]
+            for i, key in enumerate(keys):
+                aggregators = groups.get(key)
+                if aggregators is None:
+                    aggregators = [spec.new_aggregator() for spec in specs]
+                    groups[key] = aggregators
+                    order.append(key)
+                for column, aggregator in zip(arg_columns, aggregators):
+                    aggregator.add(None if column is None else column[i])
+        if not group_kernels and not groups:
+            # SELECT COUNT(*) FROM empty_table must yield one row.
+            groups[()] = [spec.new_aggregator() for spec in specs]
+            order.append(())
+        result = [
+            key + tuple(aggregator.result() for aggregator in groups[key])
+            for key in order
+        ]
+        yield from self._materialised(result, env)
+
+
+class VecSort(VecOperator):
+    """Materialise, sort with the row executor's key logic, re-batch."""
+
+    def __init__(self, child: VecOperator, keys: List[Tuple[ExprFn, bool]]) -> None:
+        self.child = child
+        self.keys = keys
+        self.output_names = list(child.output_names)
+
+    def batches(self, env) -> Iterator[Batch]:
+        materialised: List[Row] = []
+        for batch in self.child.batches(env):
+            materialised.extend(batch.rows())
+        # Stable sort by least-significant key first — identical to Sort.
+        for key_fn, descending in reversed(self.keys):
+            materialised.sort(
+                key=lambda row: rowexec._null_safe_key(key_fn(row, env)),
+                reverse=descending,
+            )
+        yield from self._materialised(materialised, env)
+
+
+class VecDistinct(VecOperator):
+    """Remove duplicates, first occurrence wins (row-operator order)."""
+
+    def __init__(self, child: VecOperator) -> None:
+        self.child = child
+        self.output_names = list(child.output_names)
+
+    def batches(self, env) -> Iterator[Batch]:
+        seen: set = set()
+        arity = len(self.output_names)
+        for batch in self.child.batches(env):
+            out: List[Row] = []
+            for row in batch.rows():
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+            if out:
+                yield self._emit(Batch.from_rows(out, arity), env)
+
+
+class VecUnionAll(VecOperator):
+    """Concatenate children batch streams."""
+
+    def __init__(self, children: List[VecOperator]) -> None:
+        self.children = children
+        self.output_names = list(children[0].output_names)
+
+    def batches(self, env) -> Iterator[Batch]:
+        for child in self.children:
+            for batch in child.batches(env):
+                yield self._emit(batch, env)
+
+
+class VecOffset(VecOperator):
+    """Skip the first N rows across batch boundaries."""
+
+    def __init__(self, child: VecOperator, offset_fn: ExprFn) -> None:
+        self.child = child
+        self.offset_fn = offset_fn
+        self.output_names = list(child.output_names)
+
+    def batches(self, env) -> Iterator[Batch]:
+        skip = self.offset_fn((), env)
+        skip = 0 if skip is None else int(skip)
+        for batch in self.child.batches(env):
+            if skip == 0:
+                yield self._emit(batch, env)
+            elif skip >= batch.length:
+                skip -= batch.length
+            else:
+                yield self._emit(batch.gather(list(range(skip, batch.length))), env)
+                skip = 0
+
+
+class VecLimit(VecOperator):
+    """Yield at most N rows, truncating the final batch."""
+
+    def __init__(self, child: VecOperator, limit_fn: ExprFn) -> None:
+        self.child = child
+        self.limit_fn = limit_fn
+        self.output_names = list(child.output_names)
+
+    def batches(self, env) -> Iterator[Batch]:
+        remaining = self.limit_fn((), env)
+        remaining = 0 if remaining is None else int(remaining)
+        if remaining <= 0:
+            return
+        for batch in self.child.batches(env):
+            if batch.length <= remaining:
+                remaining -= batch.length
+                yield self._emit(batch, env)
+                if remaining == 0:
+                    return
+            else:
+                yield self._emit(batch.gather(list(range(remaining))), env)
+                return
+
+
+def _vectorize(op: rowexec.Operator) -> VecOperator:
+    """Translate a row operator tree into its batch equivalent.
+
+    Raises :class:`UnsupportedPlanError` on the first operator without a
+    batch implementation — vectorization is whole-plan or not at all.
+    """
+    if isinstance(op, rowexec.SeqScan):
+        return VecSeqScan(op.storage)
+    if isinstance(op, rowexec.RowsSource):
+        return VecRowsSource(op.output_names, op._rows)
+    if isinstance(op, rowexec.Filter):
+        return VecFilter(_vectorize(op.child), op.predicate)
+    if isinstance(op, rowexec.Project):
+        return VecProject(_vectorize(op.child), op.exprs, op.output_names)
+    if isinstance(op, rowexec.HashJoin):
+        return VecHashJoin(
+            _vectorize(op.left),
+            _vectorize(op.right),
+            op.left_keys,
+            op.right_keys,
+            residual=op.residual,
+            kind=op.kind,
+        )
+    if isinstance(op, rowexec.Aggregate):
+        return VecAggregate(
+            _vectorize(op.child), op.group_exprs, op.aggregates, op.output_names
+        )
+    if isinstance(op, rowexec.Sort):
+        return VecSort(_vectorize(op.child), op.keys)
+    if isinstance(op, rowexec.Distinct):
+        return VecDistinct(_vectorize(op.child))
+    if isinstance(op, rowexec.UnionAll):
+        return VecUnionAll([_vectorize(child) for child in op.children])
+    if isinstance(op, rowexec.Offset):
+        return VecOffset(_vectorize(op.child), op.offset_fn)
+    if isinstance(op, rowexec.Limit):
+        return VecLimit(_vectorize(op.child), op.limit_fn)
+    if isinstance(op, SubplanOperator):
+        raise UnsupportedPlanError("derived-table subplan runs row-at-a-time")
+    raise UnsupportedPlanError(
+        f"operator {type(op).__name__} has no vectorized implementation"
+    )
+
+
+def vectorized_root(plan: Plan) -> Tuple[Optional[VecOperator], str]:
+    """The batch operator tree for *plan*, or ``(None, reason)``.
+
+    Memoised on ``plan.vec_cache`` — plans are immutable after build (the
+    database's plan cache reuses them across executions), so the
+    translation is done once per plan, not once per query.
+    """
+    cached = plan.vec_cache
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    if plan.ctes:
+        result: Tuple[Optional[VecOperator], str] = (
+            None,
+            "plan materialises CTEs",
+        )
+    else:
+        try:
+            result = (_vectorize(plan.root), "")
+        except UnsupportedPlanError as exc:
+            result = (None, str(exc))
+    plan.vec_cache = result
+    return result
+
+
+def vec_execute(root: VecOperator, env) -> List[Row]:
+    """Drain the batch pipeline into the final row list."""
+    rows: List[Row] = []
+    for batch in root.batches(env):
+        rows.extend(batch.rows())
+    return rows

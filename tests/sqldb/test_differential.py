@@ -1,0 +1,217 @@
+"""Differential row-oracle tests: columnar == row, query by query.
+
+The row executor is the semantics oracle for the vectorized pipeline.
+Every query in the shared corpus — the 25-template ``repro.analysis``
+corpus (the statements the PDM layer actually emits) plus an
+engine-level corpus covering each vectorizable operator — runs through
+both executors and must produce *identical ordered* results: same
+columns, same rows, same order.  A query that raises must raise an
+:class:`~repro.errors.SQLError` subclass in both modes (the exact
+subclass and message may differ when column-at-a-time evaluation meets
+an error on a different row first; see DESIGN.md §10).
+
+A hypothesis-driven test generates random filters/projections over a
+seeded table so the corpus is not limited to shapes we thought of.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SQLError
+from repro.sqldb.database import Database
+
+
+def run_differential(db: Database, sql: str, params=()):
+    """Run *sql* in both modes; assert the oracle contract; return rows.
+
+    Either both executors succeed with identical ordered results, or
+    both raise an ``SQLError``.
+    """
+    row_error = columnar_error = None
+    row_result = columnar_result = None
+    try:
+        row_result = db.execute(sql, params, mode="row")
+    except SQLError as exc:
+        row_error = exc
+    try:
+        columnar_result = db.execute(sql, params, mode="columnar")
+    except SQLError as exc:
+        columnar_error = exc
+
+    if row_error is not None or columnar_error is not None:
+        assert row_error is not None, (
+            f"columnar raised {columnar_error!r} but row succeeded: {sql}"
+        )
+        assert columnar_error is not None, (
+            f"row raised {row_error!r} but columnar succeeded: {sql}"
+        )
+        return None
+
+    assert columnar_result.columns == row_result.columns, sql
+    assert columnar_result.rows == row_result.rows, sql
+    return row_result.rows
+
+
+def parameter_count(sql: str) -> int:
+    """``?`` placeholders outside string literals."""
+    return re.sub(r"'[^']*'", "", sql).count("?")
+
+
+# ---------------------------------------------------------------------------
+# The PDM template corpus (repro.analysis), bound to the Figure 2 root.
+# ---------------------------------------------------------------------------
+
+
+def pdm_select_templates():
+    from repro.analysis.templates import template_queries
+
+    return [
+        (name, sql)
+        for name, sql in template_queries()
+        if sql.lstrip().upper().startswith(("SELECT", "WITH"))
+    ]
+
+
+@pytest.mark.parametrize(
+    "name,sql", pdm_select_templates(), ids=[n for n, _ in pdm_select_templates()]
+)
+def test_pdm_template_corpus_differential(figure2_db, name, sql):
+    params = tuple([1] * parameter_count(sql))  # Figure 2 root obid
+    run_differential(figure2_db, sql, params)
+
+
+def test_pdm_corpus_covers_every_template():
+    """The SELECT slice of the corpus must not silently shrink."""
+    assert len(pdm_select_templates()) >= 20
+
+
+# ---------------------------------------------------------------------------
+# Engine-level corpus: one seeded table pair, every vectorizable shape.
+# ---------------------------------------------------------------------------
+
+ENGINE_CORPUS = [
+    # scans / filters / three-valued logic
+    "SELECT * FROM t",
+    "SELECT a, b FROM t WHERE v < 40",
+    "SELECT id FROM t WHERE v < 40 AND b < 500",
+    "SELECT id FROM t WHERE v < 10 OR b > 900",
+    "SELECT id FROM t WHERE NOT (v < 40)",
+    "SELECT id FROM t WHERE n IS NULL",
+    "SELECT id FROM t WHERE n IS NOT NULL",
+    "SELECT id FROM t WHERE n > 5",
+    "SELECT id FROM t WHERE n > 5 OR v < 3",
+    "SELECT id FROM t WHERE v BETWEEN 10 AND 20",
+    "SELECT id FROM t WHERE v IN (1, 2, 3, NULL)",
+    "SELECT id FROM t WHERE s LIKE 'name-1%'",
+    "SELECT id FROM t WHERE s LIKE '%7'",
+    # projections / expressions
+    "SELECT a + b, v * 2 FROM t WHERE v >= 5",
+    "SELECT a - b, -v FROM t",
+    "SELECT s || '-x' FROM t WHERE v < 5",
+    "SELECT CAST(v AS VARCHAR(10)) FROM t WHERE v < 5",
+    "SELECT CASE WHEN v < 10 THEN 'lo' ELSE 'hi' END FROM t",
+    "SELECT n + 1 FROM t",
+    # joins (dim.k is NOT indexed, so the planner hash-joins)
+    "SELECT t.id, dim.label FROM t JOIN dim ON t.v = dim.k",
+    "SELECT t.id, dim.label FROM t LEFT JOIN dim ON t.v = dim.k",
+    "SELECT t.id, dim.label FROM t JOIN dim ON t.v = dim.k WHERE dim.k < 20",
+    "SELECT t.id FROM t JOIN dim ON t.n = dim.k",  # NULL join keys never match
+    # aggregation
+    "SELECT COUNT(*) FROM t",
+    "SELECT COUNT(n), SUM(n), MIN(n), MAX(n), AVG(n) FROM t",
+    "SELECT v, COUNT(*), SUM(a) FROM t GROUP BY v",
+    "SELECT v, COUNT(*) FROM t GROUP BY v HAVING COUNT(*) > 3",
+    "SELECT COUNT(*) FROM empty",
+    "SELECT SUM(k) FROM empty",
+    # sort / distinct / limit / offset / set ops
+    "SELECT v FROM t ORDER BY v DESC, id ASC",
+    "SELECT n FROM t ORDER BY n",
+    "SELECT DISTINCT v FROM t",
+    "SELECT DISTINCT n FROM t WHERE v < 10",
+    "SELECT id FROM t ORDER BY id LIMIT 7",
+    "SELECT id FROM t ORDER BY id LIMIT 5 OFFSET 95",
+    "SELECT v FROM t WHERE v < 3 UNION ALL SELECT k FROM dim WHERE k < 3",
+    # shapes that fall back to the row executor (fallback must be silent)
+    "SELECT v FROM t WHERE id = 4",  # primary-key index lookup
+    "SELECT v, (SELECT MAX(k) FROM dim) FROM t WHERE v < 3",
+    "SELECT x.id FROM (SELECT id FROM t WHERE v < 5) AS x",
+    "WITH small AS (SELECT id, v FROM t WHERE v < 5) SELECT * FROM small",
+]
+
+
+@pytest.fixture(scope="module")
+def engine_db() -> Database:
+    db = Database()
+    db.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER,"
+        " v INTEGER, n INTEGER, s VARCHAR(20))"
+    )
+    db.execute("CREATE TABLE dim (k INTEGER, label VARCHAR(20))")
+    db.execute("CREATE TABLE empty (k INTEGER)")
+    rows = [
+        (i, i * 3, (i * 7) % 1000, i % 50, None if i % 3 == 0 else i % 11, f"name-{i}")
+        for i in range(500)
+    ]
+    db.executemany("INSERT INTO t VALUES (?, ?, ?, ?, ?, ?)", rows)
+    db.executemany(
+        "INSERT INTO dim VALUES (?, ?)", [(k, f"label-{k}") for k in range(0, 50, 2)]
+    )
+    return db
+
+
+@pytest.mark.parametrize("sql", ENGINE_CORPUS)
+def test_engine_corpus_differential(engine_db, sql):
+    run_differential(engine_db, sql)
+
+
+def test_division_error_raises_in_both_modes(engine_db):
+    # Column-at-a-time evaluation may hit the failing row in a different
+    # order, but both executors must surface an SQLError.
+    assert run_differential(engine_db, "SELECT 10 / (v - v) FROM t") is None
+    assert run_differential(engine_db, "SELECT id FROM t WHERE 10 / n > 1") is None
+
+
+def test_masked_conjunction_guards_division(engine_db):
+    # The AND kernel must not evaluate the right operand on rows the left
+    # already rejected — otherwise this guarded division would blow up on
+    # v = 0 rows in columnar mode only.
+    rows = run_differential(engine_db, "SELECT id FROM t WHERE v <> 0 AND 100 / v > 10")
+    assert rows  # the guard admits rows, it doesn't just mask errors
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random filters and projections over the seeded table.
+# ---------------------------------------------------------------------------
+
+COLUMNS = ("a", "b", "v", "n")
+
+comparison = st.tuples(
+    st.sampled_from(COLUMNS),
+    st.sampled_from(("<", "<=", ">", ">=", "=", "<>")),
+    st.integers(min_value=-5, max_value=60),
+).map(lambda t: f"{t[0]} {t[1]} {t[2]}")
+
+predicate = st.recursive(
+    comparison,
+    lambda inner: st.tuples(inner, st.sampled_from(("AND", "OR")), inner).map(
+        lambda t: f"({t[0]} {t[1]} {t[2]})"
+    ),
+    max_leaves=4,
+)
+
+projection = st.lists(
+    st.sampled_from(COLUMNS + ("a + b", "v * 2", "b - v", "id")),
+    min_size=1,
+    max_size=4,
+).map(", ".join)
+
+
+@settings(max_examples=60, deadline=None)
+@given(select=projection, where=predicate)
+def test_random_filter_projection_differential(engine_db, select, where):
+    run_differential(engine_db, f"SELECT {select} FROM t WHERE {where}")

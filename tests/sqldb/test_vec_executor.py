@@ -1,0 +1,236 @@
+"""Unit tests for the vectorized executor: mode wiring, whole-plan
+fallback, chunk-cache invalidation, batch boundaries, counters, EXPLAIN
+ANALYZE labelling, and the observability hooks.
+
+Semantic equivalence with the row executor is covered separately by the
+differential harness (``test_differential.py``); these tests pin the
+machinery *around* the batch pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.obs import TraceRecorder
+from repro.sqldb.columnar import BATCH_SIZE, Batch, table_batches
+from repro.sqldb.database import Database
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+    database.executemany(
+        "INSERT INTO t VALUES (?, ?)", [(i, i % 10) for i in range(100)]
+    )
+    return database
+
+
+class TestExecutionModes:
+    def test_default_mode_is_row(self, db):
+        assert db.execution_mode == "row"
+        db.execute("SELECT v FROM t WHERE v < 3")
+        assert db.last_executor == "row"
+
+    def test_database_level_columnar_mode(self):
+        columnar = Database(execution_mode="columnar")
+        columnar.execute("CREATE TABLE t (a INTEGER)")
+        columnar.execute("INSERT INTO t VALUES (1)")
+        columnar.execute("SELECT a FROM t WHERE a > 0")
+        assert columnar.last_executor == "columnar"
+
+    def test_per_query_mode_overrides_database_default(self, db):
+        db.execute("SELECT v FROM t WHERE v < 3", mode="columnar")
+        assert db.last_executor == "columnar"
+        db.execute("SELECT v FROM t WHERE v < 3", mode="row")
+        assert db.last_executor == "row"
+        # The database default is untouched.
+        assert db.execution_mode == "row"
+
+    def test_unknown_mode_rejected_at_construction(self):
+        with pytest.raises(ExecutionError, match="unknown execution mode"):
+            Database(execution_mode="simd")
+
+    def test_unknown_mode_rejected_per_query(self, db):
+        with pytest.raises(ExecutionError, match="unknown execution mode"):
+            db.execute("SELECT v FROM t", mode="vectorised")
+
+    def test_statistics_track_columnar_runs_and_fallbacks(self, db):
+        before = dict(db.statistics)
+        db.execute("SELECT v FROM t WHERE v < 3", mode="columnar")
+        db.execute("SELECT v FROM t WHERE id = 1", mode="columnar")  # index path
+        after = db.statistics
+        assert after["columnar_statements"] == before["columnar_statements"] + 1
+        assert after["columnar_fallbacks"] == before["columnar_fallbacks"] + 1
+
+
+class TestWholePlanFallback:
+    def test_index_lookup_falls_back(self, db):
+        db.execute("SELECT v FROM t WHERE id = 7", mode="columnar")
+        assert db.last_executor is not None
+        assert db.last_executor.startswith("row (columnar fallback:")
+
+    def test_recursive_cte_falls_back(self, db):
+        db.execute(
+            "WITH RECURSIVE c (n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM c"
+            " WHERE n < 5) SELECT n FROM c",
+            mode="columnar",
+        )
+        assert db.last_executor is not None
+        assert "columnar fallback" in db.last_executor
+
+    def test_derived_table_falls_back(self, db):
+        db.execute(
+            "SELECT x.v FROM (SELECT v FROM t WHERE v < 5) AS x", mode="columnar"
+        )
+        assert db.last_executor is not None
+        assert "columnar fallback" in db.last_executor
+
+    def test_fallback_result_matches_row_mode(self, db):
+        columnar = db.execute("SELECT v FROM t WHERE id = 7", mode="columnar")
+        row = db.execute("SELECT v FROM t WHERE id = 7", mode="row")
+        assert columnar.rows == row.rows
+
+
+class TestCounters:
+    def test_vec_counters_populated_in_columnar_mode(self, db):
+        db.execute("SELECT v FROM t WHERE v < 3", mode="columnar")
+        assert db.last_counters["vec_batches"] > 0
+        assert db.last_counters["vec_rows"] > 0
+        assert db.last_counters["rows_scanned"] == 100
+
+    def test_vec_counters_stay_zero_in_row_mode(self, db):
+        db.execute("SELECT v FROM t WHERE v < 3", mode="row")
+        assert db.last_counters["vec_batches"] == 0
+        assert db.last_counters["vec_rows"] == 0
+
+
+class TestChunkCacheInvalidation:
+    def test_insert_invalidates_cached_chunks(self, db):
+        first = db.execute("SELECT COUNT(*) FROM t", mode="columnar")
+        db.execute("INSERT INTO t VALUES (100, 42)")
+        second = db.execute("SELECT COUNT(*) FROM t", mode="columnar")
+        assert (first.rows[0][0], second.rows[0][0]) == (100, 101)
+
+    def test_update_invalidates_cached_chunks(self, db):
+        db.execute("SELECT v FROM t WHERE v = 42", mode="columnar")
+        db.execute("UPDATE t SET v = 42 WHERE id = 3")
+        result = db.execute("SELECT id FROM t WHERE v = 42", mode="columnar")
+        assert result.rows == [(3,)]
+
+    def test_delete_invalidates_cached_chunks(self, db):
+        db.execute("SELECT COUNT(*) FROM t", mode="columnar")
+        db.execute("DELETE FROM t WHERE v < 5")
+        result = db.execute("SELECT COUNT(*) FROM t", mode="columnar")
+        assert result.rows == [(50,)]
+
+    def test_rollback_invalidates_cached_chunks(self, db):
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (100, 42)")
+        inside = db.execute("SELECT COUNT(*) FROM t", mode="columnar")
+        db.execute("ROLLBACK")
+        after = db.execute("SELECT COUNT(*) FROM t", mode="columnar")
+        assert (inside.rows[0][0], after.rows[0][0]) == (101, 100)
+
+    def test_unchanged_table_reuses_cached_chunks(self, db):
+        db.execute("SELECT COUNT(*) FROM t", mode="columnar")
+        storage = db.catalog.lookup("t").storage
+        first = table_batches(storage)
+        db.execute("SELECT SUM(v) FROM t", mode="columnar")
+        assert table_batches(storage) is first
+
+
+class TestBatchBoundaries:
+    @pytest.fixture
+    def big_db(self) -> Database:
+        database = Database()
+        database.execute("CREATE TABLE big (id INTEGER, v INTEGER)")
+        database.executemany(
+            "INSERT INTO big VALUES (?, ?)",
+            [(i, i % 7) for i in range(2 * BATCH_SIZE + 100)],
+        )
+        return database
+
+    def test_multi_batch_scan_sees_every_row(self, big_db):
+        result = big_db.execute("SELECT COUNT(*) FROM big", mode="columnar")
+        assert result.rows == [(2 * BATCH_SIZE + 100,)]
+        assert big_db.last_counters["vec_batches"] >= 3
+
+    def test_offset_and_limit_across_batch_boundary(self, big_db):
+        sql = "SELECT id FROM big LIMIT 10 OFFSET ?"
+        for offset in (BATCH_SIZE - 5, BATCH_SIZE, 2 * BATCH_SIZE + 95):
+            columnar = big_db.execute(sql, (offset,), mode="columnar")
+            row = big_db.execute(sql, (offset,), mode="row")
+            assert columnar.rows == row.rows
+
+    def test_limit_stops_consuming_batches_early(self, big_db):
+        big_db.execute("SELECT id FROM big LIMIT 5", mode="columnar")
+        assert big_db.last_counters["vec_batches"] <= 4
+
+
+class TestExplainAnalyze:
+    def plan_text(self, db, sql, mode):
+        result = db.execute(f"EXPLAIN ANALYZE {sql}", mode=mode)
+        return "\n".join(line for (line,) in result.rows)
+
+    def test_columnar_plan_labels_operators_and_executor(self, db):
+        text = self.plan_text(db, "SELECT v FROM t WHERE v < 3", "columnar")
+        assert "VecSeqScan(t)" in text
+        assert "VecFilter" in text
+        assert "batches=" in text and "rows=" in text
+        assert "Executor: columnar" in text
+        assert "vec_batches:" in text and "vec_rows:" in text
+
+    def test_row_plan_labels_executor(self, db):
+        text = self.plan_text(db, "SELECT v FROM t WHERE v < 3", "row")
+        assert "Executor: row" in text
+        assert "Vec" not in text
+
+    def test_fallback_plan_names_the_reason(self, db):
+        text = self.plan_text(db, "SELECT v FROM t WHERE id = 7", "columnar")
+        assert "Executor: row (columnar fallback:" in text
+
+
+class TestObservability:
+    def test_span_meta_carries_executor(self, db):
+        db.recorder = TraceRecorder()
+        db.execute("SELECT v FROM t WHERE v < 3", mode="columnar")
+        spans = list(db.recorder.iter_spans())
+        assert any(span.meta.get("executor") == "columnar" for span in spans)
+
+    def test_columnar_metrics_counters(self, db):
+        db.recorder = TraceRecorder()
+        db.execute("SELECT v FROM t WHERE v < 3", mode="columnar")
+        db.execute("SELECT v FROM t WHERE id = 7", mode="columnar")
+        counters = db.recorder.metrics.to_dict()["counters"]
+        assert counters["db.columnar_executions"] == 1
+        assert counters["db.columnar_fallbacks"] == 1
+        assert counters["db.vec_rows"] >= 100
+
+
+class TestBatchPrimitives:
+    def test_from_rows_pivots_and_memoises_rows(self):
+        batch = Batch.from_rows([(1, "a"), (2, "b")], arity=2)
+        assert list(batch.columns[0]) == [1, 2]
+        assert list(batch.columns[1]) == ["a", "b"]
+        assert batch.rows() == [(1, "a"), (2, "b")]
+
+    def test_zero_arity_rows(self):
+        batch = Batch([], 3)
+        assert batch.rows() == [(), (), ()]
+
+    def test_validity_mask_marks_non_nulls(self):
+        batch = Batch.from_rows([(1,), (None,), (3,)], arity=1)
+        assert batch.validity(0) == [True, False, True]
+        assert batch.validity(0) is batch.validity(0)  # memoised
+
+    def test_gather_is_lazy_and_ordered(self):
+        batch = Batch([[10, 20, 30, 40], ["a", "b", "c", "d"]], 4)
+        picked = batch.gather([3, 1])
+        assert picked.length == 2
+        assert picked.columns[0] == [40, 20]
+        # Only the accessed column is materialised; the other stays lazy
+        # until first read, then matches an eager gather.
+        assert picked.columns[1] == ["d", "b"]
+        assert picked.rows() == [(40, "d"), (20, "b")]
