@@ -224,7 +224,83 @@ def run_contention_smoke() -> dict:
 TRAJECTORY_SCHEMA = "bench-trajectory/v1"
 
 #: This PR's slot in the trajectory sequence (BENCH_<pr>.json).
-TRAJECTORY_PR = 6
+TRAJECTORY_PR = 7
+
+#: Micro-bench shapes whose row-vs-columnar speedup the trajectory diff
+#: gates on (the scan shapes the vectorized executor was built for).
+SCAN_SHAPE_PREFIXES = ("scan_filter", "narrow_and")
+
+#: A scan shape may not lose more than this fraction of its baseline
+#: speedup before the diff gate fails (noisy CI runners need slack).
+TRAJECTORY_REGRESSION_FLOOR = 0.4
+
+
+def run_crash_smoke() -> dict:
+    """Fixed-seed crash-chaos smoke: one torn-tail crash cell run twice
+    (byte-identical reports required) plus a reduced crash-point sweep
+    auditing the durability invariants under all three failure
+    flavours."""
+    from repro.errors import DurabilityError
+    from repro.recovery import CrashConfig, CrashChaosSim, run_crash_sweep
+    from repro.recovery import report_json as crash_report_json
+
+    config = CrashConfig(crash_at_append=7, failure="torn", seed=SEED)
+    first = CrashChaosSim(config).run()
+    second = CrashChaosSim(config).run()
+    try:
+        sweep = run_crash_sweep(seed=SEED, max_crash_at=4)
+        sweep_ok = sweep["all_invariants_held"]
+        sweep_profiles = sweep["profiles"]
+        sweep_error = None
+    except DurabilityError as error:
+        sweep_ok = False
+        sweep_profiles = 0
+        sweep_error = str(error)
+    return {
+        "schedule_hash": first["schedule"]["hash"],
+        "steps": first["schedule"]["steps"],
+        "deterministic": crash_report_json(first)
+        == crash_report_json(second),
+        "crash_occurred": first["crash"]["occurred"],
+        "restarts": first["restarts"],
+        "lost_committed": len(first["lost_committed"]),
+        "resurrected": first["resurrected"],
+        "fixpoint": first["final_recovery_fixpoint"],
+        "tail_status": first["crash_recovery"].get("tail_status"),
+        "sweep_profiles": sweep_profiles,
+        "sweep_ok": sweep_ok,
+        "sweep_error": sweep_error,
+    }
+
+
+def diff_trajectory(current: dict, baseline_path: str) -> list:
+    """Diff this PR's trajectory slice against the previous PR's file.
+
+    Fails when a scan-shape micro-bench lost most of its baseline
+    row-vs-columnar speedup — the executor must not regress on the
+    shapes it was built for.  A missing baseline is not an error (first
+    run on a fresh checkout)."""
+    if not os.path.exists(baseline_path):
+        return []
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = []
+    for name, entry in current["benches"].items():
+        if not name.startswith(SCAN_SHAPE_PREFIXES):
+            continue
+        previous = baseline.get("benches", {}).get(name)
+        if previous is None:
+            continue
+        floor = TRAJECTORY_REGRESSION_FLOOR * previous["speedup"]
+        if entry["speedup"] < floor:
+            failures.append(
+                f"trajectory diff {name}: speedup {entry['speedup']:.2f}x "
+                f"fell below {floor:.2f}x "
+                f"(={TRAJECTORY_REGRESSION_FLOOR} x baseline "
+                f"{previous['speedup']:.2f}x from "
+                f"{os.path.basename(baseline_path)})"
+            )
+    return failures
 
 
 def run_engine_micro(scale: str) -> dict:
@@ -235,9 +311,10 @@ def run_engine_micro(scale: str) -> dict:
 
 
 def trajectory_report(report: dict) -> dict:
-    """The perf-trajectory slice written to ``BENCH_6.json``: one entry
-    per micro-bench with timings, throughput, and the executor modes
-    compared — the file later PRs diff against."""
+    """The perf-trajectory slice written to ``BENCH_<pr>.json``: one
+    entry per micro-bench with timings, throughput, and the executor
+    modes compared — the file later PRs diff against — plus the crash
+    smoke's durability verdict."""
     benches = {}
     for name, entry in report["engine_micro"].items():
         benches[name] = {
@@ -250,12 +327,21 @@ def trajectory_report(report: dict) -> dict:
             "columnar_rows_per_s": entry["columnar_rows_per_s"],
             "speedup": entry["speedup"],
         }
-    return {
+    trajectory = {
         "schema": TRAJECTORY_SCHEMA,
         "pr": TRAJECTORY_PR,
         "scale": report["scale"],
         "benches": benches,
     }
+    crash = report.get("crash")
+    if crash:
+        trajectory["crash"] = {
+            "schedule_hash": crash["schedule_hash"],
+            "sweep_profiles": crash["sweep_profiles"],
+            "lost_committed": crash["lost_committed"],
+            "resurrected": crash["resurrected"],
+        }
+    return trajectory
 
 
 def run(scale: str, fault_profile=None, fault_seed: int = 1, trace_profile=None) -> dict:
@@ -303,6 +389,7 @@ def run(scale: str, fault_profile=None, fault_seed: int = 1, trace_profile=None)
         "opcode_messages": opcode_traffic,
         "lint": lint,
         "contention": run_contention_smoke(),
+        "crash": run_crash_smoke(),
         "engine_micro": run_engine_micro(scale),
     }
     if fault_profile is not None and not fault_profile.perfect:
@@ -371,6 +458,30 @@ def check(report: dict) -> list:
             failures.append(
                 "contention smoke saw no lock conflicts — proved nothing"
             )
+    crash = report.get("crash")
+    if crash:
+        if not crash["deterministic"]:
+            failures.append(
+                "crash smoke: same-seed runs are not byte-identical"
+            )
+        if not crash["crash_occurred"]:
+            failures.append("crash smoke: crash point never fired")
+        if crash["lost_committed"]:
+            failures.append(
+                f"crash smoke lost {crash['lost_committed']} committed txns"
+            )
+        if crash["resurrected"]:
+            failures.append(
+                f"crash smoke resurrected {crash['resurrected']} "
+                f"uncommitted increments"
+            )
+        if not crash["fixpoint"]:
+            failures.append("crash smoke: final recovery is not a fixpoint")
+        if not crash["sweep_ok"]:
+            failures.append(
+                f"crash sweep violated durability invariants: "
+                f"{crash['sweep_error']}"
+            )
     micro = report.get("engine_micro")
     if micro:
         # Coarse gate: the vectorized executor must never be slower than
@@ -434,7 +545,8 @@ def main(argv=None) -> int:
             os.path.dirname(os.path.abspath(__file__)), "..", f"BENCH_{TRAJECTORY_PR}.json"
         ),
         help="where to write the perf-trajectory baseline "
-        "(default: BENCH_6.json at the repo root; pass '' to skip)",
+        f"(default: BENCH_{TRAJECTORY_PR}.json at the repo root; "
+        "pass '' to skip)",
     )
     args = parser.parse_args(argv)
     report = run(
@@ -500,6 +612,17 @@ def main(argv=None) -> int:
         with open(args.trace, "w", encoding="utf-8") as handle:
             json.dump(trace, handle, indent=2, sort_keys=True)
         print(f"wrote {args.trace}")
+    crash = report.get("crash")
+    if crash:
+        print(
+            f"\ncrash smoke: hash={crash['schedule_hash'][:16]} "
+            f"steps={crash['steps']} restarts={crash['restarts']} "
+            f"tail={crash['tail_status']} "
+            f"lost={crash['lost_committed']} "
+            f"resurrected={crash['resurrected']} "
+            f"sweep={crash['sweep_profiles']} profiles "
+            f"deterministic={'yes' if crash['deterministic'] else 'NO'}"
+        )
     micro = report.get("engine_micro")
     if micro:
         from bench_engine_micro import format_micro
@@ -507,11 +630,18 @@ def main(argv=None) -> int:
         print("\nengine micro (row vs columnar):")
         print(format_micro(micro))
     failures = check(report)
+    trajectory = trajectory_report(report)
+    baseline_path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "..",
+        f"BENCH_{TRAJECTORY_PR - 1}.json",
+    )
+    failures.extend(diff_trajectory(trajectory, baseline_path))
     report["ok"] = not failures
     trajectory_path = args.bench_trajectory
     if trajectory_path:
         with open(trajectory_path, "w", encoding="utf-8") as handle:
-            json.dump(trajectory_report(report), handle, indent=2, sort_keys=True)
+            json.dump(trajectory, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {trajectory_path}")
     if args.json:

@@ -143,6 +143,21 @@ class LockManager:
                 return txn.txn_id
         return self.begin(owner=key, persistent=True)
 
+    def reset(self) -> None:
+        """Forget every owner, held lock and parked waiter.
+
+        The lock table is volatile state: a server crash wipes it.  Called
+        from the restart path *after* session eviction has released the
+        evicted transactions' locks through the normal strict-2PL path;
+        what remains (ephemeral autocommit owners caught mid-statement,
+        persistent check-out owners) is cleared wholesale — a check-out
+        does not survive the crash of the server that recorded it and must
+        be re-established through the PDM layer.  The id counter keeps
+        running so post-restart owners never reuse a pre-crash id.
+        """
+        self._txns.clear()
+        self._queues.clear()
+
     def release_all(self, txn_id: int) -> None:
         """Drop every lock and parked waiter of *txn_id* (strict 2PL
         release at commit/abort), then grant unblocked waiters in FIFO

@@ -48,9 +48,16 @@ class SessionManager:
         if lock_manager is not None:
             database.attach_lock_manager(lock_manager)
         self._sessions: Dict[int, Session] = {}
+        #: Client ids whose session the *server* tore down (eviction or
+        #: crash).  Their later statements must fail with SessionError —
+        #: silently routing them to the default session would commit what
+        #: the client believes is inside its (dead) transaction.  Cleared
+        #: by the client's next OPEN_SESSION.
+        self._evicted: set = set()
         self.statistics = {
             "opened": 0,
             "closed": 0,
+            "evicted": 0,
         }
 
     # -- lifecycle ----------------------------------------------------------
@@ -65,6 +72,7 @@ class SessionManager:
         if session is None:
             session = self._sessions[client_id] = Session(client_id)
             self.statistics["opened"] += 1
+        self._evicted.discard(client_id)
         return session
 
     def close(self, client_id: int) -> None:
@@ -80,10 +88,61 @@ class SessionManager:
             # going away, nobody is left to observe the DeadlockError.
             self.database._aborted.pop(session.token, None)
 
+    def evict(self, client_id: int) -> bool:
+        """Server-side close of a session whose client went away.
+
+        This is the fix for the lock-leak: a client that stops sending
+        frames (network death, process kill) used to leave its 2PL locks
+        held forever, starving every parked waiter behind them.  Eviction
+        runs the same teardown as :meth:`close` — roll back the open
+        transaction, which releases its locks and wakes FIFO waiters —
+        but is idempotent (returns False for unknown sessions) because
+        the server calls it for *every* client at crash time.
+        """
+        session = self._sessions.pop(client_id, None)
+        if session is None:
+            return False
+        self._evicted.add(client_id)
+        self.statistics["evicted"] += 1
+        if self.database.session_in_transaction(session.token):
+            self.database.rollback(session.token)
+        else:
+            self.database._aborted.pop(session.token, None)
+        return True
+
+    def evict_all(self) -> int:
+        """Evict every open session (server crash/restart); returns the
+        number evicted.  Uses the same per-session path as :meth:`evict`,
+        so restart cannot leak locks any more than a single eviction can."""
+        count = 0
+        for client_id in list(self._sessions):
+            if self.evict(client_id):
+                count += 1
+        return count
+
+    def rebind(self, database: Database) -> None:
+        """Point the manager at the recovered database after a restart.
+
+        All sessions must have been evicted first (a session token refers
+        to transaction state inside the old, discarded database)."""
+        if self._sessions:
+            raise SessionError(
+                f"cannot rebind with {len(self._sessions)} session(s) "
+                f"still open; evict them first"
+            )
+        self.database = database
+        if self.lock_manager is not None:
+            database.attach_lock_manager(self.lock_manager)
+
     def get(self, client_id: Optional[int]) -> Optional[Session]:
         if client_id is None:
             return None
         return self._sessions.get(client_id)
+
+    def was_evicted(self, client_id: int) -> bool:
+        """Whether the server tore this client's session down (and the
+        client has not re-opened one since)."""
+        return client_id in self._evicted
 
     def require(self, client_id: int) -> Session:
         session = self._sessions.get(client_id)

@@ -99,6 +99,41 @@ class ProtocolError(ReproError):
     response for a different request, use of a closed connection)."""
 
 
+class DurabilityError(ReproError):
+    """Base class for errors raised by the :mod:`repro.recovery`
+    subsystem (simulated disk, write-ahead log, crash recovery)."""
+
+
+class DiskCrashed(DurabilityError):
+    """The simulated disk hit its injected crash point (power loss at the
+    Nth append).  The write in flight may be torn or corrupted on the
+    platter; every later write is rejected until the disk is reopened.
+    A server catching this must treat itself as crashed: volatile state
+    is gone, only the log survives."""
+
+
+class WalCorruptError(DurabilityError):
+    """The write-ahead log is damaged *in the middle*: a record failed
+    its CRC or framing check but valid records follow it, so stopping at
+    the damage would silently drop committed work.  (Damage at the tail
+    is expected after a torn write and is *not* an error — recovery just
+    stops at the last intact record.)"""
+
+
+class ServerUnavailable(ReproError):
+    """The server is crashed (or restarting) and refused the connection.
+    Distinguishable on the wire so clients can wait out the restart and
+    re-drive their transactions."""
+
+
+class DuplicateRequest(ReproError):
+    """A sequenced request was already executed before a server restart:
+    its sequence number is at or below the durably logged high-water
+    mark, but the cached response was lost with the crash.  The work was
+    done exactly once; only the answer is gone — the client must
+    reconcile through the database, never by re-sending."""
+
+
 class ConcurrencyError(ReproError):
     """Base class for errors raised by the :mod:`repro.concurrency`
     subsystem (lock manager, session manager)."""

@@ -1,0 +1,86 @@
+"""Durability subsystem: write-ahead log, crash injection, recovery.
+
+Layers, bottom up:
+
+* :mod:`repro.recovery.simdisk` — an append-only simulated disk with a
+  seeded fault profile (crash at the Nth append, optionally leaving a
+  torn or bit-flipped final record);
+* :mod:`repro.recovery.wal` — the CRC-framed redo log: record codec,
+  damage-distinguishing scanner and the :class:`WalWriter` the database
+  appends through;
+* :mod:`repro.recovery.recover` — checkpoint snapshots and the
+  :class:`Durability` bundle that replays the log into a fresh database
+  at every open;
+* :mod:`repro.recovery.chaos` — the deterministic crash-chaos simulator
+  and its sweep driver (the ``bench_crash`` harness).
+"""
+
+from repro.recovery.chaos import (
+    CRASH_FAILURES,
+    CrashChaosSim,
+    CrashConfig,
+    report_json,
+    run_crash_chaos,
+    run_crash_sweep,
+    sweep_profiles,
+)
+from repro.recovery.recover import (
+    Durability,
+    RecoveryReport,
+    restore_snapshot,
+    snapshot_database,
+)
+from repro.recovery.simdisk import PERFECT_DISK, DiskFaultProfile, SimDisk
+from repro.recovery.wal import (
+    KIND_ABORT,
+    KIND_BEGIN,
+    KIND_CHECKPOINT,
+    KIND_COMMIT,
+    KIND_DDL,
+    KIND_DELETE,
+    KIND_FENCE,
+    KIND_INSERT,
+    KIND_UPDATE,
+    MAX_PAYLOAD,
+    Snapshot,
+    WalRecord,
+    WalScan,
+    WalWriter,
+    decode_payload,
+    encode_record,
+    scan_wal,
+)
+
+__all__ = [
+    "CRASH_FAILURES",
+    "CrashChaosSim",
+    "CrashConfig",
+    "Durability",
+    "DiskFaultProfile",
+    "KIND_ABORT",
+    "KIND_BEGIN",
+    "KIND_CHECKPOINT",
+    "KIND_COMMIT",
+    "KIND_DDL",
+    "KIND_DELETE",
+    "KIND_FENCE",
+    "KIND_INSERT",
+    "KIND_UPDATE",
+    "MAX_PAYLOAD",
+    "PERFECT_DISK",
+    "RecoveryReport",
+    "SimDisk",
+    "Snapshot",
+    "WalRecord",
+    "WalScan",
+    "WalWriter",
+    "decode_payload",
+    "encode_record",
+    "report_json",
+    "restore_snapshot",
+    "run_crash_chaos",
+    "run_crash_sweep",
+    "scan_wal",
+    "snapshot_database",
+    "sweep_profiles",
+]

@@ -21,6 +21,7 @@ from repro.errors import (
     CheckOutError,
     CircuitOpenError,
     DeadlockError,
+    DuplicateRequest,
     ExecutionError,
     LintViolation,
     LockTimeout,
@@ -28,6 +29,7 @@ from repro.errors import (
     MessageDropped,
     ProtocolError,
     ReproError,
+    ServerUnavailable,
     SessionError,
     SQLError,
     TimeoutError,
@@ -45,16 +47,22 @@ from repro.sqldb.result import ResultSet
 _ERROR_TYPES = {
     "CheckOutError": CheckOutError,
     "DeadlockError": DeadlockError,
+    "DuplicateRequest": DuplicateRequest,
     "ExecutionError": ExecutionError,
     "LintViolation": LintViolation,
     "LockTimeout": LockTimeout,
     "LockUnavailable": LockUnavailable,
     "ProtocolError": ProtocolError,
+    "ServerUnavailable": ServerUnavailable,
     "SessionError": SessionError,
 }
 
 #: Server errors that mean "restart the whole transaction and try again".
 RETRIABLE_TXN_ERRORS = (DeadlockError, LockTimeout, LockUnavailable)
+
+#: Server errors that mean "your session is gone" (server crash/restart
+#: dropped it): reopen the session before the next transaction attempt.
+SESSION_LOST_ERRORS = (ServerUnavailable, SessionError)
 
 
 class RemoteError(ReproError):
@@ -404,6 +412,17 @@ class RemoteConnection:
         self._txn_open = False
         self.link.stats.sessions_open -= 1
 
+    def mark_session_lost(self) -> None:
+        """Forget client-side session state after the server dropped it.
+
+        Call this on :class:`ServerUnavailable` / :class:`SessionError`
+        (crash eviction): the server-side session is gone, so there is
+        nothing to close or roll back remotely — the next :meth:`begin`
+        re-opens a session against the recovered server.
+        """
+        self._session_open = False
+        self._txn_open = False
+
     def begin(self) -> int:
         """Start a server-side transaction; returns its id.
 
@@ -417,9 +436,19 @@ class RemoteConnection:
         return int(values[1])
 
     def commit(self) -> None:
-        """Commit this session's transaction."""
+        """Commit this session's transaction.
+
+        A :class:`DuplicateRequest` answer counts as success: it means a
+        previous transmission of this very commit executed before a server
+        crash and its sequence number is at or below the durably logged
+        high-water mark — the commit is on disk, only the original
+        response was lost with the restart.
+        """
         self._ensure_open()
-        self._session_op(Opcode.TXN_COMMIT, Opcode.TXN_RESULT)
+        try:
+            self._session_op(Opcode.TXN_COMMIT, Opcode.TXN_RESULT)
+        except DuplicateRequest:
+            pass
         self._txn_open = False
 
     def rollback(self) -> None:
@@ -455,6 +484,17 @@ class RemoteConnection:
         effects go through this transaction.  Raises
         :class:`repro.errors.TimeoutError` after ``max_attempts``
         restarts.
+
+        A :class:`ServerUnavailable` or :class:`SessionError` (the server
+        crashed and dropped this session) also restarts *fn*: the session
+        is marked closed so the next attempt's :meth:`begin` re-opens it
+        against the recovered server.  One caveat is inherent: a crash
+        *during* the commit round trip leaves the outcome ambiguous (the
+        commit record may or may not have hit the disk), and the re-run
+        would apply the transaction twice if it did.  Transactions re-
+        driven across crashes must therefore be crash-idempotent — check
+        whether their effect is already present before re-applying (see
+        the applied-token pattern in ``repro.recovery.chaos``).
         """
         policy = retry_policy or self.retry_policy or RetryPolicy()
         rng = policy.rng()
@@ -464,8 +504,8 @@ class RemoteConnection:
                 pause = policy.backoff_seconds(attempt, rng)
                 self.link.stats.backoff_seconds += pause
                 self.link.clock.advance(pause, "backoff")
-            self.begin()
             try:
+                self.begin()
                 result = fn(self)
                 self.commit()
                 return result
@@ -475,6 +515,11 @@ class RemoteConnection:
                     self.rollback()
                 except ReproError:
                     pass
+            except SESSION_LOST_ERRORS as error:
+                last = error
+                # The server-side session died with the crash; there is
+                # nothing to roll back there and no session to speak to.
+                self.mark_session_lost()
         raise TimeoutError(
             f"transaction abandoned after {policy.max_attempts} attempts"
         ) from last

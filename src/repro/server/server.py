@@ -16,12 +16,16 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.analysis import errors_only
 from repro.errors import (
     DeadlockError,
+    DiskCrashed,
+    DuplicateRequest,
+    DurabilityError,
     FrameCorrupted,
     LintViolation,
     LockTimeout,
     LockUnavailable,
     ProtocolError,
     ReproError,
+    ServerUnavailable,
     SQLError,
 )
 from repro.obs import ROWS_BUCKETS, maybe_span
@@ -74,9 +78,19 @@ class DatabaseServer:
         cpu_cost: Optional[CpuCostModel] = None,
         strict_lint: bool = False,
         sessions=None,
+        durability=None,
     ) -> None:
         self.database = database
         self.cpu_cost = cpu_cost if cpu_cost is not None else CpuCostModel()
+        #: Optional :class:`repro.recovery.Durability` bundle.  With one,
+        #: the server has a deterministic :meth:`crash`/:meth:`restart`
+        #: lifecycle: a :class:`DiskCrashed` from the WAL takes the server
+        #: down, and restart rebuilds the database by log replay.
+        self.durability = durability
+        #: While True every request is refused with
+        #: :class:`ServerUnavailable` (sequenced requests get a wrapped
+        #: refusal so session-mode clients see it as a reply, not noise).
+        self.crashed = False
         #: Optional :class:`repro.concurrency.SessionManager`; without one
         #: the session/transaction opcodes are rejected and every wire
         #: statement runs on the database's default session, as before.
@@ -129,6 +143,11 @@ class DatabaseServer:
             "lock_waits": 0,
             "deadlocks": 0,
             "txn_aborts": 0,
+            "crashes": 0,
+            "recoveries": 0,
+            "replayed_records": 0,
+            "hwm_suppressed": 0,
+            "unavailable_refusals": 0,
         }
 
     def _lint_gate(self, sql: str) -> None:
@@ -180,6 +199,8 @@ class DatabaseServer:
         a malformed query costs a round trip but never kills the server —
         matching real client/server DBMS behaviour.
         """
+        if self.crashed:
+            return self._refuse_unavailable(frame)
         if frame[:1] == bytes([int(Opcode.SEQUENCED)]):
             return self._handle_sequenced(frame[1:])
         self.last_cpu_seconds = 0.0
@@ -209,6 +230,20 @@ class DatabaseServer:
                     raise ProtocolError(
                         f"unexpected request opcode {opcode.name}"
                     )
+            except DiskCrashed as error:
+                # The WAL disk lost power mid-append: all volatile state
+                # (sessions, locks, caches, the in-memory tables) is gone.
+                # Take the server down; only restart() brings it back.
+                self.crash()
+                self.statistics["errors"] += 1
+                if span is not None:
+                    span.meta["error"] = type(error).__name__
+                return protocol.encode_envelope(
+                    Opcode.ERROR,
+                    protocol.encode_error(
+                        ServerUnavailable(f"server crashed: {error}")
+                    ),
+                )
             except ReproError as error:
                 self._note_concurrency_error(error)
                 self.statistics["errors"] += 1
@@ -291,6 +326,34 @@ class DatabaseServer:
             if recorder is not None:
                 recorder.metrics.counter("server.replay_hits").inc()
             return cached
+        wal = self.database.wal
+        if wal is not None and 0 < seq <= wal.hwm.get(client_id, 0):
+            # The durable high-water mark proves this sequence number
+            # already drove a commit before a crash wiped the replay
+            # cache.  Re-executing would apply the work twice; answer
+            # with a distinguishable refusal instead (at-most-once
+            # across restarts).
+            self.statistics["hwm_suppressed"] += 1
+            wrapped = protocol.encode_envelope(
+                Opcode.SEQUENCED_RESULT,
+                protocol.encode_sequenced(
+                    client_id,
+                    seq,
+                    protocol.encode_envelope(
+                        Opcode.ERROR,
+                        protocol.encode_error(
+                            DuplicateRequest(
+                                f"sequence {seq} of client {client_id} was "
+                                f"executed and committed before a server "
+                                f"restart; its response was lost with the "
+                                f"crash"
+                            )
+                        ),
+                    ),
+                ),
+            )
+            self._replay_cache[key] = wrapped
+            return wrapped
         with maybe_span(
             recorder,
             "server.sequenced",
@@ -299,19 +362,119 @@ class DatabaseServer:
             seq=seq,
         ):
             previous = self._active_client
+            previous_origin = wal.origin if wal is not None else None
             self._active_client = client_id
+            if wal is not None:
+                # Commits performed while handling this request carry its
+                # (client, seq) into the log — the durable twin of the
+                # replay cache.
+                wal.origin = (client_id, seq)
             try:
                 response = self.handle(inner)
             finally:
                 self._active_client = previous
+                if wal is not None:
+                    wal.origin = previous_origin
         wrapped = protocol.encode_envelope(
             Opcode.SEQUENCED_RESULT,
             protocol.encode_sequenced(client_id, seq, response),
         )
+        if self.crashed:
+            # The request crashed the server: never cache the refusal —
+            # a retry after restart must re-resolve against the durable
+            # high-water mark, not replay a stale "unavailable".
+            return wrapped
         self._replay_cache[key] = wrapped
         while len(self._replay_cache) > self.replay_cache_size:
             self._replay_cache.popitem(last=False)
         return wrapped
+
+    # -- crash / restart ----------------------------------------------------
+
+    def _refuse_unavailable(self, frame: bytes) -> bytes:
+        """Answer a request arriving at a crashed server.
+
+        Sequenced requests get the refusal wrapped in a SEQUENCED_RESULT
+        (CRC-framed, matching the request's client and sequence number)
+        so session-mode clients decode it as a definite answer instead of
+        discarding it as transport damage and retrying forever.  Nothing
+        is cached: the refusal describes the server, not the request.
+        """
+        self.last_cpu_seconds = 0.0
+        self.statistics["unavailable_refusals"] += 1
+        error_frame = protocol.encode_envelope(
+            Opcode.ERROR,
+            protocol.encode_error(
+                ServerUnavailable(
+                    "server is crashed; wait for restart and retry"
+                )
+            ),
+        )
+        if frame[:1] == bytes([int(Opcode.SEQUENCED)]):
+            try:
+                client_id, seq, __ = protocol.decode_sequenced(frame[1:])
+            except ProtocolError:
+                return error_frame
+            return protocol.encode_envelope(
+                Opcode.SEQUENCED_RESULT,
+                protocol.encode_sequenced(client_id, seq, error_frame),
+            )
+        return error_frame
+
+    def crash(self) -> None:
+        """Deterministic power-off: drop every piece of volatile state.
+
+        Sessions are evicted through the same path a single dead client's
+        eviction uses (rolling back their transactions, which releases
+        their 2PL locks in order), the lock table and the replay/lint
+        caches are cleared, and the server refuses all requests until
+        :meth:`restart`.  Idempotent.  The database object stays referenced
+        but is semantically dead — restart replaces it with the recovered
+        one.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.statistics["crashes"] += 1
+        if self.sessions is not None:
+            self.sessions.evict_all()
+            self.statistics["sessions_open"] = 0
+        if self.database.locks is not None:
+            self.database.locks.reset()
+        self._replay_cache.clear()
+        self._lint_cache.clear()
+        if self.recorder is not None:
+            self.recorder.metrics.counter("server.crashes").inc()
+
+    def restart(self) -> Database:
+        """Recover the database from the write-ahead log and come back up.
+
+        Requires a :class:`repro.recovery.Durability` bundle.  Calls
+        :meth:`crash` first if the server is still nominally up (a clean
+        restart drill), then replays the log into a fresh database, rebinds
+        the session manager (which re-attaches the lock manager), and
+        starts answering requests again.  The SEQUENCED replay cache is
+        empty after a restart, but the recovered high-water mark keeps
+        at-most-once execution intact: pre-crash sequence numbers are
+        refused with :class:`DuplicateRequest` instead of re-executed.
+        """
+        if self.durability is None:
+            raise DurabilityError(
+                "server has no durability bundle; attach one to restart"
+            )
+        self.crash()
+        database = self.durability.recover()
+        if self.recorder is not None:
+            database.recorder = self.recorder
+        self.database = database
+        if self.sessions is not None:
+            self.sessions.rebind(database)
+        report = self.durability.last_report
+        self.statistics["recoveries"] += 1
+        if report is not None:
+            self.statistics["replayed_records"] += report.replayed_records
+        self.crashed = False
+        return database
 
     def _note_concurrency_error(self, error: ReproError) -> None:
         """Attribute concurrency-control outcomes to the STATS counters."""
@@ -334,7 +497,19 @@ class DatabaseServer:
         if self.sessions is None:
             return None
         session = self.sessions.get(self._active_client)
-        return None if session is None else session.token
+        if session is None:
+            if self._active_client is not None and self.sessions.was_evicted(
+                self._active_client
+            ):
+                from repro.errors import SessionError
+
+                raise SessionError(
+                    f"session of client {self._active_client} was evicted "
+                    f"by the server (idle teardown or crash); send "
+                    f"OPEN_SESSION to continue"
+                )
+            return None
+        return session.token
 
     def _handle_session_op(self, opcode: Opcode, body: bytes) -> bytes:
         if self.sessions is None:
@@ -441,6 +616,11 @@ class DatabaseServer:
         counters = dict(self.statistics)
         for name, value in self.database.statistics.items():
             counters[f"db_{name}"] = value
+        wal = self.database.wal
+        if wal is not None:
+            counters["wal_appends"] = wal.statistics["appends"]
+            counters["wal_commits"] = wal.statistics["commits"]
+            counters["wal_aborts"] = wal.statistics["aborts"]
         return protocol.encode_envelope(
             Opcode.STATS_RESULT, protocol.encode_stats(counters)
         )

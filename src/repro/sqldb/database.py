@@ -134,6 +134,17 @@ class Database:
         #: :meth:`execute` opens a ``db.execute`` span and the executor
         #: environment carries the recorder down to the fixpoint loop.
         self.recorder = None
+        #: Optional :class:`repro.recovery.WalWriter` (see
+        #: :meth:`attach_wal`); None keeps the database purely in-memory.
+        self.wal = None
+        #: WAL transaction id of the statement currently executing (set by
+        #: :meth:`_wal_statement`); the storage journal sinks stamp it
+        #: onto every logged operation.
+        self._wal_txn_id: Optional[int] = None
+        #: Implicit (autocommit) WAL transaction ids are drawn from a
+        #: disjoint high range so they can never collide with explicit
+        #: transaction ids and merge in the log.
+        self._implicit_txn_seq = 0
 
     # -- public API -----------------------------------------------------------
 
@@ -284,6 +295,89 @@ class Database:
         self.locks = manager
         manager.abort_callback = self._abort_txn
 
+    #: Base of the implicit-transaction id range (see ``_implicit_txn_seq``).
+    _IMPLICIT_TXN_BASE = 1 << 32
+
+    def attach_wal(self, writer) -> None:
+        """Make every mutation durable through *writer* (a
+        :class:`repro.recovery.WalWriter`).
+
+        Hooks a journal sink onto every table's storage (tables created
+        later get theirs in :meth:`_create_table`): after each successful
+        insert/update/delete the sink appends a redo record under the
+        executing statement's WAL transaction id.  Explicit transactions
+        log COMMIT/ABORT from :meth:`commit`/:meth:`rollback`; autocommit
+        statements run as implicit single-statement transactions committed
+        at statement end.
+        """
+        self.wal = writer
+        for name in self.catalog.table_names():
+            self._attach_journal(self.catalog.lookup(name).storage)
+
+    def _attach_journal(self, storage) -> None:
+        table = storage.schema.name
+
+        def sink(op: str, row_id: int, row) -> None:
+            wal = self.wal
+            txn_id = self._wal_txn_id
+            if wal is None or txn_id is None:
+                return
+            if op == "insert":
+                wal.log_insert(txn_id, table, row_id, row)
+            elif op == "update":
+                wal.log_update(txn_id, table, row_id, row)
+            else:
+                wal.log_delete(txn_id, table, row_id)
+
+        storage._journal = sink
+
+    @contextmanager
+    def _wal_statement(self):
+        """WAL transaction scope of one DML statement.
+
+        Inside an explicit transaction the statement logs under that
+        transaction's id (made durable by :meth:`commit`).  An autocommit
+        statement gets an implicit id committed at statement end — even
+        when the statement raised, because a multi-row autocommit INSERT
+        keeps its pre-error rows in memory and the log must agree with
+        memory.  (After a disk crash the commit append is a silent no-op:
+        the log ends where the power died, and the in-flight implicit
+        transaction is discarded at recovery — matching the memory state
+        the server throws away when it crashes.)
+        """
+        wal = self.wal
+        if wal is None:
+            yield
+            return
+        txn = self._transactions.get(self._current_session)
+        if txn is not None:
+            self._wal_txn_id = txn.txn_id
+            try:
+                yield
+            finally:
+                self._wal_txn_id = None
+            return
+        self._implicit_txn_seq += 1
+        txn_id = self._IMPLICIT_TXN_BASE + self._implicit_txn_seq
+        self._wal_txn_id = txn_id
+        try:
+            yield
+        finally:
+            self._wal_txn_id = None
+            wal.commit(txn_id)
+
+    def _log_ddl(self, statement) -> None:
+        """Append a DDL record (the statement re-rendered to SQL text).
+
+        DDL is rejected inside transactions, so a logged DDL statement is
+        durable the moment it succeeds; recovery replays the text through
+        the ordinary execute path."""
+        if self.wal is None:
+            return
+        from repro.sqldb.render import render_statement
+
+        self.wal.log_ddl(render_statement(statement))
+
     def begin(self, session: Hashable = None) -> int:
         """Start a transaction on *session* (DML becomes undoable until
         commit); returns the transaction id."""
@@ -310,6 +404,12 @@ class Database:
             # the storage since our last write.
             if storage._undo is txn.logs[id(storage)]:
                 storage.detach_undo()
+        if self.wal is not None:
+            # The commit record is the durability point: if the disk dies
+            # on this very append (DiskCrashed propagates), the outcome is
+            # ambiguous on purpose — exactly like a real commit racing a
+            # power cut — and recovery decides by what hit the platter.
+            self.wal.commit(txn.txn_id)
         if self.locks is not None:
             self.locks.release_all(txn.txn_id)
 
@@ -342,6 +442,8 @@ class Database:
     def _rollback_txn(self, txn: _Transaction) -> None:
         for storage in reversed(txn.storages):
             storage.rollback_entries(txn.logs[id(storage)])
+        if self.wal is not None:
+            self.wal.abort(txn.txn_id)
         if self.locks is not None:
             self.locks.release_all(txn.txn_id)
 
@@ -555,31 +657,41 @@ class Database:
                 f"log and could not be rolled back"
             )
         if isinstance(statement, ast.CreateTable):
-            return self._create_table(statement)
+            result = self._create_table(statement)
+            self._log_ddl(statement)
+            return result
         if isinstance(statement, ast.CreateIndex):
             entry = self.catalog.lookup(statement.table)
             entry.storage.create_index(
                 statement.name, statement.columns, unique=statement.unique
             )
+            self._log_ddl(statement)
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, ast.DropTable):
             self.catalog.drop(statement.name)
             self._plan_cache.clear()
+            self._log_ddl(statement)
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, ast.Insert):
-            return self._insert(statement, params)
+            with self._wal_statement():
+                return self._insert(statement, params)
         if isinstance(statement, ast.Update):
-            return self._update(statement, params)
+            with self._wal_statement():
+                return self._update(statement, params)
         if isinstance(statement, ast.Delete):
-            return self._delete(statement, params)
+            with self._wal_statement():
+                return self._delete(statement, params)
         if isinstance(statement, ast.CreateView):
-            return self._create_view(statement)
+            result = self._create_view(statement)
+            self._log_ddl(statement)
+            return result
         if isinstance(statement, ast.DropView):
             key = statement.name.lower()
             if key not in self.views:
                 raise CatalogError(f"view {statement.name!r} does not exist")
             del self.views[key]
             self._plan_cache.clear()
+            self._log_ddl(statement)
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, ast.BeginTransaction):
             self.begin(self._current_session)
@@ -648,7 +760,10 @@ class Database:
                 for column in statement.columns
             ],
         )
-        self.catalog.create(schema, TableStorage(schema))
+        storage = TableStorage(schema)
+        self.catalog.create(schema, storage)
+        if self.wal is not None:
+            self._attach_journal(storage)
         return ResultSet([], [], rowcount=0)
 
     def _insert(self, statement: ast.Insert, params: Sequence[Any]) -> ResultSet:

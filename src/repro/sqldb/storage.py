@@ -79,6 +79,11 @@ class TableStorage:
         self._indexes: Dict[str, HashIndex] = {}
         #: Undo log for the enclosing transaction; None when not enlisted.
         self._undo: Optional[List[tuple]] = None
+        #: Redo journal sink (the database's WAL hook): called as
+        #: ``journal(op, row_id, row)`` after every successful mutation.
+        #: Detached (like ``_undo``) while a rollback replays inverses —
+        #: an abort is logged as one ABORT record, not as compensation.
+        self._journal = None
         #: Mutation counter: bumped by every insert/update/delete/restore.
         #: Derived caches (the columnar chunk cache) key on it to detect
         #: staleness without hooking every mutation path individually.
@@ -114,7 +119,39 @@ class TableStorage:
         self.version += 1
         if self._undo is not None:
             self._undo.append(("insert", row_id))
+        if self._journal is not None:
+            self._journal("insert", row_id, stored)
         return row_id
+
+    def insert_at(self, row_id: int, row: Sequence[object]) -> None:
+        """Re-materialise a row in a specific slot (recovery redo path).
+
+        Pads the heap with dead slots up to *row_id*: transactions whose
+        inserts were discarded (aborted, or in flight at a crash) consumed
+        row ids too, and replay must reproduce the exact slot layout so
+        the row ids inside later WAL records keep resolving correctly.
+        Skips constraint validation — the row passed it when the record
+        was originally logged — but maintains the indexes.
+        """
+        while len(self._rows) <= row_id:
+            self._rows.append(None)
+        if self._rows[row_id] is not None:
+            raise IntegrityError(
+                f"cannot replay insert into occupied slot {row_id} of "
+                f"{self.schema.name!r}"
+            )
+        stored = tuple(row)
+        for index in self._indexes.values():
+            index.add(row_id, stored)
+        self._rows[row_id] = stored
+        self._live_count += 1
+        self.version += 1
+
+    def pad_slots(self, total_slots: int) -> None:
+        """Extend the heap with dead slots up to *total_slots* (restoring
+        a checkpoint's row-id space, trailing deleted rows included)."""
+        while len(self._rows) < total_slots:
+            self._rows.append(None)
 
     def delete(self, row_id: int) -> None:
         row = self._rows[row_id]
@@ -127,6 +164,8 @@ class TableStorage:
         self.version += 1
         if self._undo is not None:
             self._undo.append(("delete", row_id, row))
+        if self._journal is not None:
+            self._journal("delete", row_id, row)
 
     def update(self, row_id: int, new_row: Sequence[object]) -> None:
         old_row = self._rows[row_id]
@@ -146,6 +185,8 @@ class TableStorage:
         self.version += 1
         if self._undo is not None:
             self._undo.append(("update", row_id, old_row))
+        if self._journal is not None:
+            self._journal("update", row_id, stored)
 
     def scan(self) -> Iterator[Tuple[int, Row]]:
         """Yield (row_id, row) for every live row in insertion order."""
@@ -209,7 +250,9 @@ class TableStorage:
         attached (it is re-attached by the next statement anyway).
         """
         attached = self._undo
+        journal = self._journal
         self._undo = None  # replay must not log
+        self._journal = None  # the WAL sees one ABORT, not compensation ops
         try:
             for entry in reversed(entries):
                 kind = entry[0]
@@ -221,6 +264,7 @@ class TableStorage:
                     self.update(entry[1], entry[2])
         finally:
             self._undo = None if attached is entries else attached
+            self._journal = journal
 
     def _restore(self, row_id: int, row: Row) -> None:
         """Re-materialise a deleted row in its original slot."""
