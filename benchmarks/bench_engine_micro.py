@@ -58,14 +58,35 @@ MICRO_SHAPES = {
 MICRO_SIZES = (10_000, 100_000)
 SMOKE_SIZES = (10_000,)
 
+#: Extra shapes for the planner-mode comparison only — they plan through
+#: index lookups, so they must stay out of MICRO_SHAPES (whose columnar
+#: runs assert no whole-plan fallback).  ``point_and`` has two competing
+#: access paths: the unique pk on ``id`` and the non-unique ``t_v`` index
+#: (200 distinct values), so the costed planner has a real choice.
+PLANNER_MODE_EXTRA_SHAPES = {
+    "point_and": ("SELECT a FROM t WHERE v = ? AND id = ?", (7, 7)),
+}
 
-def build_micro_db(size: int) -> Database:
+#: The costed planner may not be slower than the rule-based planner by
+#: more than this factor on any micro shape (plans only differ where the
+#: cost model says they should, so the overhead is planning itself).
+PLANNER_MODE_MAX_RATIO = 2.0
+
+#: Shapes faster than this in both modes are too close to timer noise
+#: for a ratio gate (a point lookup runs in microseconds).
+PLANNER_MODE_NOISE_FLOOR_S = 0.001
+
+
+def build_micro_db(size: int, planner_mode: str = "cost") -> Database:
     """A deterministic fact/dim pair; values are formulaic, not random,
-    so every run (and both executors) sees byte-identical data."""
-    db = Database()
+    so every run (and both executors) sees byte-identical data.  The
+    ``t_v`` index is never usable by the MICRO_SHAPES range predicates —
+    it exists for the planner-mode shapes, which probe it by equality."""
+    db = Database(planner_mode=planner_mode)
     db.execute(
         "CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER, v INTEGER)"
     )
+    db.execute("CREATE INDEX t_v ON t (v)")
     db.execute("CREATE TABLE dim (k INTEGER, label VARCHAR(20))")
     db.executemany(
         "INSERT INTO t VALUES (?, ?, ?, ?)",
@@ -121,6 +142,74 @@ def run_micro(sizes=MICRO_SIZES, repeats: int = 3) -> dict:
     return results
 
 
+def run_planner_modes(size: int = 10_000, repeats: int = 3) -> dict:
+    """Rule-based vs cost-based (post-ANALYZE) planner over the micro
+    shapes plus the planner-only extras.
+
+    Both databases hold byte-identical data; the results must agree
+    exactly (plans may differ, answers may not).  Returns per-shape wall
+    seconds for each mode and the cost/rule ratio the smoke gate checks
+    against :data:`PLANNER_MODE_MAX_RATIO`.
+    """
+    rule_db = build_micro_db(size, planner_mode="rule")
+    cost_db = build_micro_db(size, planner_mode="cost")
+    cost_db.execute("ANALYZE")
+    shapes = dict(MICRO_SHAPES)
+    shapes.update(PLANNER_MODE_EXTRA_SHAPES)
+    results = {}
+    for shape, (sql, params) in shapes.items():
+        rule_result = rule_db.execute(sql, params, mode="row")
+        cost_result = cost_db.execute(sql, params, mode="row")
+        assert cost_result.rows == rule_result.rows, (
+            f"{shape}@{size}: planner modes disagree on the result"
+        )
+        rule_s = _best_of(rule_db, sql, params, "row", repeats)
+        cost_s = _best_of(cost_db, sql, params, "row", repeats)
+        results[shape] = {
+            "shape": shape,
+            "table_rows": size,
+            "rows_returned": len(rule_result.rows),
+            "rule_s": rule_s,
+            "cost_s": cost_s,
+            "ratio": cost_s / rule_s,
+        }
+    return results
+
+
+def planner_mode_failures(results: dict) -> list:
+    """Gate: the costed planner must stay within PLANNER_MODE_MAX_RATIO
+    of the rule-based planner on every shape slow enough to time."""
+    failures = []
+    for name, entry in results.items():
+        if (
+            entry["rule_s"] < PLANNER_MODE_NOISE_FLOOR_S
+            and entry["cost_s"] < PLANNER_MODE_NOISE_FLOOR_S
+        ):
+            continue  # microsecond-scale shape: ratio is timer noise
+        if entry["ratio"] > PLANNER_MODE_MAX_RATIO:
+            failures.append(
+                f"planner modes {name}: cost-based {entry['cost_s'] * 1000:.2f} ms "
+                f"is {entry['ratio']:.2f}x the rule-based "
+                f"{entry['rule_s'] * 1000:.2f} ms "
+                f"(limit {PLANNER_MODE_MAX_RATIO}x)"
+            )
+    return failures
+
+
+def format_planner_modes(results: dict) -> str:
+    lines = [
+        f"{'shape':<24s} {'rows':>8s} {'rule ms':>9s} {'cost ms':>9s} "
+        f"{'ratio':>7s}"
+    ]
+    for name, entry in results.items():
+        lines.append(
+            f"{name:<24s} {entry['table_rows']:>8d} "
+            f"{entry['rule_s'] * 1000:>9.2f} {entry['cost_s'] * 1000:>9.2f} "
+            f"{entry['ratio']:>6.2f}x"
+        )
+    return "\n".join(lines)
+
+
 def format_micro(results: dict) -> str:
     lines = [
         f"{'shape':<24s} {'rows':>8s} {'row ms':>9s} {'col ms':>9s} "
@@ -147,22 +236,33 @@ def main(argv=None) -> int:
         "--json", metavar="PATH", help="write the per-shape results to PATH"
     )
     args = parser.parse_args(argv)
+    repeats = 2 if args.smoke else 3
     results = run_micro(
         sizes=SMOKE_SIZES if args.smoke else MICRO_SIZES,
-        repeats=2 if args.smoke else 3,
+        repeats=repeats,
     )
     print(format_micro(results))
+    planner_modes = run_planner_modes(size=SMOKE_SIZES[0], repeats=repeats)
+    print("\nplanner modes (rule vs cost-based after ANALYZE):")
+    print(format_planner_modes(planner_modes))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(results, handle, indent=2, sort_keys=True)
+            json.dump(
+                {"micro": results, "planner_modes": planner_modes},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
         print(f"wrote {args.json}")
-    # Coarse CI gate: on the scan/filter shapes the vectorized executor
-    # was built for, columnar must at least break even with row mode.
+    # Coarse CI gates: on the scan/filter shapes the vectorized executor
+    # was built for, columnar must at least break even with row mode; and
+    # the costed planner must stay within 2x of the rule-based planner.
     failures = [
         f"{name}: columnar slower than row ({entry['speedup']:.2f}x)"
         for name, entry in results.items()
         if entry["shape"] in ("scan_filter", "narrow_and") and entry["speedup"] < 1.0
     ]
+    failures.extend(planner_mode_failures(planner_modes))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

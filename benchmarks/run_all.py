@@ -24,7 +24,12 @@ sys.path.insert(
 )
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from bench_engine_micro import SMOKE_SIZES, run_micro  # noqa: E402
+from bench_engine_micro import (  # noqa: E402
+    SMOKE_SIZES,
+    planner_mode_failures,
+    run_micro,
+    run_planner_modes,
+)
 
 from repro.bench.measure import measure_action  # noqa: E402
 from repro.bench.workload import build_scenario  # noqa: E402
@@ -224,7 +229,7 @@ def run_contention_smoke() -> dict:
 TRAJECTORY_SCHEMA = "bench-trajectory/v1"
 
 #: This PR's slot in the trajectory sequence (BENCH_<pr>.json).
-TRAJECTORY_PR = 7
+TRAJECTORY_PR = 8
 
 #: Micro-bench shapes whose row-vs-columnar speedup the trajectory diff
 #: gates on (the scan shapes the vectorized executor was built for).
@@ -333,6 +338,16 @@ def trajectory_report(report: dict) -> dict:
         "scale": report["scale"],
         "benches": benches,
     }
+    planner_modes = report.get("planner_modes")
+    if planner_modes:
+        trajectory["planner_modes"] = {
+            name: {
+                "rule_s": entry["rule_s"],
+                "cost_s": entry["cost_s"],
+                "ratio": entry["ratio"],
+            }
+            for name, entry in planner_modes.items()
+        }
     crash = report.get("crash")
     if crash:
         trajectory["crash"] = {
@@ -391,6 +406,9 @@ def run(scale: str, fault_profile=None, fault_seed: int = 1, trace_profile=None)
         "contention": run_contention_smoke(),
         "crash": run_crash_smoke(),
         "engine_micro": run_engine_micro(scale),
+        "planner_modes": run_planner_modes(
+            size=SMOKE_SIZES[0], repeats=2 if scale == "small" else 3
+        ),
     }
     if fault_profile is not None and not fault_profile.perfect:
         report["faults"] = run_chaos(tree, scenario, fault_profile, fault_seed)
@@ -494,6 +512,12 @@ def check(report: dict) -> list:
                     f"engine micro {name}: columnar slower than row "
                     f"({entry['speedup']:.2f}x)"
                 )
+    planner_modes = report.get("planner_modes")
+    if planner_modes:
+        # The costed planner may only deviate from the rule-based one
+        # where the cost model says it should win, so its wall time must
+        # stay within 2x on every micro shape.
+        failures.extend(planner_mode_failures(planner_modes))
     trace = report.get("trace")
     if trace:
         decomposition = trace["decomposition"]
@@ -629,6 +653,12 @@ def main(argv=None) -> int:
 
         print("\nengine micro (row vs columnar):")
         print(format_micro(micro))
+    planner_modes = report.get("planner_modes")
+    if planner_modes:
+        from bench_engine_micro import format_planner_modes
+
+        print("\nplanner modes (rule vs cost-based after ANALYZE):")
+        print(format_planner_modes(planner_modes))
     failures = check(report)
     trajectory = trajectory_report(report)
     baseline_path = os.path.join(

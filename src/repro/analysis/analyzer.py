@@ -39,6 +39,7 @@ def analyze_statement(
     their WHERE clause; DDL has no findings.
     """
     catalog = database.catalog if database is not None else None
+    stats = getattr(database, "stats", None) if database is not None else None
     findings: List[Finding] = []
     select, is_root = _selectable(statement)
     if select is not None:
@@ -46,7 +47,9 @@ def analyze_statement(
             select, "", is_root
         ):
             findings.extend(rules_recursion.check(nested, path))
-            findings.extend(rules_pushdown.check(nested, path, catalog))
+            findings.extend(
+                rules_pushdown.check(nested, path, catalog, stats=stats)
+            )
             findings.extend(
                 rules_wan.check_statement(nested, path, is_root=nested_root)
             )
@@ -54,10 +57,12 @@ def analyze_statement(
             plan = _try_plan(select, database)
             if plan is not None:
                 findings.extend(
-                    rules_wan.check_plan(plan, select, database.catalog)
+                    rules_wan.check_plan(
+                        plan, select, database.catalog, stats=stats
+                    )
                 )
     elif isinstance(statement, (ast.Update, ast.Delete)):
-        findings.extend(_analyze_dml_where(statement, catalog))
+        findings.extend(_analyze_dml_where(statement, catalog, stats))
     return sorted(findings, key=lambda f: (f.node_path, f.rule_id))
 
 
@@ -76,7 +81,7 @@ def _selectable(statement: Any) -> Tuple[Optional[ast.SelectStatement], bool]:
 
 
 def _analyze_dml_where(
-    statement: Any, catalog: Optional[Any]
+    statement: Any, catalog: Optional[Any], stats: Optional[Any] = None
 ) -> List[Finding]:
     """UPDATE/DELETE predicates get the predicate-shape rules by wrapping
     them in a synthetic single-table SELECT core."""
@@ -89,7 +94,7 @@ def _analyze_dml_where(
             where=statement.where,
         )
     )
-    return rules_pushdown.check(synthetic, "", catalog)
+    return rules_pushdown.check(synthetic, "", catalog, stats=stats)
 
 
 def _try_plan(

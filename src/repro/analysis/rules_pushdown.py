@@ -42,8 +42,14 @@ def check(
     statement: ast.SelectStatement,
     path: str = "",
     catalog: Optional[Any] = None,
+    stats: Optional[Any] = None,
 ) -> List[Finding]:
-    """Run P001-P003 over every core of *statement* (CTE bodies included)."""
+    """Run P001-P003 over every core of *statement* (CTE bodies included).
+
+    *stats* (a :class:`repro.sqldb.stats.StatsCatalog`) refines P002
+    severity: losing an index on a column the optimizer would not have
+    probed anyway — measured selectivity worse than
+    :data:`repro.sqldb.stats.SELECTIVE_FRACTION` — is only an INFO."""
     findings: List[Finding] = []
     cte_names = set()
     if statement.with_clause is not None:
@@ -61,7 +67,9 @@ def check(
                         _check_placement(branch, cte.name, branch_path)
                     )
                 findings.extend(
-                    _check_predicates(branch, branch_path, catalog, cte_names)
+                    _check_predicates(
+                        branch, branch_path, catalog, cte_names, stats
+                    )
                 )
     branches, __ = flatten_set_operations(statement.body)
     for position, branch in enumerate(branches):
@@ -71,7 +79,7 @@ def check(
             else f"{path}body.branch[{position}]"
         )
         findings.extend(
-            _check_predicates(branch, branch_path, catalog, cte_names)
+            _check_predicates(branch, branch_path, catalog, cte_names, stats)
         )
     return findings
 
@@ -128,13 +136,16 @@ def _check_predicates(
     core_path: str,
     catalog: Optional[Any],
     cte_names: Set[str],
+    stats: Optional[Any] = None,
 ) -> List[Finding]:
     findings: List[Finding] = []
     bindings = _binding_map(core)
     for clause, conjunct in core_predicates(core):
         where = f"{core_path}.{clause}"
         findings.extend(
-            _check_sargable(conjunct, where, bindings, catalog, cte_names)
+            _check_sargable(
+                conjunct, where, bindings, catalog, cte_names, stats
+            )
         )
         findings.extend(_check_in_list(conjunct, where))
     return findings
@@ -160,6 +171,7 @@ def _check_sargable(
     bindings: Dict[str, Optional[str]],
     catalog: Optional[Any],
     cte_names: Set[str],
+    stats: Optional[Any] = None,
 ) -> List[Finding]:
     wrapped: Optional[ast.ColumnRef] = None
     reason = ""
@@ -197,11 +209,13 @@ def _check_sargable(
                 )
     if wrapped is None:
         return []
-    severity = (
-        Severity.WARNING
-        if _column_is_indexed(wrapped, bindings, catalog, cte_names)
-        else Severity.INFO
-    )
+    indexed = _column_is_indexed(wrapped, bindings, catalog, cte_names)
+    severity = Severity.WARNING if indexed else Severity.INFO
+    if indexed and _index_not_worth_using(wrapped, bindings, stats):
+        # Losing an index the optimizer would not probe anyway (the
+        # column is non-selective per collected statistics) costs
+        # nothing — keep the finding, drop the alarm.
+        severity = Severity.INFO
     return [
         Finding(
             "P002",
@@ -255,6 +269,29 @@ def _column_is_indexed(
         return False
     entry = catalog.lookup(table)
     return entry.storage.find_index([column.name]) is not None
+
+
+def _index_not_worth_using(
+    column: ast.ColumnRef,
+    bindings: Dict[str, Optional[str]],
+    stats: Optional[Any],
+) -> bool:
+    """True when collected statistics say an equality probe on *column*
+    would not beat a scan (selectivity above SELECTIVE_FRACTION)."""
+    from repro.sqldb.stats import SELECTIVE_FRACTION
+
+    if stats is None:
+        return False
+    table = resolve_column_table(column, bindings)
+    if table is None:
+        return False
+    table_stats = stats.get(table)
+    if table_stats is None:
+        return False
+    column_stats = table_stats.column(column.name)
+    if column_stats is None:
+        return False
+    return column_stats.eq_selectivity() > SELECTIVE_FRACTION
 
 
 def resolve_column_table(

@@ -211,10 +211,21 @@ def _conjunct_bindings(
 
 
 def check_plan(
-    plan: Any, statement: ast.SelectStatement, catalog: Any
+    plan: Any,
+    statement: ast.SelectStatement,
+    catalog: Any,
+    stats: Optional[Any] = None,
 ) -> List[Finding]:
     """W002: the plan sequentially scans a table although the statement
-    constrains an indexed column of it with an index-friendly predicate."""
+    constrains an indexed column of it with an index-friendly predicate.
+
+    With *stats* (a :class:`repro.sqldb.stats.StatsCatalog`) the rule is
+    keyed off the measured selectivity: when the cost model itself prices
+    the sequential scan below a one-key index probe — the column is so
+    non-selective that the probe would walk most of the table anyway —
+    the finding is only an INFO, because the scan is the *right* plan,
+    not a missed index.  Without statistics the original WARNING stands
+    (the analyzer cannot tell a justified scan from a planner miss)."""
     from repro.sqldb.executor import SeqScan
     from repro.sqldb.explain import plan_operators
 
@@ -238,18 +249,53 @@ def check_plan(
                 if entry.storage.find_index([column]) is None:
                     continue
                 seen.add((table, column))
+                severity, justified = _scan_severity(stats, table, column)
+                note = (
+                    "; statistics show the scan is cost-justified — the "
+                    "column is not selective enough for the index to win"
+                    if justified
+                    else "; rewrite the predicate so the index applies"
+                )
                 findings.append(
                     Finding(
                         "W002",
-                        Severity.WARNING,
+                        severity,
                         f"the plan scans table {table!r} sequentially "
                         f"although column {column!r} is indexed and "
-                        f"constrained by an equality/IN predicate; "
-                        f"rewrite the predicate so the index applies",
+                        f"constrained by an equality/IN predicate"
+                        f"{note}",
                         f"{core_path}",
                     )
                 )
     return findings
+
+
+def _scan_severity(
+    stats: Optional[Any], table: str, column: str
+) -> Tuple[Severity, bool]:
+    """WARNING unless collected statistics prove the scan cost-justified."""
+    from repro.sqldb.stats import (
+        SELECTIVE_FRACTION,
+        index_probe_cost,
+        seq_scan_cost,
+    )
+
+    if stats is None:
+        return Severity.WARNING, False
+    table_stats = stats.get(table)
+    if table_stats is None:
+        return Severity.WARNING, False
+    column_stats = table_stats.column(column)
+    if column_stats is None:
+        return Severity.WARNING, False
+    selectivity = column_stats.eq_selectivity()
+    rows_out = table_stats.row_count * selectivity
+    probe_loses = index_probe_cost(1, rows_out) >= seq_scan_cost(
+        table_stats.row_count
+    )
+    if probe_loses or selectivity > SELECTIVE_FRACTION:
+        return Severity.INFO, True
+    return Severity.WARNING, False
 
 
 def _core_bindings(core: ast.SelectCore) -> Dict[str, str]:

@@ -105,6 +105,11 @@ class Histogram:
         histogram is empty.  The estimate's resolution is the bucket
         width — good enough for p50/p95/p99 reporting, not for exact
         order statistics.
+
+        Boundary contract (explicit, not an interpolation accident):
+        ``q=0`` returns the observed minimum, ``q=1`` the observed
+        maximum, and a single-observation histogram returns that
+        observation for every *q* — bucket edges never leak through.
         """
         if not 0.0 <= q <= 1.0:
             raise ReproError(
@@ -113,6 +118,12 @@ class Histogram:
             )
         if self.count == 0:
             return None
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        if self.count == 1:
+            return self.min
         rank = q * self.count
         cumulative = 0
         for index, bucket_count in enumerate(self.counts):
@@ -122,7 +133,15 @@ class Histogram:
             cumulative += bucket_count
             if cumulative < rank:
                 continue
-            lower = self.bounds[index - 1] if index > 0 else self.min or 0.0
+            # An observed minimum of exactly 0.0 must win over the bucket
+            # edge fallback ("self.min or 0.0" treated 0.0 as missing —
+            # harmless today because lower only feeds the interpolation
+            # that is clamped below, but wrong as a contract).
+            lower = (
+                self.bounds[index - 1]
+                if index > 0
+                else (0.0 if self.min is None else self.min)
+            )
             upper = (
                 self.bounds[index]
                 if index < len(self.bounds)

@@ -399,6 +399,17 @@ class Lint:
     statement: "SelectStatement"
 
 
+@dataclass
+class Analyze:
+    """``ANALYZE [table]`` — collect optimizer statistics.
+
+    With no table name every table in the catalog is analyzed.  The
+    result set reports one row per analyzed table.
+    """
+
+    table: Optional[str] = None
+
+
 Statement = Union[
     SelectStatement, CreateTable, CreateIndex, DropTable, Insert, Update, Delete
 ]

@@ -19,6 +19,7 @@ from repro.errors import (
     ExecutionError,
     IntegrityError,
     LockTimeout,
+    SQLError,
 )
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb import ast_walk
@@ -36,6 +37,7 @@ from repro.sqldb.recursive import execute_plan
 from repro.sqldb.result import ResultSet
 from repro.sqldb.vec_executor import vec_execute, vectorized_root
 from repro.sqldb.schema import Catalog, Column, TableSchema
+from repro.sqldb.stats import StatsCatalog
 from repro.sqldb.storage import TableStorage
 from repro.sqldb.types import coerce_value, is_null
 
@@ -81,10 +83,24 @@ class Database:
         plan_cache_size: int = 512,
         recursion_limit: int = 1_000_000,
         execution_mode: str = "row",
+        planner_mode: str = "cost",
     ) -> None:
         self.catalog = Catalog()
         self.functions = FunctionRegistry()
         self.recursion_limit = recursion_limit
+        if planner_mode not in ("cost", "rule"):
+            raise SQLError(
+                f"unknown planner mode {planner_mode!r} (expected 'cost' or 'rule')"
+            )
+        #: ``"cost"`` (default) prices access paths and join orders with
+        #: ANALYZE-collected statistics; ``"rule"`` is the ablation switch
+        #: that keeps the deterministic rule-based choices even after
+        #: ANALYZE.
+        self.planner_mode = planner_mode
+        #: ANALYZE-collected optimizer statistics.  In-memory and advisory
+        #: only: never WAL-logged (lost on crash/recovery) because losing
+        #: them can only change plan quality, not results.
+        self.stats = StatsCatalog()
         #: Statement-text -> Plan cache (SELECT only; DML re-plans, which is
         #: cheap because DML statements here are tiny).
         self._plan_cache: "OrderedDict[str, Plan]" = OrderedDict()
@@ -539,7 +555,13 @@ class Database:
     # -- planning / environments -----------------------------------------------
 
     def _plan(self, statement: ast.SelectStatement) -> Plan:
-        planner = Planner(self.catalog, self.functions, views=self.views)
+        planner = Planner(
+            self.catalog,
+            self.functions,
+            views=self.views,
+            stats=self.stats,
+            cost_based=self.planner_mode == "cost",
+        )
         plan = planner.plan_select(statement)
         plan.tables = self._referenced_tables(statement)
         return plan
@@ -669,6 +691,7 @@ class Database:
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, ast.DropTable):
             self.catalog.drop(statement.name)
+            self.stats.drop(statement.name)
             self._plan_cache.clear()
             self._log_ddl(statement)
             return ResultSet([], [], rowcount=0)
@@ -722,9 +745,43 @@ class Database:
                 ["rule_id", "severity", "message", "node_path"],
                 [finding.as_row() for finding in findings],
             )
+        if isinstance(statement, ast.Analyze):
+            return self._analyze(statement)
         raise ExecutionError(
             f"unsupported statement type {type(statement).__name__}"
         )
+
+    def _analyze(self, statement: ast.Analyze) -> ResultSet:
+        """``ANALYZE [table]`` — collect optimizer statistics.
+
+        Deliberately not DDL: it changes no data and no schema, so it is
+        allowed inside transactions and is never WAL-logged.  Cached plans
+        were chosen under the old statistics, so the plan cache is
+        cleared.
+        """
+        if statement.table is not None:
+            entries = [self.catalog.lookup(statement.table)]
+        else:
+            entries = [
+                self.catalog.lookup(name)
+                for name in sorted(self.catalog.table_names(), key=str.lower)
+            ]
+        rows: List[tuple] = []
+        with self._lock_scope() as (owner, parkable):
+            self._lock_tables_shared(
+                owner, parkable, tuple(entry.schema.name for entry in entries)
+            )
+            for entry in entries:
+                table_stats = self.stats.analyze_table(entry.schema, entry.storage)
+                rows.append(
+                    (
+                        entry.schema.name,
+                        table_stats.row_count,
+                        len(table_stats.columns),
+                    )
+                )
+        self._plan_cache.clear()
+        return ResultSet(["table", "rows", "columns"], rows)
 
     def _create_view(self, statement: ast.CreateView) -> ResultSet:
         key = statement.name.lower()
@@ -734,7 +791,13 @@ class Database:
             )
         # Validate the definition now (plannable, column arity) so broken
         # views fail at CREATE time, not at first use.
-        planner = Planner(self.catalog, self.functions, views=self.views)
+        planner = Planner(
+            self.catalog,
+            self.functions,
+            views=self.views,
+            stats=self.stats,
+            cost_based=self.planner_mode == "cost",
+        )
         plan = planner.plan_select(statement.select)
         if statement.columns is not None and len(statement.columns) != len(
             plan.output_names
@@ -830,7 +893,13 @@ class Database:
 
     def _table_context(self, entry) -> Tuple[CompileContext, Scope]:
         scope = Scope([(entry.schema.name, entry.schema.column_names)])
-        planner = Planner(self.catalog, self.functions, views=self.views)
+        planner = Planner(
+            self.catalog,
+            self.functions,
+            views=self.views,
+            stats=self.stats,
+            cost_based=self.planner_mode == "cost",
+        )
         frames = [Frame(scope)]
         ctx = CompileContext(frames, planner._plan_subquery, self.functions)
         return ctx, scope

@@ -7,7 +7,7 @@ index instead of rescanning it per fixpoint iteration.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.sqldb.executor import (
     Aggregate,
@@ -87,10 +87,12 @@ def explain_analyze_plan(plan: Plan, env, mode: str = "row") -> List[str]:
     rows = execute_plan(plan, env)
 
     def annotate(operator: Operator) -> str:
+        estimate = _estimate(operator)
+        prefix = "" if estimate is None else f"est_rows={estimate} "
         record = stats.get(id(operator))
         if record is None or record["loops"] == 0:
-            return " (never executed)"
-        return f" (loops={record['loops']} rows={record['rows']})"
+            return f" ({prefix}never executed)"
+        return f" ({prefix}loops={record['loops']} rows={record['rows']})"
 
     lines: List[str] = []
     for cte in plan.ctes:
@@ -232,8 +234,21 @@ def _all_operators(plan: Plan) -> List[Operator]:
     return operators
 
 
+def _estimate(operator: Operator) -> Optional[int]:
+    """Planner cardinality estimate, rounded for display (None when the
+    plan was built without statistics — plain rule-based plans render
+    exactly as before)."""
+    est = getattr(operator, "est_rows", None)
+    if est is None:
+        return None
+    return max(0, int(round(est)))
+
+
 def _no_annotation(operator: Operator) -> str:
-    return ""
+    estimate = _estimate(operator)
+    if estimate is None:
+        return ""
+    return f" (est_rows={estimate})"
 
 
 def _explain_cte(cte: PlannedCTE, annotate=_no_annotation) -> List[str]:

@@ -182,6 +182,14 @@ class _Parser:
             if nxt.matches_keyword("SELECT", "WITH"):
                 self.advance()
                 return ast.Lint(statement=self.parse_select_statement())
+        # ANALYZE is likewise soft: only meaningful as the whole statement
+        # (optionally followed by one table name).
+        if token.kind is TokenKind.IDENT and token.value.upper() == "ANALYZE":
+            self.advance()
+            table: Optional[str] = None
+            if not self.at_eof():
+                table = self.expect_identifier("table name")
+            return ast.Analyze(table=table)
         raise ParseError(f"expected a statement, found {token}")
 
     def _parse_create(self) -> ast.Statement:

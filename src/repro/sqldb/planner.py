@@ -1,15 +1,26 @@
 """Translate SQL ASTs into operator trees.
 
-The planner is deliberately rule-based rather than cost-based — the paper's
-workload needs exactly three access-path decisions, all of which are
-implemented here:
+The planner implements the paper's three access-path decisions:
 
-1. **Index lookups** for ``WHERE col = <independent expr>`` on the leftmost
-   base table of a core (the navigational child fetch).
+1. **Index lookups** for ``WHERE col = <independent expr>`` on the driving
+   base table of a core (the navigational child fetch), including multi-key
+   ``IN``-list probes.
 2. **Index nested-loop joins** when the inner side of a join is a base
    table with a hash index on its equi-join key (the recursive branch of
    the multi-level expand, and the ∃structure EXISTS probes).
 3. **Hash joins** for remaining equi-joins; nested loops otherwise.
+
+Access-path *choice* runs in one of two regimes:
+
+* **No statistics** (nothing ``ANALYZE``-d yet, or ``planner_mode="rule"``):
+  deterministic rules — among matching index probes, unique-index probes
+  first, then WHERE-clause order.
+* **With statistics** (:mod:`repro.sqldb.stats`): every candidate probe is
+  priced against the sequential scan with the stats-backed cost model,
+  comma-joined tables are greedily reordered by estimated cardinality
+  (deterministic tie-break on the written order), and every operator
+  carries an ``est_rows`` estimate that ``EXPLAIN`` renders beside the
+  actual counts.
 
 The full WHERE / ON predicates are always kept as residual filters, so a
 missed or partial optimisation can never change results — only speed.
@@ -62,6 +73,7 @@ from repro.sqldb.expressions import (
 from repro.sqldb.functions import AGGREGATE_NAMES, FunctionRegistry
 from repro.sqldb.render import expression_key
 from repro.sqldb.schema import Catalog
+from repro.sqldb import stats as table_stats_mod
 
 
 @dataclass
@@ -250,6 +262,8 @@ class Planner:
         cte_columns: Optional[Dict[str, List[str]]] = None,
         views: Optional[Dict[str, "object"]] = None,
         expanding_views: Optional[set] = None,
+        stats: Optional[table_stats_mod.StatsCatalog] = None,
+        cost_based: bool = True,
     ) -> None:
         self.catalog = catalog
         self.functions = functions
@@ -260,6 +274,10 @@ class Planner:
         self._expanding_views: set = (
             expanding_views if expanding_views is not None else set()
         )
+        #: ANALYZE-collected statistics (shared with the owning Database);
+        #: None or cost_based=False keeps planning purely rule-based.
+        self.stats = stats
+        self.cost_based = cost_based
 
     # -- public entry points -------------------------------------------------
 
@@ -293,6 +311,10 @@ class Planner:
         if statement.limit is not None:
             limit_fn = self._compile_scalar(statement.limit, frames)
             root = Limit(root, limit_fn)
+        for planned in planned_ctes:
+            for branch in planned.seed_plans + planned.recursive_plans:
+                _finalize_estimates(branch)
+        _finalize_estimates(root)
         return Plan(root=root, output_names=output_names, ctes=planned_ctes)
 
     # -- WITH clause -----------------------------------------------------------
@@ -385,13 +407,32 @@ class Planner:
         frame.scope = None
         try:
             where_conjuncts = _split_conjuncts(core.where)
-            source, bindings = self._plan_from(core.from_items, frames, where_conjuncts)
+            binding_stats: table_stats_mod.BindingStats = {}
+            consumed: set = set()
+            source, bindings = self._plan_from(
+                core.from_items, frames, where_conjuncts, binding_stats, consumed
+            )
             scope = Scope(bindings)
             frame.scope = scope
             ctx = self._context(frames)
             operator: Operator = source
             if core.where is not None:
                 operator = Filter(operator, compile_expression(core.where, ctx))
+                source_est = getattr(source, "est_rows", None)
+                if source_est is not None:
+                    # Conjuncts already folded into an index probe must not
+                    # be priced a second time here.
+                    residual = [
+                        conjunct
+                        for conjunct in where_conjuncts
+                        if id(conjunct) not in consumed
+                    ]
+                    operator.est_rows = (
+                        source_est
+                        * table_stats_mod.condition_selectivity(
+                            residual, binding_stats
+                        )
+                    )
             needs_aggregate = bool(core.group_by) or any(
                 contains_aggregate(item.expression)
                 for item in core.items
@@ -418,22 +459,136 @@ class Planner:
         from_items: Sequence[ast.FromItem],
         frames: List[Frame],
         where_conjuncts: List[ast.Expression],
+        binding_stats: table_stats_mod.BindingStats,
+        consumed: set,
     ) -> Tuple[Operator, List[Tuple[Optional[str], List[str]]]]:
         if not from_items:
             return RowsSource([], [()]), []
+        order = self._comma_order(from_items, where_conjuncts)
         operator: Optional[Operator] = None
         bindings: List[Tuple[Optional[str], List[str]]] = []
-        for position, item in enumerate(from_items):
-            leftmost = position == 0
+        planned: Dict[int, Tuple[Operator, List[Tuple[Optional[str], List[str]]]]] = {}
+        for rank, position in enumerate(order):
             item_op, item_bindings = self._plan_from_item(
-                item, frames, bindings, where_conjuncts, leftmost
+                from_items[position],
+                frames,
+                bindings,
+                where_conjuncts,
+                rank == 0,
+                binding_stats,
+                consumed,
             )
             bindings = bindings + item_bindings
+            planned[position] = (item_op, item_bindings)
             if operator is None:
                 operator = item_op
             else:
-                operator = NestedLoopJoin(operator, item_op, condition=None)
-        return operator, bindings
+                joined = NestedLoopJoin(operator, item_op, condition=None)
+                left_est = getattr(operator, "est_rows", None)
+                right_est = getattr(item_op, "est_rows", None)
+                if left_est is not None and right_est is not None:
+                    joined.est_rows = left_est * right_est
+                operator = joined
+        if order == list(range(len(from_items))):
+            return operator, bindings
+        # The comma items were joined in cost order; restore the written
+        # column (and binding) order with a projection so SELECT * output
+        # and name resolution are unchanged by the reordering.
+        offsets: Dict[int, int] = {}
+        offset = 0
+        for position in order:
+            offsets[position] = offset
+            offset += sum(len(cols) for __, cols in planned[position][1])
+        exprs = []
+        names: List[str] = []
+        original_bindings: List[Tuple[Optional[str], List[str]]] = []
+        for position in range(len(from_items)):
+            start = offsets[position]
+            for binding_name, cols in planned[position][1]:
+                for column_offset, column in enumerate(cols):
+                    exprs.append(_slot_ref_fn(start + column_offset))
+                    names.append(column)
+                start += len(cols)
+                original_bindings.append((binding_name, list(cols)))
+        project = Project(operator, exprs, names)
+        est = getattr(operator, "est_rows", None)
+        if est is not None:
+            project.est_rows = est
+        return project, original_bindings
+
+    def _comma_order(
+        self,
+        from_items: Sequence[ast.FromItem],
+        where_conjuncts: List[ast.Expression],
+    ) -> List[int]:
+        """Greedy cost-based ordering of comma-joined FROM items.
+
+        Applies only when every item is a base table with collected
+        statistics; otherwise (and in rule mode) the written order is
+        kept.  Start from the item with the smallest estimated filtered
+        cardinality, then repeatedly append the item minimising the
+        estimated intermediate-result size through the WHERE clause's
+        equi-join predicates.  Ties keep the written order, so the plan
+        is deterministic for a given catalog + statistics state.
+        """
+        identity = list(range(len(from_items)))
+        if len(from_items) < 2 or self.stats is None or not self.cost_based:
+            return identity
+        per_item: List[Tuple[str, table_stats_mod.TableStats]] = []
+        for item in from_items:
+            if not isinstance(item, ast.TableRef):
+                return identity
+            key = item.name.lower()
+            if key in self.cte_columns or key in self.views:
+                return identity
+            if not self.catalog.exists(item.name):
+                return identity
+            item_stats = self.stats.get(item.name)
+            if item_stats is None:
+                return identity
+            per_item.append((item.binding_name.lower(), item_stats))
+        all_stats: table_stats_mod.BindingStats = dict(per_item)
+        if len(all_stats) != len(per_item):
+            return identity  # duplicate binding names: keep the written order
+        filtered: List[float] = []
+        for binding, item_stats in per_item:
+            selectivity = 1.0
+            for conjunct in where_conjuncts:
+                if table_stats_mod.references_only(conjunct, binding, all_stats):
+                    selectivity *= table_stats_mod.conjunct_selectivity(
+                        conjunct, {binding: item_stats}
+                    )
+            filtered.append(item_stats.row_count * selectivity)
+        remaining = identity[:]
+        start = min(remaining, key=lambda position: (filtered[position], position))
+        order = [start]
+        remaining.remove(start)
+        cardinality = filtered[start]
+        included: Dict[str, table_stats_mod.TableStats] = {
+            per_item[start][0]: per_item[start][1]
+        }
+        while remaining:
+            best = remaining[0]
+            best_cardinality: Optional[float] = None
+            for position in remaining:
+                candidate_group = {per_item[position][0]: per_item[position][1]}
+                selectivity = 1.0
+                for conjunct in where_conjuncts:
+                    join_sel = table_stats_mod.join_selectivity(
+                        conjunct, included, candidate_group
+                    )
+                    if join_sel is not None:
+                        selectivity *= join_sel
+                candidate = cardinality * filtered[position] * selectivity
+                if best_cardinality is None or candidate < best_cardinality:
+                    best = position
+                    best_cardinality = candidate
+            order.append(best)
+            remaining.remove(best)
+            if best_cardinality is not None:
+                cardinality = best_cardinality
+            included[per_item[best][0]] = per_item[best][1]
+        return order
 
     def _plan_from_item(
         self,
@@ -442,9 +597,13 @@ class Planner:
         left_bindings: List[Tuple[Optional[str], List[str]]],
         where_conjuncts: List[ast.Expression],
         leftmost: bool,
+        binding_stats: table_stats_mod.BindingStats,
+        consumed: set,
     ) -> Tuple[Operator, List[Tuple[Optional[str], List[str]]]]:
         if isinstance(item, ast.TableRef):
-            return self._plan_table_ref(item, frames, where_conjuncts, leftmost)
+            return self._plan_table_ref(
+                item, frames, where_conjuncts, leftmost, binding_stats, consumed
+            )
         if isinstance(item, ast.SubqueryRef):
             child = Planner(
                 self.catalog,
@@ -452,17 +611,30 @@ class Planner:
                 dict(self.cte_columns),
                 views=self.views,
                 expanding_views=self._expanding_views,
+                stats=self.stats,
+                cost_based=self.cost_based,
             )
             sub_frame = Frame(None)
             plan = child.plan_select(item.subquery, frames + [sub_frame])
             operator = SubplanOperator(plan)
+            est = getattr(plan.root, "est_rows", None)
+            if est is not None:
+                operator.est_rows = est
+            if item.alias:
+                binding_stats.setdefault(item.alias.lower(), None)
             return operator, [(item.alias, list(plan.output_names))]
         if isinstance(item, ast.Join):
             left_op, left_binds = self._plan_from_item(
-                item.left, frames, left_bindings, where_conjuncts, leftmost
+                item.left,
+                frames,
+                left_bindings,
+                where_conjuncts,
+                leftmost,
+                binding_stats,
+                consumed,
             )
             join_op, right_binds = self._plan_join(
-                item, left_op, left_bindings + left_binds, frames
+                item, left_op, left_bindings + left_binds, frames, binding_stats
             )
             return join_op, left_binds + right_binds
         raise ParseError(f"unsupported FROM item {type(item).__name__}")
@@ -473,24 +645,38 @@ class Planner:
         frames: List[Frame],
         where_conjuncts: List[ast.Expression],
         leftmost: bool,
+        binding_stats: table_stats_mod.BindingStats,
+        consumed: set,
     ) -> Tuple[Operator, List[Tuple[Optional[str], List[str]]]]:
         binding = ref.binding_name
         if ref.name.lower() in self.cte_columns:
             columns = self.cte_columns[ref.name.lower()]
+            binding_stats.setdefault(binding.lower(), None)
             return CTEScan(ref.name, columns), [(binding, list(columns))]
         view = self.views.get(ref.name.lower())
         if view is not None:
+            binding_stats.setdefault(binding.lower(), None)
             return self._plan_view(ref, view)
         entry = self.catalog.lookup(ref.name)
         storage = entry.storage
         columns = entry.schema.column_names
+        table_stats = self._table_stats(ref.name)
+        binding_stats[binding.lower()] = table_stats
         if leftmost and where_conjuncts:
             indexed = self._try_index_scan(
-                entry, binding, where_conjuncts, frames
+                entry, binding, where_conjuncts, frames, consumed, table_stats
             )
             if indexed is not None:
                 return indexed, [(binding, list(columns))]
-        return SeqScan(storage), [(binding, list(columns))]
+        scan = SeqScan(storage)
+        if table_stats is not None:
+            scan.est_rows = float(table_stats.row_count)
+        return scan, [(binding, list(columns))]
+
+    def _table_stats(self, name: str) -> Optional[table_stats_mod.TableStats]:
+        if not self.cost_based or self.stats is None:
+            return None
+        return self.stats.get(name)
 
     def _plan_view(self, ref: ast.TableRef, view):
         """Expand a view reference by planning its defining statement.
@@ -509,6 +695,8 @@ class Planner:
                 self.functions,
                 views=self.views,
                 expanding_views=self._expanding_views,
+                stats=self.stats,
+                cost_based=self.cost_based,
             )
             plan = child.plan_select(view.select)
         finally:
@@ -521,21 +709,87 @@ class Planner:
             )
         operator = SubplanOperator(plan)
         operator.output_names = columns
+        est = getattr(plan.root, "est_rows", None)
+        if est is not None:
+            operator.est_rows = est
         return operator, [(ref.binding_name, columns)]
 
     def _try_index_scan(
-        self, entry, binding: str, conjuncts: List[ast.Expression], frames: List[Frame]
+        self,
+        entry,
+        binding: str,
+        conjuncts: List[ast.Expression],
+        frames: List[Frame],
+        consumed: Optional[set] = None,
+        table_stats: Optional[table_stats_mod.TableStats] = None,
     ) -> Optional[Operator]:
-        """Turn a leftmost base-table scan into an index probe when a WHERE
+        """Turn a driving base-table scan into an index probe when a WHERE
         conjunct pins an indexed column to a scope-independent value, or to
-        a list of them (``col IN (?, ?, ?)`` becomes a multi-key probe)."""
+        a list of them (``col IN (?, ?, ?)`` becomes a multi-key probe).
+
+        All matching candidates are gathered; with statistics the cheapest
+        costed path wins (and a sequential scan can win outright on small
+        tables), without statistics the fallback is deterministic:
+        unique-index probes first — a primary-key probe returns at most one
+        row — then WHERE-clause order.  Previously the *first* matching
+        conjunct always won, even when a later conjunct pinned the primary
+        key.
+        """
+        candidates = self._access_paths(entry, binding, conjuncts, frames)
+        if not candidates:
+            return None
+        if consumed is None:
+            consumed = set()
+        if table_stats is None:
+            chosen = min(
+                candidates,
+                key=lambda path: (0 if path.unique else 1, path.position),
+            )
+            consumed.add(id(chosen.conjunct))
+            return chosen.operator
+        chosen = None
+        chosen_cost = table_stats_mod.seq_scan_cost(table_stats.row_count)
+        for candidate in candidates:
+            est = table_stats_mod.probe_rows(
+                table_stats, candidate.column, candidate.unique, candidate.keys
+            )
+            cost = table_stats_mod.index_probe_cost(candidate.keys, est)
+            if cost < chosen_cost:
+                chosen = candidate
+                chosen_cost = cost
+                chosen.operator.est_rows = est
+        if chosen is None:
+            return None  # the sequential scan is the cheapest access path
+        consumed.add(id(chosen.conjunct))
+        return chosen.operator
+
+    def _access_paths(
+        self,
+        entry,
+        binding: str,
+        conjuncts: List[ast.Expression],
+        frames: List[Frame],
+    ) -> List["_AccessPath"]:
+        """Every index probe a WHERE conjunct makes available, in
+        WHERE-clause discovery order."""
+        paths: List[_AccessPath] = []
         for conjunct in conjuncts:
             if isinstance(conjunct, ast.InList):
                 multi = self._try_multikey_lookup(
                     entry, binding, conjunct, frames
                 )
                 if multi is not None:
-                    return multi
+                    operator, index, keys, column = multi
+                    paths.append(
+                        _AccessPath(
+                            operator=operator,
+                            conjunct=conjunct,
+                            unique=index.unique,
+                            keys=keys,
+                            column=column,
+                            position=len(paths),
+                        )
+                    )
             if not (
                 isinstance(conjunct, ast.BinaryOp) and conjunct.operator == "="
             ):
@@ -559,8 +813,18 @@ class Planner:
                 )
                 if key_fn is None:
                     continue
-                return IndexLookup(entry.storage, index, [key_fn])
-        return None
+                paths.append(
+                    _AccessPath(
+                        operator=IndexLookup(entry.storage, index, [key_fn]),
+                        conjunct=conjunct,
+                        unique=index.unique,
+                        keys=1,
+                        column=column_side.name.lower(),
+                        position=len(paths),
+                    )
+                )
+                break
+        return paths
 
     def _try_multikey_lookup(
         self,
@@ -568,14 +832,18 @@ class Planner:
         binding: str,
         conjunct: ast.InList,
         frames: List[Frame],
-    ) -> Optional[Operator]:
-        """``col IN (v1, ..., vN)`` on an indexed column → N-key probe.
+    ) -> Optional[Tuple[Operator, object, int, str]]:
+        """``col IN (v1, ..., vN)`` on an indexed column → N-key probe,
+        returned as ``(operator, index, key_count, column)``.
 
         Only non-negated lists qualify (NOT IN must see every row), and
         every list item must compile independently of the scanned table.
-        The full WHERE clause stays as the residual filter above, so NULL
-        items and three-valued logic are handled there; the probe only has
-        to produce every row the predicate could accept.
+        Duplicate *literal* items are dropped at plan time — ``IN (1, 1)``
+        probes one key, not two (equal parameter values are deduplicated
+        at run time by :class:`MultiKeyIndexLookup` itself).  The full
+        WHERE clause stays as the residual filter above, so NULL items and
+        three-valued logic are handled there; the probe only has to
+        produce every row the predicate could accept.
         """
         if conjunct.negated or not conjunct.items:
             return None
@@ -591,12 +859,20 @@ class Planner:
         if index is None:
             return None
         key_fns = []
+        seen_literals = set()
         for item in conjunct.items:
+            if isinstance(item, ast.Literal) and isinstance(
+                item.value, (bool, int, float, str, type(None))
+            ):
+                if item.value in seen_literals:
+                    continue
+                seen_literals.add(item.value)
             key_fn = self._compile_independent(item, frames, entry.schema)
             if key_fn is None:
                 return None
             key_fns.append(key_fn)
-        return MultiKeyIndexLookup(entry.storage, index, key_fns)
+        operator = MultiKeyIndexLookup(entry.storage, index, key_fns)
+        return operator, index, len(key_fns), operand.name.lower()
 
     def _plan_join(
         self,
@@ -604,29 +880,32 @@ class Planner:
         left_op: Operator,
         left_bindings: List[Tuple[Optional[str], List[str]]],
         frames: List[Frame],
+        binding_stats: table_stats_mod.BindingStats,
     ) -> Tuple[Operator, List[Tuple[Optional[str], List[str]]]]:
         frame = frames[-1]
         if join.kind == "CROSS":
             right_op, right_binds = self._plan_from_item(
-                join.right, frames, left_bindings, [], False
+                join.right, frames, left_bindings, [], False, binding_stats, set()
             )
             bindings = _strip_prefix(left_bindings, right_binds)
-            return (
-                NestedLoopJoin(left_op, right_op, condition=None),
-                bindings,
+            operator = NestedLoopJoin(left_op, right_op, condition=None)
+            _annotate_join_estimate(
+                operator, left_op, right_op, [], binding_stats, "INNER"
             )
+            return operator, bindings
         # Try an index nested-loop join with the right side as a base table.
         if isinstance(join.right, ast.TableRef) and join.right.name.lower() not in (
             self.cte_columns
         ) and self.catalog.exists(join.right.name):
             indexed = self._try_index_join(
-                join, left_op, left_bindings, frames
+                join, left_op, left_bindings, frames, binding_stats
             )
             if indexed is not None:
                 return indexed
         right_op, right_binds = self._plan_from_item(
-            join.right, frames, left_bindings, [], False
+            join.right, frames, left_bindings, [], False, binding_stats, set()
         )
+        condition_conjuncts = _split_conjuncts(join.condition)
         combined_bindings = left_bindings + right_binds
         combined_scope = Scope(combined_bindings)
         saved = frame.scope
@@ -644,10 +923,21 @@ class Planner:
                     condition_fn,
                 )
             if hash_join is not None:
+                _annotate_join_estimate(
+                    hash_join,
+                    left_op,
+                    right_op,
+                    condition_conjuncts,
+                    binding_stats,
+                    "INNER",
+                )
                 return hash_join, _strip_prefix(left_bindings, right_binds)
         finally:
             frame.scope = saved
         operator = NestedLoopJoin(left_op, right_op, condition_fn, kind=join.kind)
+        _annotate_join_estimate(
+            operator, left_op, right_op, condition_conjuncts, binding_stats, join.kind
+        )
         return operator, _strip_prefix(left_bindings, right_binds)
 
     def _try_index_join(
@@ -656,9 +946,12 @@ class Planner:
         left_op: Operator,
         left_bindings: List[Tuple[Optional[str], List[str]]],
         frames: List[Frame],
+        binding_stats: table_stats_mod.BindingStats,
     ) -> Optional[Tuple[Operator, List[Tuple[Optional[str], List[str]]]]]:
         entry = self.catalog.lookup(join.right.name)
         right_binding = join.right.binding_name
+        right_stats = self._table_stats(join.right.name)
+        binding_stats[right_binding.lower()] = right_stats
         frame = frames[-1]
         conjuncts = _split_conjuncts(join.condition)
         left_scope = Scope(left_bindings)
@@ -714,6 +1007,18 @@ class Planner:
                     residual,
                     kind=join.kind,
                 )
+                left_est = getattr(left_op, "est_rows", None)
+                if left_est is not None and right_stats is not None:
+                    est = (
+                        left_est
+                        * right_stats.row_count
+                        * table_stats_mod.condition_selectivity(
+                            conjuncts, binding_stats
+                        )
+                    )
+                    if join.kind == "LEFT":
+                        est = max(est, left_est)
+                    operator.est_rows = est
                 return operator, [
                     (right_binding, list(entry.schema.column_names))
                 ]
@@ -1068,10 +1373,96 @@ class Planner:
                 dict(self.cte_columns),
                 views=self.views,
                 expanding_views=self._expanding_views,
+                stats=self.stats,
+                cost_based=self.cost_based,
             )
         sub_frame = Frame(None)
         plan = child.plan_select(statement, list(frames) + [sub_frame])
         return CompiledSubquery(plan, sub_frame.correlated)
+
+
+@dataclass
+class _AccessPath:
+    """One candidate index probe for a base-table access."""
+
+    operator: Operator
+    #: The WHERE conjunct the probe implements (its id lands in the
+    #: ``consumed`` set so cardinality estimation does not price it twice).
+    conjunct: ast.Expression
+    unique: bool
+    #: Number of probe keys (1 for ``=``, the deduplicated list length
+    #: for ``IN``).
+    keys: int
+    #: Probed column name (lower case), for per-key cardinality.
+    column: str
+    #: Discovery position, the deterministic tie-break.
+    position: int
+
+
+def _slot_ref_fn(slot: int):
+    """Raw slot projection ``(row, env) -> row[slot]`` (same idiom as the
+    hidden ORDER BY keys; plans using it fall back to the row executor)."""
+    return lambda row, env: row[slot]
+
+
+def _annotate_join_estimate(
+    operator: Operator,
+    left_op: Operator,
+    right_op: Operator,
+    conjuncts: List[ast.Expression],
+    binding_stats: table_stats_mod.BindingStats,
+    kind: str,
+) -> None:
+    """Estimate join output as |left| × |right| × selectivity(ON)."""
+    left_est = getattr(left_op, "est_rows", None)
+    right_est = getattr(right_op, "est_rows", None)
+    if left_est is None or right_est is None:
+        return
+    est = (
+        left_est
+        * right_est
+        * table_stats_mod.condition_selectivity(conjuncts, binding_stats)
+    )
+    if kind == "LEFT":
+        est = max(est, left_est)  # every left row appears at least once
+    operator.est_rows = est
+
+
+def _operator_children(operator: Operator) -> List[Operator]:
+    if isinstance(operator, SubplanOperator):
+        return []  # its plan was finalized by the child planner
+    if isinstance(operator, UnionAll):
+        return list(operator.children)
+    children: List[Operator] = []
+    for attr in ("child", "left", "right"):
+        node = getattr(operator, attr, None)
+        if isinstance(node, Operator):
+            children.append(node)
+    return children
+
+
+def _finalize_estimates(operator: Operator) -> None:
+    """Post-pass filling ``est_rows`` on wrapper operators that pass their
+    child's cardinality through unchanged (or bounded): projections, sorts
+    and the like inherit, UNION ALL sums.  Operators whose output cannot
+    be derived (aggregates, set difference, …) keep no estimate rather
+    than a made-up one."""
+    for child in _operator_children(operator):
+        _finalize_estimates(child)
+    if getattr(operator, "est_rows", None) is not None:
+        return
+    if isinstance(operator, (Project, Sort, Distinct, Filter, Limit, Offset)):
+        child = getattr(operator, "child", None)
+        if child is not None:
+            est = getattr(child, "est_rows", None)
+            if est is not None:
+                operator.est_rows = est
+    elif isinstance(operator, UnionAll):
+        branch_ests = [
+            getattr(branch, "est_rows", None) for branch in operator.children
+        ]
+        if branch_ests and all(est is not None for est in branch_ests):
+            operator.est_rows = float(sum(branch_ests))
 
 
 def _strip_prefix(left_bindings, right_binds):

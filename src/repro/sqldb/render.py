@@ -64,6 +64,10 @@ def render_statement(statement: ast.Statement) -> str:
         return f"EXPLAIN {render_select(statement.statement)}"
     if isinstance(statement, ast.Lint):
         return f"LINT {render_select(statement.statement)}"
+    if isinstance(statement, ast.Analyze):
+        if statement.table is not None:
+            return f"ANALYZE {statement.table}"
+        return "ANALYZE"
     raise TypeError(f"cannot render {type(statement).__name__}")
 
 

@@ -278,3 +278,61 @@ class TestCatalogOfRules:
         db.lint("SELECT id FROM t WHERE id = ?")
         assert db.statistics["statements"] == statements_before
         assert db.execute("SELECT COUNT(*) FROM t").rows[0][0] == 0
+
+
+class TestStatsKeyedSeverity:
+    """W002/P002 severity keyed off ANALYZE statistics: a finding about
+    an index the cost model would not use anyway drops to INFO."""
+
+    @pytest.fixture
+    def skewed_db(self):
+        db = Database()
+        db.execute(
+            "CREATE TABLE ev (id INTEGER PRIMARY KEY, flag INTEGER, "
+            "code INTEGER)"
+        )
+        db.execute("CREATE INDEX ev_flag ON ev (flag)")
+        db.execute("CREATE INDEX ev_code ON ev (code)")
+        # flag has 2 values over 100 rows (selectivity 0.5);
+        # code is unique-ish (selectivity 0.01).
+        db.executemany(
+            "INSERT INTO ev VALUES (?, ?, ?)",
+            [(i, i % 2, i) for i in range(100)],
+        )
+        return db
+
+    SCAN_SQL = "SELECT id FROM ev WHERE flag = ? OR flag = ?"
+    WRAPPED_SQL = "SELECT id FROM ev WHERE flag + 0 = ?"
+
+    def test_w002_warning_without_stats(self, skewed_db):
+        (finding,) = find(skewed_db.lint(self.SCAN_SQL), "W002")
+        assert finding.severity is Severity.WARNING
+
+    def test_w002_downgraded_for_nonselective_column(self, skewed_db):
+        skewed_db.execute("ANALYZE ev")
+        (finding,) = find(skewed_db.lint(self.SCAN_SQL), "W002")
+        assert finding.severity is Severity.INFO
+        assert "cost-justified" in finding.message
+
+    def test_w002_stays_warning_for_selective_column(self, skewed_db):
+        skewed_db.execute("ANALYZE ev")
+        findings = skewed_db.lint(
+            "SELECT id FROM ev WHERE code = ? OR code = ?"
+        )
+        (finding,) = find(findings, "W002")
+        assert finding.severity is Severity.WARNING
+
+    def test_p002_warning_without_stats(self, skewed_db):
+        (finding,) = find(skewed_db.lint(self.WRAPPED_SQL), "P002")
+        assert finding.severity is Severity.WARNING
+
+    def test_p002_downgraded_for_nonselective_column(self, skewed_db):
+        skewed_db.execute("ANALYZE ev")
+        (finding,) = find(skewed_db.lint(self.WRAPPED_SQL), "P002")
+        assert finding.severity is Severity.INFO
+
+    def test_p002_stays_warning_for_selective_column(self, skewed_db):
+        skewed_db.execute("ANALYZE ev")
+        findings = skewed_db.lint("SELECT id FROM ev WHERE code + 0 = ?")
+        (finding,) = find(findings, "P002")
+        assert finding.severity is Severity.WARNING

@@ -73,6 +73,31 @@ class TestHistogramQuantiles:
         for q in (0.0, 0.5, 0.95, 1.0):
             assert histogram.quantile(q) == 3.0
 
+    def test_q_zero_is_observed_min_q_one_is_observed_max(self):
+        histogram = Histogram("h", (1.0, 10.0, 100.0))
+        for value in (2.0, 7.0, 40.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 2.0
+        assert histogram.quantile(1.0) == 40.0
+
+    def test_all_observations_in_one_bucket_stay_clamped(self):
+        # A wide bucket (10, 100] must not interpolate outside the data.
+        histogram = Histogram("h", (10.0, 100.0))
+        for value in (50.0, 51.0, 52.0):
+            histogram.observe(value)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert 50.0 <= histogram.quantile(q) <= 52.0
+
+    def test_observed_min_of_zero_beats_bucket_edge_fallback(self):
+        # Regression: "self.min or 0.0" treated an observed 0.0 minimum
+        # as missing; the contract is q=0 -> observed min, always.
+        histogram = Histogram("h", (1.0, 10.0))
+        histogram.observe(0.0)
+        histogram.observe(0.5)
+        assert histogram.quantile(0.0) == 0.0
+        assert histogram.quantile(1.0) == 0.5
+        assert 0.0 <= histogram.quantile(0.5) <= 0.5
+
     def test_interpolates_inside_a_bucket(self):
         histogram = Histogram("h", (0.0, 100.0))
         for value in (10.0, 20.0, 30.0, 90.0):
