@@ -1,0 +1,8 @@
+-- Attach a specification document to an assembly.  Both INSERTs carry
+-- their primary key, so a blind retry fails loudly on the unique index
+-- instead of inserting a duplicate.
+-- pragma: sequenced
+BEGIN;
+INSERT INTO spec (type, obid, name, doc) VALUES ('spec', 9000, 'frame-spec', 'doc/frame-spec.pdf');
+INSERT INTO specified_by (obid, left, right) VALUES (9100, 100, 9000);
+COMMIT;

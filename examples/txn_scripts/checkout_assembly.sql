@@ -1,0 +1,8 @@
+-- Check out one assembly for editing: read its state, then mark it.
+-- Runs in a session under the SEQUENCED envelope, so a retried frame
+-- is answered from the replay cache instead of re-executed.
+-- pragma: sequenced
+BEGIN;
+SELECT obid, state, checkedout FROM assy WHERE obid = 100;
+UPDATE assy SET checkedout = TRUE, checkedout_by = 'mueller' WHERE obid = 100;
+COMMIT;

@@ -1,0 +1,5 @@
+-- Release a previously checked-out assembly.
+-- pragma: sequenced
+BEGIN;
+UPDATE assy SET checkedout = FALSE, checkedout_by = NULL WHERE obid = 100;
+COMMIT;

@@ -1,0 +1,10 @@
+-- Recompute cached weights after a component edit.  The UPDATEs read
+-- the columns they assign, so this is only retry-safe under the
+-- SEQUENCED envelope — without the pragma the analyzer flags C002.
+-- Both writes go comp -> assy; keep that order in every script that
+-- touches both tables, or C001 will predict a deadlock.
+-- pragma: sequenced
+BEGIN;
+UPDATE comp SET weight = weight * 1.01 WHERE obid = 205;
+UPDATE assy SET weight = weight + 1.0 WHERE obid = 100;
+COMMIT;

@@ -9,16 +9,24 @@ is available, its plans):
   predicates, sargability, plan-cache-friendly IN-list shapes.
 * **WAN anti-patterns** (W001-W003): navigational point-SELECTs,
   index-ignoring full scans, cartesian products.
+* **Transaction scripts** (C001-C005): lock-order inversion (static
+  deadlock risk), retry idempotence, X-locks held across round trips,
+  table-lock escalation, DDL inside transactions — over the shared
+  static lock-footprint model of :mod:`repro.concurrency.footprint`.
 
 Entry points: :func:`analyze_sql` / :func:`analyze_statement` for one
 statement, :func:`analyze_workload` for a statement sequence,
-``Database.lint(sql)`` and the ``LINT <query>`` statement for the engine
+:func:`analyze_transaction_sql` / :func:`analyze_transaction_workload`
+for transaction scripts, ``Database.lint(sql)`` and the ``LINT
+<query>`` / ``LINT TRANSACTION '<script>'`` statements for the engine
 surface, ``DatabaseServer(strict_lint=True)`` for the server gate, and
-``python -m repro.analysis`` for the CLI.
+``python -m repro.analysis`` (``--scripts`` for script corpora) for the
+CLI.
 
-This package deliberately imports only :mod:`repro.errors` and
-:mod:`repro.sqldb` — the server imports it for strict mode and the PDM
-layer re-exports its bucket constant, so anything higher would cycle.
+This package imports only :mod:`repro.errors`, :mod:`repro.sqldb`, and
+:mod:`repro.concurrency` (the pure lock-footprint model) — the server
+imports it for strict mode and the PDM layer re-exports its bucket
+constant, so anything higher would cycle.
 """
 
 from repro.analysis.analyzer import analyze_sql, analyze_statement
@@ -32,6 +40,19 @@ from repro.analysis.findings import (
     is_lint_clean,
     max_severity,
 )
+from repro.analysis.txn import (
+    SEQUENCED_PRAGMA,
+    DeadlockPrediction,
+    ScriptStatement,
+    TxnScript,
+    TxnSegment,
+    TxnWorkloadReport,
+    analyze_transaction_script,
+    analyze_transaction_sql,
+    analyze_transaction_workload,
+    parse_txn_script,
+    script_is_sequenced,
+)
 from repro.analysis.workload import (
     REPEAT_THRESHOLD,
     WorkloadReport,
@@ -42,14 +63,25 @@ __all__ = [
     "PLAN_CACHE_KEY_BUCKETS",
     "REPEAT_THRESHOLD",
     "RULE_CATALOG",
+    "SEQUENCED_PRAGMA",
+    "DeadlockPrediction",
     "Finding",
     "RuleInfo",
+    "ScriptStatement",
     "Severity",
+    "TxnScript",
+    "TxnSegment",
+    "TxnWorkloadReport",
     "WorkloadReport",
     "analyze_sql",
     "analyze_statement",
+    "analyze_transaction_script",
+    "analyze_transaction_sql",
+    "analyze_transaction_workload",
     "analyze_workload",
     "errors_only",
     "is_lint_clean",
     "max_severity",
+    "parse_txn_script",
+    "script_is_sequenced",
 ]

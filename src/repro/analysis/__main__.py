@@ -1,15 +1,18 @@
 """CLI for the static analyzer: ``python -m repro.analysis``.
 
 Lints ``.sql`` workload files (semicolon-separated), the built-in PDM
-template corpus (``--templates``), or a synthesized paper workload
-(``--workload table2-late``), and exits non-zero per ``--fail-on`` so CI
-can gate on it.
+template corpus (``--templates``), a synthesized paper workload
+(``--workload table2-late``), or a transaction-script corpus analyzed
+as a concurrent set (``--scripts``, one script per file: C-rules plus
+the pairwise conflict graph and predicted deadlock cycles), and exits
+non-zero per ``--fail-on`` so CI can gate on it.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -47,6 +50,14 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=100,
         help="visited-node count for --workload table2-late (default 100)",
+    )
+    parser.add_argument(
+        "--scripts",
+        nargs="+",
+        metavar="PATH",
+        help="transaction-script files or directories (one script per "
+        ".sql file) to analyze as a concurrent set: C-rules, pairwise "
+        "may-conflict edges, predicted deadlock cycles",
     )
     parser.add_argument(
         "--json", action="store_true", help="machine-readable output"
@@ -97,12 +108,36 @@ def _lint_file(path: str) -> Tuple[WorkloadReport, Optional[str]]:
     )
 
 
+def _script_files(paths: List[str]) -> List[str]:
+    """Expand directories to their ``.sql`` members, sorted for
+    deterministic script naming and finding order."""
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            collected.extend(
+                sorted(
+                    os.path.join(path, entry)
+                    for entry in os.listdir(path)
+                    if entry.endswith(".sql")
+                )
+            )
+        else:
+            collected.append(path)
+    return collected
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if not args.files and not args.templates and args.workload is None:
+    if (
+        not args.files
+        and not args.templates
+        and args.workload is None
+        and not args.scripts
+    ):
         _build_parser().print_usage(sys.stderr)
         print(
-            "error: nothing to lint (give files, --templates, or --workload)",
+            "error: nothing to lint (give files, --templates, "
+            "--workload, or --scripts)",
             file=sys.stderr,
         )
         return 2
@@ -168,6 +203,67 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         if not args.json:
             _print_findings(f"workload:{args.workload}", report.findings)
+
+    if args.scripts:
+        from repro.analysis.txn import (
+            TxnScript,
+            analyze_transaction_workload,
+            parse_txn_script,
+        )
+
+        scripts: List[TxnScript] = []
+        used_names: Dict[str, int] = {}
+        for path in _script_files(args.scripts):
+            name = os.path.splitext(os.path.basename(path))[0]
+            if name in used_names:
+                used_names[name] += 1
+                name = f"{name}#{used_names[name]}"
+            else:
+                used_names[name] = 1
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+                scripts.append(parse_txn_script(name, text))
+            except OSError as error:
+                failed_parse = True
+                message = f"{path}: {error}"
+                if not args.json:
+                    print(message, file=sys.stderr)
+                results.append(
+                    {"source": path, "error": message, "findings": []}
+                )
+            except Exception as error:  # ParseError / LexerError
+                failed_parse = True
+                message = f"{path}: {error}"
+                if not args.json:
+                    print(message, file=sys.stderr)
+                results.append(
+                    {"source": path, "error": message, "findings": []}
+                )
+        report = analyze_transaction_workload(scripts)
+        worst = max(worst, report.max_severity)
+        results.append(
+            {
+                "source": "scripts",
+                "scripts": [script.name for script in report.scripts],
+                "findings": [_finding_dict(f) for f in report.findings],
+                "conflict_edges": [list(edge) for edge in report.conflict_edges],
+                "deadlock_cycles": [
+                    {"scripts": list(cycle.scripts), "tables": list(cycle.tables)}
+                    for cycle in report.cycles
+                ],
+            }
+        )
+        if not args.json:
+            _print_findings("scripts", report.findings)
+            for a, b, table in report.conflict_edges:
+                print(f"scripts: may-conflict {a} <-> {b} on {table}")
+            for cycle in report.cycles:
+                pair = " <-> ".join(cycle.scripts)
+                print(
+                    f"scripts: predicted deadlock {pair} "
+                    f"on {', '.join(cycle.tables)}"
+                )
 
     if args.json:
         print(json.dumps({"results": results, "worst": worst.name}, indent=2))

@@ -121,6 +121,43 @@ RULE_CATALOG: Dict[str, RuleInfo] = {
             Severity.WARNING,
             "6 (transfer volume dominates)",
         ),
+        RuleInfo(
+            "C001",
+            "lock-order inversion across transaction scripts (two "
+            "concurrent instances can each hold a lock the other waits "
+            "for: static deadlock risk)",
+            Severity.WARNING,
+            "6 (multi-user PDM operation; DESIGN §9 wait-for cycles)",
+        ),
+        RuleInfo(
+            "C002",
+            "non-idempotent DML outside a retry envelope (a retried "
+            "x = x + 1 or keyless INSERT applies twice)",
+            Severity.ERROR,
+            "4.3 (WAN failures force retries; SEQUENCED at-most-once)",
+        ),
+        RuleInfo(
+            "C003",
+            "exclusive locks held across client round trips (every "
+            "blocked peer pays the WAN latency per trip)",
+            Severity.WARNING,
+            "2 / 6 (round-trip cost dominates over a WAN)",
+        ),
+        RuleInfo(
+            "C004",
+            "table-lock escalation inside a long transaction (a "
+            "table-wide X in a multi-statement transaction serialises "
+            "every reader and writer of the table)",
+            Severity.WARNING,
+            "6 (check-out granularity: lock subtrees, not tables)",
+        ),
+        RuleInfo(
+            "C005",
+            "DDL inside a transaction script (catalog changes are not "
+            "undo-logged; the server rejects DDL mid-transaction)",
+            Severity.ERROR,
+            "5.1 (schema changes are offline operations)",
+        ),
     )
 }
 

@@ -26,6 +26,7 @@ from repro.analysis.findings import (
 )
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb.ast_walk import (
+    constantish as _constantish,
     core_predicates,
     core_references,
     flatten_set_operations,
@@ -313,11 +314,3 @@ def _first_column(expression: ast.Expression) -> Optional[ast.ColumnRef]:
     return None
 
 
-def _constantish(expression: ast.Expression) -> bool:
-    for node in ast.walk_expression(expression):
-        if isinstance(
-            node,
-            (ast.ColumnRef, ast.ExistsTest, ast.InSubquery, ast.ScalarSubquery),
-        ):
-            return False
-    return True

@@ -17,6 +17,7 @@ from typing import List, Optional, Set
 from repro.analysis.findings import Finding, Severity
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb.ast_walk import (
+    constantish as _constantish,
     core_predicates,
     core_references,
     count_table_refs,
@@ -209,12 +210,3 @@ def _references_cte_column(
     return False
 
 
-def _constantish(expression: ast.Expression) -> bool:
-    """True when *expression* involves no columns and no subqueries."""
-    for node in ast.walk_expression(expression):
-        if isinstance(
-            node,
-            (ast.ColumnRef, ast.ExistsTest, ast.InSubquery, ast.ScalarSubquery),
-        ):
-            return False
-    return True

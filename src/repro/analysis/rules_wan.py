@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from repro.analysis.findings import Finding, Severity
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb.ast_walk import (
+    constantish as _constantish,
     core_predicates,
     flatten_set_operations,
     iter_from_leaves,
@@ -344,13 +345,3 @@ def _index_candidates(
         if table is not None:
             candidates.append((table, column.name.lower()))
     return candidates
-
-
-def _constantish(expression: ast.Expression) -> bool:
-    for node in ast.walk_expression(expression):
-        if isinstance(
-            node,
-            (ast.ColumnRef, ast.ExistsTest, ast.InSubquery, ast.ScalarSubquery),
-        ):
-            return False
-    return True

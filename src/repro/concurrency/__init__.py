@@ -9,7 +9,18 @@ transactions, and a deterministic :class:`ContentionSim` that interleaves
 N cooperative clients over one simulated clock.
 """
 
-from repro.concurrency.locks import LockManager, LockMode
+from repro.concurrency.footprint import (
+    Granularity,
+    LockRequest,
+    delete_footprint,
+    insert_footprint,
+    may_conflict,
+    may_overlap,
+    select_footprint,
+    statement_footprint,
+    update_footprint,
+)
+from repro.concurrency.locks import LockManager, LockMode, compatible
 from repro.concurrency.sessions import Session, SessionManager
 from repro.concurrency.sim import (
     ContentionConfig,
@@ -17,16 +28,28 @@ from repro.concurrency.sim import (
     exact_percentile,
     report_json,
     run_contention,
+    workload_scripts,
 )
 
 __all__ = [
+    "Granularity",
     "LockManager",
     "LockMode",
+    "LockRequest",
     "Session",
     "SessionManager",
     "ContentionConfig",
     "ContentionSim",
+    "compatible",
+    "delete_footprint",
+    "insert_footprint",
+    "may_conflict",
+    "may_overlap",
     "run_contention",
     "report_json",
     "exact_percentile",
+    "select_footprint",
+    "statement_footprint",
+    "update_footprint",
+    "workload_scripts",
 ]

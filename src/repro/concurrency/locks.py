@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import itertools
 from enum import Enum
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConcurrencyError, DeadlockError, LockTimeout, LockUnavailable
 
@@ -45,16 +45,27 @@ class LockMode(Enum):
     EXCLUSIVE = "X"
 
 
-def _compatible(held: LockMode, wanted: LockMode) -> bool:
+def compatible(held: LockMode, wanted: LockMode) -> bool:
+    """The S/X compatibility matrix (between two different owners).
+
+    Public because the static analyzer's footprint model
+    (:mod:`repro.concurrency.footprint`) must use the *same* matrix the
+    runtime grants by — one source of truth, not two.
+    """
     return held is LockMode.SHARED and wanted is LockMode.SHARED
 
 
-def _overlaps(a: Resource, b: Resource) -> bool:
+def overlaps(a: Resource, b: Resource) -> bool:
     """Whether two resources cover common rows (same table, and same row
     or either side is the whole table)."""
     if a[0] != b[0]:
         return False
     return a[1] is None or b[1] is None or a[1] == b[1]
+
+
+# Historical private names, kept for callers inside this module.
+_compatible = compatible
+_overlaps = overlaps
 
 
 class _Waiter:
@@ -82,7 +93,7 @@ class _Txn:
 
     __slots__ = ("txn_id", "owner", "persistent", "held")
 
-    def __init__(self, txn_id: int, owner, persistent: bool) -> None:
+    def __init__(self, txn_id: int, owner: Any, persistent: bool) -> None:
         self.txn_id = txn_id
         self.owner = owner
         self.persistent = persistent
@@ -102,9 +113,9 @@ class LockManager:
 
     def __init__(
         self,
-        clock=None,
+        clock: Optional[Any] = None,
         timeout_s: Optional[float] = None,
-        recorder=None,
+        recorder: Optional[Any] = None,
     ) -> None:
         self.clock = clock
         self.timeout_s = timeout_s
@@ -124,16 +135,22 @@ class LockManager:
             "timeouts": 0,
             "grants_after_wait": 0,
         }
+        #: One entry per detected deadlock: the sorted table names the
+        #: cycle's transactions were waiting on.  The static analyzer's
+        #: soundness test cross-checks these against C001 predictions.
+        #: Kept out of ``statistics`` so seeded sim reports stay
+        #: byte-identical to earlier revisions.
+        self.deadlock_cycles: List[Tuple[str, ...]] = []
 
     # -- owner lifecycle ----------------------------------------------------
 
-    def begin(self, owner=None, persistent: bool = False) -> int:
+    def begin(self, owner: Any = None, persistent: bool = False) -> int:
         """Register a lock owner; returns its id (monotonic: larger = younger)."""
         txn_id = next(self._txn_ids)
         self._txns[txn_id] = _Txn(txn_id, owner, persistent)
         return txn_id
 
-    def persistent_owner(self, key) -> int:
+    def persistent_owner(self, key: Any) -> int:
         """Get-or-create the persistent lock owner registered under *key*
         (e.g. a check-out user).  Persistent owners survive transaction
         boundaries — their locks stay held until explicitly released —
@@ -370,7 +387,13 @@ class LockManager:
             return False
         return not self._blocking_waiters(txn, resource, mode, own)
 
-    def _grant(self, txn: _Txn, resource: Resource, mode: LockMode, waiter) -> None:
+    def _grant(
+        self,
+        txn: _Txn,
+        resource: Resource,
+        mode: LockMode,
+        waiter: Optional[_Waiter],
+    ) -> None:
         held = txn.held.get(resource)
         if held is None or mode is LockMode.EXCLUSIVE:
             txn.held[resource] = mode
@@ -421,10 +444,10 @@ class LockManager:
 
     # -- deadlock detection --------------------------------------------------
 
-    def _wait_edges(self) -> Dict[int, set]:
+    def _wait_edges(self) -> Dict[int, Set[int]]:
         """Wait-for graph: parked txn -> txns it waits on (conflicting
         holders plus conflicting waiters queued ahead of it)."""
-        edges: Dict[int, set] = {}
+        edges: Dict[int, Set[int]] = {}
         for queue in self._queues.values():
             for waiter in queue:
                 txn = self._txns.get(waiter.txn_id)
@@ -474,4 +497,16 @@ class LockManager:
         ]
         if not candidates:
             return None
+        self._record_cycle(set(cycle))
         return max(candidates)
+
+    def _record_cycle(self, members: Set[int]) -> None:
+        """Append the tables the cycle's members are waiting on to
+        :attr:`deadlock_cycles` (the parked requests *are* the wait-for
+        edges, so their resources name the cycle)."""
+        tables: Set[str] = set()
+        for queue in self._queues.values():
+            for waiter in queue:
+                if waiter.txn_id in members:
+                    tables.add(waiter.resource[0])
+        self.deadlock_cycles.append(tuple(sorted(tables)))

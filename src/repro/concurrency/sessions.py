@@ -11,7 +11,7 @@ working for server procedures and embedded use.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional, Set
 
 from repro.errors import SessionError
 from repro.sqldb.database import Database
@@ -42,7 +42,9 @@ class SessionManager:
     session included).
     """
 
-    def __init__(self, database: Database, lock_manager=None) -> None:
+    def __init__(
+        self, database: Database, lock_manager: Optional[Any] = None
+    ) -> None:
         self.database = database
         self.lock_manager = lock_manager
         if lock_manager is not None:
@@ -53,7 +55,7 @@ class SessionManager:
         #: silently routing them to the default session would commit what
         #: the client believes is inside its (dead) transaction.  Cleared
         #: by the client's next OPEN_SESSION.
-        self._evicted: set = set()
+        self._evicted: Set[int] = set()
         self.statistics = {
             "opened": 0,
             "closed": 0,

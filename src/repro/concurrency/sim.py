@@ -42,7 +42,7 @@ import json
 import math
 import random
 from dataclasses import asdict, dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.concurrency.locks import LockManager
 from repro.concurrency.sessions import SessionManager
@@ -56,15 +56,12 @@ from repro.errors import (
 from repro.model.parameters import TreeParameters
 from repro.network.clock import SimulatedClock
 from repro.network.link import NetworkLink
-from repro.pdm.generator import generate_product
-from repro.pdm.schema import (
-    create_pdm_schema,
-    install_checkout_procedures,
-    load_product,
-)
-from repro.server.client import RemoteConnection
-from repro.server.server import DatabaseServer
 from repro.sqldb.database import Database
+
+# The server and PDM layers are imported inside ContentionSim.__init__:
+# they (transitively) import repro.analysis, which imports this package
+# for the shared lock-footprint model — a module-level import here would
+# close that cycle.
 
 #: Recursive subtree expansion (the paper's expand-all action).
 _EXPAND_SQL = """
@@ -79,6 +76,28 @@ SELECT obid FROM subtree
 _AUDIT_SQL = "SELECT SUM(value) FROM counters"
 
 _INCREMENT_SQL = "UPDATE counters SET value = value + 1 WHERE id = ?"
+
+
+def workload_scripts() -> List[Tuple[str, str, bool]]:
+    """The contention workload as (name, script text, sequenced) triples.
+
+    These are the *static* twins of the operations :class:`ContentionSim`
+    clients perform: the analyzer's C001 predictions over this corpus are
+    cross-validated against the deadlocks seeded sim runs actually
+    produce (every observed cycle must be predicted).  ``sequenced`` is
+    True throughout because sim clients open sessions, so every statement
+    travels in a SEQUENCED frame — the at-most-once retry envelope that
+    makes the non-idempotent increment safe to retry (C002 stays quiet).
+
+    Check-out is deliberately absent: it maps onto all-or-nothing
+    persistent locks that never wait, so it cannot join a deadlock cycle.
+    """
+    increment = "BEGIN;\n{u};\n{u};\nCOMMIT".format(u=_INCREMENT_SQL)
+    return [
+        ("expand", _EXPAND_SQL.strip(), True),
+        ("audit", _AUDIT_SQL, True),
+        ("increment", increment, True),
+    ]
 
 
 @dataclass(frozen=True)
@@ -141,6 +160,16 @@ class ContentionSim:
     MAX_STEPS = 200_000
 
     def __init__(self, config: ContentionConfig) -> None:
+        # Function-scoped: see the note next to the module imports.
+        from repro.pdm.generator import generate_product
+        from repro.pdm.schema import (
+            create_pdm_schema,
+            install_checkout_procedures,
+            load_product,
+        )
+        from repro.server.client import RemoteConnection
+        from repro.server.server import DatabaseServer
+
         self.config = config
         self.clock = SimulatedClock()
         self.database = Database()
@@ -170,7 +199,7 @@ class ContentionSim:
         self.server = DatabaseServer(self.database, sessions=self.sessions)
         install_checkout_procedures(self.server)
         self._create_counters()
-        self.connections = []
+        self.connections: List[Any] = []
         for __ in range(config.clients):
             link = NetworkLink(
                 latency_s=config.latency_s,

@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis import errors_only
+from repro.analysis import Severity, errors_only
 from repro.errors import (
     DeadlockError,
     DiskCrashed,
@@ -179,6 +179,62 @@ class DatabaseServer:
                     f"statement rejected by strict lint: {details}"
                 )
             self._lint_cache[sql] = violation
+            while len(self._lint_cache) > self.lint_cache_size:
+                self._lint_cache.popitem(last=False)
+        if violation is not None:
+            self.statistics["lint_rejections"] += 1
+            raise violation
+
+    def _script_lint_gate(
+        self, statements: Sequence[Tuple[str, Sequence[Any]]]
+    ) -> None:
+        """Raise :class:`LintViolation` for C-rule ERRORs in a batch.
+
+        A multi-statement BATCH is a transaction script: with strict lint
+        on it runs through the transaction analyzer
+        (:mod:`repro.analysis.txn`) *before the first statement
+        executes*, and a C-rule ERROR (non-idempotent DML outside a
+        retry envelope, DDL inside a transaction) rejects the whole
+        batch — the database state is untouched.  SEQUENCED batches are
+        analyzed as sequenced (the replay cache makes retries
+        exactly-once, so C002 does not apply).  Per-statement base rules
+        are still gated one by one by :meth:`_lint_gate`, preserving the
+        entry-level error shape for non-script violations.
+        """
+        if not self.strict_lint or len(statements) < 2:
+            return
+        self.statistics["lint_checks"] += 1
+        sequenced = self._active_client is not None
+        joined = ";\n".join(sql for sql, __ in statements)
+        key = f"script:{int(sequenced)}:{joined}"
+        if key in self._lint_cache:
+            self._lint_cache.move_to_end(key)
+            violation = self._lint_cache[key]
+        else:
+            from repro.analysis import analyze_transaction_sql
+
+            violation = None
+            try:
+                findings = analyze_transaction_sql(
+                    joined, database=self.database, sequenced=sequenced
+                )
+            except SQLError:
+                # Unparseable as a script: execution reports the real
+                # error per entry with full context.
+                findings = []
+            errors = [
+                f
+                for f in findings
+                if f.severity >= Severity.ERROR and f.rule_id.startswith("C")
+            ]
+            if errors:
+                details = "; ".join(
+                    f"{f.rule_id} [{f.node_path}] {f.message}" for f in errors
+                )
+                violation = LintViolation(
+                    f"batch rejected by strict script lint: {details}"
+                )
+            self._lint_cache[key] = violation
             while len(self._lint_cache) > self.lint_cache_size:
                 self._lint_cache.popitem(last=False)
         if violation is not None:
@@ -573,6 +629,7 @@ class DatabaseServer:
         """
         statements = protocol.decode_batch(body)
         self.statistics["batches"] += 1
+        self._script_lint_gate(statements)
         token = self._session_token()
         entries: List[tuple] = []
         for sql, params in statements:

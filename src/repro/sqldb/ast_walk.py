@@ -93,6 +93,24 @@ def core_expressions(core: ast.SelectCore) -> Iterator[ast.Expression]:
         yield core.having
 
 
+def constantish(expression: ast.Expression) -> bool:
+    """True when *expression* involves no columns and no subqueries — it
+    evaluates to the same value for every candidate row (literals,
+    parameters, arithmetic over them, function calls on constants).
+
+    This is the analyzer's shared notion of "the other side of a
+    sargable comparison"; the rule modules used to carry three identical
+    private copies of it.
+    """
+    for node in ast.walk_expression(expression):
+        if isinstance(
+            node,
+            (ast.ColumnRef, ast.ExistsTest, ast.InSubquery, ast.ScalarSubquery),
+        ):
+            return False
+    return True
+
+
 def iter_subqueries(
     expression: ast.Expression,
 ) -> Iterator[Tuple[ast.Expression, ast.SelectStatement]]:

@@ -536,21 +536,44 @@ class Database:
                 self._rollback_txn(txn)
             raise
 
-    def _lock_tables_shared(self, owner, parkable, tables) -> None:
-        from repro.concurrency.locks import LockMode  # local: avoid cycle
+    def _acquire_footprint(self, owner, parkable, requests) -> None:
+        """Acquire the table-granularity part of a static lock footprint
+        (see :mod:`repro.concurrency.footprint`, the shared source of
+        truth with the transaction analyzer).  ROWS-granularity requests
+        are bound to actual row ids by :meth:`_acquire_row_locks` once
+        the matching rows are known."""
+        from repro.concurrency.footprint import Granularity  # local: avoid cycle
 
-        for table in tables:
-            self._acquire_lock(owner, parkable, table, None, LockMode.SHARED)
+        for request in requests:
+            if request.granularity is Granularity.TABLE:
+                self._acquire_lock(
+                    owner, parkable, request.table, None, request.mode
+                )
+
+    def _acquire_row_locks(self, owner, parkable, requests, row_ids) -> None:
+        """Bind every ROWS-granularity request of a footprint to the
+        matched *row_ids*, acquiring one row lock per row *before* the
+        first mutation (a conflict aborts with nothing to undo)."""
+        from repro.concurrency.footprint import Granularity  # local: avoid cycle
+
+        for request in requests:
+            if request.granularity is Granularity.ROWS:
+                for row_id in row_ids:
+                    self._acquire_lock(
+                        owner, parkable, request.table, row_id, request.mode
+                    )
+
+    def _lock_tables_shared(self, owner, parkable, tables) -> None:
+        from repro.concurrency.footprint import select_footprint  # local: avoid cycle
+
+        self._acquire_footprint(owner, parkable, select_footprint(tables))
 
     def _where_subquery_tables(self, where) -> Tuple[str, ...]:
         """Base tables referenced by subqueries of a DML WHERE clause —
         they are read, so they need shared locks too."""
-        if where is None:
-            return ()
-        names: set = set()
-        for __, subquery in ast_walk.iter_subqueries(where):
-            names.update(self._referenced_tables(subquery))
-        return tuple(sorted(names))
+        from repro.concurrency.footprint import where_subquery_tables  # local: avoid cycle
+
+        return where_subquery_tables(where, self._referenced_tables)
 
     # -- planning / environments -----------------------------------------------
 
@@ -745,6 +768,16 @@ class Database:
                 ["rule_id", "severity", "message", "node_path"],
                 [finding.as_row() for finding in findings],
             )
+        if isinstance(statement, ast.LintTransaction):
+            from repro.analysis.txn import analyze_transaction_sql
+
+            # Purely static: the quoted script is parsed and analyzed,
+            # never executed — database state is byte-identical after.
+            findings = analyze_transaction_sql(statement.script, database=self)
+            return ResultSet(
+                ["rule_id", "severity", "message", "node_path"],
+                [finding.as_row() for finding in findings],
+            )
         if isinstance(statement, ast.Analyze):
             return self._analyze(statement)
         raise ExecutionError(
@@ -830,19 +863,20 @@ class Database:
         return ResultSet([], [], rowcount=0)
 
     def _insert(self, statement: ast.Insert, params: Sequence[Any]) -> ResultSet:
-        from repro.concurrency.locks import LockMode  # local: avoid cycle
+        from repro.concurrency.footprint import insert_footprint  # local: avoid cycle
 
         entry = self.catalog.lookup(statement.table)
+        # Table-level X on the target: serialises inserts against scans
+        # holding the table-level S, which closes the phantom window.
+        # INSERT ... SELECT sources are read, so they take table-S.
+        sources = (
+            self._referenced_tables(statement.select)
+            if statement.rows is None
+            else ()
+        )
+        requests = insert_footprint(entry.schema.name, sources)
         with self._lock_scope() as (owner, parkable):
-            # Table-level X: serialises inserts against scans holding the
-            # table-level S, which closes the phantom window.
-            self._acquire_lock(
-                owner, parkable, entry.schema.name, None, LockMode.EXCLUSIVE
-            )
-            if statement.rows is None:
-                self._lock_tables_shared(
-                    owner, parkable, self._referenced_tables(statement.select)
-                )
+            self._acquire_footprint(owner, parkable, requests)
             return self._insert_locked(statement, params, entry)
 
     def _insert_locked(
@@ -916,7 +950,7 @@ class Database:
         return matches
 
     def _update(self, statement: ast.Update, params: Sequence[Any]) -> ResultSet:
-        from repro.concurrency.locks import LockMode  # local: avoid cycle
+        from repro.concurrency.footprint import update_footprint  # local: avoid cycle
 
         entry = self.catalog.lookup(statement.table)
         schema = entry.schema
@@ -926,19 +960,19 @@ class Database:
             (schema.column_index(column), compile_expression(value, ctx))
             for column, value in statement.assignments
         ]
+        requests = update_footprint(
+            schema.name,
+            statement.where,
+            self._where_subquery_tables(statement.where),
+        )
         with self._lock_scope() as (owner, parkable):
-            self._lock_tables_shared(
-                owner, parkable, self._where_subquery_tables(statement.where)
-            )
+            self._acquire_footprint(owner, parkable, requests)
             row_ids = self._matching_row_ids(entry, statement.where, params, env)
             # Row-level X on every matched row *before* the first mutation:
             # a conflict aborts the statement with nothing to undo, and the
             # rows are re-fetched below after the grant, so an assignment
             # like ``v = v + 1`` always reads the latest committed value.
-            for row_id in row_ids:
-                self._acquire_lock(
-                    owner, parkable, schema.name, row_id, LockMode.EXCLUSIVE
-                )
+            self._acquire_row_locks(owner, parkable, requests, row_ids)
             self._enlist(entry.storage)
             for row_id in row_ids:
                 old_row = entry.storage.fetch(row_id)
@@ -954,19 +988,19 @@ class Database:
         return ResultSet([], [], rowcount=len(row_ids))
 
     def _delete(self, statement: ast.Delete, params: Sequence[Any]) -> ResultSet:
-        from repro.concurrency.locks import LockMode  # local: avoid cycle
+        from repro.concurrency.footprint import delete_footprint  # local: avoid cycle
 
         entry = self.catalog.lookup(statement.table)
         env = self._environment(params)
+        requests = delete_footprint(
+            entry.schema.name,
+            statement.where,
+            self._where_subquery_tables(statement.where),
+        )
         with self._lock_scope() as (owner, parkable):
-            self._lock_tables_shared(
-                owner, parkable, self._where_subquery_tables(statement.where)
-            )
+            self._acquire_footprint(owner, parkable, requests)
             row_ids = self._matching_row_ids(entry, statement.where, params, env)
-            for row_id in row_ids:
-                self._acquire_lock(
-                    owner, parkable, entry.schema.name, row_id, LockMode.EXCLUSIVE
-                )
+            self._acquire_row_locks(owner, parkable, requests, row_ids)
             self._enlist(entry.storage)
             for row_id in row_ids:
                 entry.storage.delete(row_id)

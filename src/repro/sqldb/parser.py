@@ -182,6 +182,19 @@ class _Parser:
             if nxt.matches_keyword("SELECT", "WITH"):
                 self.advance()
                 return ast.Lint(statement=self.parse_select_statement())
+            # LINT TRANSACTION '<script>': the script travels as a string
+            # literal so the statement stays a single parseable unit.
+            if nxt.matches_keyword("TRANSACTION"):
+                self.advance()
+                self.advance()
+                script = self.peek()
+                if script.kind is not TokenKind.STRING:
+                    raise ParseError(
+                        f"expected a quoted transaction script after "
+                        f"LINT TRANSACTION, found {script}"
+                    )
+                self.advance()
+                return ast.LintTransaction(script=script.value)
         # ANALYZE is likewise soft: only meaningful as the whole statement
         # (optionally followed by one table name).
         if token.kind is TokenKind.IDENT and token.value.upper() == "ANALYZE":

@@ -252,6 +252,39 @@ class TestWanRules:
         assert "W003" not in rule_ids(findings)
 
 
+class TestConstantish:
+    """The rule modules used to carry three identical private copies of
+    the constant-expression test; they must all share the one in
+    ast_walk now."""
+
+    def test_rule_modules_share_one_helper(self):
+        from repro.analysis import rules_pushdown, rules_recursion, rules_wan
+        from repro.sqldb import ast_walk
+
+        assert rules_wan._constantish is ast_walk.constantish
+        assert rules_pushdown._constantish is ast_walk.constantish
+        assert rules_recursion._constantish is ast_walk.constantish
+
+    @pytest.mark.parametrize(
+        ("sql", "expected"),
+        [
+            ("42", True),
+            ("?", True),
+            ("? + 1", True),
+            ("UPPER('x')", True),
+            ("obid", False),
+            ("obid + 1", False),
+            ("(SELECT MAX(obid) FROM part)", False),
+            ("EXISTS (SELECT 1 FROM part)", False),
+        ],
+    )
+    def test_constant_expressions(self, sql, expected):
+        from repro.sqldb.ast_walk import constantish
+        from repro.sqldb.parser import parse_expression
+
+        assert constantish(parse_expression(sql)) is expected
+
+
 class TestCatalogOfRules:
     def test_every_rule_has_catalog_entry(self):
         assert set(RULE_CATALOG) == {
@@ -264,6 +297,11 @@ class TestCatalogOfRules:
             "W001",
             "W002",
             "W003",
+            "C001",
+            "C002",
+            "C003",
+            "C004",
+            "C005",
         }
         for rule_id, info in RULE_CATALOG.items():
             assert info.rule_id == rule_id

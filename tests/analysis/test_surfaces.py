@@ -141,4 +141,99 @@ class TestCli:
 
     def test_no_input_is_usage_error(self, capsys):
         assert cli_main([]) == 2
+        err = capsys.readouterr().err
+        assert "--scripts" in err
+
+
+class TestScriptsCli:
+    CLEAN = (
+        "-- pragma: sequenced\n"
+        "BEGIN;\n"
+        "SELECT v FROM t WHERE id = 1;\n"
+        "COMMIT;\n"
+    )
+    NON_IDEMPOTENT = "UPDATE t SET v = v + 1 WHERE id = 1;\n"
+
+    def write_corpus(self, tmp_path, **scripts):
+        for name, text in scripts.items():
+            (tmp_path / f"{name}.sql").write_text(text)
+        return str(tmp_path)
+
+    def test_clean_corpus_passes_error_gate(self, tmp_path, capsys):
+        corpus = self.write_corpus(tmp_path, reader=self.CLEAN)
+        assert cli_main(["--scripts", corpus, "--fail-on", "error"]) == 0
+        capsys.readouterr()
+
+    def test_c002_error_fails_error_gate(self, tmp_path, capsys):
+        corpus = self.write_corpus(tmp_path, bump=self.NON_IDEMPOTENT)
+        exit_code = cli_main(["--scripts", corpus, "--fail-on", "error"])
+        assert exit_code == 1
+        assert "C002" in capsys.readouterr().out
+
+    def test_c001_warning_fails_warning_gate_only(self, tmp_path, capsys):
+        inversion = (
+            "-- pragma: sequenced\n"
+            "BEGIN;\n"
+            "UPDATE t SET v = 1 WHERE id = ?;\n"
+            "UPDATE t SET v = 1 WHERE id = ?;\n"
+            "COMMIT;\n"
+        )
+        corpus = self.write_corpus(tmp_path, contended=inversion)
+        assert cli_main(["--scripts", corpus, "--fail-on", "error"]) == 0
+        capsys.readouterr()
+        exit_code = cli_main(["--scripts", corpus, "--fail-on", "warning"])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "C001" in out
+        assert "predicted deadlock contended <-> contended" in out
+
+    def test_unparseable_script_fails(self, tmp_path, capsys):
+        corpus = self.write_corpus(tmp_path, bad="SELEKT nonsense;")
+        assert cli_main(["--scripts", corpus]) == 1
+        capsys.readouterr()
+
+    def test_json_shape(self, tmp_path, capsys):
+        corpus = self.write_corpus(
+            tmp_path, bump=self.NON_IDEMPOTENT, reader=self.CLEAN
+        )
+        exit_code = cli_main(["--scripts", corpus, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1  # C002 is an ERROR, default --fail-on error
+        assert payload["worst"] == "ERROR"
+        (entry,) = [
+            r for r in payload["results"] if r["source"] == "scripts"
+        ]
+        assert entry["scripts"] == ["bump", "reader"]
+        assert {"rule_id", "severity", "message", "node_path"} <= set(
+            entry["findings"][0]
+        )
+        assert any(
+            finding["rule_id"] == "C002" for finding in entry["findings"]
+        )
+        assert isinstance(entry["conflict_edges"], list)
+        assert isinstance(entry["deadlock_cycles"], list)
+
+    def test_explicit_file_and_directory_mix(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        (corpus / "reader.sql").write_text(self.CLEAN)
+        lone = tmp_path / "lone.sql"
+        lone.write_text(self.CLEAN)
+        exit_code = cli_main(
+            ["--scripts", str(corpus), str(lone), "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        (entry,) = [
+            r for r in payload["results"] if r["source"] == "scripts"
+        ]
+        assert entry["scripts"] == ["reader", "lone"]
+
+    def test_committed_corpus_is_error_free(self, capsys):
+        import os
+
+        corpus = os.path.join(
+            os.path.dirname(__file__), "..", "..", "examples", "txn_scripts"
+        )
+        assert cli_main(["--scripts", corpus, "--fail-on", "error"]) == 0
         capsys.readouterr()

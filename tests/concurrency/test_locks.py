@@ -183,6 +183,31 @@ class TestDeadlock:
             locks.acquire(b, "t", 1, X)
         assert locks.statistics["deadlocks"] == 0
 
+    def test_cycle_records_waited_on_tables(self, locks):
+        # The static analyzer's soundness test compares C001 predictions
+        # against these records, so each detected cycle must name the
+        # tables its members were waiting on.
+        a, b = locks.begin(), locks.begin()
+        locks.acquire(a, "t", 1, X)
+        locks.acquire(b, "u", 1, X)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(a, "u", 1, X)
+        with pytest.raises(DeadlockError):
+            locks.acquire(b, "t", 1, X)
+        assert locks.deadlock_cycles == [("t", "u")]
+
+    def test_no_cycle_records_nothing(self, locks):
+        a, b = locks.begin(), locks.begin()
+        locks.acquire(a, "t", 1, X)
+        with pytest.raises(LockUnavailable):
+            locks.acquire(b, "t", 1, X)
+        assert locks.deadlock_cycles == []
+
+    def test_cycles_are_not_in_statistics(self, locks):
+        # Seeded sim reports serialise ``statistics``; the cycle log must
+        # stay out of it so same-seed reports remain byte-identical.
+        assert "deadlock_cycles" not in locks.statistics
+
 
 class TestTimeouts:
     def test_waiter_times_out_on_clock(self):

@@ -155,3 +155,116 @@ class TestStaticness:
         # Without strict mode the engine itself reports the recursion
         # error (or executes, if it can) — either way no lint counters.
         assert server.statistics["lint_checks"] == 0
+
+
+#: A C002 script: the UPDATE reads the column it assigns, so a retried
+#: frame outside the SEQUENCED envelope would apply it twice.
+SCRIPT_STATEMENTS = [
+    ("SELECT name FROM part WHERE obid = ?", [1]),
+    ("UPDATE part SET obid = obid + 10 WHERE obid = ?", [1]),
+]
+
+
+def batch_frame(statements) -> bytes:
+    return protocol.encode_envelope(
+        Opcode.BATCH, protocol.encode_batch(statements)
+    )
+
+
+class TestScriptGate:
+    """Multi-statement batches run through the transaction analyzer
+    before the first statement executes."""
+
+    def test_c002_batch_rejected_whole_and_pre_execution(self):
+        server = build_server(strict_lint=True)
+        before = server.database.execute(
+            "SELECT obid, name FROM part ORDER BY obid"
+        ).rows
+        statements_before = server.database.statistics["statements"]
+        opcode, body = protocol.decode_envelope(
+            server.handle(batch_frame(SCRIPT_STATEMENTS))
+        )
+        assert opcode is Opcode.ERROR
+        kind, message = protocol.decode_error(body)
+        assert kind == "LintViolation"
+        assert "C002" in message
+        # Nothing executed: not even the leading SELECT.
+        assert server.database.statistics["statements"] == statements_before
+        assert (
+            server.database.execute(
+                "SELECT obid, name FROM part ORDER BY obid"
+            ).rows
+            == before
+        )
+        assert server.statistics["lint_rejections"] == 1
+
+    def test_c005_ddl_in_transaction_batch_rejected(self):
+        server = build_server(strict_lint=True)
+        opcode, body = protocol.decode_envelope(
+            server.handle(
+                batch_frame(
+                    [
+                        ("BEGIN", []),
+                        ("CREATE TABLE w (id INTEGER PRIMARY KEY)", []),
+                        ("COMMIT", []),
+                    ]
+                )
+            )
+        )
+        assert opcode is Opcode.ERROR
+        kind, message = protocol.decode_error(body)
+        assert kind == "LintViolation"
+        assert "C005" in message
+
+    def test_sequenced_equivalent_batch_runs(self):
+        # The same statements inside a session travel as SEQUENCED
+        # frames: the replay cache makes retries exactly-once, so the
+        # non-idempotent UPDATE is safe and the gate lets it through.
+        from repro.concurrency import SessionManager
+
+        db = Database()
+        for statement in SCHEMA:
+            db.execute(statement)
+        server = DatabaseServer(
+            db, sessions=SessionManager(db), strict_lint=True
+        )
+        connection = RemoteConnection(server, WAN_256.create_link())
+        connection.open_session()
+        results = connection.execute_batch(SCRIPT_STATEMENTS)
+        assert not any(isinstance(entry, Exception) for entry in results)
+        connection.close_session()
+        assert server.statistics["lint_rejections"] == 0
+        # The update really ran: obid 1 became 11.
+        rows = db.execute("SELECT obid FROM part ORDER BY obid").rows
+        assert [row[0] for row in rows] == [2, 11]
+
+    def test_single_statement_batch_skips_script_gate(self):
+        # A lone statement is not a script; only the per-entry gate runs
+        # (C002 is a script-level concern).
+        server = build_server(strict_lint=True)
+        opcode, __ = protocol.decode_envelope(
+            server.handle(batch_frame(SCRIPT_STATEMENTS[1:]))
+        )
+        assert opcode is Opcode.BATCH_RESULT
+        assert server.statistics["lint_rejections"] == 0
+
+    def test_clean_batch_byte_identical_strict_vs_plain(self):
+        workload = [
+            ("SELECT name FROM part WHERE obid = ?", [1]),
+            ("INSERT INTO part VALUES (3, 'extra')", []),
+            ("SELECT COUNT(*) FROM part", []),
+        ]
+        plain = build_server(strict_lint=False)
+        strict = build_server(strict_lint=True)
+        frame = batch_frame(workload)
+        assert plain.handle(frame) == strict.handle(frame)
+        assert strict.statistics["lint_rejections"] == 0
+
+    def test_rejection_verdict_is_cached(self):
+        server = build_server(strict_lint=True)
+        for __ in range(3):
+            opcode, __body = protocol.decode_envelope(
+                server.handle(batch_frame(SCRIPT_STATEMENTS))
+            )
+            assert opcode is Opcode.ERROR
+        assert server.statistics["lint_rejections"] == 3
