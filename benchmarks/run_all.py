@@ -225,11 +225,43 @@ def run_contention_smoke() -> dict:
     }
 
 
+def run_mvcc_smoke() -> dict:
+    """Fixed-seed MVCC smoke: the audit_eco scenario (READ ONLY auditors
+    racing ECO write bursts) under 2PL-only and MVCC builds with the
+    same seed, gated on bench_mvcc's acceptance criteria — zero RO lock
+    waits/aborts and strictly lower expand p99 under MVCC."""
+    from bench_mvcc import SMOKE_KWARGS, check_pair, compare
+
+    from repro.concurrency import ContentionConfig, ContentionSim, report_json
+
+    locking = ContentionSim(ContentionConfig(mvcc=False, **SMOKE_KWARGS)).run()
+    mvcc = ContentionSim(ContentionConfig(mvcc=True, **SMOKE_KWARGS)).run()
+    again = ContentionSim(ContentionConfig(mvcc=True, **SMOKE_KWARGS)).run()
+    pair = {"2pl": locking, "mvcc": mvcc, "deltas": compare(locking, mvcc)}
+    return {
+        "deterministic": report_json(mvcc) == report_json(again),
+        "schedule_hash_2pl": locking["schedule"]["hash"],
+        "schedule_hash_mvcc": mvcc["schedule"]["hash"],
+        "ro_lock_waits_2pl": locking["totals"]["ro_lock_waits"],
+        "ro_lock_waits_mvcc": mvcc["totals"]["ro_lock_waits"],
+        "ro_aborts_2pl": locking["totals"]["ro_aborts"],
+        "ro_aborts_mvcc": mvcc["totals"]["ro_aborts"],
+        "expand_p99_2pl": locking["expand_latency_s"]["p99"],
+        "expand_p99_mvcc": mvcc["expand_latency_s"]["p99"],
+        "snapshot_reads": mvcc["mvcc"]["snapshot_reads"],
+        "versions_created": mvcc["mvcc"]["versions_created"],
+        "versions_gc": mvcc["mvcc"]["versions_gc"],
+        "chains": mvcc["mvcc"]["chains"],
+        "lost_updates": locking["lost_updates"] + mvcc["lost_updates"],
+        "gate_failures": check_pair(pair),
+    }
+
+
 #: Schema tag of the perf-trajectory file; bump when the layout changes.
 TRAJECTORY_SCHEMA = "bench-trajectory/v1"
 
 #: This PR's slot in the trajectory sequence (BENCH_<pr>.json).
-TRAJECTORY_PR = 8
+TRAJECTORY_PR = 10
 
 #: Micro-bench shapes whose row-vs-columnar speedup the trajectory diff
 #: gates on (the scan shapes the vectorized executor was built for).
@@ -348,6 +380,17 @@ def trajectory_report(report: dict) -> dict:
             }
             for name, entry in planner_modes.items()
         }
+    bench_mvcc = report.get("bench_mvcc")
+    if bench_mvcc:
+        trajectory["mvcc"] = {
+            "ro_lock_waits_2pl": bench_mvcc["ro_lock_waits_2pl"],
+            "ro_lock_waits_mvcc": bench_mvcc["ro_lock_waits_mvcc"],
+            "ro_aborts_2pl": bench_mvcc["ro_aborts_2pl"],
+            "ro_aborts_mvcc": bench_mvcc["ro_aborts_mvcc"],
+            "expand_p99_2pl": bench_mvcc["expand_p99_2pl"],
+            "expand_p99_mvcc": bench_mvcc["expand_p99_mvcc"],
+            "schedule_hash_mvcc": bench_mvcc["schedule_hash_mvcc"],
+        }
     crash = report.get("crash")
     if crash:
         trajectory["crash"] = {
@@ -404,6 +447,7 @@ def run(scale: str, fault_profile=None, fault_seed: int = 1, trace_profile=None)
         "opcode_messages": opcode_traffic,
         "lint": lint,
         "contention": run_contention_smoke(),
+        "bench_mvcc": run_mvcc_smoke(),
         "crash": run_crash_smoke(),
         "engine_micro": run_engine_micro(scale),
         "planner_modes": run_planner_modes(
@@ -476,6 +520,16 @@ def check(report: dict) -> list:
             failures.append(
                 "contention smoke saw no lock conflicts — proved nothing"
             )
+    bench_mvcc = report.get("bench_mvcc")
+    if bench_mvcc:
+        if not bench_mvcc["deterministic"]:
+            failures.append(
+                "bench_mvcc: same-seed MVCC runs are not byte-identical"
+            )
+        failures.extend(
+            f"bench_mvcc: {failure}"
+            for failure in bench_mvcc["gate_failures"]
+        )
     crash = report.get("crash")
     if crash:
         if not crash["deterministic"]:
@@ -636,6 +690,18 @@ def main(argv=None) -> int:
         with open(args.trace, "w", encoding="utf-8") as handle:
             json.dump(trace, handle, indent=2, sort_keys=True)
         print(f"wrote {args.trace}")
+    bench_mvcc = report.get("bench_mvcc")
+    if bench_mvcc:
+        print(
+            f"\nmvcc smoke (audit_eco): "
+            f"ro_waits 2pl={bench_mvcc['ro_lock_waits_2pl']} "
+            f"mvcc={bench_mvcc['ro_lock_waits_mvcc']} "
+            f"ro_aborts 2pl={bench_mvcc['ro_aborts_2pl']} "
+            f"mvcc={bench_mvcc['ro_aborts_mvcc']} "
+            f"expand_p99 2pl={bench_mvcc['expand_p99_2pl']:.3f}s "
+            f"mvcc={bench_mvcc['expand_p99_mvcc']:.3f}s "
+            f"deterministic={'yes' if bench_mvcc['deterministic'] else 'NO'}"
+        )
     crash = report.get("crash")
     if crash:
         print(
@@ -661,12 +727,14 @@ def main(argv=None) -> int:
         print(format_planner_modes(planner_modes))
     failures = check(report)
     trajectory = trajectory_report(report)
-    baseline_path = os.path.join(
-        os.path.dirname(os.path.abspath(__file__)),
-        "..",
-        f"BENCH_{TRAJECTORY_PR - 1}.json",
-    )
-    failures.extend(diff_trajectory(trajectory, baseline_path))
+    # Diff against the most recent predecessor that actually exists —
+    # trajectory slots are PR numbers and not every PR writes one.
+    repo_root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+    for previous in range(TRAJECTORY_PR - 1, 0, -1):
+        baseline_path = os.path.join(repo_root, f"BENCH_{previous}.json")
+        if os.path.exists(baseline_path):
+            failures.extend(diff_trajectory(trajectory, baseline_path))
+            break
     report["ok"] = not failures
     trajectory_path = args.bench_trajectory
     if trajectory_path:

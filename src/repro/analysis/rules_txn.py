@@ -52,12 +52,13 @@ DDL_STATEMENTS = (
 def check_script(
     script: TxnScript, database: Optional[Any] = None
 ) -> List[Finding]:
-    """Script-local rules: C002, C003, C004, C005 (C001 is pairwise)."""
+    """Script-local rules: C002..C006 (C001 is pairwise)."""
     findings: List[Finding] = []
     findings.extend(_check_idempotence(script, database))
     findings.extend(_check_held_round_trips(script))
     findings.extend(_check_escalation(script))
     findings.extend(_check_ddl(script))
+    findings.extend(_check_readonly(script))
     return findings
 
 
@@ -420,3 +421,56 @@ def _check_ddl(script: TxnScript) -> List[Finding]:
                     )
                 )
     return findings
+
+
+# -- C006: undeclared read-only transactions ----------------------------------
+
+
+def _check_readonly(script: TxnScript) -> List[Finding]:
+    """C006: a SELECT-only script of two or more statements that never
+    declares ``BEGIN TRANSACTION READ ONLY``.
+
+    Under plain 2PL each select takes the shared locks in its footprint
+    (and an explicit transaction holds them to COMMIT), so the script
+    both blocks writers and can deadlock with them.  Declared READ ONLY,
+    an MVCC build serves every statement from one snapshot — no locks,
+    no waits, one consistent view across the statements.
+    """
+    payload = [
+        stmt
+        for stmt in script.statements
+        if not isinstance(
+            stmt.statement,
+            (
+                ast.BeginTransaction,
+                ast.CommitTransaction,
+                ast.RollbackTransaction,
+            ),
+        )
+    ]
+    if len(payload) < 2:
+        return []
+    if not all(
+        isinstance(stmt.statement, ast.SelectStatement) for stmt in payload
+    ):
+        return []
+    if any(segment.read_only for segment in script.segments):
+        return []
+    held = sorted(
+        {
+            request.describe()
+            for stmt in payload
+            for request in stmt.footprint
+        }
+    )
+    return [
+        Finding(
+            "C006",
+            Severity.WARNING,
+            f"read-only workload not declared: {len(payload)} SELECT "
+            f"statements acquire {', '.join(held)} under 2PL; wrap them "
+            f"in BEGIN TRANSACTION READ ONLY .. COMMIT so an MVCC build "
+            f"serves them lock-free from one consistent snapshot",
+            f"stmt[{payload[0].index}]",
+        )
+    ]

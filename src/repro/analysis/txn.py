@@ -17,6 +17,9 @@ script *sets*:
   the WAN latency model.
 * **C004** table-lock escalation inside a long transaction.
 * **C005** DDL inside a transaction script.
+* **C006** a SELECT-only multi-statement script that does not declare
+  ``BEGIN TRANSACTION READ ONLY`` — under 2PL it holds shared locks an
+  MVCC snapshot would make unnecessary.
 
 Everything here is purely static: scripts are parsed and their
 footprints built, but nothing is ever executed and no lock is ever
@@ -82,6 +85,10 @@ class TxnSegment:
     #: transaction (locks then held until the session closes — worse).
     end: Optional[int]
     committed: bool
+    #: The segment was opened with BEGIN TRANSACTION READ ONLY: its
+    #: selects run lock-free from a snapshot on an MVCC build, and the
+    #: server rejects DML inside it either way.
+    read_only: bool = False
 
 
 @dataclass(frozen=True)
@@ -175,6 +182,7 @@ def _segment(
 ) -> Tuple[TxnSegment, ...]:
     segments: List[TxnSegment] = []
     current: Optional[List[ScriptStatement]] = None
+    current_read_only = False
     for stmt in statements:
         node = stmt.statement
         if isinstance(node, ast.BeginTransaction):
@@ -182,9 +190,12 @@ def _segment(
                 # BEGIN inside an open transaction: the server rejects
                 # it; statically, close the dangling segment unterminated.
                 segments.append(
-                    TxnSegment(True, tuple(current), None, False)
+                    TxnSegment(
+                        True, tuple(current), None, False, current_read_only
+                    )
                 )
             current = []
+            current_read_only = node.read_only
         elif isinstance(
             node, (ast.CommitTransaction, ast.RollbackTransaction)
         ):
@@ -195,9 +206,11 @@ def _segment(
                         tuple(current),
                         stmt.index,
                         isinstance(node, ast.CommitTransaction),
+                        current_read_only,
                     )
                 )
                 current = None
+                current_read_only = False
             # A stray COMMIT outside a transaction is a runtime error
             # with no lock consequences; nothing to record statically.
         elif current is not None:
@@ -205,7 +218,9 @@ def _segment(
         else:
             segments.append(TxnSegment(False, (stmt,), None, True))
     if current is not None:
-        segments.append(TxnSegment(True, tuple(current), None, False))
+        segments.append(
+            TxnSegment(True, tuple(current), None, False, current_read_only)
+        )
     return tuple(segments)
 
 

@@ -161,9 +161,9 @@ class SessionManager:
 
     # -- transactions --------------------------------------------------------
 
-    def begin(self, client_id: int) -> int:
+    def begin(self, client_id: int, read_only: bool = False) -> int:
         session = self.require(client_id)
-        txn_id = self.database.begin(session.token)
+        txn_id = self.database.begin(session.token, read_only=read_only)
         session.transactions += 1
         return txn_id
 

@@ -33,6 +33,14 @@ Clients wait *patiently* on lock conflicts: a parked statement is
 retried on the next resumption while the transaction stays open, which
 is exactly how deadlock cycles form; deadlock victims acknowledge the
 abort with a rollback and restart their transaction from scratch.
+
+A second scenario, ``audit_eco``, splits the clients into long-running
+READ ONLY auditors (multi-level expand + counter audit inside one
+``BEGIN TRANSACTION READ ONLY``) racing ECO write bursts (hot-counter
+increments plus an assembly-row update per transaction).  Run with
+``mvcc=False`` the auditors acquire S locks and fight the writers; with
+``mvcc=True`` they read a snapshot and never wait — the same seed, the
+same wire traffic, directly comparable reports.
 """
 
 from __future__ import annotations
@@ -76,6 +84,10 @@ SELECT obid FROM subtree
 _AUDIT_SQL = "SELECT SUM(value) FROM counters"
 
 _INCREMENT_SQL = "UPDATE counters SET value = value + 1 WHERE id = ?"
+
+#: ECO write burst touches product structure too, so it collides with
+#: the auditors' subtree expands, not just with the counter audit.
+_ECO_SQL = "UPDATE assy SET name = ? WHERE obid = ?"
 
 
 def workload_scripts() -> List[Tuple[str, str, bool]]:
@@ -122,10 +134,20 @@ class ContentionConfig:
     #: Product tree for expand/check-out targets.
     tree_depth: int = 3
     tree_branching: int = 3
+    #: Build the database with the MVCC snapshot-read subsystem enabled.
+    mvcc: bool = False
+    #: ``mixed`` is the classic three-way workload; ``audit_eco`` races
+    #: READ ONLY auditors against ECO write bursts.
+    scenario: str = "mixed"
 
     def __post_init__(self) -> None:
         if self.clients < 1:
             raise ConcurrencyError("need at least one client")
+        if self.scenario not in ("mixed", "audit_eco"):
+            raise ConcurrencyError(
+                f"unknown scenario {self.scenario!r} "
+                f"(expected 'mixed' or 'audit_eco')"
+            )
         if self.hot_counters < 2:
             raise ConcurrencyError(
                 "need at least two hot counters to form deadlock cycles"
@@ -172,7 +194,7 @@ class ContentionSim:
 
         self.config = config
         self.clock = SimulatedClock()
-        self.database = Database()
+        self.database = Database(mvcc=config.mvcc)
         create_pdm_schema(self.database)
         product = generate_product(
             TreeParameters(
@@ -219,9 +241,17 @@ class ContentionSim:
             "txn_restarts": 0,
             "deadlock_aborts": 0,
             "timeout_aborts": 0,
+            # audit_eco scenario; always present so report shape is stable.
+            "ro_txns": 0,
+            "ro_lock_waits": 0,
+            "ro_aborts": 0,
+            "eco_commits": 0,
         }
         self.committed_increments = 0
         self.latencies: List[float] = []
+        #: Latency of each successful multi-level expand statement inside
+        #: a READ ONLY audit transaction (includes its lock waits).
+        self.expand_latencies: List[float] = []
         self.schedule: List[str] = []
         self.schedule_hash: Optional[str] = None
 
@@ -271,9 +301,18 @@ class ContentionSim:
         connection = self.connections[index]
         connection.open_session()
         yield "open"
+        auditor = self.config.scenario == "audit_eco" and index % 2 == 0
         for __ in range(self.config.ops_per_client):
-            op = self._pick_op(rng)
             start = self.clock.now
+            if self.config.scenario == "audit_eco":
+                runner = (
+                    self._run_audit_txn if auditor else self._run_eco
+                )
+                for label in runner(index, rng):
+                    yield label
+                self.latencies.append(self.clock.now - start)
+                continue
+            op = self._pick_op(rng)
             if op == "expand":
                 for label in self._run_read(index, rng):
                     yield label
@@ -359,6 +398,104 @@ class ContentionSim:
             yield "commit"
             return
 
+    def _run_audit_txn(self, index: int, rng: random.Random) -> Iterator[str]:
+        """One long READ ONLY audit: a multi-level subtree expand and a
+        whole-table counter audit inside a single ``BEGIN TRANSACTION
+        READ ONLY``.
+
+        Under plain 2PL the selects take S locks held to commit, so the
+        auditor parks behind (and deadlocks with) ECO writers; with MVCC
+        the same wire transaction reads a snapshot and never waits.  The
+        expand statement's latency — queueing included — is recorded
+        separately so the two builds can be compared per statement.
+        """
+        connection = self.connections[index]
+        while True:
+            connection.begin(read_only=True)
+            self.counts["ro_txns"] += 1
+            yield "begin-ro"
+            aborted = False
+            for sql, params, label in (
+                (_EXPAND_SQL, [self.root_obid], "expand"),
+                (_AUDIT_SQL, [], "audit"),
+            ):
+                start = self.clock.now
+                while True:
+                    try:
+                        connection.execute(sql, params)
+                        if label == "expand":
+                            self.expand_latencies.append(
+                                self.clock.now - start
+                            )
+                            self.counts["expands"] += 1
+                        else:
+                            self.counts["audits"] += 1
+                        yield label
+                        break
+                    except LockUnavailable:
+                        self.counts["ro_lock_waits"] += 1
+                        yield "ro-wait"
+                    except (DeadlockError, LockTimeout):
+                        self.counts["ro_aborts"] += 1
+                        aborted = True
+                        break
+                if aborted:
+                    break
+            if aborted:
+                connection.rollback()  # acknowledges the force-abort
+                self.counts["txn_restarts"] += 1
+                yield "ro-restart"
+                continue
+            connection.commit()
+            yield "commit-ro"
+            return
+
+    def _run_eco(self, index: int, rng: random.Random) -> Iterator[str]:
+        """One ECO write burst: bump two hot counters and touch one
+        assembly row, all inside one wire transaction.  Same patient
+        retry / deadlock-restart protocol as :meth:`_run_increment`."""
+        connection = self.connections[index]
+        targets = rng.sample(self._hot_ids(), 2)
+        part = rng.choice(self.checkout_roots)
+        statements: List[Tuple[str, List[Any], str]] = [
+            (_INCREMENT_SQL, [targets[0]], "update"),
+            (_INCREMENT_SQL, [targets[1]], "update"),
+            (_ECO_SQL, [f"eco-{index}", part], "eco-update"),
+        ]
+        while True:
+            connection.begin()
+            yield "begin"
+            aborted = False
+            for sql, params, label in statements:
+                while True:
+                    try:
+                        connection.execute(sql, params)
+                        yield label
+                        break
+                    except LockUnavailable:
+                        self.counts["write_retries"] += 1
+                        yield "write-wait"
+                    except DeadlockError:
+                        self.counts["deadlock_aborts"] += 1
+                        aborted = True
+                        break
+                    except LockTimeout:
+                        self.counts["timeout_aborts"] += 1
+                        aborted = True
+                        break
+                if aborted:
+                    break
+            if aborted:
+                connection.rollback()
+                self.counts["txn_restarts"] += 1
+                yield "restart"
+                continue
+            connection.commit()
+            self.committed_increments += 2
+            self.counts["eco_commits"] += 1
+            yield "commit"
+            return
+
     def _run_checkout(self, index: int, rng: random.Random) -> Iterator[str]:
         """Check out a subtree, then check it back in (two procedure
         calls with a scheduling point between them, so overlapping
@@ -419,8 +556,11 @@ class ContentionSim:
             + self.counts["increments"]
             + self.counts["checkouts"]
             + self.counts["checkout_conflicts"]
+            + self.counts["eco_commits"]
         )
         latencies = sorted(self.latencies)
+        expand_latencies = sorted(self.expand_latencies)
+        db_stats = self.database.statistics
         elapsed = self.clock.now
         report = {
             "config": asdict(self.config),
@@ -435,6 +575,19 @@ class ContentionSim:
                 "deadlocks": self.server.statistics["deadlocks"],
                 "txn_aborts": self.server.statistics["txn_aborts"],
                 "sessions_open": self.server.statistics["sessions_open"],
+                "readonly_txns": self.server.statistics["readonly_txns"],
+            },
+            "mvcc": {
+                "enabled": self.config.mvcc,
+                "snapshot_reads": db_stats["snapshot_reads"],
+                "versions_created": db_stats["versions_created"],
+                "versions_gc": db_stats["versions_gc"],
+                "readonly_txns": db_stats["readonly_txns"],
+                "chains": (
+                    self.database.mvcc.chain_count()
+                    if self.database.mvcc is not None
+                    else 0
+                ),
             },
             "elapsed_s": elapsed,
             "throughput_ops_per_s": ops_done / elapsed if elapsed else 0.0,
@@ -445,6 +598,20 @@ class ContentionSim:
                 "p95": exact_percentile(latencies, 0.95),
                 "p99": exact_percentile(latencies, 0.99),
                 "max": latencies[-1] if latencies else None,
+            },
+            # Per-statement latency of the READ ONLY auditors' multi-level
+            # expands (empty outside the audit_eco scenario).
+            "expand_latency_s": {
+                "count": len(expand_latencies),
+                "mean": (
+                    sum(expand_latencies) / len(expand_latencies)
+                    if expand_latencies
+                    else None
+                ),
+                "p50": exact_percentile(expand_latencies, 0.50),
+                "p95": exact_percentile(expand_latencies, 0.95),
+                "p99": exact_percentile(expand_latencies, 0.99),
+                "max": expand_latencies[-1] if expand_latencies else None,
             },
         }
         return report

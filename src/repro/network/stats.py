@@ -57,6 +57,8 @@ class TrafficStats:
     lock_waits: int = 0
     deadlocks: int = 0
     txn_aborts: int = 0
+    #: READ ONLY transactions begun through :meth:`RemoteConnection.begin`.
+    readonly_txns: int = 0
     opcode_messages: Dict[str, int] = field(default_factory=dict)
     opcode_payload_bytes: Dict[str, int] = field(default_factory=dict)
 

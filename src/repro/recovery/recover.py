@@ -143,6 +143,7 @@ def snapshot_database(database: Database, hwm: Dict[int, int]) -> Snapshot:
         tables=tuple(tables),
         views=views,
         hwm=tuple(sorted(hwm.items())),
+        mvcc_clock=database.mvcc.clock if database.mvcc is not None else 0,
     )
 
 
@@ -170,9 +171,16 @@ def restore_snapshot(database: Database, snapshot: Snapshot) -> None:
         for row_id, row in table.rows:
             storage.insert_at(row_id, row)
         storage.pad_slots(table.total_slots)
-        database.catalog.create(schema, storage)
+        # adopt_storage attaches WAL journal and MVCC hooks; the storage is
+        # fully populated first, so restore itself creates no versions —
+        # checkpointed rows are committed state, chainless by definition.
+        database.adopt_storage(schema, storage)
     for view_sql in snapshot.views:
         database.execute(view_sql)
+    if database.mvcc is not None:
+        # Resume the commit clock where the checkpoint froze it so replayed
+        # commits reuse the original stamps.
+        database.mvcc.clock = snapshot.mvcc_clock
 
 
 # -- replay ------------------------------------------------------------------
@@ -220,9 +228,13 @@ def _replay(
         elif kind in (KIND_INSERT, KIND_DELETE, KIND_UPDATE):
             open_txns.setdefault(record.txn_id, []).append(record)
         elif kind == KIND_COMMIT:
-            for buffered in open_txns.pop(record.txn_id, []):
-                _apply_op(database, buffered)
-                report.replayed_records += 1
+            # One mvcc_scope per committed transaction: the commit clock
+            # bumps exactly once per writing transaction, in log order —
+            # the same sequence the original execution produced.
+            with database.mvcc_scope():
+                for buffered in open_txns.pop(record.txn_id, []):
+                    _apply_op(database, buffered)
+                    report.replayed_records += 1
             report.txns_committed += 1
             if record.origin is not None:
                 client_id, seq = record.origin

@@ -145,6 +145,10 @@ class Snapshot:
     tables: Tuple[TableSnapshot, ...]
     views: Tuple[str, ...]
     hwm: Tuple[Tuple[int, int], ...]
+    #: MVCC commit-clock value at checkpoint time (0 on non-MVCC builds):
+    #: restoring it lets replayed commits continue the exact stamp
+    #: sequence, so the rebuilt version store matches the original.
+    mvcc_clock: int = 0
 
 
 @dataclass
@@ -348,6 +352,7 @@ def _enc_snapshot(snapshot: Snapshot) -> bytes:
     parts.append(struct.pack(">I", len(snapshot.hwm)))
     for client_id, seq in snapshot.hwm:
         parts.append(struct.pack(">II", client_id, seq))
+    parts.append(struct.pack(">Q", snapshot.mvcc_clock))
     return b"".join(parts)
 
 
@@ -419,7 +424,16 @@ def _dec_snapshot(buffer: bytes, offset: int) -> Tuple[Snapshot, int]:
         client_id = _u(">I", 4)
         seq = _u(">I", 4)
         hwm.append((client_id, seq))
-    return Snapshot(tables=tuple(tables), views=tuple(views), hwm=tuple(hwm)), offset
+    mvcc_clock = _u(">Q", 8)
+    return (
+        Snapshot(
+            tables=tuple(tables),
+            views=tuple(views),
+            hwm=tuple(hwm),
+            mvcc_clock=mvcc_clock,
+        ),
+        offset,
+    )
 
 
 # -- scanning ----------------------------------------------------------------

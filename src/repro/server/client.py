@@ -423,16 +423,22 @@ class RemoteConnection:
         self._session_open = False
         self._txn_open = False
 
-    def begin(self) -> int:
+    def begin(self, read_only: bool = False) -> int:
         """Start a server-side transaction; returns its id.
 
-        Opens the session implicitly on first use.
+        Opens the session implicitly on first use.  ``read_only=True``
+        sends ``TXN_BEGIN_RO`` (``BEGIN READ ONLY``): the server rejects
+        DML inside the transaction and, when built with MVCC, serves its
+        reads from a lock-free snapshot.
         """
         self._ensure_open()
         if not self._session_open:
             self.open_session()
-        values = self._session_op(Opcode.TXN_BEGIN, Opcode.TXN_RESULT)
+        opcode = Opcode.TXN_BEGIN_RO if read_only else Opcode.TXN_BEGIN
+        values = self._session_op(opcode, Opcode.TXN_RESULT)
         self._txn_open = True
+        if read_only:
+            self.link.stats.readonly_txns += 1
         return int(values[1])
 
     def commit(self) -> None:

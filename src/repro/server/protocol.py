@@ -37,6 +37,9 @@ class Opcode(IntEnum):
     TXN_BEGIN = 9
     TXN_COMMIT = 10
     TXN_ROLLBACK = 11
+    #: BEGIN READ ONLY: the transaction rejects DML; an MVCC server routes
+    #: its reads to a snapshot (no locks), a 2PL-only server to S locks.
+    TXN_BEGIN_RO = 12
     RESULT = 16
     PROCEDURE_RESULT = 17
     PONG = 18
@@ -54,6 +57,7 @@ SESSION_OPCODES = frozenset(
         Opcode.OPEN_SESSION,
         Opcode.CLOSE_SESSION,
         Opcode.TXN_BEGIN,
+        Opcode.TXN_BEGIN_RO,
         Opcode.TXN_COMMIT,
         Opcode.TXN_ROLLBACK,
     }

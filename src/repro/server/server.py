@@ -143,6 +143,7 @@ class DatabaseServer:
             "lock_waits": 0,
             "deadlocks": 0,
             "txn_aborts": 0,
+            "readonly_txns": 0,
             "crashes": 0,
             "recoveries": 0,
             "replayed_records": 0,
@@ -589,6 +590,12 @@ class DatabaseServer:
             txn_id = self.sessions.begin(client_id)
             return protocol.encode_envelope(
                 Opcode.TXN_RESULT, protocol.encode_values(["begin", txn_id])
+            )
+        if opcode is Opcode.TXN_BEGIN_RO:
+            txn_id = self.sessions.begin(client_id, read_only=True)
+            self.statistics["readonly_txns"] += 1
+            return protocol.encode_envelope(
+                Opcode.TXN_RESULT, protocol.encode_values(["begin_ro", txn_id])
             )
         if opcode is Opcode.TXN_COMMIT:
             self.sessions.commit(client_id)

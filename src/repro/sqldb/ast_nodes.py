@@ -363,7 +363,9 @@ class DropView:
 
 @dataclass
 class BeginTransaction:
-    pass
+    #: ``BEGIN [TRANSACTION] READ ONLY``: the transaction rejects DML and,
+    #: on an MVCC database, reads a snapshot instead of taking S locks.
+    read_only: bool = False
 
 
 @dataclass

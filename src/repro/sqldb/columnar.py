@@ -140,7 +140,7 @@ class _GatheredColumns:
             yield self[slot]
 
 
-def table_batches(storage, batch_size: int = BATCH_SIZE) -> List[Batch]:
+def table_batches(storage, batch_size: int = BATCH_SIZE, snapshot=None) -> List[Batch]:
     """The column chunks of a base table, built lazily and cached.
 
     The cache key is ``(storage.version, batch_size)``: every mutation of
@@ -148,7 +148,27 @@ def table_batches(storage, batch_size: int = BATCH_SIZE) -> List[Batch]:
     rollback) rebuilds the chunks.  The chunk batches keep a reference to
     the underlying row tuples, making the row-view (:meth:`Batch.rows`)
     free for fallback expressions.
+
+    With *snapshot* (an MVCC snapshot read) the chunks are built from the
+    rows *visible to that snapshot* and cached separately under
+    ``(snapshot.stamp, storage.version, batch_size)`` — two reads of the
+    same snapshot share chunks, a writer's commit (version bump) or a
+    different snapshot rebuilds them, and the live-heap cache is never
+    polluted with snapshot data.
     """
+    if snapshot is not None:
+        cached = getattr(storage, "_columnar_snapshot_cache", None)
+        key = (snapshot.stamp, storage.version, batch_size)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        rows = list(storage.snapshot_rows(snapshot))
+        arity = storage.schema.arity
+        batches = [
+            Batch.from_rows(rows[start : start + batch_size], arity)
+            for start in range(0, len(rows), batch_size)
+        ]
+        storage._columnar_snapshot_cache = (key, batches)
+        return batches
     cached = getattr(storage, "_columnar_cache", None)
     if cached is not None and cached[0] == storage.version and cached[1] == batch_size:
         return cached[2]

@@ -31,6 +31,7 @@ from repro.sqldb.expressions import (
     compile_expression,
 )
 from repro.sqldb.functions import FunctionRegistry
+from repro.sqldb.mvcc import MvccManager
 from repro.sqldb.parser import parse_script, parse_statement
 from repro.sqldb.planner import Plan, Planner
 from repro.sqldb.recursive import execute_plan
@@ -46,15 +47,23 @@ class _Transaction:
     """One open transaction: its undo logs, keyed by the session that
     owns it (``None`` is the local/legacy default session)."""
 
-    __slots__ = ("session", "txn_id", "storages", "logs")
+    __slots__ = ("session", "txn_id", "storages", "logs", "read_only", "snapshot", "mvcc_writes")
 
-    def __init__(self, session: Hashable, txn_id: int) -> None:
+    def __init__(self, session: Hashable, txn_id: int, read_only: bool = False) -> None:
         self.session = session
         self.txn_id = txn_id
         #: Storages in first-enlist order (rollback replays in reverse).
         self.storages: list = []
         #: id(storage) -> that storage's undo entries for this transaction.
         self.logs: Dict[int, list] = {}
+        #: READ ONLY transactions reject DML; under MVCC they read a
+        #: snapshot instead of taking shared locks.
+        self.read_only = read_only
+        #: The :class:`repro.sqldb.mvcc.Snapshot` captured at BEGIN for a
+        #: read-only transaction on an MVCC database; None otherwise.
+        self.snapshot = None
+        #: Dirty ``(storage, row_id)`` pairs to version-install at commit.
+        self.mvcc_writes: list = []
 
     def log_for(self, storage) -> list:
         log = self.logs.get(id(storage))
@@ -84,6 +93,8 @@ class Database:
         recursion_limit: int = 1_000_000,
         execution_mode: str = "row",
         planner_mode: str = "cost",
+        mvcc: bool = False,
+        auto_analyze_threshold: int = 256,
     ) -> None:
         self.catalog = Catalog()
         self.functions = FunctionRegistry()
@@ -106,13 +117,34 @@ class Database:
         self._plan_cache: "OrderedDict[str, Plan]" = OrderedDict()
         self._plan_cache_size = plan_cache_size
         #: Counters a server can report: statements executed, cache hits.
+        #: The MVCC block is present (at zero) even without MVCC so the
+        #: STATS wire shape is build-independent.
         self.statistics = {
             "statements": 0,
             "plan_cache_hits": 0,
             "rows_returned": 0,
             "columnar_statements": 0,
             "columnar_fallbacks": 0,
+            "snapshot_reads": 0,
+            "versions_created": 0,
+            "versions_gc": 0,
+            "readonly_txns": 0,
+            "auto_analyze": 0,
         }
+        #: MVCC snapshot-read subsystem (DESIGN §14): commit clock, open
+        #: snapshots, per-table version stores.  Opt-in so the default
+        #: build stays byte-identical to the 2PL-only engine.
+        self.mvcc = MvccManager(self.statistics) if mvcc else None
+        #: Dirty-write sink of the statement scope currently open for an
+        #: *autocommit* DML statement (explicit transactions collect into
+        #: their own ``mvcc_writes``); None when no scope is open.
+        self._mvcc_scope_writes: Optional[list] = None
+        #: Re-ANALYZE a table before planning when its storage ``version``
+        #: drifted this far past the version the statistics were collected
+        #: at.  Only tables that *have* statistics re-collect — a never-
+        #: ANALYZEd database stays statistics-free (and deterministic).
+        #: <= 0 disables the trigger.
+        self.auto_analyze_threshold = auto_analyze_threshold
         #: Default executor for SELECTs; per-query ``mode=`` overrides it.
         self.execution_mode = self._validate_mode(execution_mode)
         #: Which executor ran the most recent SELECT: ``"row"``,
@@ -214,16 +246,19 @@ class Database:
         statement = None
         if isinstance(sql, str):
             cached = self._plan_cache.get(sql)
-            if cached is not None:
+            if cached is not None and not self._auto_analyze(cached.tables):
                 self.statistics["plan_cache_hits"] += 1
                 self._plan_cache.move_to_end(sql)
                 if span is not None:
                     span.meta["plan_cache_hit"] = True
                 return self._run_select(cached, params, mode)
+            # A refreshed statistics catalog emptied the plan cache: fall
+            # through and re-plan under the new estimates.
             statement = parse_statement(sql)
         else:
             statement = sql  # pre-parsed AST, used by the server fast path
         if isinstance(statement, ast.SelectStatement):
+            self._auto_analyze(self._referenced_tables(statement))
             plan = self._plan(statement)
             if isinstance(sql, str):
                 self._remember_plan(sql, plan)
@@ -394,9 +429,15 @@ class Database:
 
         self.wal.log_ddl(render_statement(statement))
 
-    def begin(self, session: Hashable = None) -> int:
+    def begin(self, session: Hashable = None, read_only: bool = False) -> int:
         """Start a transaction on *session* (DML becomes undoable until
-        commit); returns the transaction id."""
+        commit); returns the transaction id.
+
+        ``read_only=True`` (``BEGIN READ ONLY``) rejects DML for the
+        transaction's lifetime; on an MVCC database it additionally
+        captures a :class:`repro.sqldb.mvcc.Snapshot`, and every SELECT
+        inside the transaction reads that snapshot without taking locks.
+        """
         self._check_aborted(session)
         if session in self._transactions:
             raise ExecutionError("a transaction is already active")
@@ -405,7 +446,14 @@ class Database:
         else:
             self._txn_seq += 1
             txn_id = self._txn_seq
-        self._transactions[session] = _Transaction(session, txn_id)
+        txn = _Transaction(session, txn_id, read_only=read_only)
+        if read_only:
+            self.statistics["readonly_txns"] += 1
+            if self.recorder is not None:
+                self.recorder.metrics.counter("db.readonly_txns").inc()
+            if self.mvcc is not None:
+                txn.snapshot = self.mvcc.open_snapshot()
+        self._transactions[session] = txn
         return txn_id
 
     def commit(self, session: Hashable = None) -> None:
@@ -420,12 +468,20 @@ class Database:
             # the storage since our last write.
             if storage._undo is txn.logs[id(storage)]:
                 storage.detach_undo()
-        if self.wal is not None:
+        if self.wal is not None and not txn.read_only:
             # The commit record is the durability point: if the disk dies
             # on this very append (DiskCrashed propagates), the outcome is
             # ambiguous on purpose — exactly like a real commit racing a
             # power cut — and recovery decides by what hit the platter.
             self.wal.commit(txn.txn_id)
+        if self.mvcc is not None:
+            # Versions install only after the commit record is durable, so
+            # a crash between the two leaves no committed-but-unlogged
+            # version for a snapshot to see after recovery.
+            if txn.snapshot is not None:
+                self.mvcc.close_snapshot(txn.snapshot)
+            else:
+                self.mvcc.commit(txn.mvcc_writes)
         if self.locks is not None:
             self.locks.release_all(txn.txn_id)
 
@@ -458,8 +514,12 @@ class Database:
     def _rollback_txn(self, txn: _Transaction) -> None:
         for storage in reversed(txn.storages):
             storage.rollback_entries(txn.logs[id(storage)])
-        if self.wal is not None:
+        if self.wal is not None and not txn.read_only:
             self.wal.abort(txn.txn_id)
+        if self.mvcc is not None:
+            if txn.snapshot is not None:
+                self.mvcc.close_snapshot(txn.snapshot)
+            self.mvcc.abort(txn.mvcc_writes)
         if self.locks is not None:
             self.locks.release_all(txn.txn_id)
 
@@ -496,6 +556,65 @@ class Database:
                 storage.detach_undo()
             return
         storage.attach_undo(txn.log_for(storage))
+
+    # -- MVCC ---------------------------------------------------------------------
+
+    def _record_mvcc_write(self, storage, row_id: int) -> None:
+        """Storage write hook: route the dirty slot to whoever commits it —
+        the open explicit transaction, the autocommit statement scope, or
+        (for direct storage pokes outside any scope) an immediate
+        single-write commit so the version store never lags the heap."""
+        scope = self._mvcc_scope_writes
+        if scope is not None:
+            scope.append((storage, row_id))
+            return
+        txn = self._transactions.get(self._current_session)
+        if txn is not None:
+            txn.mvcc_writes.append((storage, row_id))
+            return
+        self.mvcc.commit([(storage, row_id)])
+
+    @contextmanager
+    def mvcc_scope(self):
+        """Version-install scope: writes recorded inside commit as one
+        stamped install at exit (even on error, mirroring
+        :meth:`_wal_statement`: a partially-applied autocommit INSERT keeps
+        its pre-error rows, and the version store must agree with memory).
+        Used for autocommit DML statements and by recovery replay, which
+        wraps each committed transaction's redo ops so the commit clock
+        rebuilds exactly.  A no-op inside an explicit transaction (its
+        commit installs) or without MVCC.
+        """
+        if self.mvcc is None or self._transactions.get(self._current_session) is not None:
+            yield
+            return
+        previous = self._mvcc_scope_writes
+        writes = self._mvcc_scope_writes = []
+        try:
+            yield
+        finally:
+            self._mvcc_scope_writes = previous
+            self.mvcc.commit(writes)
+
+    def _current_snapshot(self):
+        """The executing session's snapshot, when it is a read-only
+        transaction on an MVCC database; else None (locking reads)."""
+        if self.mvcc is None:
+            return None
+        txn = self._transactions.get(self._current_session)
+        if txn is None:
+            return None
+        return txn.snapshot
+
+    def adopt_storage(self, schema, storage) -> None:
+        """Register an externally built storage (checkpoint restore) with
+        the catalog plus every attached subsystem (WAL journal, MVCC)."""
+        self.catalog.create(schema, storage)
+        if self.wal is not None:
+            self._attach_journal(storage)
+        if self.mvcc is not None:
+            self.mvcc.register(storage)
+            storage._mvcc_hook = self._record_mvcc_write
 
     # -- locking ------------------------------------------------------------------
 
@@ -621,6 +740,7 @@ class Database:
         env.enable_subquery_cache = self.enable_subquery_cache
         env.enable_seminaive = self.enable_seminaive
         env.recorder = self.recorder
+        env.snapshot = self._current_snapshot()
         return env
 
     def _validate_mode(self, mode: str) -> str:
@@ -640,14 +760,27 @@ class Database:
         self, plan: Plan, params: Sequence[Any], mode: Optional[str] = None
     ) -> ResultSet:
         resolved = self._resolve_mode(mode)
-        with self._lock_scope() as (owner, parkable):
-            self._lock_tables_shared(owner, parkable, plan.tables)
+        if self._current_snapshot() is not None:
+            # Snapshot read: visibility replaces shared locks entirely —
+            # no lock scope, no waits, no deadlock exposure.
+            self.statistics["snapshot_reads"] += 1
+            if self.recorder is not None:
+                self.recorder.metrics.counter("db.snapshot_reads").inc()
             env = self._environment(params)
             if resolved == "columnar":
                 rows = self._run_columnar(plan, env)
             else:
                 self.last_executor = "row"
                 rows = execute_plan(plan, env)
+        else:
+            with self._lock_scope() as (owner, parkable):
+                self._lock_tables_shared(owner, parkable, plan.tables)
+                env = self._environment(params)
+                if resolved == "columnar":
+                    rows = self._run_columnar(plan, env)
+                else:
+                    self.last_executor = "row"
+                    rows = execute_plan(plan, env)
         self.statistics["rows_returned"] += len(rows)
         self.last_counters = dict(env.counters)
         return ResultSet(plan.output_names, rows)
@@ -713,20 +846,29 @@ class Database:
             self._log_ddl(statement)
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, ast.DropTable):
+            if self.mvcc is not None:
+                self.mvcc.forget(self.catalog.lookup(statement.name).schema.name)
             self.catalog.drop(statement.name)
             self.stats.drop(statement.name)
             self._plan_cache.clear()
             self._log_ddl(statement)
             return ResultSet([], [], rowcount=0)
-        if isinstance(statement, ast.Insert):
-            with self._wal_statement():
-                return self._insert(statement, params)
-        if isinstance(statement, ast.Update):
-            with self._wal_statement():
-                return self._update(statement, params)
-        if isinstance(statement, ast.Delete):
-            with self._wal_statement():
-                return self._delete(statement, params)
+        if isinstance(statement, (ast.Insert, ast.Update, ast.Delete)):
+            txn = self._transactions.get(self._current_session)
+            if txn is not None and txn.read_only:
+                raise ExecutionError(
+                    f"{type(statement).__name__.upper()} is not allowed "
+                    f"inside a READ ONLY transaction"
+                )
+            # mvcc_scope outer: an autocommit statement's versions install
+            # after its implicit WAL commit, same order as explicit commit.
+            with self.mvcc_scope():
+                with self._wal_statement():
+                    if isinstance(statement, ast.Insert):
+                        return self._insert(statement, params)
+                    if isinstance(statement, ast.Update):
+                        return self._update(statement, params)
+                    return self._delete(statement, params)
         if isinstance(statement, ast.CreateView):
             result = self._create_view(statement)
             self._log_ddl(statement)
@@ -740,7 +882,7 @@ class Database:
             self._log_ddl(statement)
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, ast.BeginTransaction):
-            self.begin(self._current_session)
+            self.begin(self._current_session, read_only=statement.read_only)
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, ast.CommitTransaction):
             self.commit(self._current_session)
@@ -751,6 +893,7 @@ class Database:
         if isinstance(statement, ast.Explain):
             from repro.sqldb.explain import explain_analyze_plan, explain_plan
 
+            self._auto_analyze(self._referenced_tables(statement.statement))
             plan = self._plan(statement.statement)
             if statement.analyze:
                 # EXPLAIN ANALYZE plans are never cached, so the operator
@@ -816,6 +959,41 @@ class Database:
         self._plan_cache.clear()
         return ResultSet(["table", "rows", "columns"], rows)
 
+    def _auto_analyze(self, tables: Tuple[str, ...]) -> bool:
+        """Refresh statistics of any of *tables* whose storage drifted
+        ``auto_analyze_threshold`` mutations past its last ANALYZE.
+
+        Only tables that already have statistics qualify — the trigger
+        keeps estimates fresh, it never introduces them — so a database
+        that was never ANALYZEd (e.g. the deterministic contention sims)
+        is entirely unaffected.  Returns True when anything re-collected
+        (the plan cache was cleared: callers holding a cached plan must
+        re-plan).  Skipped under a snapshot read, which must stay
+        lock-free.
+        """
+        threshold = self.auto_analyze_threshold
+        if threshold <= 0 or self._current_snapshot() is not None:
+            return False
+        stale = []
+        for name in tables:
+            table_stats = self.stats.get(name)
+            if table_stats is None or not self.catalog.exists(name):
+                continue
+            entry = self.catalog.lookup(name)
+            if entry.storage.version - table_stats.version >= threshold:
+                stale.append(entry)
+        if not stale:
+            return False
+        with self._lock_scope() as (owner, parkable):
+            self._lock_tables_shared(
+                owner, parkable, tuple(entry.schema.name for entry in stale)
+            )
+            for entry in stale:
+                self.stats.analyze_table(entry.schema, entry.storage)
+        self.statistics["auto_analyze"] += len(stale)
+        self._plan_cache.clear()
+        return True
+
     def _create_view(self, statement: ast.CreateView) -> ResultSet:
         key = statement.name.lower()
         if self.catalog.exists(statement.name) or key in self.views:
@@ -857,9 +1035,7 @@ class Database:
             ],
         )
         storage = TableStorage(schema)
-        self.catalog.create(schema, storage)
-        if self.wal is not None:
-            self._attach_journal(storage)
+        self.adopt_storage(schema, storage)
         return ResultSet([], [], rowcount=0)
 
     def _insert(self, statement: ast.Insert, params: Sequence[Any]) -> ResultSet:

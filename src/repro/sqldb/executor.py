@@ -71,6 +71,11 @@ class ExecutionEnv:
         #: the owning :class:`~repro.sqldb.database.Database` (None keeps
         #: execution untraced).
         self.recorder = None
+        #: Optional :class:`repro.sqldb.mvcc.Snapshot`: when set, base-table
+        #: access paths evaluate version visibility at this stamp instead of
+        #: reading the live heap.  Threaded through the environment (not the
+        #: plan) because plans are cached and shared across transactions.
+        self.snapshot = None
 
     def bind_cte(self, name: str, frame: CTEFrame) -> None:
         """(Re)bind a CTE name; invalidates the uncorrelated-subquery cache
@@ -114,7 +119,13 @@ class SeqScan(Operator):
         self.output_names = list(storage.schema.column_names)
 
     def rows(self, env: ExecutionEnv) -> Iterator[Row]:
-        for row in self.storage.rows():
+        snapshot = env.snapshot
+        source = (
+            self.storage.rows()
+            if snapshot is None
+            else self.storage.snapshot_rows(snapshot)
+        )
+        for row in source:
             env.counters["rows_scanned"] += 1
             yield row
 
@@ -135,6 +146,12 @@ class IndexLookup(Operator):
     def rows(self, env: ExecutionEnv) -> Iterator[Row]:
         key = tuple(fn((), env) for fn in self.key_fns)
         env.counters["index_probes"] += 1
+        snapshot = env.snapshot
+        if snapshot is not None:
+            for row in self.storage.snapshot_probe(self.index, key, snapshot):
+                env.counters["rows_scanned"] += 1
+                yield row
+            return
         for row_id in self.index.probe(key):
             env.counters["rows_scanned"] += 1
             yield self.storage.fetch(row_id)
@@ -159,6 +176,7 @@ class MultiKeyIndexLookup(Operator):
 
     def rows(self, env: ExecutionEnv) -> Iterator[Row]:
         seen = set()
+        snapshot = env.snapshot
         for fn in self.key_fns:
             value = fn((), env)
             if is_null(value):
@@ -168,6 +186,11 @@ class MultiKeyIndexLookup(Operator):
                 continue
             seen.add(key)
             env.counters["index_probes"] += 1
+            if snapshot is not None:
+                for row in self.storage.snapshot_probe(self.index, key, snapshot):
+                    env.counters["rows_scanned"] += 1
+                    yield row
+                continue
             for row_id in self.index.probe(key):
                 env.counters["rows_scanned"] += 1
                 yield self.storage.fetch(row_id)
@@ -345,16 +368,27 @@ class IndexNestedLoopJoin(Operator):
 
     def rows(self, env: ExecutionEnv) -> Iterator[Row]:
         pad = (None,) * self.storage.schema.arity
+        snapshot = env.snapshot
         for left_row in self.left.rows(env):
             key = tuple(fn(left_row, env) for fn in self.left_key_fns)
             env.counters["index_probes"] += 1
             matched = False
-            for row_id in self.index.probe(key):
-                env.counters["rows_scanned"] += 1
-                combined = left_row + self.storage.fetch(row_id)
-                if self.residual is None or self.residual(combined, env) is True:
-                    matched = True
-                    yield combined
+            if snapshot is not None:
+                for right_row in self.storage.snapshot_probe(
+                    self.index, key, snapshot
+                ):
+                    env.counters["rows_scanned"] += 1
+                    combined = left_row + right_row
+                    if self.residual is None or self.residual(combined, env) is True:
+                        matched = True
+                        yield combined
+            else:
+                for row_id in self.index.probe(key):
+                    env.counters["rows_scanned"] += 1
+                    combined = left_row + self.storage.fetch(row_id)
+                    if self.residual is None or self.residual(combined, env) is True:
+                        matched = True
+                        yield combined
             if self.kind == "LEFT" and not matched:
                 yield left_row + pad
 

@@ -1,0 +1,366 @@
+"""MVCC snapshot reads beside strict 2PL (DESIGN §14).
+
+The paper's workload is long read-only navigations — multi-level
+expands, where-used audits — racing engineering-change writes.  Under
+strict 2PL those reads block and get blocked by writers.  This module
+adds the other classic answer: versioned rows with snapshot-isolation
+reads, so a ``BEGIN READ ONLY`` transaction captures a :class:`Snapshot`
+at start and reads a consistent committed state without acquiring a
+single lock, while writes keep taking X locks through the existing
+:class:`~repro.concurrency.locks.LockManager`.
+
+Version format
+    Each heap slot may own a :class:`VersionChain` of committed
+    :class:`RowVersion` entries stamped ``[begin, end)`` with values of
+    a monotonic commit counter (the :class:`MvccManager` clock).  The
+    heap row itself is the *newest* state — possibly dirty while a write
+    transaction is open.  A slot with **no chain** is trivially visible
+    (the heap row, when present, is committed and unchanged since before
+    every open snapshot); the first write to a slot captures the
+    committed pre-image into a chain, so snapshot readers keep seeing it
+    while the writer mutates the heap in place.
+
+Visibility rule
+    Version ``v`` is visible to snapshot ``s`` iff
+    ``v.begin <= s.stamp < v.end`` (``end is None`` = still current).
+    Chains hold only *committed* versions — dirty heap values never
+    enter a chain until the writer's commit installs them — so a
+    snapshot can never observe a torn or uncommitted row.
+
+Garbage collection
+    The low-water mark is the minimum stamp over open snapshots (the
+    current clock when none are open).  Versions dead to the low-water
+    mark are pruned; a chain that degenerates to a single live version
+    equal to the heap row (and visible to every open snapshot) is
+    dropped entirely, restoring the cheap chainless fast path.  With no
+    open snapshots the steady-state chain count is zero.
+
+Everything is deterministic: stamps come from the commit counter, GC is
+a pure function of the chain/snapshot state, and iteration orders are
+sorted — same seed, byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, MutableMapping, Optional, Tuple
+
+Row = Tuple[object, ...]
+
+#: Begin stamp of a pre-image version: the row was committed before any
+#: snapshot that can still be open, so it is visible "since forever".
+PRE_IMAGE_STAMP = 0
+
+
+class Snapshot:
+    """A point-in-time visibility token captured at transaction start."""
+
+    __slots__ = ("stamp", "sid")
+
+    def __init__(self, stamp: int, sid: int) -> None:
+        #: Commit-clock value at capture: the snapshot sees exactly the
+        #: transactions with commit stamp <= ``stamp``.
+        self.stamp = stamp
+        #: Registry id inside the owning :class:`MvccManager`.
+        self.sid = sid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Snapshot(stamp={self.stamp}, sid={self.sid})"
+
+
+class RowVersion:
+    """One committed version of a row: value plus ``[begin, end)`` stamps."""
+
+    __slots__ = ("begin", "end", "row")
+
+    def __init__(self, begin: int, end: Optional[int], row: Row) -> None:
+        self.begin = begin
+        self.end = end
+        self.row = row
+
+    def visible_to(self, stamp: int) -> bool:
+        return self.begin <= stamp and (self.end is None or stamp < self.end)
+
+    def as_tuple(self) -> Tuple[int, Optional[int], Row]:
+        return (self.begin, self.end, self.row)
+
+
+class VersionChain:
+    """The committed version history of one heap slot.
+
+    ``pending`` counts uncommitted heap writes to the slot (strict 2PL
+    guarantees at most one transaction holds them at a time); a pending
+    chain is pinned against GC because its bookkeeping is still in
+    flight.  An *empty* chain with ``pending`` writes is the insert
+    marker: the uncommitted heap row exists but no snapshot may see it.
+    """
+
+    __slots__ = ("versions", "pending")
+
+    def __init__(self) -> None:
+        self.versions: List[RowVersion] = []
+        self.pending = 0
+
+    def visible(self, stamp: int) -> Optional[RowVersion]:
+        for version in reversed(self.versions):
+            if version.visible_to(stamp):
+                return version
+        return None
+
+    def live_tail(self) -> Optional[RowVersion]:
+        if self.versions and self.versions[-1].end is None:
+            return self.versions[-1]
+        return None
+
+
+class VersionStore:
+    """Version chains of one table, keyed by heap row id (slot)."""
+
+    __slots__ = ("chains",)
+
+    def __init__(self) -> None:
+        self.chains: Dict[int, VersionChain] = {}
+
+    # -- write side --------------------------------------------------------
+
+    def record_write(self, row_id: int, old_row: Optional[Row]) -> None:
+        """Note an (uncommitted) heap write to *row_id*.
+
+        On the slot's first write the committed pre-image (*old_row*;
+        None for an insert) is captured into a fresh chain, so snapshot
+        readers keep resolving the slot while the heap value is dirty.
+        Later writes by the same transaction find the chain in place —
+        the dirty intermediate values must never become versions.
+        """
+        chain = self.chains.get(row_id)
+        if chain is None:
+            chain = self.chains[row_id] = VersionChain()
+            if old_row is not None:
+                chain.versions.append(
+                    RowVersion(PRE_IMAGE_STAMP, None, old_row)
+                )
+        chain.pending += 1
+
+    def install(
+        self, row_ids: List[int], heap: List[Optional[Row]], stamp: int
+    ) -> int:
+        """Commit the writes to *row_ids* as versions stamped *stamp*.
+
+        The heap already holds the committed state (writes are in-place);
+        installing terminates each superseded live version at *stamp* and
+        appends the new state — or only terminates, for a delete.
+        Returns the number of versions created.
+        """
+        created = 0
+        for row_id in sorted(set(row_ids)):
+            chain = self.chains.get(row_id)
+            if chain is None:  # pragma: no cover - writes always chain
+                continue
+            chain.pending = 0
+            live = heap[row_id] if row_id < len(heap) else None
+            tail = chain.live_tail()
+            if live is None:
+                if tail is not None:
+                    tail.end = stamp
+                continue
+            if tail is not None:
+                if tail.row == live:
+                    continue  # no net change (e.g. update back to old value)
+                tail.end = stamp
+            chain.versions.append(RowVersion(stamp, None, live))
+            created += 1
+        return created
+
+    def abort(self, row_ids: List[int], heap: List[Optional[Row]]) -> None:
+        """Forget the pending writes to *row_ids* (rollback already
+        restored the heap).  An aborted insert's empty marker chain is
+        dropped so the dead slot stays invisible-and-chainless."""
+        for row_id in sorted(set(row_ids)):
+            chain = self.chains.get(row_id)
+            if chain is None:
+                continue
+            chain.pending = 0
+            live = heap[row_id] if row_id < len(heap) else None
+            if not chain.versions and live is None:
+                del self.chains[row_id]
+
+    def gc(self, low_water: int, heap: List[Optional[Row]]) -> int:
+        """Prune versions invisible to every open (and future) snapshot.
+
+        Returns the number of versions dropped.  Chains with pending
+        writes are pinned; a chain reduced to one live version equal to
+        the heap row with ``begin <= low_water`` is redundant (the
+        chainless fast path gives the same answer to every snapshot that
+        can still exist) and is removed whole.
+        """
+        dropped = 0
+        for row_id in sorted(self.chains):
+            chain = self.chains[row_id]
+            if chain.pending:
+                continue
+            kept = [
+                version
+                for version in chain.versions
+                if version.end is None or version.end > low_water
+            ]
+            dropped += len(chain.versions) - len(kept)
+            chain.versions = kept
+            live = heap[row_id] if row_id < len(heap) else None
+            if not kept:
+                if live is None:
+                    del self.chains[row_id]
+                continue
+            if (
+                len(kept) == 1
+                and kept[0].end is None
+                and kept[0].begin <= low_water
+                and kept[0].row == live
+            ):
+                dropped += 1
+                del self.chains[row_id]
+        return dropped
+
+    # -- read side ---------------------------------------------------------
+
+    def visible_row(
+        self, row_id: int, live: Optional[Row], stamp: int
+    ) -> Optional[Row]:
+        """The row *snapshot stamp* sees in this slot (None = invisible)."""
+        chain = self.chains.get(row_id)
+        if chain is None:
+            return live
+        version = chain.visible(stamp)
+        return None if version is None else version.row
+
+    def dump(self) -> Dict[int, List[Tuple[int, Optional[int], Row]]]:
+        """Deterministic chain dump for tests and recovery audits."""
+        return {
+            row_id: [version.as_tuple() for version in chain.versions]
+            for row_id, chain in sorted(self.chains.items())
+        }
+
+
+class MvccManager:
+    """Commit clock, snapshot registry, and GC across a database's tables."""
+
+    def __init__(
+        self, statistics: Optional[MutableMapping[str, int]] = None
+    ) -> None:
+        #: Stamp of the most recent committed write transaction.
+        self.clock = 0
+        self._snapshot_seq = 0
+        #: Open snapshots: sid -> stamp (the GC low-water mark inputs).
+        self._open: Dict[int, int] = {}
+        #: Registered tables: sorted-stable list of (name, storage, store).
+        self._tables: List[Tuple[str, object, VersionStore]] = []
+        #: Shared counter sink (the owning Database's ``statistics``).
+        self.statistics = statistics if statistics is not None else {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, storage: object) -> VersionStore:
+        """Attach a :class:`VersionStore` to *storage* and track it."""
+        store = VersionStore()
+        name = storage.schema.name  # type: ignore[attr-defined]
+        storage.mvcc = store  # type: ignore[attr-defined]
+        self._tables.append((name, storage, store))
+        return store
+
+    def forget(self, name: str) -> None:
+        """Drop the store of a dropped table."""
+        self._tables = [entry for entry in self._tables if entry[0] != name]
+
+    # -- snapshots ---------------------------------------------------------
+
+    def open_snapshot(self) -> Snapshot:
+        self._snapshot_seq += 1
+        snapshot = Snapshot(stamp=self.clock, sid=self._snapshot_seq)
+        self._open[snapshot.sid] = snapshot.stamp
+        return snapshot
+
+    def close_snapshot(self, snapshot: Snapshot) -> None:
+        self._open.pop(snapshot.sid, None)
+        self.collect()
+
+    def low_water(self) -> int:
+        if not self._open:
+            return self.clock
+        return min(self._open.values())
+
+    @property
+    def open_snapshots(self) -> int:
+        return len(self._open)
+
+    # -- commit / abort ----------------------------------------------------
+
+    def commit(self, writes: List[Tuple[object, int]]) -> Optional[int]:
+        """Install *writes* (``(storage, row_id)`` pairs) as one commit.
+
+        Bumps the clock once per commit that actually wrote (read-only
+        and empty commits leave it untouched — that keeps the clock a
+        pure function of the committed write history, which is what lets
+        recovery replay rebuild it exactly).  Returns the stamp used, or
+        None when there was nothing to install.
+        """
+        if not writes:
+            return None
+        self.clock += 1
+        stamp = self.clock
+        by_store: Dict[int, Tuple[object, List[int]]] = {}
+        for storage, row_id in writes:
+            entry = by_store.setdefault(id(storage), (storage, []))
+            entry[1].append(row_id)
+        created = 0
+        for storage, row_ids in by_store.values():
+            store: VersionStore = storage.mvcc  # type: ignore[attr-defined]
+            created += store.install(
+                row_ids, storage._rows, stamp  # type: ignore[attr-defined]
+            )
+        self._bump("versions_created", created)
+        self.collect()
+        return stamp
+
+    def abort(self, writes: List[Tuple[object, int]]) -> None:
+        if not writes:
+            return
+        by_store: Dict[int, Tuple[object, List[int]]] = {}
+        for storage, row_id in writes:
+            entry = by_store.setdefault(id(storage), (storage, []))
+            entry[1].append(row_id)
+        for storage, row_ids in by_store.values():
+            store: VersionStore = storage.mvcc  # type: ignore[attr-defined]
+            store.abort(row_ids, storage._rows)  # type: ignore[attr-defined]
+        self.collect()
+
+    def collect(self) -> int:
+        """Run GC over every table; returns versions dropped."""
+        low_water = self.low_water()
+        dropped = 0
+        for __, storage, store in self._tables:
+            if store.chains:
+                dropped += store.gc(
+                    low_water, storage._rows  # type: ignore[attr-defined]
+                )
+        self._bump("versions_gc", dropped)
+        return dropped
+
+    def _bump(self, key: str, amount: int) -> None:
+        if amount:
+            self.statistics[key] = self.statistics.get(key, 0) + amount
+
+    # -- introspection -----------------------------------------------------
+
+    def chain_count(self) -> int:
+        return sum(len(store.chains) for __, __s, store in self._tables)
+
+    def dump(self) -> Dict[str, object]:
+        """Deterministic full state: clock plus per-table chain dumps.
+
+        The recovery test's yardstick: recovering the same log twice (or
+        checkpoint-restoring and replaying) must reproduce this dump
+        byte-for-byte.
+        """
+        tables: Dict[str, Dict[int, List[Tuple[int, Optional[int], Row]]]] = {}
+        for name, __, store in sorted(self._tables, key=lambda e: e[0]):
+            if store.chains:
+                tables[name] = store.dump()
+        return {"clock": self.clock, "tables": tables}

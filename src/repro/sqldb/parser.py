@@ -152,6 +152,18 @@ class _Parser:
         if token.matches_keyword("BEGIN"):
             self.advance()
             self.accept_keyword("TRANSACTION")
+            # READ ONLY is a soft-keyword pair (like ANALYZE/LINT): it only
+            # has meaning here, so columns named "read" keep working.
+            nxt = self.peek()
+            if nxt.kind is TokenKind.IDENT and nxt.value.upper() == "READ":
+                self.advance()
+                only = self.peek()
+                if not (
+                    only.kind is TokenKind.IDENT and only.value.upper() == "ONLY"
+                ):
+                    raise ParseError(f"expected ONLY after READ, found {only}")
+                self.advance()
+                return ast.BeginTransaction(read_only=True)
             return ast.BeginTransaction()
         if token.matches_keyword("COMMIT"):
             self.advance()

@@ -55,6 +55,8 @@ def render_statement(statement: ast.Statement) -> str:
     if isinstance(statement, ast.DropView):
         return f"DROP VIEW {statement.name}"
     if isinstance(statement, ast.BeginTransaction):
+        if statement.read_only:
+            return "BEGIN TRANSACTION READ ONLY"
         return "BEGIN TRANSACTION"
     if isinstance(statement, ast.CommitTransaction):
         return "COMMIT"

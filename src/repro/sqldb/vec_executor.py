@@ -69,7 +69,7 @@ class VecSeqScan(VecOperator):
         self.output_names = list(storage.schema.column_names)
 
     def batches(self, env) -> Iterator[Batch]:
-        for batch in table_batches(self.storage):
+        for batch in table_batches(self.storage, snapshot=env.snapshot):
             env.counters["rows_scanned"] += batch.length
             yield self._emit(batch, env)
 

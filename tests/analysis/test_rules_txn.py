@@ -385,6 +385,53 @@ class TestC005Ddl:
         assert not find(findings, "C005")
 
 
+class TestC006UndeclaredReadOnly:
+    def test_multi_select_script_without_declaration_warns(self):
+        findings = analyze_transaction_sql(
+            "SELECT v FROM t WHERE id = 1; SELECT COUNT(*) FROM u"
+        )
+        (finding,) = find(findings, "C006")
+        assert finding.severity is Severity.WARNING
+        assert "READ ONLY" in finding.message
+        assert finding.node_path == "stmt[0]"
+
+    def test_declared_read_only_is_clean(self):
+        findings = analyze_transaction_sql(
+            "BEGIN TRANSACTION READ ONLY;"
+            " SELECT v FROM t WHERE id = 1;"
+            " SELECT COUNT(*) FROM u;"
+            " COMMIT"
+        )
+        assert not find(findings, "C006")
+
+    def test_selects_in_a_plain_transaction_still_warn(self):
+        findings = analyze_transaction_sql(
+            "BEGIN; SELECT v FROM t WHERE id = 1;"
+            " SELECT COUNT(*) FROM u; COMMIT"
+        )
+        (finding,) = find(findings, "C006")
+        assert finding.severity is Severity.WARNING
+
+    def test_single_select_is_clean(self):
+        findings = analyze_transaction_sql("SELECT v FROM t WHERE id = 1")
+        assert not find(findings, "C006")
+
+    def test_any_dml_makes_the_script_exempt(self):
+        findings = analyze_transaction_sql(
+            "SELECT v FROM t WHERE id = 1;"
+            " UPDATE u SET v = 1 WHERE id = 1"
+        )
+        assert not find(findings, "C006")
+
+    def test_message_names_the_lock_footprint(self):
+        findings = analyze_transaction_sql(
+            "SELECT v FROM t WHERE id = 1; SELECT COUNT(*) FROM u"
+        )
+        (finding,) = find(findings, "C006")
+        assert "S on table 't'" in finding.message
+        assert "S on table 'u'" in finding.message
+
+
 class TestWorkloadReport:
     def test_script_findings_carry_script_prefix(self):
         script = parse_txn_script("inc", "UPDATE t SET v = v + 1 WHERE id = 1")

@@ -73,10 +73,79 @@ class TestInvariants:
         assert contended_report["throughput_ops_per_s"] > 0
 
 
+class TestAuditEco:
+    """Long READ ONLY audits racing ECO write bursts, 2PL vs MVCC."""
+
+    AUDIT_KWARGS = dict(
+        clients=6, ops_per_client=6, conflict_rate=0.5, seed=42,
+        scenario="audit_eco",
+    )
+
+    @pytest.fixture(scope="class")
+    def locked(self):
+        return ContentionSim(ContentionConfig(**self.AUDIT_KWARGS)).run()
+
+    @pytest.fixture(scope="class")
+    def snapshotted(self):
+        return ContentionSim(
+            ContentionConfig(mvcc=True, **self.AUDIT_KWARGS)
+        ).run()
+
+    def test_same_seed_byte_identical_for_both_builds(self):
+        for mvcc in (False, True):
+            config = ContentionConfig(mvcc=mvcc, **self.AUDIT_KWARGS)
+            first = ContentionSim(config).run()
+            second = ContentionSim(config).run()
+            assert report_json(first) == report_json(second)
+
+    def test_2pl_auditors_actually_contend(self, locked):
+        totals = locked["totals"]
+        assert totals["ro_lock_waits"] > 0
+        assert not locked["mvcc"]["enabled"]
+        assert locked["mvcc"]["snapshot_reads"] == 0
+
+    def test_mvcc_auditors_never_wait_or_abort(self, snapshotted):
+        totals = snapshotted["totals"]
+        assert totals["ro_lock_waits"] == 0
+        assert totals["ro_aborts"] == 0
+        assert snapshotted["mvcc"]["enabled"]
+        assert snapshotted["mvcc"]["snapshot_reads"] > 0
+        assert snapshotted["mvcc"]["readonly_txns"] > 0
+        # Steady state after the run: every chain garbage-collected.
+        assert snapshotted["mvcc"]["chains"] == 0
+
+    def test_mvcc_expand_tail_latency_strictly_better(
+        self, locked, snapshotted
+    ):
+        assert (
+            snapshotted["expand_latency_s"]["p99"]
+            < locked["expand_latency_s"]["p99"]
+        )
+
+    def test_no_lost_updates_either_way(self, locked, snapshotted):
+        assert locked["lost_updates"] == 0
+        assert snapshotted["lost_updates"] == 0
+        assert locked["totals"]["eco_commits"] > 0
+        assert snapshotted["totals"]["eco_commits"] > 0
+
+    def test_restarts_cover_every_abort(self, locked, snapshotted):
+        for report in (locked, snapshotted):
+            totals = report["totals"]
+            assert totals["txn_restarts"] == (
+                totals["deadlock_aborts"]
+                + totals["timeout_aborts"]
+                + totals["ro_aborts"]
+            )
+
+
 class TestConfigValidation:
     def test_rejects_zero_clients(self):
         with pytest.raises(ConcurrencyError):
             ContentionConfig(clients=0)
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(ConcurrencyError):
+            ContentionConfig(scenario="chaos-monkey")
 
     def test_rejects_single_hot_counter(self):
         with pytest.raises(ConcurrencyError):

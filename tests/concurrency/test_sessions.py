@@ -325,3 +325,87 @@ class TestConflicts:
         first.commit()
         second.rollback()
         assert second.link.stats.txn_aborts == 1
+
+
+class TestReadOnlyWire:
+    """BEGIN TRANSACTION READ ONLY end-to-end over the session protocol."""
+
+    @pytest.fixture
+    def mvcc_db(self):
+        database = Database(mvcc=True)
+        database.execute(
+            "CREATE TABLE acct (id INTEGER PRIMARY KEY, balance INTEGER)"
+        )
+        database.execute("INSERT INTO acct VALUES (1, 100), (2, 200)")
+        return database
+
+    def test_begin_ro_routes_to_a_snapshot(self, mvcc_db):
+        server, __, (reader, writer) = make_stack(mvcc_db)
+        txn_id = reader.begin(read_only=True)
+        assert txn_id > 0
+        # A concurrent committed write is invisible to the snapshot...
+        writer.execute("UPDATE acct SET balance = 0 WHERE id = 1")
+        assert reader.execute(
+            "SELECT balance FROM acct WHERE id = 1"
+        ).scalar() == 100
+        reader.commit()
+        # ...and the next RO transaction starts from the newer stamp.
+        reader.begin(read_only=True)
+        assert reader.execute(
+            "SELECT balance FROM acct WHERE id = 1"
+        ).scalar() == 0
+        reader.commit()
+        assert server.statistics["readonly_txns"] == 2
+        assert reader.link.stats.readonly_txns == 2
+
+    def test_dml_inside_ro_txn_rejected_over_wire(self, mvcc_db):
+        __, __sessions, (conn, __other) = make_stack(mvcc_db)
+        conn.begin(read_only=True)
+        with pytest.raises(ExecutionError, match="READ ONLY"):
+            conn.execute("UPDATE acct SET balance = 0 WHERE id = 1")
+        conn.rollback()
+        # The session survives the rejection: a plain txn still works.
+        conn.begin()
+        conn.execute("UPDATE acct SET balance = 1 WHERE id = 1")
+        conn.commit()
+        assert mvcc_db.execute(
+            "SELECT balance FROM acct WHERE id = 1"
+        ).scalar() == 1
+
+    def test_stats_frame_exposes_mvcc_counters(self, mvcc_db):
+        __, __sessions, (conn, __other) = make_stack(mvcc_db)
+        conn.begin(read_only=True)
+        conn.execute("SELECT SUM(balance) FROM acct")
+        conn.commit()
+        stats = conn.server_stats()
+        assert stats["readonly_txns"] == 1
+        assert stats["db_readonly_txns"] == 1
+        assert stats["db_snapshot_reads"] >= 1
+        assert "db_versions_created" in stats
+        assert "db_versions_gc" in stats
+
+    def test_begin_ro_without_session_rejected(self, db):
+        server, __, __connections = make_stack(db)
+        from repro.server import protocol
+
+        response = server.handle(
+            protocol.encode_envelope(
+                Opcode.TXN_BEGIN_RO, protocol.encode_session_op(12345)
+            )
+        )
+        opcode, body = protocol.decode_envelope(response)
+        assert opcode is Opcode.ERROR
+        kind, __msg = protocol.decode_error(body)
+        assert kind == "SessionError"
+
+    def test_truncated_begin_ro_frame_keeps_server_alive(self, db):
+        server, __, (conn, __other) = make_stack(db)
+        from repro.server import protocol
+
+        response = server.handle(
+            protocol.encode_envelope(Opcode.TXN_BEGIN_RO, b"\x01")
+        )
+        opcode, __body = protocol.decode_envelope(response)
+        assert opcode is Opcode.ERROR
+        # The server shrugged the garbage off; real traffic still works.
+        assert conn.execute("SELECT COUNT(*) FROM acct").scalar() == 2

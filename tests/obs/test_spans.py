@@ -143,3 +143,18 @@ class TestInstrumentStack:
         assert sum(root.components.values()) == pytest.approx(
             root.duration, abs=1e-12
         )
+
+
+class TestMvccMetrics:
+    def test_readonly_txn_counters_reach_the_recorder(self, recorder):
+        from repro.sqldb import Database
+
+        db = Database(mvcc=True)
+        db.recorder = recorder
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        db.execute("INSERT INTO t VALUES (1, 10)")
+        db.execute("BEGIN TRANSACTION READ ONLY", session="r")
+        db.execute("SELECT v FROM t WHERE id = 1", session="r")
+        db.execute("COMMIT", session="r")
+        assert recorder.metrics.counter("db.readonly_txns").value == 1
+        assert recorder.metrics.counter("db.snapshot_reads").value >= 1
